@@ -1,0 +1,8 @@
+"""Benchmark harnesses reproducing the paper's quantitative claims.
+
+One module per experiment of the DESIGN.md experiment index (E1-E10).  Each
+module exposes a ``run_*_experiment`` function that returns the experiment's
+data table (a :class:`repro.analysis.sweep.SweepResult`) and a pytest-benchmark
+test that executes the harness exactly once, prints the table, and stores it
+under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""

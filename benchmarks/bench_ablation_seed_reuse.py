@@ -1,0 +1,107 @@
+"""E11 (ablation) -- running seed agreement less frequently (§4.2 remark).
+
+The paper notes that nothing is fundamental about running SeedAlg at the start
+of *every* phase: the agreement can be run less frequently with seeds long
+enough for several phases, which "does not change our worst-case time bounds
+but might improve an average case cost or practical performance".
+
+This ablation quantifies that trade on the same workload as E3: for reuse
+factors 1 (the paper's base algorithm), 2, and 4 it reports
+
+* the fraction of airtime spent in (non-idle) seed-agreement preambles, and
+* the empirical progress failure rate,
+
+showing the preamble overhead drops with the reuse factor while the progress
+guarantee keeps holding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro import LBParams, Simulator, make_lb_processes
+from repro.analysis.sweep import SweepResult, sweep
+from repro.dualgraph.adversary import IIDScheduler
+from repro.simulation.environment import SaturatingEnvironment
+from repro.simulation.metrics import progress_report
+
+from benchmarks.common import network_with_target_degree, print_and_save, run_once_benchmark
+
+REUSE_FACTORS = (1, 2, 4)
+TARGET_DELTA = 16
+EPSILON = 0.2
+TRIALS = 3
+PHASES_PER_TRIAL = 6
+
+
+def _run_point(seed_reuse_phases: int) -> Dict[str, float]:
+    reuse = seed_reuse_phases
+    applicable = 0
+    failures = 0
+    params = None
+
+    for trial in range(TRIALS):
+        graph, _ = network_with_target_degree(TARGET_DELTA, seed=4400 + trial)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
+        senders = sorted(graph.vertices)[: max(2, graph.n // 6)]
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(trial), seed_reuse_phases=reuse),
+            scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
+            environment=SaturatingEnvironment(senders=senders),
+        )
+        trace = simulator.run(PHASES_PER_TRIAL * params.phase_length)
+        report = progress_report(trace, graph, window=params.tprog_rounds)
+        applicable += report.num_applicable
+        failures += len(report.failures)
+
+    # With reuse factor k only ceil(PHASES/k) of the phases pay the Ts rounds.
+    phases_paying_preamble = -(-PHASES_PER_TRIAL // reuse)
+    preamble_airtime_fraction = (
+        phases_paying_preamble * params.ts
+    ) / (PHASES_PER_TRIAL * params.phase_length)
+
+    return {
+        "ts": params.ts,
+        "phase_length": params.phase_length,
+        "preamble_airtime_fraction": preamble_airtime_fraction,
+        "progress_windows": applicable,
+        "progress_failures": failures,
+        "progress_failure_rate": failures / max(applicable, 1),
+        "target_epsilon": EPSILON,
+    }
+
+
+def run_seed_reuse_ablation() -> SweepResult:
+    """Run the E11 ablation and return its table."""
+    return sweep({"seed_reuse_phases": REUSE_FACTORS}, run=_run_point)
+
+
+def test_bench_ablation_seed_reuse(benchmark):
+    result = run_once_benchmark(benchmark, run_seed_reuse_ablation)
+    print_and_save(
+        "E11_ablation_seed_reuse",
+        "E11 -- ablation: seed-agreement frequency (reuse factor) vs preamble overhead and progress",
+        result,
+        columns=[
+            "seed_reuse_phases",
+            "ts",
+            "phase_length",
+            "preamble_airtime_fraction",
+            "progress_windows",
+            "progress_failures",
+            "progress_failure_rate",
+        ],
+    )
+    rows = {r["seed_reuse_phases"]: r for r in result}
+    # The preamble overhead shrinks as the reuse factor grows ...
+    assert (
+        rows[4]["preamble_airtime_fraction"]
+        < rows[2]["preamble_airtime_fraction"]
+        < rows[1]["preamble_airtime_fraction"]
+    )
+    # ... while the progress guarantee keeps holding.
+    for row in result:
+        assert row["progress_failure_rate"] <= EPSILON + 0.15

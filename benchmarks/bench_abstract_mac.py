@@ -1,0 +1,94 @@
+"""E8 -- The abstract MAC layer interpretation: multi-hop flooding.
+
+Reproduced claim (Section 1 / Section 5): the local broadcast service can be
+used as an abstract MAC layer, so algorithms written against that layer --
+the canonical example being global broadcast by flooding -- run in the dual
+graph model with latency governed by the layer's ``f_ack`` bound.  On a line
+network of reliable diameter ``D``, a flood completes after about ``D``
+sequential acknowledgment periods; the measured completion round should grow
+roughly linearly with the hop distance and stay within a small multiple of
+``D * t_ack``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro import LBParams
+from repro.analysis.stats import mean
+from repro.analysis.sweep import SweepResult, sweep
+from repro.dualgraph.adversary import IIDScheduler
+from repro.dualgraph.generators import line_network
+from repro.mac.applications.flood import run_flood
+
+from benchmarks.common import print_and_save, run_once_benchmark
+
+LINE_LENGTHS = (3, 5, 7)
+TRIALS = 2
+EPSILON = 0.2
+
+
+def _run_point(line_length: int) -> Dict[str, float]:
+    completion_rounds = []
+    coverages = []
+    params = None
+    for trial in range(TRIALS):
+        graph, _ = line_network(line_length, spacing=0.9)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.derive(
+            EPSILON, delta=delta, delta_prime=delta_prime, r=2.0,
+            # The flood only needs delivery to the next hop, so a compact
+            # sending period keeps the experiment fast while preserving the
+            # D * f_ack shape being measured.
+            tack_phases_override=max(2, delta_prime),
+        )
+        scheduler = IIDScheduler(graph, probability=0.5, seed=trial)
+        result = run_flood(
+            graph, params, source=0, scheduler=scheduler, rng=random.Random(trial)
+        )
+        coverages.append(result.coverage)
+        completion_rounds.append(
+            result.completion_round if result.completion_round is not None else result.rounds_run
+        )
+
+    diameter = line_length - 1
+    return {
+        "diameter": diameter,
+        "phase_length": params.phase_length,
+        "tack_rounds": params.tack_rounds,
+        "mean_completion_round": mean(completion_rounds),
+        "mean_coverage": mean(coverages),
+        "completion_over_diameter_tack": mean(completion_rounds) / (diameter * params.tack_rounds),
+    }
+
+
+def run_abstract_mac_experiment() -> SweepResult:
+    """Run the E8 sweep and return its table."""
+    return sweep({"line_length": LINE_LENGTHS}, run=_run_point)
+
+
+def test_bench_abstract_mac(benchmark):
+    result = run_once_benchmark(benchmark, run_abstract_mac_experiment)
+    print_and_save(
+        "E8_abstract_mac_flood",
+        "E8 -- flooding over the LBAlg-backed abstract MAC layer on line networks",
+        result,
+        columns=[
+            "line_length",
+            "diameter",
+            "phase_length",
+            "tack_rounds",
+            "mean_completion_round",
+            "mean_coverage",
+            "completion_over_diameter_tack",
+        ],
+    )
+    rows = {r["line_length"]: r for r in result}
+    # Full coverage everywhere.
+    for row in result:
+        assert row["mean_coverage"] == 1.0
+        # Completion stays within a small multiple of D * t_ack.
+        assert row["completion_over_diameter_tack"] <= 2.0
+    # Longer lines take longer (linear-in-D shape).
+    assert rows[7]["mean_completion_round"] > rows[3]["mean_completion_round"]

@@ -1,0 +1,133 @@
+"""E7 -- Near-optimality context (Section 1, "Results").
+
+The paper argues its bounds are near optimal because, even with reliable
+links only:
+
+* any progress guarantee needs Ω(log Δ) rounds (symmetry breaking among an
+  unknown set of contenders), and
+* any acknowledgment guarantee needs Ω(Δ) rounds in the worst case -- a
+  receiver adjacent to Δ broadcasters can absorb at most one message per
+  round, so the last broadcaster to be heard waits at least Δ rounds.
+
+The harness measures, on clique / star networks *without* unreliable edges:
+
+* the round of the first successful reception at a contended receiver
+  (progress-like quantity) as Δ grows -- it should sit above the log Δ floor
+  and scale gently, and
+* the round by which the receiver has heard *all* Δ broadcasters -- it can
+  never beat Δ, and the measured values sit above that floor for both LBAlg
+  and the Decay baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro import LBParams, Simulator, make_lb_processes
+from repro.analysis import theory
+from repro.analysis.stats import mean
+from repro.analysis.sweep import SweepResult, sweep
+from repro.baselines import make_baseline_processes
+from repro.dualgraph.adversary import NoUnreliableScheduler
+from repro.dualgraph.generators import star_network
+from repro.simulation.environment import SaturatingEnvironment
+from repro.simulation.metrics import data_reception_rounds
+
+from benchmarks.common import print_and_save, run_once_benchmark
+
+LEAF_COUNTS = (4, 8, 16)
+ALGORITHMS = ("lbalg", "decay")
+TRIALS = 3
+RECEIVER = 0
+
+
+def _distinct_origin_completion_round(trace, receiver, expected_origins):
+    """Round by which the receiver has heard every expected origin (or None)."""
+    heard = {}
+    for recv in trace.recv_outputs:
+        if recv.vertex != receiver:
+            continue
+        origin = recv.message.origin
+        if origin not in heard:
+            heard[origin] = recv.round_number
+    if set(heard) >= set(expected_origins):
+        return max(heard[origin] for origin in expected_origins)
+    return None
+
+
+def _run_point(leaves: int, algorithm: str) -> Dict[str, float]:
+    first_reception_rounds = []
+    all_heard_rounds = []
+    incomplete = 0
+
+    for trial in range(TRIALS):
+        graph, _ = star_network(leaves)
+        delta, delta_prime = graph.degree_bounds()
+        senders = list(range(1, leaves + 1))
+        rng = random.Random(trial)
+        if algorithm == "lbalg":
+            params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime, r=2.0)
+            processes = make_lb_processes(graph, params, rng)
+            rounds = 2 * params.tack_rounds
+        else:
+            processes = make_baseline_processes(graph, "decay", rng, num_cycles=10)
+            rounds = 40 * leaves * 10
+        simulator = Simulator(
+            graph,
+            processes,
+            scheduler=NoUnreliableScheduler(graph),
+            environment=SaturatingEnvironment(senders=senders),
+        )
+        trace = simulator.run(rounds)
+
+        heard_rounds = data_reception_rounds(trace, RECEIVER)
+        first_reception_rounds.append(heard_rounds[0] if heard_rounds else rounds)
+        completion = _distinct_origin_completion_round(trace, RECEIVER, senders)
+        if completion is None:
+            incomplete += 1
+        else:
+            all_heard_rounds.append(completion)
+
+    return {
+        "delta": leaves + 1,
+        "first_reception_round": mean(first_reception_rounds),
+        "all_senders_heard_round": mean(all_heard_rounds) if all_heard_rounds else float("nan"),
+        "incomplete_trials": incomplete,
+        "progress_lower_bound": theory.progress_lower_bound(leaves + 1),
+        "ack_lower_bound": theory.ack_lower_bound(leaves),
+    }
+
+
+def run_lower_bound_experiment() -> SweepResult:
+    """Run the E7 grid and return its table."""
+    return sweep({"leaves": LEAF_COUNTS, "algorithm": ALGORITHMS}, run=_run_point)
+
+
+def test_bench_lower_bound_context(benchmark):
+    result = run_once_benchmark(benchmark, run_lower_bound_experiment)
+    print_and_save(
+        "E7_lower_bound_context",
+        "E7 -- contended star without unreliable links: measured latencies vs the Ω(log Δ) / Ω(Δ) floors",
+        result,
+        columns=[
+            "leaves",
+            "algorithm",
+            "delta",
+            "first_reception_round",
+            "progress_lower_bound",
+            "all_senders_heard_round",
+            "ack_lower_bound",
+            "incomplete_trials",
+        ],
+    )
+    for row in result:
+        # No algorithm can beat the information-theoretic floors.
+        assert row["first_reception_round"] >= 1
+        if row["incomplete_trials"] < TRIALS and row["all_senders_heard_round"] == row["all_senders_heard_round"]:
+            assert row["all_senders_heard_round"] >= row["ack_lower_bound"]
+    # Hearing everyone takes longer as Δ grows (the Ω(Δ) shape).
+    for algorithm in ALGORITHMS:
+        rows = {r["leaves"]: r for r in result.where(algorithm=algorithm)}
+        if rows[16]["incomplete_trials"] < TRIALS and rows[4]["incomplete_trials"] < TRIALS:
+            assert rows[16]["all_senders_heard_round"] > rows[4]["all_senders_heard_round"]

@@ -1,0 +1,101 @@
+"""E10 -- The parameter calculus and the seed-length budget κ.
+
+Reproduced claims (Appendix C.1 and the LBAlg description):
+
+* the derived quantities Ts, Tprog, Tack and κ follow the paper's functional
+  shapes in Δ and ε (Ts and Tprog logarithmic in Δ, Tack linear in Δ', all
+  polylogarithmic in 1/ε), and
+* κ = Tprog · ⌈log(r² log(1/ε2))⌉ · log log Δ bits of shared seed are enough
+  for a full phase of shared random choices -- an instrumented run never
+  consumes more than κ bits from a committed seed.
+
+The harness tabulates the derived parameters over a (Δ, ε) grid and runs an
+instrumented LBAlg execution per point to record the maximum number of seed
+bits any node consumed in one phase.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro import LBParams, Simulator, make_lb_processes
+from repro.analysis import theory
+from repro.analysis.sweep import SweepResult, sweep
+from repro.dualgraph.adversary import IIDScheduler
+from repro.simulation.environment import SaturatingEnvironment
+
+from benchmarks.common import network_with_target_degree, print_and_save, run_once_benchmark
+
+TARGET_DELTAS = (8, 16, 32)
+EPSILONS = (0.2, 0.1)
+
+
+def _run_point(target_delta: int, epsilon: float) -> Dict[str, float]:
+    graph, _ = network_with_target_degree(target_delta, seed=777 + target_delta)
+    delta, delta_prime = graph.degree_bounds()
+    params = LBParams.derive(epsilon, delta=delta, delta_prime=delta_prime, r=2.0)
+
+    senders = sorted(graph.vertices)[: max(2, graph.n // 5)]
+    simulator = Simulator(
+        graph,
+        make_lb_processes(graph, params, random.Random(0)),
+        scheduler=IIDScheduler(graph, probability=0.5, seed=0),
+        environment=SaturatingEnvironment(senders=senders),
+        record_frames=False,
+    )
+    simulator.run(2 * params.phase_length)
+    max_bits = max(
+        simulator.process_at(v).stats_max_bits_consumed for v in graph.vertices
+    )
+
+    return {
+        "measured_delta": delta,
+        "measured_delta_prime": delta_prime,
+        "ts": params.ts,
+        "tprog": params.tprog,
+        "tack_phases": params.tack_phases,
+        "tack_rounds": params.tack_rounds,
+        "kappa_bits": params.kappa,
+        "max_bits_consumed": max_bits,
+        "theory_tprog_shape": theory.tprog_bound(delta, epsilon, r=2.0),
+        "theory_tack_shape": theory.tack_bound(delta, epsilon, r=2.0),
+    }
+
+
+def run_params_experiment() -> SweepResult:
+    """Run the E10 grid and return its table."""
+    return sweep({"target_delta": TARGET_DELTAS, "epsilon": EPSILONS}, run=_run_point)
+
+
+def test_bench_params(benchmark):
+    result = run_once_benchmark(benchmark, run_params_experiment)
+    print_and_save(
+        "E10_parameter_calculus",
+        "E10 -- derived schedule lengths, κ budget, and measured seed-bit consumption",
+        result,
+        columns=[
+            "target_delta",
+            "epsilon",
+            "measured_delta",
+            "measured_delta_prime",
+            "ts",
+            "tprog",
+            "tack_phases",
+            "tack_rounds",
+            "kappa_bits",
+            "max_bits_consumed",
+            "theory_tprog_shape",
+            "theory_tack_shape",
+        ],
+    )
+    for row in result:
+        # The κ budget is never exceeded (the algorithm never has to extend
+        # its seed), which is the point of the calculus.
+        assert row["max_bits_consumed"] <= row["kappa_bits"]
+    # Shapes: Tprog grows sub-linearly, Tack roughly linearly with Δ'.
+    for epsilon in EPSILONS:
+        rows = {r["target_delta"]: r for r in result.where(epsilon=epsilon)}
+        assert rows[32]["tprog"] > rows[8]["tprog"]
+        assert rows[32]["tprog"] < rows[8]["tprog"] * (32 / 8)
+        assert rows[32]["tack_rounds"] > rows[8]["tack_rounds"]

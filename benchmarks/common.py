@@ -1,0 +1,105 @@
+"""Shared machinery for the benchmark harnesses.
+
+Every experiment follows the same recipe: build networks with a target degree
+bound, run a workload for some rounds over several independent trials, reduce
+the traces to a few numbers, and print a table whose rows mirror the data
+series a figure in a systems paper would show.  The helpers here keep the
+individual ``bench_*.py`` modules short and uniform.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro import (
+    DualGraph,
+    Embedding,
+    IIDScheduler,
+    LBParams,
+    Simulator,
+    make_lb_processes,
+    random_geographic_network,
+)
+from repro.analysis.sweep import SweepResult, format_table
+from repro.simulation.environment import Environment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Network "density profiles": approximate reliable degree bound -> sampling
+#: parameters (n, side) for random geographic networks.  Degree bounds are
+#: approximate by nature (the sample decides), which is fine because every
+#: experiment records the *measured* Δ of the network it actually used.
+DENSITY_PROFILES: Dict[int, Tuple[int, float]] = {
+    4: (12, 4.2),
+    8: (16, 3.5),
+    10: (20, 3.0),
+    12: (28, 3.3),
+    16: (30, 2.6),
+    20: (36, 2.6),
+    24: (40, 2.4),
+    32: (56, 2.4),
+}
+
+
+def ensure_results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(name: str, table: str) -> str:
+    """Write a rendered table under benchmarks/results/ and return the path."""
+    path = os.path.join(ensure_results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(table + "\n")
+    return path
+
+
+def network_with_target_degree(
+    target_delta: int, seed: int, require_connected: bool = True
+) -> Tuple[DualGraph, Embedding]:
+    """Sample a random geographic network whose Δ lands near the target."""
+    if target_delta not in DENSITY_PROFILES:
+        raise KeyError(
+            f"no density profile for Δ≈{target_delta}; known targets: {sorted(DENSITY_PROFILES)}"
+        )
+    n, side = DENSITY_PROFILES[target_delta]
+    return random_geographic_network(
+        n, side=side, r=2.0, rng=seed, require_connected=require_connected, max_attempts=80
+    )
+
+
+def build_lb_simulator(
+    graph: DualGraph,
+    params: LBParams,
+    environment: Environment,
+    scheduler=None,
+    master_seed: int = 0,
+    record_frames: bool = True,
+) -> Simulator:
+    """A Simulator running LBAlg at every vertex (the default experiment setup)."""
+    rng = random.Random(master_seed)
+    if scheduler is None:
+        scheduler = IIDScheduler(graph, probability=0.5, seed=master_seed)
+    return Simulator(
+        graph,
+        make_lb_processes(graph, params, rng),
+        scheduler=scheduler,
+        environment=environment,
+        record_frames=record_frames,
+    )
+
+
+def print_and_save(name: str, title: str, result: SweepResult, columns=None) -> str:
+    """Render, print, and persist an experiment table; returns the rendering."""
+    table = format_table(result.rows, columns=columns, title=title)
+    print()
+    print(table)
+    save_table(name, table)
+    return table
+
+
+def run_once_benchmark(benchmark, fn: Callable[[], SweepResult]) -> SweepResult:
+    """Run an experiment harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

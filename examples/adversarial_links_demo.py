@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Scenario: why fixed broadcast schedules fail in the dual graph model.
+
+This is the paper's motivating story (Section 1, "Discussion") as a runnable
+demonstration.  A receiver sits in one dense cluster with a single reliable
+broadcaster next to it; a second cluster full of broadcasters is connected to
+the receiver only through unreliable links.  An oblivious link scheduler that
+knows Decay's fixed probability cycle can therefore:
+
+* include every cross-cluster link exactly when Decay transmits aggressively,
+  drowning the receiver in collisions, and
+* remove them when Decay transmits timidly, leaving the receiver in silence.
+
+LBAlg permutes its probability schedule with seed-agreement randomness drawn
+*after* the link schedule was fixed, so the same trap cannot be laid for it.
+The demo prints the receiver's per-round reception rate for both algorithms
+under both a benign scheduler and the targeted adversary.
+
+Run it with:
+
+    python examples/adversarial_links_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    AntiScheduleAdversary,
+    IIDScheduler,
+    LBParams,
+    SaturatingEnvironment,
+    Simulator,
+    make_lb_processes,
+    two_clusters_network,
+)
+from repro.baselines import make_baseline_processes
+from repro.baselines.decay import decay_schedule
+from repro.simulation.metrics import data_reception_rounds
+
+
+CLUSTER_SIZE = 5
+RECEIVER = 0
+EPSILON = 0.2
+
+
+def reception_rate(trace, receiver, rounds):
+    return len(data_reception_rounds(trace, receiver)) / rounds
+
+
+def run_decay(graph, senders, scheduler, rounds=1000, seed=0):
+    processes = make_baseline_processes(graph, "decay", random.Random(seed), num_cycles=8)
+    simulator = Simulator(
+        graph, processes, scheduler=scheduler,
+        environment=SaturatingEnvironment(senders=senders),
+    )
+    return simulator.run(rounds), rounds
+
+
+def run_lbalg(graph, senders, scheduler, params, phases=5, seed=0):
+    processes = make_lb_processes(graph, params, random.Random(seed))
+    simulator = Simulator(
+        graph, processes, scheduler=scheduler,
+        environment=SaturatingEnvironment(senders=senders),
+    )
+    rounds = phases * params.phase_length
+    return simulator.run(rounds), rounds
+
+
+def main() -> None:
+    graph, _ = two_clusters_network(cluster_size=CLUSTER_SIZE, gap=1.5, rng=42)
+    delta, delta_prime = graph.degree_bounds()
+    print(f"two-cluster network: {graph}")
+
+    reliable_sender = min(graph.reliable_neighbors(RECEIVER))
+    far_cluster = [v for v in sorted(graph.vertices) if v >= CLUSTER_SIZE]
+    senders = [reliable_sender] + far_cluster
+    print(
+        f"receiver {RECEIVER} has one reliable broadcaster ({reliable_sender}); "
+        f"{len(far_cluster)} far-cluster broadcasters reach it only over unreliable links"
+    )
+
+    params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
+    benign = IIDScheduler(graph, probability=0.5, seed=1)
+    adversary = AntiScheduleAdversary(graph, decay_schedule(delta))
+    print(f"targeted adversary built against Decay's cycle {decay_schedule(delta)}")
+
+    print()
+    print(f"{'algorithm':<10} {'scheduler':<22} {'reception rate at receiver':>28}")
+    results = {}
+    for name, scheduler in (("benign i.i.d.", benign), ("anti-Decay adversary", adversary)):
+        trace, rounds = run_decay(graph, senders, scheduler)
+        rate = reception_rate(trace, RECEIVER, rounds)
+        results[("decay", name)] = rate
+        print(f"{'Decay':<10} {name:<22} {rate:>27.3%}")
+    for name, scheduler in (("benign i.i.d.", benign), ("anti-Decay adversary", adversary)):
+        trace, rounds = run_lbalg(graph, senders, scheduler, params)
+        rate = reception_rate(trace, RECEIVER, rounds)
+        results[("lbalg", name)] = rate
+        print(f"{'LBAlg':<10} {name:<22} {rate:>27.3%}")
+
+    print()
+    decay_hit = results[("decay", "benign i.i.d.")] / max(results[("decay", "anti-Decay adversary")], 1e-9)
+    lbalg_hit = results[("lbalg", "benign i.i.d.")] / max(results[("lbalg", "anti-Decay adversary")], 1e-9)
+    print(f"adversary cost to Decay : {decay_hit:.2f}x fewer receptions")
+    print(f"adversary cost to LBAlg : {lbalg_hit:.2f}x fewer receptions")
+    print(
+        "LBAlg pays a constant overhead for seed agreement, but its schedule "
+        "cannot be targeted by an oblivious link scheduler -- which is the paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

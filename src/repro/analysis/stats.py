@@ -1,0 +1,100 @@
+"""Small statistics helpers used by tests and benchmark harnesses.
+
+The paper's guarantees are per-node probabilistic statements; the experiments
+estimate them as empirical frequencies over repeated trials.  These helpers
+keep that estimation (and its uncertainty) uniform across every benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input rather than returning NaN)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the mean of no values")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the standard deviation of no values")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The q-quantile (0 <= q <= 1) by linear interpolation."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("cannot take a quantile of no values")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / median / p90 / max in one dictionary."""
+    values = list(values)
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "std": std(values),
+        "min": min(values),
+        "median": quantile(values, 0.5),
+        "p90": quantile(values, 0.9),
+        "max": max(values),
+    }
+
+
+def empirical_error_rate(failures: int, trials: int) -> float:
+    """Failure frequency with input validation."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0 <= failures <= trials:
+        raise ValueError("failures must be between 0 and trials")
+    return failures / trials
+
+
+def wilson_interval(failures: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a failure probability.
+
+    Far better behaved than the normal approximation when the observed count
+    is 0 or small -- which is the common case here, since the experiments are
+    designed so failures are rare.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0 <= failures <= trials:
+        raise ValueError("failures must be between 0 and trials")
+    p_hat = failures / trials
+    denominator = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2.0 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z * z / (4.0 * trials * trials))
+        / denominator
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def ratio_of_means(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """``mean(numerators) / mean(denominators)`` -- the speedup statistic used
+    when comparing LBAlg against baselines."""
+    denominator = mean(denominators)
+    if denominator == 0:
+        raise ValueError("the denominator mean is zero")
+    return mean(numerators) / denominator

@@ -1,0 +1,108 @@
+"""Parameter sweeps and result tables.
+
+Every benchmark harness has the same outer shape: iterate over a grid of
+parameters (Δ, ε, scheduler, algorithm), run trials, collect a record per
+grid point, and print a table whose rows mirror a figure's data series.  This
+module factors that shape out so the benchmarks stay small and uniform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class SweepResult:
+    """The collected records of one parameter sweep."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        self.rows.append(dict(row))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def where(self, **conditions: Any) -> "SweepResult":
+        """Rows matching all the given column=value conditions."""
+        selected = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in conditions.items())
+        ]
+        return SweepResult(rows=selected)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def sweep(
+    grid: Mapping[str, Sequence[Any]],
+    run: Callable[..., Mapping[str, Any]],
+) -> SweepResult:
+    """Run ``run(**point)`` for every point of the Cartesian grid.
+
+    ``run`` returns a mapping of result columns; the sweep merges the grid
+    point into the record so every row is self-describing.
+    """
+    result = SweepResult()
+    names = list(grid)
+    for values in itertools.product(*(grid[name] for name in names)):
+        point = dict(zip(names, values))
+        record = dict(run(**point))
+        merged = {**point, **record}
+        result.append(merged)
+    return result
+
+
+def format_table(
+    rows: Iterable[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table (what the benchmarks print).
+
+    Parameters
+    ----------
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        Format applied to float values.
+    title:
+        Optional heading line.
+    """
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+
+    def render(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table
+    )
+    pieces = []
+    if title:
+        pieces.append(title)
+    pieces.extend([header, separator, body])
+    return "\n".join(pieces)

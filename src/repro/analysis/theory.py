@@ -1,0 +1,115 @@
+"""Closed-form versions of the paper's bounds.
+
+These functions express the asymptotic statements of the paper as concrete
+formulas (leading constants set to 1 unless the paper fixes them), so the
+benchmark harnesses can print the *predicted* scaling shape next to the
+*measured* one.  They are intentionally independent of the simulation
+parameter machinery: they answer "what does the theorem say the dependence
+on Δ, ε, r looks like", nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.constants import SeedConstants
+from repro.core.params import theoretical_seed_error
+
+
+def _log2(value: float) -> float:
+    """``log2`` with a floor of 1, matching the paper's convention that logs never vanish."""
+    return max(1.0, math.log2(max(value, 2.0)))
+
+
+def _log_inv(epsilon: float) -> float:
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    return max(1.0, math.log2(1.0 / epsilon))
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.1 -- seed agreement
+# ----------------------------------------------------------------------
+def seed_delta_bound(epsilon1: float, r: float = 2.0) -> float:
+    """δ = O(r² log(1/ε1)): the seed-partition bound of Theorem 3.1."""
+    return r * r * _log_inv(epsilon1)
+
+
+def seed_runtime_bound(delta: int, epsilon1: float) -> float:
+    """Running time O(log Δ · log²(1/ε1)) of Theorem 3.1, in rounds."""
+    return _log2(delta) * _log_inv(epsilon1) ** 2
+
+
+def seed_error_bound(
+    epsilon1: float, delta: int, r: float = 2.0, constants: Optional[SeedConstants] = None
+) -> float:
+    """ε = O(r⁴ log⁴(Δ) ε1^{c^{r²}}): the Theorem 3.1 error bound."""
+    return theoretical_seed_error(epsilon1, delta, r, constants)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.1 -- local broadcast
+# ----------------------------------------------------------------------
+def tprog_bound(delta: int, epsilon: float, r: float = 2.0) -> float:
+    """t_prog = O(r² log Δ · log(r⁴ log⁴Δ / ε))."""
+    inner = (r ** 4) * _log2(delta) ** 4 / epsilon
+    return r * r * _log2(delta) * max(1.0, math.log2(inner))
+
+
+def tack_bound(delta: int, epsilon: float, r: float = 2.0) -> float:
+    """t_ack = O(r² Δ log(Δ/ε) log Δ log(r⁴ log⁴Δ/ε) / (1 − ε))."""
+    return (
+        delta
+        * max(1.0, math.log2(delta / epsilon))
+        * tprog_bound(delta, epsilon, r)
+        / (1.0 - epsilon)
+    )
+
+
+# ----------------------------------------------------------------------
+# Lemma 4.2 -- per-round receive probabilities
+# ----------------------------------------------------------------------
+def lemma42_receive_probability(
+    delta: int, epsilon2: float, r: float = 2.0, c2: float = 1.0
+) -> float:
+    """p_u ≥ c2 / (r² log(1/ε2) log Δ): a receiver with an active G-neighbor
+    hears *some* message in one body round with at least this probability."""
+    return c2 / (r * r * _log_inv(epsilon2) * _log2(delta))
+
+
+def lemma42_pairwise_probability(
+    delta: int, delta_prime: int, epsilon2: float, r: float = 2.0, c2: float = 1.0
+) -> float:
+    """p_{u,v} ≥ p_u / Δ': the probability of hearing a *specific* active neighbor."""
+    if delta_prime < 1:
+        raise ValueError("Delta' must be at least 1")
+    return lemma42_receive_probability(delta, epsilon2, r, c2) / delta_prime
+
+
+# ----------------------------------------------------------------------
+# §1 lower-bound context (near-optimality discussion)
+# ----------------------------------------------------------------------
+def progress_lower_bound(delta: int) -> float:
+    """Ω(log Δ): any progress bound needs logarithmically many rounds, even
+    with reliable links only (symmetry breaking among unknown contenders)."""
+    return _log2(delta)
+
+
+def ack_lower_bound(delta: int) -> float:
+    """Ω(Δ): a receiver neighboring Δ broadcasters absorbs one message per
+    round, so some broadcaster waits at least Δ rounds for its delivery."""
+    return float(delta)
+
+
+# ----------------------------------------------------------------------
+# Decay baseline reference (Bar-Yehuda et al.)
+# ----------------------------------------------------------------------
+def decay_cycle_length(delta: int) -> int:
+    """Length of one Decay probability cycle: ceil(log2 Δ)."""
+    return max(1, math.ceil(math.log2(max(delta, 2))))
+
+
+def decay_expected_rounds(delta: int, epsilon: float) -> float:
+    """Classic static-model Decay latency O(log Δ · log(1/ε)) for one delivery."""
+    return decay_cycle_length(delta) * _log_inv(epsilon)

@@ -1,0 +1,120 @@
+"""Shared machinery for the baseline broadcast processes.
+
+Every baseline follows the same outer shape as LBAlg -- accept ``bcast``
+inputs, stay *active* for a strategy-specific number of rounds while
+transmitting according to its schedule, output ``ack`` when done, and output
+``recv`` for every new message heard while listening -- so that traces from
+baselines and from LBAlg are directly comparable.  Only the per-round
+transmission rule differs, which subclasses supply via
+:meth:`BaselineBroadcastProcess.transmission_probability` or by overriding
+:meth:`BaselineBroadcastProcess.should_transmit`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Set, Tuple
+
+from repro.core.events import AckOutput, RecvOutput
+from repro.core.local_broadcast import DataFrame
+from repro.core.messages import Message
+from repro.simulation.process import Process, ProcessContext
+
+
+class BaselineBroadcastProcess(Process):
+    """Common skeleton of the fixed-schedule baselines.
+
+    Parameters
+    ----------
+    ctx:
+        The process context.
+    active_rounds:
+        How many rounds a node stays in the active (sending) state per
+        message before acknowledging.
+    """
+
+    def __init__(self, ctx: ProcessContext, active_rounds: int) -> None:
+        super().__init__(ctx)
+        if active_rounds < 1:
+            raise ValueError("active_rounds must be at least 1")
+        self.active_rounds = int(active_rounds)
+        self._current_message: Optional[Message] = None
+        self._rounds_active = 0
+        self._received_ids: Set[Tuple[Hashable, int]] = set()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        """True while the node has an unacknowledged message."""
+        return self._current_message is not None
+
+    @property
+    def current_message(self) -> Optional[Message]:
+        return self._current_message
+
+    @property
+    def rounds_active(self) -> int:
+        """Rounds the current message has been active so far."""
+        return self._rounds_active
+
+    # ------------------------------------------------------------------
+    # strategy hooks
+    # ------------------------------------------------------------------
+    def transmission_probability(self, active_round_index: int) -> float:
+        """The broadcast probability for the ``active_round_index``-th active round.
+
+        ``active_round_index`` is 1-based and counts only rounds in which the
+        node has been active with the current message.  Subclasses implement
+        their schedule here (Decay's cycle, the uniform probability, ...).
+        """
+        raise NotImplementedError
+
+    def should_transmit(self, active_round_index: int) -> bool:
+        """Whether to transmit this active round (default: flip the schedule's coin)."""
+        probability = self.transmission_probability(active_round_index)
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.rng.random() < probability
+
+    # ------------------------------------------------------------------
+    # Process hooks
+    # ------------------------------------------------------------------
+    def on_input(self, round_number: int, inp: Any) -> None:
+        if not isinstance(inp, Message):
+            raise TypeError(
+                f"baseline processes accept Message inputs only, got {type(inp).__name__}"
+            )
+        if self._current_message is not None:
+            raise RuntimeError(
+                f"vertex {self.vertex!r} received a bcast input while busy; the "
+                "environment violates well-formedness"
+            )
+        self._current_message = inp
+        self._rounds_active = 0
+
+    def transmit(self, round_number: int) -> Optional[DataFrame]:
+        if self._current_message is None:
+            return None
+        self._rounds_active += 1
+        if self.should_transmit(self._rounds_active):
+            return DataFrame(message=self._current_message)
+        return None
+
+    def on_receive(self, round_number: int, frame: Optional[Any]) -> None:
+        if isinstance(frame, DataFrame):
+            message = frame.message
+            if message.message_id not in self._received_ids:
+                self._received_ids.add(message.message_id)
+                self.emit(
+                    RecvOutput(vertex=self.vertex, message=message, round_number=round_number)
+                )
+        if self._current_message is not None and self._rounds_active >= self.active_rounds:
+            message = self._current_message
+            self._current_message = None
+            self._rounds_active = 0
+            self.emit(
+                AckOutput(vertex=self.vertex, message=message, round_number=round_number)
+            )

@@ -1,0 +1,53 @@
+"""Construction helpers for baseline process populations."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Optional
+
+from repro.baselines.decay import DecayProcess
+from repro.baselines.round_robin import RoundRobinProcess
+from repro.baselines.uniform import UniformProcess
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.process import Process, ProcessContext
+
+_KINDS = ("decay", "uniform", "round_robin")
+
+
+def make_baseline_processes(
+    graph: DualGraph,
+    kind: str,
+    rng: random.Random,
+    r: float = 2.0,
+    **kwargs,
+) -> Dict[Hashable, Process]:
+    """Build one baseline process of the requested kind per vertex.
+
+    Parameters
+    ----------
+    kind:
+        ``"decay"``, ``"uniform"`` or ``"round_robin"``.
+    kwargs:
+        Forwarded to the chosen process class (e.g. ``num_cycles`` for Decay,
+        ``probability`` / ``active_rounds`` for uniform, ``frame_size`` /
+        ``num_frames`` for round robin).
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"unknown baseline kind {kind!r}; expected one of {_KINDS}")
+    delta, delta_prime = graph.degree_bounds()
+    processes: Dict[Hashable, Process] = {}
+    for vertex in sorted(graph.vertices, key=repr):
+        ctx = ProcessContext(
+            vertex=vertex,
+            delta=delta,
+            delta_prime=delta_prime,
+            r=r,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        if kind == "decay":
+            processes[vertex] = DecayProcess(ctx, **kwargs)
+        elif kind == "uniform":
+            processes[vertex] = UniformProcess(ctx, **kwargs)
+        else:
+            processes[vertex] = RoundRobinProcess(ctx, **kwargs)
+    return processes

@@ -1,0 +1,57 @@
+"""Round robin (TDMA) broadcast.
+
+Clementi, Monti and Silvestri showed round robin is optimal for fault-tolerant
+broadcast in the worst case: give every process a private time slot and let it
+transmit only there.  Without knowledge of the global id space a process
+cannot get a collision-free slot, so this implementation hashes the process id
+into a frame of ``frame_size`` slots (default ``Δ'``); slot collisions are
+possible and simply show up as collisions on the air, which is part of what
+the comparison experiments measure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.baselines.base import BaselineBroadcastProcess
+from repro.simulation.process import ProcessContext
+
+
+class RoundRobinProcess(BaselineBroadcastProcess):
+    """A node transmitting deterministically in its hashed TDMA slot.
+
+    Parameters
+    ----------
+    frame_size:
+        Number of slots per frame; defaults to ``Δ'``.
+    num_frames:
+        Frames to stay active per message before acknowledging.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        frame_size: int = None,
+        num_frames: int = 4,
+    ) -> None:
+        if frame_size is None:
+            frame_size = max(ctx.delta_prime, 1)
+        if frame_size < 1:
+            raise ValueError("frame_size must be at least 1")
+        if num_frames < 1:
+            raise ValueError("num_frames must be at least 1")
+        super().__init__(ctx, active_rounds=frame_size * num_frames)
+        self.frame_size = int(frame_size)
+        self.num_frames = int(num_frames)
+        digest = hashlib.sha256(repr(ctx.process_id).encode()).digest()
+        self.slot = int.from_bytes(digest[:8], "big") % self.frame_size
+
+    def transmission_probability(self, active_round_index: int) -> float:
+        # Unused: the decision is deterministic; see should_transmit.
+        return 1.0 if self._in_slot(active_round_index) else 0.0
+
+    def should_transmit(self, active_round_index: int) -> bool:
+        return self._in_slot(active_round_index)
+
+    def _in_slot(self, active_round_index: int) -> bool:
+        return (active_round_index - 1) % self.frame_size == self.slot

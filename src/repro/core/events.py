@@ -1,0 +1,71 @@
+"""Input and output events.
+
+The model of Section 2 structures every round as: environment inputs, then
+transmissions, then receptions, then outputs consumed by the environment.
+These dataclasses are the vocabulary in which all of that is recorded in an
+execution trace and consumed by the specification checkers:
+
+* :class:`BcastInput`  -- ``bcast(m)_u``: the environment hands ``u`` a message.
+* :class:`AckOutput`   -- ``ack(m)_u``: ``u`` reports it finished broadcasting ``m``.
+* :class:`RecvOutput`  -- ``recv(m)_u``: ``u`` delivers a received message upward.
+* :class:`DecideOutput`-- ``decide(j, s)_u``: seed agreement decision (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.core.messages import Message
+
+
+@dataclass(frozen=True)
+class BcastInput:
+    """``bcast(m)_u`` at the start of ``round_number``."""
+
+    vertex: Hashable
+    message: Message
+    round_number: int
+
+    kind = "bcast"
+
+
+@dataclass(frozen=True)
+class AckOutput:
+    """``ack(m)_u`` generated at the end of ``round_number``."""
+
+    vertex: Hashable
+    message: Message
+    round_number: int
+
+    kind = "ack"
+
+
+@dataclass(frozen=True)
+class RecvOutput:
+    """``recv(m)_u`` generated at the end of ``round_number``."""
+
+    vertex: Hashable
+    message: Message
+    round_number: int
+
+    kind = "recv"
+
+
+@dataclass(frozen=True)
+class DecideOutput:
+    """``decide(owner, seed)_u`` generated at the end of ``round_number``.
+
+    ``owner`` is the id of the node whose seed was adopted; ``seed`` is the
+    seed value itself (an integer in the seed domain ``S``).
+    """
+
+    vertex: Hashable
+    owner: Hashable
+    seed: int
+    round_number: int
+
+    kind = "decide"
+
+
+Event = Union[BcastInput, AckOutput, RecvOutput, DecideOutput]

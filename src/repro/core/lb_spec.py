@@ -1,0 +1,193 @@
+"""The ``LB(t_ack, t_prog, ε)`` specification checker (Section 4.1).
+
+Deterministic conditions (must hold in every execution):
+
+1. **Timely acknowledgment** -- a ``bcast(m)_u`` input at round ``ρ`` is
+   followed by exactly one ``ack(m)_u`` output in rounds ``[ρ, ρ + t_ack]``,
+   and those are the only acks.
+2. **Validity** -- a ``recv(m)_u`` output at round ``ρ`` requires some
+   ``v ∈ N_G'(u)`` actively broadcasting ``m`` at ``ρ``.
+
+Probabilistic conditions (per configuration, estimated empirically across
+trials):
+
+3. **Reliability** -- with probability at least 1 − ε, every reliable
+   neighbor of the sender outputs ``recv(m)`` before the sender's ``ack(m)``.
+4. **Progress** -- partition rounds into windows of ``t_prog``; whenever a
+   receiver has a reliable neighbor that is active throughout a window, the
+   receiver outputs some ``recv`` during the window with probability at
+   least 1 − ε.
+
+:func:`check_lb_execution` evaluates all four on a single trace, reporting the
+hard violations of 1-2 and the per-message / per-window outcomes of 3-4 so a
+multi-trial driver can estimate error rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.metrics import (
+    DeliveryRecord,
+    ProgressReport,
+    delivery_report,
+    progress_report,
+)
+from repro.simulation.trace import ExecutionTrace
+
+Vertex = Hashable
+
+
+@dataclass
+class LBSpecReport:
+    """Result of checking one execution against ``LB(t_ack, t_prog, ε)``."""
+
+    tack: int
+    tprog: int
+    timely_ack_violations: List[str] = field(default_factory=list)
+    validity_violations: List[str] = field(default_factory=list)
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+    progress: Optional[ProgressReport] = None
+
+    # ------------------------------------------------------------------
+    # deterministic conditions
+    # ------------------------------------------------------------------
+    @property
+    def timely_ack_ok(self) -> bool:
+        return not self.timely_ack_violations
+
+    @property
+    def validity_ok(self) -> bool:
+        return not self.validity_violations
+
+    @property
+    def deterministic_ok(self) -> bool:
+        """Both always-true conditions (timely ack and validity) hold."""
+        return self.timely_ack_ok and self.validity_ok
+
+    # ------------------------------------------------------------------
+    # probabilistic conditions (per-execution outcomes)
+    # ------------------------------------------------------------------
+    @property
+    def completed_deliveries(self) -> List[DeliveryRecord]:
+        """Deliveries whose broadcast was acknowledged within the trace."""
+        return [d for d in self.deliveries if d.ack_round is not None]
+
+    @property
+    def reliability_failures(self) -> List[DeliveryRecord]:
+        """Acknowledged broadcasts that missed at least one reliable neighbor."""
+        return [d for d in self.completed_deliveries if not d.fully_delivered]
+
+    @property
+    def reliability_failure_rate(self) -> float:
+        completed = self.completed_deliveries
+        if not completed:
+            return 0.0
+        return len(self.reliability_failures) / len(completed)
+
+    @property
+    def progress_failure_rate(self) -> float:
+        if self.progress is None:
+            return 0.0
+        return self.progress.failure_rate
+
+    @property
+    def num_progress_windows(self) -> int:
+        if self.progress is None:
+            return 0
+        return self.progress.num_applicable
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dictionary used by benchmark result tables."""
+        return {
+            "timely_ack_violations": len(self.timely_ack_violations),
+            "validity_violations": len(self.validity_violations),
+            "completed_broadcasts": len(self.completed_deliveries),
+            "reliability_failures": len(self.reliability_failures),
+            "reliability_failure_rate": self.reliability_failure_rate,
+            "progress_windows": self.num_progress_windows,
+            "progress_failure_rate": self.progress_failure_rate,
+        }
+
+
+def check_lb_execution(
+    trace: ExecutionTrace,
+    graph: DualGraph,
+    tack: int,
+    tprog: int,
+    check_progress: bool = True,
+) -> LBSpecReport:
+    """Check one execution trace against the local broadcast specification."""
+    if tack < tprog or tprog < 1:
+        raise ValueError("need t_ack >= t_prog >= 1")
+    report = LBSpecReport(tack=tack, tprog=tprog)
+
+    _check_timely_ack(trace, tack, report)
+    _check_validity(trace, graph, report)
+    report.deliveries = delivery_report(trace, graph)
+    if check_progress:
+        report.progress = progress_report(trace, graph, window=tprog)
+    return report
+
+
+def _check_timely_ack(trace: ExecutionTrace, tack: int, report: LBSpecReport) -> None:
+    acked_ids = {}
+    for ack in trace.ack_outputs:
+        acked_ids.setdefault(ack.message.message_id, []).append(ack)
+
+    bcast_ids = set()
+    for bcast in trace.bcast_inputs:
+        mid = bcast.message.message_id
+        bcast_ids.add(mid)
+        acks = acked_ids.get(mid, [])
+        if len(acks) > 1:
+            report.timely_ack_violations.append(
+                f"message {mid!r} was acknowledged {len(acks)} times"
+            )
+        deadline = bcast.round_number + tack
+        if not acks:
+            # Only a violation if the trace ran long enough to see the deadline.
+            if trace.num_rounds >= deadline:
+                report.timely_ack_violations.append(
+                    f"message {mid!r} (bcast at round {bcast.round_number}) was never "
+                    f"acknowledged although the deadline (round {deadline}) passed"
+                )
+        else:
+            ack = acks[0]
+            if ack.vertex != bcast.vertex:
+                report.timely_ack_violations.append(
+                    f"message {mid!r} was acknowledged by {ack.vertex!r}, not by its "
+                    f"origin {bcast.vertex!r}"
+                )
+            if not bcast.round_number <= ack.round_number <= deadline:
+                report.timely_ack_violations.append(
+                    f"message {mid!r} acknowledged at round {ack.round_number}, outside "
+                    f"[{bcast.round_number}, {deadline}]"
+                )
+
+    for mid, acks in acked_ids.items():
+        if mid not in bcast_ids:
+            report.timely_ack_violations.append(
+                f"ack for message {mid!r} which was never submitted by the environment"
+            )
+
+
+def _check_validity(trace: ExecutionTrace, graph: DualGraph, report: LBSpecReport) -> None:
+    for recv in trace.recv_outputs:
+        receiver = recv.vertex
+        message = recv.message
+        round_number = recv.round_number
+        neighbors = graph.potential_neighbors(receiver)
+        origin_ok = False
+        for neighbor in neighbors:
+            active = trace.actively_broadcasting(neighbor, round_number)
+            if any(m.message_id == message.message_id for m in active):
+                origin_ok = True
+                break
+        if not origin_ok:
+            report.validity_violations.append(
+                f"vertex {receiver!r} output recv({message.message_id!r}) at round "
+                f"{round_number} but no G' neighbor was actively broadcasting it"
+            )

@@ -1,0 +1,76 @@
+"""Broadcast messages.
+
+The local broadcast problem (Section 4.1) gives every vertex ``u`` a private
+message alphabet ``M_u``; the alphabets are pairwise disjoint and the
+environment never submits the same message twice.  We realize this with a
+:class:`Message` value object tagged by its origin vertex and a per-origin
+sequence number -- ``(origin, sequence)`` is globally unique, which is all the
+specification relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """An element of the message alphabet ``M_origin``.
+
+    Attributes
+    ----------
+    origin:
+        The vertex whose alphabet this message belongs to (its original
+        broadcaster).
+    sequence:
+        A per-origin sequence number; ``(origin, sequence)`` is unique.
+    payload:
+        Arbitrary application content carried by the message.  It plays no
+        role in the local broadcast specification but is what upper layers
+        (e.g. the abstract MAC applications) actually care about.
+    """
+
+    origin: Hashable
+    sequence: int
+    payload: Any = None
+
+    @property
+    def message_id(self) -> Tuple[Hashable, int]:
+        """The globally unique identity ``(origin, sequence)``."""
+        return (self.origin, self.sequence)
+
+    def __repr__(self) -> str:
+        return f"Message(origin={self.origin!r}, seq={self.sequence}, payload={self.payload!r})"
+
+
+class _MessageCounter:
+    """Internal helper handing out per-origin sequence numbers."""
+
+    def __init__(self) -> None:
+        self._next: dict = {}
+
+    def next_for(self, origin: Hashable) -> int:
+        value = self._next.get(origin, 0)
+        self._next[origin] = value + 1
+        return value
+
+
+_GLOBAL_COUNTER = _MessageCounter()
+
+
+def make_message(origin: Hashable, payload: Any = None, counter: _MessageCounter = None) -> Message:
+    """Create a fresh message in ``M_origin`` with a unique sequence number.
+
+    Environments normally use their own private counter (so independent
+    simulations are reproducible); the module-level counter is a convenience
+    for interactive use and examples.
+    """
+    if counter is None:
+        counter = _GLOBAL_COUNTER
+    return Message(origin=origin, sequence=counter.next_for(origin), payload=payload)
+
+
+def fresh_counter() -> _MessageCounter:
+    """A new, private sequence-number counter (one per environment)."""
+    return _MessageCounter()

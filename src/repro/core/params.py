@@ -1,0 +1,436 @@
+"""Algorithm parameter derivation (Appendices B.1 and C.1).
+
+:class:`SeedParams` packages everything ``SeedAlg(ε1)`` needs:
+
+* the number of phases (``log Δ``) and the rounds per phase
+  (``c4 · log²(1/ε1)``),
+* the per-phase leader election probabilities
+  ``2^{-(log Δ − h + 1)}`` for ``h = 1 .. log Δ``,
+* the leader broadcast probability ``1 / log(1/ε1)``, and
+* the theoretical seed-partition bound δ and error bound ε of Theorem 3.1.
+
+:class:`LBParams` packages everything ``LBAlg(ε1)`` needs:
+
+* the seed-agreement sub-parameters (run with error parameter ε2),
+* the preamble length ``Ts``, body length ``Tprog``, and number of sending
+  phases ``Tack``,
+* the participant-decision bit width and the ``b``-selection bit width used
+  to consume shared seed bits in each body round, and
+* the seed length κ sufficient for one phase's worth of shared choices.
+
+Both classes are plain frozen dataclasses constructible directly (tests and
+examples often pass tiny explicit values) and derivable from the paper's
+formulas through :meth:`SeedParams.derive` / :meth:`LBParams.derive`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.constants import (
+    LBConstants,
+    ParamMode,
+    SeedConstants,
+    ceil_log2,
+    log2_inverse,
+)
+
+
+def _clamp_probability(p: float) -> float:
+    """Clamp a derived probability into (0, 1]."""
+    return max(min(p, 1.0), 1e-12)
+
+
+@dataclass(frozen=True)
+class SeedParams:
+    """Concrete parameters for one run of ``SeedAlg``.
+
+    Attributes
+    ----------
+    epsilon:
+        The error parameter ε1 handed to the algorithm (``0 < ε1 <= 1/4`` in
+        the paper; we accept up to 1/2 and clamp probabilities).
+    delta:
+        The reliable degree bound Δ known to every process.
+    r:
+        The geographic parameter.
+    num_phases:
+        ``log Δ`` phases (at least 1).
+    phase_length:
+        Rounds per phase.
+    leader_broadcast_probability:
+        The probability with which a leader transmits its ``(id, seed)`` pair
+        in each remaining round of its phase.
+    seed_domain_bits:
+        Width of the seed domain ``S = {0,1}^κ`` from which initial seeds are
+        drawn uniformly.
+    delta_bound:
+        The theoretical δ of Theorem 3.1 for these parameters (how many
+        distinct owners may appear in a closed G' neighborhood).
+    error_bound:
+        The theoretical ε of Theorem 3.1.
+    """
+
+    epsilon: float
+    delta: int
+    r: float
+    num_phases: int
+    phase_length: int
+    leader_broadcast_probability: float
+    seed_domain_bits: int = 64
+    delta_bound: int = 0
+    error_bound: float = 1.0
+    mode: ParamMode = ParamMode.SIMULATION
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.delta < 1:
+            raise ValueError(f"Delta must be at least 1, got {self.delta}")
+        if self.r < 1:
+            raise ValueError(f"r must be at least 1, got {self.r}")
+        if self.num_phases < 1 or self.phase_length < 1:
+            raise ValueError("num_phases and phase_length must be at least 1")
+        if not 0.0 < self.leader_broadcast_probability <= 1.0:
+            raise ValueError("leader_broadcast_probability must be in (0, 1]")
+        if self.seed_domain_bits < 1:
+            raise ValueError("seed_domain_bits must be positive")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def total_rounds(self) -> int:
+        """Total rounds of one SeedAlg execution: ``num_phases * phase_length``."""
+        return self.num_phases * self.phase_length
+
+    def leader_election_probability(self, phase: int) -> float:
+        """``2^{-(log Δ − h + 1)}`` for phase ``h`` (1-based).
+
+        Phase 1 uses ``1/Δ``-ish probability and the final phase uses ``1/2``,
+        doubling each phase, exactly as in the algorithm description.
+        """
+        if not 1 <= phase <= self.num_phases:
+            raise ValueError(f"phase must be in [1, {self.num_phases}], got {phase}")
+        return _clamp_probability(2.0 ** (-(self.num_phases - phase + 1)))
+
+    def phase_of_round(self, local_round: int) -> Tuple[int, int]:
+        """Map a 1-based local round to ``(phase, round_within_phase)``.
+
+        Rounds past the final phase are reported as belonging to a virtual
+        phase ``num_phases + 1`` so callers can detect completion.
+        """
+        if local_round < 1:
+            raise ValueError("local rounds are 1-based")
+        phase = (local_round - 1) // self.phase_length + 1
+        within = (local_round - 1) % self.phase_length + 1
+        if phase > self.num_phases:
+            return self.num_phases + 1, within
+        return phase, within
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    @classmethod
+    def derive(
+        cls,
+        epsilon: float,
+        delta: int,
+        r: float = 2.0,
+        mode: ParamMode = ParamMode.SIMULATION,
+        constants: Optional[SeedConstants] = None,
+        seed_domain_bits: int = 64,
+        phase_length_override: Optional[int] = None,
+    ) -> "SeedParams":
+        """Derive SeedAlg parameters from ``(ε1, Δ, r)`` using Appendix B.1.
+
+        ``phase_length_override`` lets tests shrink the phase length without
+        abandoning the rest of the calculus.
+        """
+        if constants is None:
+            constants = SeedConstants.for_mode(mode)
+        log_delta = max(1, ceil_log2(delta))
+        log_eps = log2_inverse(epsilon)
+        phase_length = phase_length_override
+        if phase_length is None:
+            phase_length = max(1, math.ceil(constants.c4_for_r(r) * log_eps * log_eps))
+        broadcast_probability = _clamp_probability(1.0 / max(log_eps, 1.0))
+        delta_bound = max(
+            1, math.ceil(6.0 * constants.cr(r) * constants.c3 * log_eps)
+            if mode is ParamMode.PAPER
+            else math.ceil(constants.cr(r) / constants.c1 * 4.0 * log_eps)
+        )
+        error_bound = theoretical_seed_error(epsilon, delta, r, constants)
+        return cls(
+            epsilon=epsilon,
+            delta=delta,
+            r=r,
+            num_phases=log_delta,
+            phase_length=int(phase_length),
+            leader_broadcast_probability=broadcast_probability,
+            seed_domain_bits=seed_domain_bits,
+            delta_bound=int(delta_bound),
+            error_bound=float(error_bound),
+            mode=mode,
+        )
+
+    def with_seed_domain_bits(self, bits: int) -> "SeedParams":
+        """A copy with a different seed domain width (used by LBAlg for κ)."""
+        return replace(self, seed_domain_bits=bits)
+
+
+def theoretical_seed_error(
+    epsilon: float, delta: int, r: float, constants: Optional[SeedConstants] = None
+) -> float:
+    """The Theorem 3.1 error bound ``ε = O(r^4 log^4(Δ) ε1^{c^{r^2}})``.
+
+    Returned uncapped (it can exceed 1 for loose parameters, meaning the
+    theorem gives no guarantee there) so scaling comparisons stay monotone.
+    """
+    if constants is None:
+        constants = SeedConstants.paper()
+    log_delta = max(1.0, math.log2(max(delta, 2)))
+    eps2 = constants.epsilon2(epsilon)
+    eps3 = constants.epsilon3(epsilon, r)
+    eps4 = constants.cr(r) * eps2 + eps3
+    # Theorem B.16: cr log Δ [(log Δ + 3)^3 ε4 + 9 ε2 + 4 ε3] + cr (log Δ + 3)^3 ε4
+    term = constants.cr(r) * log_delta * (
+        (log_delta + 3.0) ** 3 * eps4 + 9.0 * eps2 + 4.0 * eps3
+    ) + constants.cr(r) * (log_delta + 3.0) ** 3 * eps4
+    return term
+
+
+@dataclass(frozen=True)
+class LBParams:
+    """Concrete parameters for one run of ``LBAlg``.
+
+    Attributes
+    ----------
+    epsilon:
+        The error parameter ε1 of the local broadcast service.
+    delta / delta_prime:
+        The degree bounds Δ and Δ'.
+    r:
+        The geographic parameter.
+    seed_params:
+        Parameters of the per-phase SeedAlg preamble (run with error ε2).
+    ts:
+        Preamble length in rounds (``Ts`` -- the SeedAlg running time).
+    tprog:
+        Body length in rounds (``Tprog``).
+    tack_phases:
+        Number of full phases spent in sending state per message (``Tack``).
+    participant_bits:
+        Bits consumed per body round for the participant decision
+        (``⌈log(r² log(1/ε2))⌉``); a node participates iff all are zero.
+    b_selection_bits:
+        Bits consumed by participants to select ``b ∈ [log Δ]``.
+    kappa:
+        Seed length (bits) sufficient for one phase of shared choices.
+    """
+
+    epsilon: float
+    delta: int
+    delta_prime: int
+    r: float
+    seed_params: SeedParams
+    ts: int
+    tprog: int
+    tack_phases: int
+    participant_bits: int
+    b_selection_bits: int
+    kappa: int
+    mode: ParamMode = ParamMode.SIMULATION
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.delta < 1 or self.delta_prime < self.delta:
+            raise ValueError("need 1 <= Delta <= Delta'")
+        if self.ts < 1 or self.tprog < 1 or self.tack_phases < 1:
+            raise ValueError("ts, tprog and tack_phases must all be at least 1")
+        if self.participant_bits < 1 or self.b_selection_bits < 1:
+            raise ValueError("bit widths must be at least 1")
+        if self.kappa < self.tprog * (self.participant_bits + self.b_selection_bits):
+            raise ValueError(
+                "kappa is too small for one phase of shared choices: need at least "
+                f"{self.tprog * (self.participant_bits + self.b_selection_bits)} bits, got {self.kappa}"
+            )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def phase_length(self) -> int:
+        """Rounds per LBAlg phase: ``Ts + Tprog``."""
+        return self.ts + self.tprog
+
+    @property
+    def tprog_rounds(self) -> int:
+        """The problem's ``t_prog`` bound: one full phase (Lemma C.2)."""
+        return self.phase_length
+
+    @property
+    def tack_rounds(self) -> int:
+        """The problem's ``t_ack`` bound: ``(Tack + 1)(Ts + Tprog)`` (Lemma C.3)."""
+        return (self.tack_phases + 1) * self.phase_length
+
+    @property
+    def log_delta(self) -> int:
+        """``log Δ`` rounded up, at least 1 (the range of the b selection)."""
+        return max(1, ceil_log2(self.delta))
+
+    @property
+    def participant_probability(self) -> float:
+        """The probability that a seed group participates in a body round."""
+        return 2.0 ** (-self.participant_bits)
+
+    def phase_position(self, round_number: int) -> Tuple[int, int]:
+        """Map a global 1-based round to ``(phase_index, offset_within_phase)``.
+
+        ``offset_within_phase`` is 1-based; offsets ``1..ts`` are the preamble
+        and ``ts+1..ts+tprog`` are the body.
+        """
+        if round_number < 1:
+            raise ValueError("rounds are 1-based")
+        phase = (round_number - 1) // self.phase_length + 1
+        offset = (round_number - 1) % self.phase_length + 1
+        return phase, offset
+
+    def is_preamble(self, offset: int) -> bool:
+        """True iff a 1-based in-phase offset falls in the SeedAlg preamble."""
+        return 1 <= offset <= self.ts
+
+    def is_body(self, offset: int) -> bool:
+        """True iff a 1-based in-phase offset falls in the broadcast body."""
+        return self.ts < offset <= self.phase_length
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    @classmethod
+    def derive(
+        cls,
+        epsilon: float,
+        delta: int,
+        delta_prime: Optional[int] = None,
+        r: float = 2.0,
+        mode: ParamMode = ParamMode.SIMULATION,
+        constants: Optional[LBConstants] = None,
+        seed_constants: Optional[SeedConstants] = None,
+        tprog_override: Optional[int] = None,
+        tack_phases_override: Optional[int] = None,
+        seed_phase_length_override: Optional[int] = None,
+    ) -> "LBParams":
+        """Derive LBAlg parameters from ``(ε1, Δ, Δ', r)`` following Appendix C.1.
+
+        The three ``*_override`` arguments let tests and examples shrink the
+        derived schedule without abandoning the rest of the calculus; the
+        benchmarks always use the fully derived values.
+        """
+        if constants is None:
+            constants = LBConstants.for_mode(mode)
+        if seed_constants is None:
+            seed_constants = SeedConstants.for_mode(mode)
+        if delta_prime is None:
+            delta_prime = delta
+        if delta_prime < delta:
+            raise ValueError("Delta' cannot be smaller than Delta")
+
+        epsilon2 = derive_epsilon2(epsilon, delta, r, mode)
+        log_delta = max(1, ceil_log2(delta))
+        log_eps1 = log2_inverse(epsilon)
+        log_eps2 = log2_inverse(epsilon2)
+
+        tprog = tprog_override
+        if tprog is None:
+            tprog = max(
+                1,
+                math.ceil(constants.phase_c1 * r * r * log_eps1 * log_eps2 * log_delta),
+            )
+
+        participant_bits = max(1, math.ceil(math.log2(max(r * r * log_eps2, 2.0))))
+        b_selection_bits = max(1, math.ceil(math.log2(max(log_delta, 2))))
+        kappa = tprog * (participant_bits + b_selection_bits)
+
+        seed_params = SeedParams.derive(
+            epsilon=epsilon2,
+            delta=delta,
+            r=r,
+            mode=mode,
+            constants=seed_constants,
+            seed_domain_bits=kappa,
+            phase_length_override=seed_phase_length_override,
+        )
+        ts = seed_params.total_rounds
+
+        tack_phases = tack_phases_override
+        if tack_phases is None:
+            tack_phases = max(
+                1,
+                math.ceil(
+                    constants.ack_scale
+                    * delta_prime
+                    * math.log(2.0 * delta / epsilon)
+                    / (constants.recv_c2 * max(log_eps1, 1.0) * (1.0 - epsilon / 2.0))
+                ),
+            )
+
+        return cls(
+            epsilon=epsilon,
+            delta=delta,
+            delta_prime=delta_prime,
+            r=r,
+            seed_params=seed_params,
+            ts=ts,
+            tprog=int(tprog),
+            tack_phases=int(tack_phases),
+            participant_bits=participant_bits,
+            b_selection_bits=b_selection_bits,
+            kappa=kappa,
+            mode=mode,
+        )
+
+    @classmethod
+    def small_for_testing(
+        cls,
+        delta: int = 8,
+        delta_prime: Optional[int] = None,
+        epsilon: float = 0.2,
+        r: float = 2.0,
+        tprog: int = 24,
+        tack_phases: int = 3,
+        seed_phase_length: int = 6,
+    ) -> "LBParams":
+        """A compact but structurally faithful parameter set for fast tests."""
+        return cls.derive(
+            epsilon=epsilon,
+            delta=delta,
+            delta_prime=delta_prime,
+            r=r,
+            mode=ParamMode.SIMULATION,
+            tprog_override=tprog,
+            tack_phases_override=tack_phases,
+            seed_phase_length_override=seed_phase_length,
+        )
+
+
+def derive_epsilon2(epsilon: float, delta: int, r: float, mode: ParamMode) -> float:
+    """The ε2 handed to the SeedAlg preamble (Appendix C.1).
+
+    In paper mode, ε2 = min(ε', ε1) where ε' is the largest error parameter
+    that still makes Theorem 3.1's guarantee at most ε1/2:
+    ``ε' = Θ((ε1 / (r^4 log^4 Δ))^{γ/r²})`` for some γ > 1.  In simulation
+    mode we use ε2 = ε1 (the constants are already scaled down, and the
+    functional forms of Ts/Tprog are unchanged).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if mode is ParamMode.SIMULATION:
+        return epsilon
+    gamma = 2.0
+    log_delta = max(1.0, math.log2(max(delta, 2)))
+    eps_prime = (epsilon / (r ** 4 * log_delta ** 4)) ** (gamma / (r * r))
+    return min(max(eps_prime, 1e-12), epsilon)

@@ -1,0 +1,139 @@
+"""Shared pseudo-random bit streams derived from committed seeds.
+
+In LBAlg every node that committed to the same seed must make the *same*
+"shared" random choices during a phase body (participant decisions and the
+``b`` probability-selection), while its actual broadcast coin flips remain
+private.  :class:`SeedBitStream` realizes the shared part: it deterministically
+expands a seed value into a stream of bits, so two streams built from equal
+seeds always agree bit-for-bit, and streams built from independently chosen
+seeds look independent (Lemmas B.17 / B.18).
+
+The initial κ bits are exactly the committed seed (the paper draws seeds from
+``S_κ = {0,1}^κ``); if an execution somehow consumes more than κ bits the
+stream keeps going by hashing ``seed || block_index``, which preserves the
+"same seed ⇒ same bits" property that the algorithm depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+class SeedBitStream:
+    """A deterministic bit stream expanded from an integer seed.
+
+    Parameters
+    ----------
+    seed:
+        The committed seed value, a non-negative integer interpreted as a
+        κ-bit string (most significant bit first).
+    kappa:
+        The nominal seed length in bits.  Values of ``seed`` with more than
+        κ significant bits are rejected to catch calculus errors early.
+    """
+
+    _BLOCK_BITS = 256  # one SHA-256 digest per extension block
+
+    def __init__(self, seed: int, kappa: int) -> None:
+        if kappa < 1:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        if seed.bit_length() > kappa:
+            raise ValueError(
+                f"seed has {seed.bit_length()} bits but the seed domain is only {kappa} bits wide"
+            )
+        self._seed = seed
+        self._kappa = kappa
+        self._bits: List[int] = [(seed >> (kappa - 1 - i)) & 1 for i in range(kappa)]
+        self._cursor = 0
+        self._extension_blocks = 0
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def consume_bits(self, count: int) -> List[int]:
+        """Consume ``count`` bits and return them as a list of 0/1 ints."""
+        if count < 0:
+            raise ValueError("cannot consume a negative number of bits")
+        while self._cursor + count > len(self._bits):
+            self._extend()
+        result = self._bits[self._cursor : self._cursor + count]
+        self._cursor += count
+        return result
+
+    def consume_int(self, count: int) -> int:
+        """Consume ``count`` bits and return them as an integer in [0, 2^count)."""
+        value = 0
+        for bit in self.consume_bits(count):
+            value = (value << 1) | bit
+        return value
+
+    def consume_all_zero(self, count: int) -> bool:
+        """Consume ``count`` bits and report whether they were all zero.
+
+        This is the exact form of the participant decision in LBAlg: an event
+        of probability ``2^{-count}``.
+        """
+        return self.consume_int(count) == 0
+
+    def consume_uniform_index(self, modulus: int, width: int) -> int:
+        """Consume ``width`` bits and map them into ``[0, modulus)``.
+
+        The paper assumes Δ is a power of two so that ``log Δ`` values fit
+        exactly in ``log log Δ`` bits.  For general Δ we consume the given
+        width and reduce modulo ``modulus``; the induced distribution is
+        uniform when ``modulus`` divides ``2^width`` and within a factor of
+        two of uniform otherwise, which only perturbs constants.
+        """
+        if modulus < 1:
+            raise ValueError("modulus must be positive")
+        return self.consume_int(width) % modulus
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def kappa(self) -> int:
+        return self._kappa
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._cursor
+
+    @property
+    def exhausted_initial_seed(self) -> bool:
+        """True iff consumption went beyond the κ initial seed bits."""
+        return self._cursor > self._kappa
+
+    @property
+    def extension_blocks_used(self) -> int:
+        """How many hash-extension blocks were needed (0 in well-sized runs)."""
+        return self._extension_blocks
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _extend(self) -> None:
+        """Append one deterministic extension block derived from the seed."""
+        self._extension_blocks += 1
+        payload = (
+            self._seed.to_bytes((self._kappa + 7) // 8 or 1, "big")
+            + b"|"
+            + str(self._extension_blocks).encode()
+        )
+        digest = hashlib.sha256(payload).digest()
+        for byte in digest:
+            for i in range(8):
+                self._bits.append((byte >> (7 - i)) & 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"SeedBitStream(kappa={self._kappa}, consumed={self._cursor}, "
+            f"extensions={self._extension_blocks})"
+        )

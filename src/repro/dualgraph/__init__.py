@@ -1,0 +1,72 @@
+"""Dual graph radio network substrate.
+
+This package implements the network model of Section 2 of the paper:
+
+* :mod:`repro.dualgraph.graph` -- the :class:`DualGraph` structure ``(G, G')``
+  with reliable edges ``E`` and unreliable-capable edges ``E'``.
+* :mod:`repro.dualgraph.geometric` -- Euclidean embeddings and the
+  *r-geographic* property.
+* :mod:`repro.dualgraph.generators` -- families of dual graph networks used by
+  tests, examples, and benchmarks.
+* :mod:`repro.dualgraph.regions` -- the plane partition into convex regions and
+  the region graph of Appendix A.1.
+* :mod:`repro.dualgraph.adversary` -- oblivious link schedulers deciding which
+  unreliable edges appear in each round's communication topology.
+"""
+
+from repro.dualgraph.graph import DualGraph, Edge, normalize_edge
+from repro.dualgraph.geometric import (
+    Embedding,
+    euclidean_distance,
+    geographic_dual_graph,
+    is_r_geographic,
+)
+from repro.dualgraph.generators import (
+    clique_network,
+    cluster_network,
+    grid_network,
+    line_network,
+    random_geographic_network,
+    star_network,
+    two_clusters_network,
+)
+from repro.dualgraph.regions import GridRegionPartition, RegionGraph
+from repro.dualgraph.adversary import (
+    AdaptiveLinkScheduler,
+    AntiScheduleAdversary,
+    CollisionAdaptiveAdversary,
+    FullInclusionScheduler,
+    IIDScheduler,
+    LinkScheduler,
+    NoUnreliableScheduler,
+    PeriodicScheduler,
+    TraceScheduler,
+)
+
+__all__ = [
+    "DualGraph",
+    "Edge",
+    "normalize_edge",
+    "Embedding",
+    "euclidean_distance",
+    "geographic_dual_graph",
+    "is_r_geographic",
+    "random_geographic_network",
+    "line_network",
+    "grid_network",
+    "clique_network",
+    "star_network",
+    "cluster_network",
+    "two_clusters_network",
+    "GridRegionPartition",
+    "RegionGraph",
+    "LinkScheduler",
+    "AdaptiveLinkScheduler",
+    "CollisionAdaptiveAdversary",
+    "FullInclusionScheduler",
+    "NoUnreliableScheduler",
+    "IIDScheduler",
+    "PeriodicScheduler",
+    "AntiScheduleAdversary",
+    "TraceScheduler",
+]

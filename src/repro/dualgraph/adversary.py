@@ -1,0 +1,387 @@
+"""Oblivious link schedulers (the adversary of Section 2).
+
+A *link scheduler* resolves, for every round ``t``, which edges of
+``E' \\ E`` are added to the reliable graph ``G`` to form the round's
+communication topology ``G_t``.  The paper's model is **oblivious**: the whole
+schedule is fixed before the execution starts, so decisions may depend on the
+round number, the topology, and anything known a priori -- but never on the
+random choices of the algorithm.
+
+Every scheduler in this module honors that restriction by computing its
+inclusions as a deterministic function of ``(its own fixed seed, the edge, the
+round number)``.  This makes the schedule a pure function of the round number,
+exactly as if the infinite sequence ``G_1, G_2, ...`` had been written down in
+advance, while avoiding the memory cost of materializing it.
+
+Schedulers provided:
+
+* :class:`NoUnreliableScheduler` -- the topology is always exactly ``G``.
+* :class:`FullInclusionScheduler` -- the topology is always exactly ``G'``.
+* :class:`IIDScheduler` -- each unreliable edge appears independently with a
+  fixed probability each round.
+* :class:`PeriodicScheduler` -- unreliable edges toggle on/off with a fixed
+  period and duty cycle (models coarse time-varying fading).
+* :class:`AntiScheduleAdversary` -- a *targeted* oblivious adversary built
+  against a known, fixed broadcast-probability schedule (such as Decay's): it
+  includes many unreliable edges in rounds where the victim schedule
+  transmits with high probability (inflating contention) and removes them in
+  rounds where the victim transmits with low probability (starving the
+  receiver).  This is the §1 "Discussion" adversary that motivates permuting
+  the probability schedule with seed agreement.
+* :class:`TraceScheduler` -- an explicit, finite schedule given as a list,
+  convenient for unit tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dualgraph.graph import DualGraph, Edge, normalize_edge
+
+
+class LinkScheduler(ABC):
+    """Base class for oblivious link schedulers.
+
+    Subclasses implement :meth:`unreliable_edges_for_round`; the simulator
+    calls :meth:`resolve_topology` to obtain the full edge set of the round's
+    communication topology ``G_t`` (always a superset of ``E``).
+    """
+
+    def __init__(self, graph: DualGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> DualGraph:
+        return self._graph
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the schedule may depend on the round's transmit decisions.
+
+        Oblivious schedulers (the paper's model, and every scheduler in this
+        module except the :class:`AdaptiveLinkScheduler` subclasses) return
+        False: their whole schedule is a pure function of the round number,
+        fixed before the execution starts.
+        """
+        return False
+
+    @abstractmethod
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        """The subset of ``E' \\ E`` included in round ``round_number`` (1-based)."""
+
+    def topology_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        """All edges of the communication topology ``G_t`` for the round."""
+        included = self.unreliable_edges_for_round(round_number)
+        extra = included & self._graph.unreliable_edges
+        return frozenset(self._graph.reliable_edges | extra)
+
+    def resolve_topology(
+        self, round_number: int, transmitting: FrozenSet
+    ) -> FrozenSet[Edge]:
+        """The topology the simulator uses for the round.
+
+        Oblivious schedulers ignore ``transmitting`` (the set of vertices that
+        decided to transmit this round); adaptive schedulers override this to
+        exploit it.  Keeping the dispatch here lets the engine treat both
+        kinds uniformly.
+        """
+        return self.topology_edges_for_round(round_number)
+
+    def describe(self) -> str:
+        """A short human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+class AdaptiveLinkScheduler(LinkScheduler):
+    """Base class for *adaptive* link schedulers (outside the paper's model).
+
+    The paper assumes an oblivious scheduler and notes (citing Ghaffari,
+    Lynch, Newport PODC 2013) that local broadcast with efficient progress is
+    **impossible** against an adaptive adversary that may pick each round's
+    unreliable edges after seeing the round's transmit decisions.  This class
+    exists to reproduce that contrast experimentally (experiment E11): it is a
+    strictly stronger adversary than anything LBAlg is designed for.
+    """
+
+    @property
+    def is_adaptive(self) -> bool:
+        return True
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        # The non-adaptive projection: used only if someone drives an adaptive
+        # scheduler through the oblivious interface (e.g. for inspection).
+        return frozenset()
+
+    @abstractmethod
+    def adaptive_unreliable_edges(
+        self, round_number: int, transmitting: FrozenSet
+    ) -> FrozenSet[Edge]:
+        """The unreliable edges to include, given this round's transmitters."""
+
+    def resolve_topology(
+        self, round_number: int, transmitting: FrozenSet
+    ) -> FrozenSet[Edge]:
+        included = self.adaptive_unreliable_edges(round_number, frozenset(transmitting))
+        extra = included & self._graph.unreliable_edges
+        return frozenset(self._graph.reliable_edges | extra)
+
+
+class CollisionAdaptiveAdversary(AdaptiveLinkScheduler):
+    """An adaptive adversary that manufactures collisions whenever it can.
+
+    After seeing which vertices transmit in the round, for every listening
+    vertex that would receive a message over its reliable links (exactly one
+    transmitting reliable neighbor), the adversary searches for an unreliable
+    edge connecting that vertex to *another* transmitter and includes it,
+    turning the clean reception into a collision.  It never adds edges that
+    would help (a lone unreliable transmitter is simply left excluded).
+
+    This realizes the intuition behind the adaptive-adversary impossibility
+    result: whatever probabilities the algorithm uses, the adversary reacts
+    to the realized transmission pattern, so no amount of schedule permutation
+    helps.  Progress then relies solely on rounds where the adversary has no
+    spare transmitter to collide with.
+    """
+
+    def adaptive_unreliable_edges(
+        self, round_number: int, transmitting: FrozenSet
+    ) -> FrozenSet[Edge]:
+        graph = self._graph
+        chosen = set()
+        for vertex in graph.vertices:
+            if vertex in transmitting:
+                continue
+            reliable_transmitters = [
+                v for v in graph.reliable_neighbors(vertex) if v in transmitting
+            ]
+            if len(reliable_transmitters) != 1:
+                continue
+            # Find an unreliable edge to a different transmitter to spoil it.
+            for other in sorted(graph.potential_neighbors(vertex), key=repr):
+                if other in transmitting and other != reliable_transmitters[0]:
+                    edge = normalize_edge(vertex, other)
+                    if edge in graph.unreliable_edges:
+                        chosen.add(edge)
+                        break
+        return frozenset(chosen)
+
+    def describe(self) -> str:
+        return "CollisionAdaptiveAdversary(adaptive, outside the paper's model)"
+
+
+class NoUnreliableScheduler(LinkScheduler):
+    """Never include any unreliable edge: the topology is always ``G``."""
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        return frozenset()
+
+
+class FullInclusionScheduler(LinkScheduler):
+    """Always include every unreliable edge: the topology is always ``G'``."""
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        return self._graph.unreliable_edges
+
+
+def _edge_round_hash(seed: int, edge: Edge, round_number: int, salt: bytes = b"") -> float:
+    """Deterministic pseudo-random value in [0, 1) for (seed, edge, round).
+
+    Using a hash keeps the scheduler oblivious (the value depends only on data
+    fixed before the execution) and reproducible across runs and platforms.
+    """
+    endpoints = sorted(repr(v) for v in edge)
+    payload = (
+        str(seed).encode()
+        + b"|"
+        + endpoints[0].encode()
+        + b"|"
+        + endpoints[1].encode()
+        + b"|"
+        + str(round_number).encode()
+        + b"|"
+        + salt
+    )
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class IIDScheduler(LinkScheduler):
+    """Each unreliable edge appears independently with probability ``p`` per round."""
+
+    def __init__(self, graph: DualGraph, probability: float = 0.5, seed: int = 0) -> None:
+        super().__init__(graph)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._p = float(probability)
+        self._seed = int(seed)
+
+    @property
+    def probability(self) -> float:
+        return self._p
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        if self._p == 0.0:
+            return frozenset()
+        if self._p == 1.0:
+            return self._graph.unreliable_edges
+        return frozenset(
+            e
+            for e in self._graph.unreliable_edges
+            if _edge_round_hash(self._seed, e, round_number) < self._p
+        )
+
+    def describe(self) -> str:
+        return f"IIDScheduler(p={self._p})"
+
+
+class PeriodicScheduler(LinkScheduler):
+    """Unreliable edges are all present for ``on_rounds`` rounds, then absent.
+
+    The phase offset of each edge can optionally be staggered by edge (so
+    different links fade at different times), still as a fixed function of the
+    edge identity.
+    """
+
+    def __init__(
+        self,
+        graph: DualGraph,
+        on_rounds: int = 5,
+        off_rounds: int = 5,
+        stagger: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph)
+        if on_rounds < 0 or off_rounds < 0 or on_rounds + off_rounds == 0:
+            raise ValueError("need a positive period with non-negative on/off parts")
+        self._on = int(on_rounds)
+        self._off = int(off_rounds)
+        self._stagger = bool(stagger)
+        self._seed = int(seed)
+
+    def _offset_for_edge(self, edge: Edge) -> int:
+        if not self._stagger:
+            return 0
+        period = self._on + self._off
+        return int(_edge_round_hash(self._seed, edge, 0, salt=b"offset") * period)
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        period = self._on + self._off
+        result = []
+        for e in self._graph.unreliable_edges:
+            phase = (round_number - 1 + self._offset_for_edge(e)) % period
+            if phase < self._on:
+                result.append(e)
+        return frozenset(result)
+
+    def describe(self) -> str:
+        return f"PeriodicScheduler(on={self._on}, off={self._off}, stagger={self._stagger})"
+
+
+class AntiScheduleAdversary(LinkScheduler):
+    """Targeted oblivious adversary against a *known fixed* probability schedule.
+
+    The classic Decay strategy cycles deterministically through broadcast
+    probabilities ``1/2, 1/4, ..., 1/Δ``.  Because that schedule is fixed in
+    advance, an oblivious link scheduler can be built against it:
+
+    * in rounds where the victim's schedule uses a **high** probability, the
+      adversary includes all unreliable edges, maximizing the number of
+      simultaneous transmitters around each receiver (collisions), and
+    * in rounds where the victim uses a **low** probability, it removes the
+      unreliable edges, so receivers hear (almost) nobody.
+
+    ``victim_probabilities`` gives the victim's per-round probability sequence
+    (cycled); ``threshold`` splits "high" from "low".  The adversary also works
+    against any algorithm, it simply is most damaging to the one it was built
+    for -- which is exactly the point of experiment E6.
+    """
+
+    def __init__(
+        self,
+        graph: DualGraph,
+        victim_probabilities: Sequence[float],
+        threshold: Optional[float] = None,
+        phase_offset: int = 0,
+    ) -> None:
+        super().__init__(graph)
+        probs = [float(p) for p in victim_probabilities]
+        if not probs:
+            raise ValueError("need a non-empty victim probability schedule")
+        if any(p < 0.0 or p > 1.0 for p in probs):
+            raise ValueError("victim probabilities must be in [0, 1]")
+        self._victim = probs
+        if threshold is None:
+            threshold = sorted(probs)[len(probs) // 2]
+        self._threshold = float(threshold)
+        self._offset = int(phase_offset)
+
+    @property
+    def victim_probabilities(self) -> Tuple[float, ...]:
+        return tuple(self._victim)
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def victim_probability_for_round(self, round_number: int) -> float:
+        index = (round_number - 1 + self._offset) % len(self._victim)
+        return self._victim[index]
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        if self.victim_probability_for_round(round_number) >= self._threshold:
+            return self._graph.unreliable_edges
+        return frozenset()
+
+    def describe(self) -> str:
+        return (
+            f"AntiScheduleAdversary(cycle={len(self._victim)}, "
+            f"threshold={self._threshold:.3g})"
+        )
+
+
+class TraceScheduler(LinkScheduler):
+    """An explicit finite schedule, cycled (or clamped) past its end.
+
+    Parameters
+    ----------
+    schedule:
+        A list whose ``t``-th entry (0-based for round ``t+1``) is an iterable
+        of unreliable edges (vertex pairs) included in that round.
+    cycle:
+        If true, the schedule repeats; otherwise rounds past the end include
+        no unreliable edges.
+    """
+
+    def __init__(
+        self,
+        graph: DualGraph,
+        schedule: Sequence[Iterable[Tuple]],
+        cycle: bool = True,
+    ) -> None:
+        super().__init__(graph)
+        self._schedule: List[FrozenSet[Edge]] = []
+        for entry in schedule:
+            edges = frozenset(normalize_edge(*pair) for pair in entry)
+            unknown = edges - graph.unreliable_edges
+            if unknown:
+                raise ValueError(
+                    f"schedule mentions edges not in E' \\ E: {sorted(map(tuple, unknown))}"
+                )
+            self._schedule.append(edges)
+        self._cycle = bool(cycle)
+
+    def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
+        if not self._schedule:
+            return frozenset()
+        index = round_number - 1
+        if index >= len(self._schedule):
+            if not self._cycle:
+                return frozenset()
+            index %= len(self._schedule)
+        return self._schedule[index]
+
+    def describe(self) -> str:
+        return f"TraceScheduler(length={len(self._schedule)}, cycle={self._cycle})"

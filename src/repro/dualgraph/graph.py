@@ -1,0 +1,303 @@
+"""The dual graph structure ``(G, G')`` of Section 2.
+
+A dual graph describes a radio network with two kinds of links:
+
+* **reliable** links, the edge set ``E`` of graph ``G = (V, E)``; these edges
+  are present in the communication topology of *every* round, and
+* **unreliable** links, the edges ``E' \\ E`` of graph ``G' = (V, E')`` with
+  ``E`` a subset of ``E'``; in each round an oblivious *link scheduler*
+  (see :mod:`repro.dualgraph.adversary`) decides which of them participate.
+
+The class below stores both edge sets, exposes the neighborhood accessors
+used throughout the paper (``N_G(u)`` and ``N_G'(u)``), and computes the two
+degree bounds the algorithms are allowed to know:
+
+* ``Delta``  -- an upper bound on ``|N_G(u) ∪ {u}|`` over all ``u``, and
+* ``Delta'`` -- an upper bound on ``|N_G'(u) ∪ {u}|`` over all ``u``.
+
+Vertices are arbitrary hashable identifiers (the examples and generators use
+consecutive integers).  Edges are stored as frozensets of two vertices so that
+``{u, v}`` and ``{v, u}`` are the same edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+Vertex = Hashable
+Edge = FrozenSet[Vertex]
+
+
+def normalize_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical undirected edge ``{u, v}``.
+
+    Raises
+    ------
+    ValueError
+        If ``u == v`` (the model has no self loops).
+    """
+    if u == v:
+        raise ValueError(f"self loops are not allowed (vertex {u!r})")
+    return frozenset((u, v))
+
+
+class DualGraph:
+    """A dual graph ``(G, G')`` with ``G = (V, E)`` and ``G' = (V, E')``.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of vertex identifiers.
+    reliable_edges:
+        Iterable of 2-tuples (or frozensets) describing the edges of ``G``.
+    unreliable_edges:
+        Iterable of 2-tuples describing the edges of ``E' \\ E`` -- that is,
+        only the *extra* edges of ``G'``.  It is not an error to repeat a
+        reliable edge here; it is silently ignored so callers can pass the
+        full ``E'`` if that is more convenient.
+
+    Notes
+    -----
+    The paper requires ``E ⊆ E'``.  This class maintains the invariant
+    automatically: ``E'`` is represented as the union of ``E`` and the extra
+    unreliable edges.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        reliable_edges: Iterable[Tuple[Vertex, Vertex]] = (),
+        unreliable_edges: Iterable[Tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        self._vertices: Set[Vertex] = set(vertices)
+        if not self._vertices:
+            raise ValueError("a dual graph needs at least one vertex")
+
+        self._reliable: Set[Edge] = set()
+        self._unreliable_extra: Set[Edge] = set()
+        self._g_adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in self._vertices}
+        self._gprime_adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in self._vertices}
+
+        for edge in reliable_edges:
+            self.add_reliable_edge(*self._edge_endpoints(edge))
+        for edge in unreliable_edges:
+            self.add_unreliable_edge(*self._edge_endpoints(edge))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _edge_endpoints(edge) -> Tuple[Vertex, Vertex]:
+        endpoints = tuple(edge)
+        if len(endpoints) != 2:
+            raise ValueError(f"an edge needs exactly two endpoints, got {edge!r}")
+        return endpoints[0], endpoints[1]
+
+    def _check_vertex(self, u: Vertex) -> None:
+        if u not in self._vertices:
+            raise KeyError(f"vertex {u!r} is not part of this dual graph")
+
+    def add_reliable_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add ``{u, v}`` to ``E`` (and therefore also to ``E'``)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        edge = normalize_edge(u, v)
+        self._reliable.add(edge)
+        self._unreliable_extra.discard(edge)
+        self._g_adj[u].add(v)
+        self._g_adj[v].add(u)
+        self._gprime_adj[u].add(v)
+        self._gprime_adj[v].add(u)
+
+    def add_unreliable_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add ``{u, v}`` to ``E' \\ E`` (ignored if it is already reliable)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        edge = normalize_edge(u, v)
+        if edge in self._reliable:
+            return
+        self._unreliable_extra.add(edge)
+        self._gprime_adj[u].add(v)
+        self._gprime_adj[v].add(u)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        """The vertex set ``V`` (shared by ``G`` and ``G'``)."""
+        return frozenset(self._vertices)
+
+    @property
+    def n(self) -> int:
+        """``|V|`` -- available to the *analysis*, never to the processes."""
+        return len(self._vertices)
+
+    @property
+    def reliable_edges(self) -> FrozenSet[Edge]:
+        """The edge set ``E`` of the reliable graph ``G``."""
+        return frozenset(self._reliable)
+
+    @property
+    def unreliable_edges(self) -> FrozenSet[Edge]:
+        """The edge set ``E' \\ E``: edges present only when scheduled."""
+        return frozenset(self._unreliable_extra)
+
+    @property
+    def all_edges(self) -> FrozenSet[Edge]:
+        """The edge set ``E'`` of ``G'`` (reliable plus unreliable)."""
+        return frozenset(self._reliable | self._unreliable_extra)
+
+    def has_vertex(self, u: Vertex) -> bool:
+        """True iff ``u`` is a vertex of this dual graph."""
+        return u in self._vertices
+
+    def has_reliable_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True iff ``{u, v}`` is a reliable edge (an element of ``E``)."""
+        return normalize_edge(u, v) in self._reliable
+
+    def has_unreliable_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True iff ``{u, v}`` is an unreliable edge (in ``E' \\ E``)."""
+        return normalize_edge(u, v) in self._unreliable_extra
+
+    def has_any_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True iff ``{u, v}`` is an edge of ``G'`` (reliable or unreliable)."""
+        edge = normalize_edge(u, v)
+        return edge in self._reliable or edge in self._unreliable_extra
+
+    # ------------------------------------------------------------------
+    # neighborhoods
+    # ------------------------------------------------------------------
+    def reliable_neighbors(self, u: Vertex) -> FrozenSet[Vertex]:
+        """``N_G(u)``: the reliable neighbors of ``u``, excluding ``u``."""
+        self._check_vertex(u)
+        return frozenset(self._g_adj[u])
+
+    def potential_neighbors(self, u: Vertex) -> FrozenSet[Vertex]:
+        """``N_G'(u)``: every vertex that may ever be adjacent to ``u``."""
+        self._check_vertex(u)
+        return frozenset(self._gprime_adj[u])
+
+    def closed_reliable_neighborhood(self, u: Vertex) -> FrozenSet[Vertex]:
+        """``N_G(u) ∪ {u}``."""
+        return self.reliable_neighbors(u) | {u}
+
+    def closed_potential_neighborhood(self, u: Vertex) -> FrozenSet[Vertex]:
+        """``N_G'(u) ∪ {u}``."""
+        return self.potential_neighbors(u) | {u}
+
+    def reliable_neighbors_of_set(self, vertices: Iterable[Vertex]) -> FrozenSet[Vertex]:
+        """``N_G(S)`` for a set ``S``: union of reliable neighborhoods of ``S``."""
+        result: Set[Vertex] = set()
+        for v in vertices:
+            result |= self._g_adj[v]
+        return frozenset(result)
+
+    # ------------------------------------------------------------------
+    # degree bounds
+    # ------------------------------------------------------------------
+    @property
+    def max_reliable_degree(self) -> int:
+        """``Δ`` -- the maximum of ``|N_G(u) ∪ {u}|`` over all vertices."""
+        return max(len(self._g_adj[u]) + 1 for u in self._vertices)
+
+    @property
+    def max_potential_degree(self) -> int:
+        """``Δ'`` -- the maximum of ``|N_G'(u) ∪ {u}|`` over all vertices."""
+        return max(len(self._gprime_adj[u]) + 1 for u in self._vertices)
+
+    def degree_bounds(self) -> Tuple[int, int]:
+        """Return ``(Δ, Δ')`` as a pair."""
+        return self.max_reliable_degree, self.max_potential_degree
+
+    # ------------------------------------------------------------------
+    # structural queries used by the analysis
+    # ------------------------------------------------------------------
+    def reliable_hop_distance(self, source: Vertex, target: Vertex) -> Optional[int]:
+        """Hop distance between two vertices in ``G`` (None if disconnected)."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            return 0
+        frontier = [source]
+        seen = {source}
+        distance = 0
+        while frontier:
+            distance += 1
+            next_frontier: List[Vertex] = []
+            for u in frontier:
+                for v in self._g_adj[u]:
+                    if v in seen:
+                        continue
+                    if v == target:
+                        return distance
+                    seen.add(v)
+                    next_frontier.append(v)
+            frontier = next_frontier
+        return None
+
+    def reliable_eccentricity(self, source: Vertex) -> int:
+        """Maximum hop distance in ``G`` from ``source`` to any reachable vertex."""
+        self._check_vertex(source)
+        frontier = [source]
+        seen = {source}
+        distance = 0
+        while frontier:
+            next_frontier: List[Vertex] = []
+            for u in frontier:
+                for v in self._g_adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        next_frontier.append(v)
+            if next_frontier:
+                distance += 1
+            frontier = next_frontier
+        return distance
+
+    def is_reliably_connected(self) -> bool:
+        """True iff ``G`` is connected."""
+        start = next(iter(self._vertices))
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            u = frontier.pop()
+            for v in self._g_adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == len(self._vertices)
+
+    def validate(self) -> None:
+        """Check internal invariants; raises ``AssertionError`` on corruption.
+
+        Used by property-based tests: after arbitrary construction sequences
+        the adjacency maps and edge sets must stay mutually consistent and
+        ``E ⊆ E'`` must hold.
+        """
+        for edge in self._reliable:
+            assert edge not in self._unreliable_extra, "E and E'\\E must be disjoint sets"
+            u, v = tuple(edge)
+            assert v in self._g_adj[u] and u in self._g_adj[v]
+            assert v in self._gprime_adj[u] and u in self._gprime_adj[v]
+        for edge in self._unreliable_extra:
+            u, v = tuple(edge)
+            assert v not in self._g_adj[u] and u not in self._g_adj[v]
+            assert v in self._gprime_adj[u] and u in self._gprime_adj[v]
+        for u in self._vertices:
+            assert self._g_adj[u] <= self._gprime_adj[u], "N_G(u) must be within N_G'(u)"
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"DualGraph(n={self.n}, reliable_edges={len(self._reliable)}, "
+            f"unreliable_edges={len(self._unreliable_extra)}, "
+            f"Delta={self.max_reliable_degree}, DeltaPrime={self.max_potential_degree})"
+        )

@@ -1,0 +1,238 @@
+"""Region partitions of the plane (Appendix A.1).
+
+The seed agreement analysis partitions the Euclidean plane into convex regions
+of diameter at most 1.  Lemma A.1 instantiates the partition as a uniform grid
+of axis-aligned squares with side 1/2 (so each square has diameter
+``sqrt(2)/2 <= 1``), and shows the pair ``(R, r)`` is *f-bounded* with
+``f(h) = c1 * r^2 * h^2``.
+
+This module provides:
+
+* :class:`GridRegionPartition` -- the half-unit grid partition, mapping points
+  (and embedded vertices) to region indices.
+* :class:`RegionGraph` -- the graph ``G_{R,r}`` over the non-empty regions of
+  an embedded network, with an edge between two regions whenever they contain
+  points at distance at most ``r``; used to verify f-boundedness empirically
+  and to compute the "goodness radius" arguments of Appendix B in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set, Tuple
+
+from repro.dualgraph.geometric import Embedding, Point
+from repro.dualgraph.graph import Vertex
+
+RegionIndex = Tuple[int, int]
+
+
+class GridRegionPartition:
+    """Uniform grid partition of the plane into squares of a given side.
+
+    The default side of 1/2 matches Lemma A.1: every region has diameter at
+    most 1, so all vertices embedded in one region are mutual reliable
+    neighbors in any r-geographic dual graph.
+    """
+
+    def __init__(self, side: float = 0.5) -> None:
+        if side <= 0:
+            raise ValueError(f"the region side must be positive, got {side}")
+        if side > 1.0 / math.sqrt(2.0) + 1e-12:
+            raise ValueError(
+                "the region side must be at most 1/sqrt(2) so that region "
+                f"diameter stays <= 1, got {side}"
+            )
+        self._side = float(side)
+
+    @property
+    def side(self) -> float:
+        return self._side
+
+    def region_of_point(self, point: Point) -> RegionIndex:
+        """Map a point to the index ``(i, j)`` of the grid square containing it.
+
+        Square ``(i, j)`` covers ``[i*side, (i+1)*side) x [j*side, (j+1)*side)``;
+        the half-open convention plays the role of the boundary bookkeeping in
+        Lemma A.1 (each point belongs to exactly one region).
+        """
+        x, y = point
+        return (math.floor(x / self._side), math.floor(y / self._side))
+
+    def region_of_vertex(self, embedding: Embedding, u: Vertex) -> RegionIndex:
+        """Region of an embedded vertex."""
+        return self.region_of_point(embedding.position(u))
+
+    def assign_vertices(self, embedding: Embedding) -> Dict[RegionIndex, FrozenSet[Vertex]]:
+        """Group embedded vertices by region; only non-empty regions appear."""
+        buckets: Dict[RegionIndex, Set[Vertex]] = {}
+        for u, point in embedding.items():
+            buckets.setdefault(self.region_of_point(point), set()).add(u)
+        return {idx: frozenset(vs) for idx, vs in buckets.items()}
+
+    def max_region_diameter(self) -> float:
+        """The diameter of a single region (the square's diagonal)."""
+        return self._side * math.sqrt(2.0)
+
+    def region_center(self, index: RegionIndex) -> Point:
+        """The center point of a region, for plotting and distance estimates."""
+        i, j = index
+        return ((i + 0.5) * self._side, (j + 0.5) * self._side)
+
+    def min_distance_between(self, a: RegionIndex, b: RegionIndex) -> float:
+        """Minimum Euclidean distance between the closed squares ``a`` and ``b``."""
+        ax0, ay0 = a[0] * self._side, a[1] * self._side
+        bx0, by0 = b[0] * self._side, b[1] * self._side
+        ax1, ay1 = ax0 + self._side, ay0 + self._side
+        bx1, by1 = bx0 + self._side, by0 + self._side
+        dx = max(bx0 - ax1, ax0 - bx1, 0.0)
+        dy = max(by0 - ay1, ay0 - by1, 0.0)
+        return math.hypot(dx, dy)
+
+    def neighboring_regions(self, index: RegionIndex, r: float) -> List[RegionIndex]:
+        """All region indices (other than ``index``) within distance ``r``.
+
+        These are exactly the potential neighbors of ``index`` in the region
+        graph ``G_{R,r}``, regardless of which regions are occupied.
+        """
+        reach = int(math.ceil(r / self._side)) + 1
+        i, j = index
+        result: List[RegionIndex] = []
+        for di in range(-reach, reach + 1):
+            for dj in range(-reach, reach + 1):
+                if di == 0 and dj == 0:
+                    continue
+                other = (i + di, j + dj)
+                if self.min_distance_between(index, other) <= r:
+                    result.append(other)
+        return result
+
+    def f_bound_constant(self, r: float) -> float:
+        """An explicit constant ``c1`` such that ``f(h) = c1 * r^2 * h^2`` holds.
+
+        For the half-unit grid, the number of regions within ``h`` hops of a
+        region in ``G_{R,r}`` is at most ``(2h * ceil(r/side) + 1)^2``; with
+        ``side = 1/2`` this is at most ``(4hr + 1)^2 <= 25 r^2 h^2`` for
+        ``h, r >= 1``.  We return that 25 scaled to the configured side.
+        """
+        per_hop = 2 * math.ceil(r / self._side) + 1
+        return float(per_hop * per_hop) / max(r * r, 1.0)
+
+    def __repr__(self) -> str:
+        return f"GridRegionPartition(side={self._side})"
+
+
+class RegionGraph:
+    """The region graph ``G_{R,r}`` restricted to occupied regions.
+
+    Vertices are the regions that contain at least one embedded network
+    vertex.  Two regions are adjacent when they contain embedded points at
+    distance at most ``r``.  (Using the occupied points rather than the full
+    squares gives a subgraph of the Appendix A.1 graph, which is what the
+    analysis actually interacts with.)
+    """
+
+    def __init__(
+        self,
+        partition: GridRegionPartition,
+        embedding: Embedding,
+        r: float,
+    ) -> None:
+        if r < 1:
+            raise ValueError(f"the r-geographic parameter must satisfy r >= 1, got {r}")
+        self._partition = partition
+        self._embedding = embedding
+        self._r = float(r)
+        self._members = partition.assign_vertices(embedding)
+        self._adj: Dict[RegionIndex, Set[RegionIndex]] = {
+            idx: set() for idx in self._members
+        }
+        occupied = list(self._members)
+        for i, a in enumerate(occupied):
+            for b in occupied[i + 1 :]:
+                if self._regions_close(a, b):
+                    self._adj[a].add(b)
+                    self._adj[b].add(a)
+
+    def _regions_close(self, a: RegionIndex, b: RegionIndex) -> bool:
+        if self._partition.min_distance_between(a, b) > self._r:
+            return False
+        for u in self._members[a]:
+            pu = self._embedding.position(u)
+            for v in self._members[b]:
+                if math.hypot(pu[0] - self._embedding.position(v)[0],
+                              pu[1] - self._embedding.position(v)[1]) <= self._r:
+                    return True
+        return False
+
+    @property
+    def r(self) -> float:
+        return self._r
+
+    @property
+    def regions(self) -> FrozenSet[RegionIndex]:
+        """The occupied regions."""
+        return frozenset(self._members)
+
+    def members(self, index: RegionIndex) -> FrozenSet[Vertex]:
+        """The network vertices embedded in a region."""
+        return self._members[index]
+
+    def region_of(self, u: Vertex) -> RegionIndex:
+        """The region containing vertex ``u``."""
+        return self._partition.region_of_vertex(self._embedding, u)
+
+    def neighbors(self, index: RegionIndex) -> FrozenSet[RegionIndex]:
+        """Adjacent occupied regions in ``G_{R,r}``."""
+        return frozenset(self._adj[index])
+
+    def regions_within_hops(self, index: RegionIndex, hops: int) -> FrozenSet[RegionIndex]:
+        """All occupied regions within ``hops`` hops of ``index`` (inclusive)."""
+        if index not in self._adj:
+            raise KeyError(f"region {index!r} is not occupied")
+        seen: Set[RegionIndex] = {index}
+        frontier = [index]
+        for _ in range(hops):
+            next_frontier: List[RegionIndex] = []
+            for a in frontier:
+                for b in self._adj[a]:
+                    if b not in seen:
+                        seen.add(b)
+                        next_frontier.append(b)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frozenset(seen)
+
+    def vertices_within_hops(self, index: RegionIndex, hops: int) -> FrozenSet[Vertex]:
+        """All network vertices embedded in regions within ``hops`` of ``index``."""
+        result: Set[Vertex] = set()
+        for region in self.regions_within_hops(index, hops):
+            result |= self._members[region]
+        return frozenset(result)
+
+    def check_f_bounded(self, f_constant: float, max_hops: int = 3) -> bool:
+        """Empirically check the f-boundedness condition of Appendix A.1.
+
+        Verifies that, for every occupied region and ``h <= max_hops``, the
+        number of occupied regions within ``h`` hops is at most
+        ``f_constant * r^2 * max(h, 1)^2``.
+        """
+        for region in self._members:
+            for h in range(0, max_hops + 1):
+                count = len(self.regions_within_hops(region, h))
+                bound = f_constant * self._r * self._r * max(h, 1) ** 2
+                if count > bound:
+                    return False
+        return True
+
+    def max_vertices_per_region(self) -> int:
+        """The largest number of vertices in a single region.
+
+        By Lemma A.3's argument this is at most ``Δ`` whenever the underlying
+        dual graph is r-geographic (all co-region vertices are G-neighbors).
+        """
+        return max(len(vs) for vs in self._members.values())
+
+    def __repr__(self) -> str:
+        return f"RegionGraph(regions={len(self._members)}, r={self._r})"

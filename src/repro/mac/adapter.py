@@ -1,0 +1,162 @@
+"""Hosting MAC clients on top of the local broadcast service.
+
+:class:`AbstractMacNode` is a :class:`~repro.simulation.process.Process` that
+wraps two things:
+
+* an *inner* broadcast process -- normally a
+  :class:`~repro.core.local_broadcast.LocalBroadcastProcess`, but any process
+  speaking the ``Message`` / ``AckOutput`` / ``RecvOutput`` vocabulary (the
+  baselines do too) can back the layer; and
+* a :class:`~repro.mac.spec.MacClient`, the higher-level algorithm.
+
+The adapter translates between the two worlds: client ``mac_bcast`` calls
+become ``bcast`` inputs injected into the inner process (queued while a
+previous payload is outstanding, to honor the one-outstanding-message rule),
+and the inner process's ``recv`` / ``ack`` outputs become client callbacks.
+All inner events are also re-emitted into the execution trace so the usual
+metrics and spec checkers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.core.events import AckOutput, BcastInput, RecvOutput
+from repro.core.local_broadcast import LocalBroadcastProcess
+from repro.core.messages import Message
+from repro.core.params import LBParams
+from repro.dualgraph.graph import DualGraph
+from repro.mac.spec import MacClient
+from repro.simulation.process import Process, ProcessContext
+
+
+class AbstractMacNode(Process):
+    """A node hosting a MAC client over an inner broadcast process."""
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        inner: Process,
+        client: MacClient,
+    ) -> None:
+        super().__init__(ctx)
+        self._inner = inner
+        self._client = client
+        self._queue: deque = deque()
+        self._outstanding: Optional[Message] = None
+        self._sequence = 0
+        self._current_round = 0
+
+    # ------------------------------------------------------------------
+    # MacApi
+    # ------------------------------------------------------------------
+    def mac_bcast(self, payload: Any) -> bool:
+        """Client-facing submission; queues if the layer is busy."""
+        self._queue.append(payload)
+        return self._outstanding is None and len(self._queue) == 1
+
+    @property
+    def inner(self) -> Process:
+        """The wrapped broadcast process."""
+        return self._inner
+
+    @property
+    def client(self) -> MacClient:
+        return self._client
+
+    @property
+    def outstanding_payload(self) -> Optional[Any]:
+        """The payload currently being broadcast (None when idle)."""
+        return self._outstanding.payload if self._outstanding else None
+
+    @property
+    def queued_payloads(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Process hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._inner.on_start()
+        self._client.on_mac_start(self)
+
+    def on_round_start(self, round_number: int) -> None:
+        self._current_round = round_number
+        self._inner.on_round_start(round_number)
+        self._maybe_submit(round_number)
+
+    def on_input(self, round_number: int, inp: Any) -> None:
+        # Environments normally do not feed MAC nodes directly, but if one
+        # does, treat the input as a client payload submission.
+        self.mac_bcast(inp.payload if isinstance(inp, Message) else inp)
+
+    def transmit(self, round_number: int) -> Optional[Any]:
+        return self._inner.transmit(round_number)
+
+    def on_receive(self, round_number: int, frame: Optional[Any]) -> None:
+        self._inner.on_receive(round_number, frame)
+
+    def on_round_end(self, round_number: int) -> None:
+        self._inner.on_round_end(round_number)
+        for event in self._inner.drain_outputs():
+            self.emit(event)
+            if isinstance(event, RecvOutput):
+                self._client.on_mac_recv(event.message.payload, round_number)
+            elif isinstance(event, AckOutput):
+                if (
+                    self._outstanding is not None
+                    and event.message.message_id == self._outstanding.message_id
+                ):
+                    self._outstanding = None
+                self._client.on_mac_ack(event.message.payload, round_number)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _maybe_submit(self, round_number: int) -> None:
+        if self._outstanding is not None or not self._queue:
+            return
+        payload = self._queue.popleft()
+        message = Message(origin=self.vertex, sequence=self._sequence, payload=payload)
+        self._sequence += 1
+        self._outstanding = message
+        self._inner.on_input(round_number, message)
+        # Record the submission so traces stay analyzable by the LB checkers.
+        self.emit(BcastInput(vertex=self.vertex, message=message, round_number=round_number))
+
+
+def make_mac_nodes(
+    graph: DualGraph,
+    params: LBParams,
+    client_factory: Callable[[Hashable], MacClient],
+    rng: random.Random,
+    inner_factory: Optional[Callable[[ProcessContext], Process]] = None,
+) -> Dict[Hashable, AbstractMacNode]:
+    """Build one :class:`AbstractMacNode` per vertex.
+
+    Parameters
+    ----------
+    client_factory:
+        Maps a vertex to its :class:`MacClient` instance.
+    inner_factory:
+        Maps a context to the inner broadcast process; defaults to
+        ``LocalBroadcastProcess`` with the supplied ``params``.
+    """
+    delta, delta_prime = graph.degree_bounds()
+    if inner_factory is None:
+        def inner_factory(ctx: ProcessContext) -> Process:
+            return LocalBroadcastProcess(ctx, params)
+
+    nodes: Dict[Hashable, AbstractMacNode] = {}
+    for vertex in sorted(graph.vertices, key=repr):
+        ctx = ProcessContext(
+            vertex=vertex,
+            delta=max(delta, params.delta),
+            delta_prime=max(delta_prime, params.delta_prime),
+            r=params.r,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        nodes[vertex] = AbstractMacNode(ctx, inner_factory(ctx), client_factory(vertex))
+    return nodes

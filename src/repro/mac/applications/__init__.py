@@ -1,0 +1,42 @@
+"""Algorithms written against the abstract MAC layer.
+
+The point of the abstract MAC layer is that algorithms written against it run
+unchanged on any implementation of the layer; with LBAlg providing the layer,
+they run in the dual graph model.  The applications here are the ones the
+paper's related-work section points at:
+
+* :mod:`repro.mac.applications.flood` -- global single-message broadcast by
+  flooding (the canonical example);
+* :mod:`repro.mac.applications.multi_message` -- multi-message broadcast (k
+  sources, every node relays every new token);
+* :mod:`repro.mac.applications.neighbor_discovery` -- neighbor discovery via
+  one announcement per node.
+"""
+
+from repro.mac.applications.flood import FloodClient, FloodResult, run_flood
+from repro.mac.applications.multi_message import (
+    MultiMessageClient,
+    MultiMessageResult,
+    Token,
+    run_multi_message_broadcast,
+)
+from repro.mac.applications.neighbor_discovery import (
+    Announcement,
+    NeighborDiscoveryClient,
+    NeighborDiscoveryResult,
+    run_neighbor_discovery,
+)
+
+__all__ = [
+    "FloodClient",
+    "FloodResult",
+    "run_flood",
+    "Token",
+    "MultiMessageClient",
+    "MultiMessageResult",
+    "run_multi_message_broadcast",
+    "Announcement",
+    "NeighborDiscoveryClient",
+    "NeighborDiscoveryResult",
+    "run_neighbor_discovery",
+]

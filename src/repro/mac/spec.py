@@ -1,0 +1,93 @@
+"""The client-facing abstract MAC layer interface.
+
+A higher-level algorithm interacts with the layer only through events:
+
+* it calls :meth:`MacApi.mac_bcast` to hand the layer a payload;
+* the layer later calls :meth:`MacClient.on_mac_ack` when delivery to the
+  reliable neighborhood is (probabilistically) complete;
+* whenever a neighbor's payload arrives, the layer calls
+  :meth:`MacClient.on_mac_recv`.
+
+The quantitative guarantees are captured by :class:`MacLayerGuarantees`,
+which for the LBAlg implementation are exactly the ``t_ack`` / ``t_prog`` / ε
+of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Protocol
+
+from repro.core.params import LBParams
+
+
+@dataclass(frozen=True)
+class MacLayerGuarantees:
+    """The (probabilistic) timing guarantees a MAC layer implementation offers.
+
+    Attributes
+    ----------
+    f_ack:
+        Rounds within which a ``bcast`` is acknowledged (and, with probability
+        at least ``1 - epsilon``, delivered to every reliable neighbor).
+    f_prog:
+        Window length such that a receiver with an actively broadcasting
+        reliable neighbor hears *something* within the window, with
+        probability at least ``1 - epsilon``.
+    epsilon:
+        The per-event error bound.
+    """
+
+    f_ack: int
+    f_prog: int
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.f_prog < 1 or self.f_ack < self.f_prog:
+            raise ValueError("need f_ack >= f_prog >= 1")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+
+    @classmethod
+    def from_lb_params(cls, params: LBParams) -> "MacLayerGuarantees":
+        """The guarantees the LBAlg-backed layer provides (Theorem 4.1)."""
+        return cls(
+            f_ack=params.tack_rounds,
+            f_prog=params.tprog_rounds,
+            epsilon=params.epsilon,
+        )
+
+
+class MacApi(Protocol):
+    """The handle a client uses to talk to its node's MAC layer."""
+
+    @property
+    def vertex(self) -> Hashable:
+        """The vertex this client is running at."""
+
+    def mac_bcast(self, payload: Any) -> bool:
+        """Hand a payload to the layer.
+
+        Returns True if the layer accepted it now; False if the layer is busy
+        with a previous payload (the adapter queues it and submits it when the
+        outstanding one is acknowledged).
+        """
+
+
+class MacClient(ABC):
+    """Base class for algorithms written on top of the abstract MAC layer.
+
+    Subclasses override the event hooks they care about.  A client never sees
+    rounds, frames, collisions, or link schedules -- only MAC events -- which
+    is the whole point of the abstraction.
+    """
+
+    def on_mac_start(self, api: MacApi) -> None:
+        """Called once before the first round with the node's API handle."""
+
+    def on_mac_recv(self, payload: Any, round_number: int) -> None:
+        """A neighbor's payload was delivered at this node."""
+
+    def on_mac_ack(self, payload: Any, round_number: int) -> None:
+        """The layer finished broadcasting this node's payload."""

@@ -1,0 +1,225 @@
+"""The synchronous round simulator.
+
+:class:`Simulator` executes the model of Section 2:
+
+* rounds are numbered 1, 2, 3, ...;
+* in round ``t`` the communication topology ``G_t`` consists of all reliable
+  edges plus the unreliable edges chosen by the (oblivious) link scheduler;
+* a listening node ``u`` receives a frame from ``v`` iff ``v`` is the *only*
+  transmitting node among ``u``'s neighbors in ``G_t``; otherwise ``u``
+  receives the null indicator (``None``) -- there is no collision detection;
+* transmitting nodes receive nothing;
+* the environment delivers inputs before transmissions and consumes outputs
+  after receptions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.dualgraph.adversary import LinkScheduler, NoUnreliableScheduler
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.environment import Environment, NullEnvironment
+from repro.simulation.process import Process
+from repro.simulation.trace import ExecutionTrace
+
+Vertex = Hashable
+
+
+class Simulator:
+    """Drive a set of processes over a dual graph for a number of rounds.
+
+    Parameters
+    ----------
+    graph:
+        The dual graph network ``(G, G')``.
+    processes:
+        A mapping from every vertex of the graph to its process automaton.
+    scheduler:
+        The oblivious link scheduler; defaults to never including unreliable
+        edges (topology always equals ``G``).
+    environment:
+        The input/output environment; defaults to a :class:`NullEnvironment`.
+    record_frames:
+        Forwarded to :class:`ExecutionTrace`; disable for very long runs where
+        only input/output events are needed.
+    """
+
+    def __init__(
+        self,
+        graph: DualGraph,
+        processes: Mapping[Vertex, Process],
+        scheduler: Optional[LinkScheduler] = None,
+        environment: Optional[Environment] = None,
+        record_frames: bool = True,
+    ) -> None:
+        missing = graph.vertices - set(processes)
+        if missing:
+            raise ValueError(f"no process supplied for vertices: {sorted(map(repr, missing))}")
+        extra = set(processes) - graph.vertices
+        if extra:
+            raise ValueError(f"processes supplied for unknown vertices: {sorted(map(repr, extra))}")
+        self._graph = graph
+        self._processes: Dict[Vertex, Process] = dict(processes)
+        self._scheduler = scheduler if scheduler is not None else NoUnreliableScheduler(graph)
+        self._environment = environment if environment is not None else NullEnvironment()
+        self._trace = ExecutionTrace(record_frames=record_frames)
+        self._current_round = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DualGraph:
+        return self._graph
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self._trace
+
+    @property
+    def environment(self) -> Environment:
+        return self._environment
+
+    @property
+    def scheduler(self) -> LinkScheduler:
+        return self._scheduler
+
+    @property
+    def current_round(self) -> int:
+        """The last completed round (0 before the first round runs)."""
+        return self._current_round
+
+    def process_at(self, vertex: Vertex) -> Process:
+        """The process automaton assigned to ``vertex``."""
+        return self._processes[vertex]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, rounds: int) -> ExecutionTrace:
+        """Run ``rounds`` additional rounds and return the trace."""
+        if rounds < 0:
+            raise ValueError("cannot run a negative number of rounds")
+        if not self._started:
+            for process in self._processes.values():
+                process.on_start()
+            self._started = True
+        for _ in range(rounds):
+            self._current_round += 1
+            self._run_one_round(self._current_round)
+        return self._trace
+
+    def run_until(self, predicate, max_rounds: int, check_every: int = 1) -> ExecutionTrace:
+        """Run until ``predicate(trace)`` is true or ``max_rounds`` have elapsed.
+
+        The predicate is evaluated every ``check_every`` rounds (and once more
+        at the end).  Useful for "run until the flood completes" experiments.
+        """
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        while self._current_round < max_rounds:
+            step = min(check_every, max_rounds - self._current_round)
+            self.run(step)
+            if predicate(self._trace):
+                break
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # one round of the Section 2 execution model
+    # ------------------------------------------------------------------
+    def _run_one_round(self, round_number: int) -> None:
+        trace = self._trace
+        trace.note_round(round_number)
+        processes = self._processes
+
+        for process in processes.values():
+            process.on_round_start(round_number)
+
+        # 1. environment inputs
+        inputs = self._environment.inputs_for_round(round_number)
+        for vertex, vertex_inputs in inputs.items():
+            process = processes[vertex]
+            for inp in vertex_inputs:
+                process.on_input(round_number, inp)
+                trace.record_event(
+                    _as_bcast_event(vertex, inp, round_number)
+                )
+
+        # 2. transmission decisions
+        transmissions: Dict[Vertex, Any] = {}
+        for vertex, process in processes.items():
+            frame = process.transmit(round_number)
+            if frame is not None:
+                transmissions[vertex] = frame
+        trace.record_transmissions(round_number, transmissions)
+
+        # 3. topology for this round and reception resolution
+        receptions = self._resolve_receptions(round_number, transmissions)
+        trace.record_receptions(round_number, receptions)
+        for vertex, process in processes.items():
+            process.on_receive(round_number, receptions.get(vertex))
+
+        # 4. outputs
+        round_outputs = []
+        for vertex, process in processes.items():
+            process.on_round_end(round_number)
+            for event in process.drain_outputs():
+                trace.record_event(event)
+                round_outputs.append(event)
+        self._environment.observe_outputs(round_number, round_outputs)
+
+    def _resolve_receptions(
+        self, round_number: int, transmissions: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Optional[Any]]:
+        """Apply the radio collision rule for one round."""
+        receptions: Dict[Vertex, Optional[Any]] = {}
+        if not transmissions:
+            return receptions
+
+        topology_edges = self._scheduler.resolve_topology(
+            round_number, frozenset(transmissions)
+        )
+        # Build adjacency restricted to edges incident to a transmitter -- the
+        # only edges that can possibly carry a frame this round.
+        neighbors_of: Dict[Vertex, list] = {}
+        for edge in topology_edges:
+            a, b = tuple(edge)
+            if a in transmissions:
+                neighbors_of.setdefault(b, []).append(a)
+            if b in transmissions:
+                neighbors_of.setdefault(a, []).append(b)
+
+        for vertex in self._graph.vertices:
+            if vertex in transmissions:
+                # A radio cannot hear while it transmits.
+                continue
+            transmitting_neighbors = neighbors_of.get(vertex, [])
+            if len(transmitting_neighbors) == 1:
+                sender = transmitting_neighbors[0]
+                receptions[vertex] = transmissions[sender]
+            else:
+                receptions[vertex] = None
+        return receptions
+
+
+def _as_bcast_event(vertex: Vertex, inp: Any, round_number: int):
+    """Wrap an environment input as a trace event.
+
+    Environments submit :class:`repro.core.messages.Message` objects; the
+    trace records them as :class:`repro.core.events.BcastInput`.  Inputs of
+    other types (used by custom environments or upper layers) are recorded
+    as-is if they are already events.
+    """
+    from repro.core.events import BcastInput
+    from repro.core.messages import Message
+
+    if isinstance(inp, BcastInput):
+        return inp
+    if isinstance(inp, Message):
+        return BcastInput(vertex=vertex, message=inp, round_number=round_number)
+    raise TypeError(
+        f"environment inputs must be Message or BcastInput instances, got {type(inp).__name__}"
+    )

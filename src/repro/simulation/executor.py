@@ -1,0 +1,97 @@
+"""Multi-trial execution helpers.
+
+The paper's guarantees are probabilistic ("with probability at least 1 - ε"),
+so every experiment runs a configuration many times under different random
+seeds and estimates empirical error rates.  :func:`run_trials` is the shared
+driver: a *trial factory* builds a fresh :class:`~repro.simulation.engine.Simulator`
+from a ``random.Random``, the executor runs it, and an optional *evaluator*
+reduces each trace to whatever record the experiment cares about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.simulation.engine import Simulator
+from repro.simulation.trace import ExecutionTrace
+
+
+@dataclass
+class TrialResult:
+    """The outcome of one trial."""
+
+    trial_index: int
+    seed: int
+    trace: ExecutionTrace
+    simulator: Simulator
+    evaluation: Any = None
+
+
+TrialFactory = Callable[[random.Random], Simulator]
+TrialEvaluator = Callable[[Simulator, ExecutionTrace], Any]
+
+
+def run_trials(
+    factory: TrialFactory,
+    rounds: int,
+    num_trials: int,
+    base_seed: int = 0,
+    evaluator: Optional[TrialEvaluator] = None,
+    keep_traces: bool = True,
+) -> List[TrialResult]:
+    """Run ``num_trials`` independent simulations.
+
+    Parameters
+    ----------
+    factory:
+        Builds a fresh simulator (graph, processes, scheduler, environment)
+        from the trial's private ``random.Random``.  Using the provided RNG
+        for every random choice makes the whole experiment reproducible from
+        ``base_seed``.
+    rounds:
+        How many rounds to run each trial.
+    num_trials:
+        Number of independent trials.
+    base_seed:
+        Seed of the seed sequence; trial ``i`` uses ``base_seed + i``.
+    evaluator:
+        Optional reduction of ``(simulator, trace)`` to a small record; stored
+        in :attr:`TrialResult.evaluation`.
+    keep_traces:
+        When false the (potentially large) trace object is dropped after
+        evaluation; only the evaluation is kept.  Requires an evaluator.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    if num_trials < 1:
+        raise ValueError("need at least one trial")
+    if not keep_traces and evaluator is None:
+        raise ValueError("keep_traces=False requires an evaluator")
+
+    results: List[TrialResult] = []
+    for index in range(num_trials):
+        seed = base_seed + index
+        rng = random.Random(seed)
+        simulator = factory(rng)
+        trace = simulator.run(rounds)
+        evaluation = evaluator(simulator, trace) if evaluator is not None else None
+        results.append(
+            TrialResult(
+                trial_index=index,
+                seed=seed,
+                trace=trace if keep_traces else None,
+                simulator=simulator if keep_traces else None,
+                evaluation=evaluation,
+            )
+        )
+    return results
+
+
+def empirical_failure_rate(results: List[TrialResult], failed: Callable[[TrialResult], bool]) -> float:
+    """Fraction of trials judged as failures by the supplied predicate."""
+    if not results:
+        raise ValueError("no trial results to aggregate")
+    failures = sum(1 for result in results if failed(result))
+    return failures / len(results)

@@ -1,0 +1,329 @@
+"""Metrics computed from execution traces.
+
+These helpers turn a raw :class:`~repro.simulation.trace.ExecutionTrace` plus
+its :class:`~repro.dualgraph.graph.DualGraph` into the quantities the paper's
+guarantees speak about:
+
+* **acknowledgment delays** -- rounds between a ``bcast(m)_u`` input and the
+  matching ``ack(m)_u`` output (Timely Acknowledgment / t_ack),
+* **delivery reports** -- which reliable neighbors of the sender produced
+  ``recv(m)`` before the ack (Reliability),
+* **progress reports** -- for a receiver and a window length t_prog, whether
+  the receiver heard *something* in every window during which it had an
+  actively-broadcasting reliable neighbor (Progress),
+* **seed owner counts** -- for seed agreement runs, the number of unique seed
+  owners committed in each closed G' neighborhood (the δ of the Seed spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.events import DecideOutput
+from repro.core.messages import Message
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.trace import ExecutionTrace
+
+Vertex = Hashable
+
+
+# ----------------------------------------------------------------------
+# acknowledgment latency
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AckRecord:
+    """One bcast input and what became of it."""
+
+    vertex: Vertex
+    message: Message
+    bcast_round: int
+    ack_round: Optional[int]
+
+    @property
+    def delay(self) -> Optional[int]:
+        """Rounds from bcast to ack, inclusive of the ack round (None if pending)."""
+        if self.ack_round is None:
+            return None
+        return self.ack_round - self.bcast_round
+
+
+def ack_delays(trace: ExecutionTrace) -> List[AckRecord]:
+    """One :class:`AckRecord` per bcast input in the trace."""
+    records = []
+    for ev in trace.bcast_inputs:
+        records.append(
+            AckRecord(
+                vertex=ev.vertex,
+                message=ev.message,
+                bcast_round=ev.round_number,
+                ack_round=trace.ack_round_for(ev.message),
+            )
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# reliability (delivery to reliable neighbors before the ack)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Delivery outcome of one broadcast message."""
+
+    message: Message
+    sender: Vertex
+    bcast_round: int
+    ack_round: Optional[int]
+    reliable_neighbors: Tuple[Vertex, ...]
+    delivered_before_ack: Tuple[Vertex, ...]
+    delivered_ever: Tuple[Vertex, ...]
+
+    @property
+    def fully_delivered(self) -> bool:
+        """True iff every reliable neighbor got the message before the ack."""
+        return set(self.delivered_before_ack) == set(self.reliable_neighbors)
+
+    @property
+    def delivery_fraction(self) -> float:
+        """Fraction of reliable neighbors reached before the ack."""
+        if not self.reliable_neighbors:
+            return 1.0
+        return len(self.delivered_before_ack) / len(self.reliable_neighbors)
+
+
+def delivery_report(trace: ExecutionTrace, graph: DualGraph) -> List[DeliveryRecord]:
+    """One :class:`DeliveryRecord` per acknowledged or pending broadcast."""
+    records = []
+    for ev in trace.bcast_inputs:
+        message = ev.message
+        sender = ev.vertex
+        neighbors = tuple(sorted(graph.reliable_neighbors(sender), key=repr))
+        ack_round = trace.ack_round_for(message)
+        receivers = trace.receivers_of(message)
+        before_ack = tuple(
+            sorted(
+                (
+                    v
+                    for v, rnd in receivers.items()
+                    if v in neighbors and (ack_round is None or rnd <= ack_round)
+                ),
+                key=repr,
+            )
+        )
+        ever = tuple(sorted((v for v in receivers if v in neighbors), key=repr))
+        records.append(
+            DeliveryRecord(
+                message=message,
+                sender=sender,
+                bcast_round=ev.round_number,
+                ack_round=ack_round,
+                reliable_neighbors=neighbors,
+                delivered_before_ack=before_ack,
+                delivered_ever=ever,
+            )
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# progress (hearing something while a reliable neighbor is active)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProgressWindow:
+    """One (receiver, window) pair relevant to the progress property."""
+
+    vertex: Vertex
+    phase_index: int
+    start_round: int
+    end_round: int
+    had_active_neighbor: bool
+    received_something: bool
+
+    @property
+    def progress_satisfied(self) -> Optional[bool]:
+        """True/False when the premise held; None when it did not apply."""
+        if not self.had_active_neighbor:
+            return None
+        return self.received_something
+
+
+@dataclass
+class ProgressReport:
+    """Aggregate progress outcomes over a whole trace."""
+
+    windows: List[ProgressWindow] = field(default_factory=list)
+
+    @property
+    def applicable(self) -> List[ProgressWindow]:
+        return [w for w in self.windows if w.had_active_neighbor]
+
+    @property
+    def failures(self) -> List[ProgressWindow]:
+        return [w for w in self.applicable if not w.received_something]
+
+    @property
+    def failure_rate(self) -> float:
+        applicable = self.applicable
+        if not applicable:
+            return 0.0
+        return len(self.failures) / len(applicable)
+
+    @property
+    def num_applicable(self) -> int:
+        return len(self.applicable)
+
+
+def progress_report(
+    trace: ExecutionTrace,
+    graph: DualGraph,
+    window: int,
+    receivers: Optional[Sequence[Vertex]] = None,
+    use_frames: bool = True,
+) -> ProgressReport:
+    """Evaluate the progress property over fixed windows of ``window`` rounds.
+
+    For each receiver and each window ``[k*window + 1, (k+1)*window]`` fully
+    contained in the trace, the window *applies* when the receiver has at
+    least one reliable neighbor that is actively broadcasting throughout every
+    round of the window; it is *satisfied* when the receiver physically
+    received at least one broadcast message during the window.
+
+    Parameters
+    ----------
+    use_frames:
+        When true (default), "received something" means a data frame reception
+        was recorded in the trace for that round -- the paper's ``B_u``
+        event.  This requires the simulation to run with
+        ``record_frames=True``.  When false, the check falls back to ``recv``
+        outputs, which undercounts because the service deduplicates repeated
+        deliveries of the same message.
+    """
+    if window < 1:
+        raise ValueError("the progress window must be at least one round")
+    if receivers is None:
+        receivers = sorted(graph.vertices, key=repr)
+    report = ProgressReport()
+    num_phases = trace.num_rounds // window
+    if use_frames:
+        all_heard = _data_reception_rounds_all(trace)
+        heard_rounds = {v: all_heard.get(v, set()) for v in receivers}
+    else:
+        heard_rounds = {v: set(trace.recv_rounds_for_vertex(v)) for v in receivers}
+    for vertex in receivers:
+        neighbors = graph.reliable_neighbors(vertex)
+        for phase in range(num_phases):
+            start = phase * window + 1
+            end = (phase + 1) * window
+            active = _has_neighbor_active_throughout(trace, neighbors, start, end)
+            heard = any(start <= rnd <= end for rnd in heard_rounds[vertex])
+            report.windows.append(
+                ProgressWindow(
+                    vertex=vertex,
+                    phase_index=phase + 1,
+                    start_round=start,
+                    end_round=end,
+                    had_active_neighbor=active,
+                    received_something=heard,
+                )
+            )
+    return report
+
+
+def data_reception_rounds(trace: ExecutionTrace, vertex: Vertex) -> List[int]:
+    """Rounds in which ``vertex`` physically received a data (message) frame.
+
+    Frames are duck-typed: anything with a ``message`` attribute counts as a
+    data frame (LBAlg's and the baselines' ``DataFrame``), while control
+    frames such as SeedAlg's ``(id, seed)`` pairs do not.
+    """
+    return sorted(_data_reception_rounds_all(trace).get(vertex, set()))
+
+
+def _data_reception_rounds_all(trace: ExecutionTrace) -> Dict[Vertex, set]:
+    """One pass over the recorded receptions: vertex -> rounds with a data frame."""
+    result: Dict[Vertex, set] = {}
+    for rnd in range(1, trace.num_rounds + 1):
+        for vertex, frame in trace.receptions_in_round(rnd).items():
+            if frame is not None and getattr(frame, "message", None) is not None:
+                result.setdefault(vertex, set()).add(rnd)
+    return result
+
+
+def _has_neighbor_active_throughout(
+    trace: ExecutionTrace, neighbors, start: int, end: int
+) -> bool:
+    """True iff some vertex in ``neighbors`` is active in every round of [start, end]."""
+    for neighbor in neighbors:
+        intervals = []
+        for ev in trace.bcast_inputs:
+            if ev.vertex != neighbor:
+                continue
+            ack_round = trace.ack_round_for(ev.message)
+            intervals.append((ev.round_number, ack_round))
+        if _intervals_cover(intervals, start, end):
+            return True
+    return False
+
+
+def _intervals_cover(intervals, start: int, end: int) -> bool:
+    """True iff the union of [s, e] intervals covers every round in [start, end].
+
+    Open-ended intervals (``e is None``) extend to infinity.  The paper's
+    premise is that *some single neighbor* is active throughout the window,
+    but a neighbor is allowed to be active with different messages in
+    different parts of it (ack then immediately bcast again), hence coverage
+    by a union of that neighbor's own intervals.
+    """
+    if not intervals:
+        return False
+    needed = start
+    for s, e in sorted(intervals, key=lambda it: it[0]):
+        if s > needed:
+            return False
+        top = float("inf") if e is None else e
+        if top >= needed:
+            needed = int(top) + 1 if top != float("inf") else end + 1
+        if needed > end:
+            return True
+    return needed > end
+
+
+# ----------------------------------------------------------------------
+# seed agreement owner counts
+# ----------------------------------------------------------------------
+def unique_seed_owner_counts(
+    trace: ExecutionTrace, graph: DualGraph
+) -> Dict[Vertex, int]:
+    """For each vertex ``u``, the number of distinct owners decided in ``N_G'(u) ∪ {u}``.
+
+    This is exactly the quantity bounded by δ in the Seed(δ, ε) agreement
+    property.  Vertices with no decide output in their neighborhood map to 0.
+    """
+    owner_of: Dict[Vertex, List[Hashable]] = {}
+    for ev in trace.decide_outputs:
+        owner_of.setdefault(ev.vertex, []).append(ev.owner)
+    counts: Dict[Vertex, int] = {}
+    for u in graph.vertices:
+        owners = set()
+        for v in graph.closed_potential_neighborhood(u):
+            owners.update(owner_of.get(v, ()))
+        counts[u] = len(owners)
+    return counts
+
+
+def receive_rate_per_round(
+    trace: ExecutionTrace, vertex: Vertex, start_round: int, end_round: int
+) -> float:
+    """Fraction of rounds in [start_round, end_round] in which ``vertex`` received a frame.
+
+    Uses the recorded per-round receptions (requires ``record_frames=True``).
+    This estimates the per-round receive probability of Lemma 4.2.
+    """
+    if end_round < start_round:
+        raise ValueError("end_round must be at least start_round")
+    hits = 0
+    total = end_round - start_round + 1
+    for rnd in range(start_round, end_round + 1):
+        if vertex in trace.receptions_in_round(rnd):
+            hits += 1
+    return hits / total

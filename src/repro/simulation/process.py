@@ -1,0 +1,151 @@
+"""The process automaton interface.
+
+Section 2 models wireless devices as probabilistic automata, one per graph
+vertex.  A process knows its own id, the degree bounds ``Δ`` and ``Δ'``, and
+the geographic parameter ``r`` -- but *not* the network size ``n``, the
+identity mapping, or the link schedule.  That knowledge boundary is encoded in
+:class:`ProcessContext`, which is the only information the simulator hands a
+process at construction time.
+
+Concrete algorithms (``SeedAlg``, ``LBAlg``, the baselines, the MAC adapter)
+subclass :class:`Process` and implement the per-round hooks.  The simulator
+drives them in lock step:
+
+1. :meth:`Process.on_input` for each environment input of the round,
+2. :meth:`Process.transmit` -- return a frame to broadcast, or ``None`` to
+   listen,
+3. :meth:`Process.on_receive` -- the received frame for listeners (``None``
+   for silence or collision; transmitters always get ``None`` because a radio
+   cannot transmit and receive simultaneously),
+4. :meth:`Process.drain_outputs` -- the outputs generated this round.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - only needed for type checkers
+    from repro.core.events import Event
+
+
+@dataclass
+class ProcessContext:
+    """Everything a process is allowed to know at start-up.
+
+    Attributes
+    ----------
+    vertex:
+        The graph vertex this process is assigned to.  (In the paper the
+        process knows its *id*; we use the vertex identifier directly as the
+        id, which loses no generality because the id assignment is an
+        arbitrary injection.)
+    process_id:
+        The process id from the id space ``I``; defaults to the vertex.
+    delta:
+        The reliable degree bound ``Δ`` (on ``|N_G(u) ∪ {u}|``).
+    delta_prime:
+        The potential degree bound ``Δ'`` (on ``|N_G'(u) ∪ {u}|``).
+    r:
+        The geographic parameter ``r >= 1``.
+    rng:
+        A private pseudo-random generator for the process's local coin flips.
+    """
+
+    vertex: Hashable
+    delta: int
+    delta_prime: int
+    r: float = 2.0
+    process_id: Optional[Hashable] = None
+    rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        if self.process_id is None:
+            self.process_id = self.vertex
+        if self.delta < 1:
+            raise ValueError(f"Delta must be at least 1, got {self.delta}")
+        if self.delta_prime < self.delta:
+            raise ValueError(
+                f"Delta' (={self.delta_prime}) cannot be smaller than Delta (={self.delta})"
+            )
+        if self.r < 1:
+            raise ValueError(f"the geographic parameter must satisfy r >= 1, got {self.r}")
+
+
+class Process(ABC):
+    """Base class for per-vertex algorithm automata."""
+
+    def __init__(self, ctx: ProcessContext) -> None:
+        self.ctx = ctx
+        self._pending_outputs: List["Event"] = []
+
+    # ------------------------------------------------------------------
+    # hooks driven by the simulator (override as needed)
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once before round 1."""
+
+    def on_round_start(self, round_number: int) -> None:
+        """Called at the very beginning of each round, before inputs."""
+
+    def on_input(self, round_number: int, inp: Any) -> None:
+        """Called once per environment input delivered to this process."""
+
+    @abstractmethod
+    def transmit(self, round_number: int) -> Optional[Any]:
+        """Return the frame to broadcast this round, or ``None`` to listen."""
+
+    def on_receive(self, round_number: int, frame: Optional[Any]) -> None:
+        """Called after the reception step.
+
+        ``frame`` is the received frame if exactly one topology neighbor
+        transmitted and this process listened; otherwise ``None`` (silence,
+        collision, or this process transmitted).  There is no collision
+        detection: the three ``None`` cases are indistinguishable.
+        """
+
+    def on_round_end(self, round_number: int) -> None:
+        """Called at the end of each round, after receptions."""
+
+    # ------------------------------------------------------------------
+    # output plumbing
+    # ------------------------------------------------------------------
+    def emit(self, event: "Event") -> None:
+        """Queue an output event for the environment / trace."""
+        self._pending_outputs.append(event)
+
+    def drain_outputs(self) -> List["Event"]:
+        """Return and clear the outputs generated since the last drain."""
+        outputs, self._pending_outputs = self._pending_outputs, []
+        return outputs
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    @property
+    def vertex(self) -> Hashable:
+        return self.ctx.vertex
+
+    @property
+    def process_id(self) -> Hashable:
+        return self.ctx.process_id
+
+    @property
+    def rng(self) -> random.Random:
+        return self.ctx.rng
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(vertex={self.ctx.vertex!r})"
+
+
+class SilentProcess(Process):
+    """A process that never transmits and ignores everything it hears.
+
+    Useful as a placeholder for vertices that do not participate in an
+    experiment, and in unit tests of the engine's collision rules.
+    """
+
+    def transmit(self, round_number: int) -> Optional[Any]:
+        return None

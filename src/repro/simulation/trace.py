@@ -1,0 +1,196 @@
+"""Execution traces.
+
+An :class:`ExecutionTrace` is the record the simulator produces: every
+environment input, every process output, and (optionally) the per-round
+transmissions and receptions.  The specification checkers in
+:mod:`repro.core.seed_spec` and :mod:`repro.core.lb_spec` and the metric
+helpers in :mod:`repro.simulation.metrics` are pure functions of a trace plus
+the dual graph, which keeps algorithm code and analysis code fully decoupled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.events import AckOutput, BcastInput, DecideOutput, Event, RecvOutput
+from repro.core.messages import Message
+
+Vertex = Hashable
+
+
+class ExecutionTrace:
+    """A recorded execution of the simulator.
+
+    Parameters
+    ----------
+    record_frames:
+        When true (default) the trace stores, per round, which vertex
+        transmitted which frame and what every listener received.  Turning it
+        off saves memory in very long benchmark runs where only the
+        input/output events matter.
+    """
+
+    def __init__(self, record_frames: bool = True) -> None:
+        self._record_frames = record_frames
+        self._events: List[Event] = []
+        self._bcasts: List[BcastInput] = []
+        self._acks: List[AckOutput] = []
+        self._recvs: List[RecvOutput] = []
+        self._decides: List[DecideOutput] = []
+        self._transmissions: Dict[int, Dict[Vertex, Any]] = {}
+        self._receptions: Dict[int, Dict[Vertex, Optional[Any]]] = {}
+        self._num_rounds = 0
+
+    # ------------------------------------------------------------------
+    # recording (called by the simulator)
+    # ------------------------------------------------------------------
+    def note_round(self, round_number: int) -> None:
+        self._num_rounds = max(self._num_rounds, round_number)
+
+    def record_event(self, event: Event) -> None:
+        self._events.append(event)
+        if isinstance(event, BcastInput):
+            self._bcasts.append(event)
+        elif isinstance(event, AckOutput):
+            self._acks.append(event)
+        elif isinstance(event, RecvOutput):
+            self._recvs.append(event)
+        elif isinstance(event, DecideOutput):
+            self._decides.append(event)
+
+    def record_transmissions(self, round_number: int, frames: Dict[Vertex, Any]) -> None:
+        if self._record_frames and frames:
+            self._transmissions[round_number] = dict(frames)
+
+    def record_receptions(self, round_number: int, frames: Dict[Vertex, Optional[Any]]) -> None:
+        if self._record_frames:
+            received = {v: f for v, f in frames.items() if f is not None}
+            if received:
+                self._receptions[round_number] = received
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        """The number of rounds the simulation ran."""
+        return self._num_rounds
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        return tuple(self._events)
+
+    @property
+    def bcast_inputs(self) -> Tuple[BcastInput, ...]:
+        return tuple(self._bcasts)
+
+    @property
+    def ack_outputs(self) -> Tuple[AckOutput, ...]:
+        return tuple(self._acks)
+
+    @property
+    def recv_outputs(self) -> Tuple[RecvOutput, ...]:
+        return tuple(self._recvs)
+
+    @property
+    def decide_outputs(self) -> Tuple[DecideOutput, ...]:
+        return tuple(self._decides)
+
+    def transmissions_in_round(self, round_number: int) -> Dict[Vertex, Any]:
+        """Vertex -> frame transmitted, for one round (empty if none recorded)."""
+        return dict(self._transmissions.get(round_number, {}))
+
+    def receptions_in_round(self, round_number: int) -> Dict[Vertex, Any]:
+        """Vertex -> frame received, for one round (only successful receptions)."""
+        return dict(self._receptions.get(round_number, {}))
+
+    # ------------------------------------------------------------------
+    # derived views used by spec checkers and metrics
+    # ------------------------------------------------------------------
+    def bcasts_by_vertex(self) -> Dict[Vertex, List[BcastInput]]:
+        result: Dict[Vertex, List[BcastInput]] = defaultdict(list)
+        for ev in self._bcasts:
+            result[ev.vertex].append(ev)
+        return dict(result)
+
+    def acks_by_vertex(self) -> Dict[Vertex, List[AckOutput]]:
+        result: Dict[Vertex, List[AckOutput]] = defaultdict(list)
+        for ev in self._acks:
+            result[ev.vertex].append(ev)
+        return dict(result)
+
+    def recvs_by_vertex(self) -> Dict[Vertex, List[RecvOutput]]:
+        result: Dict[Vertex, List[RecvOutput]] = defaultdict(list)
+        for ev in self._recvs:
+            result[ev.vertex].append(ev)
+        return dict(result)
+
+    def decides_by_vertex(self) -> Dict[Vertex, List[DecideOutput]]:
+        result: Dict[Vertex, List[DecideOutput]] = defaultdict(list)
+        for ev in self._decides:
+            result[ev.vertex].append(ev)
+        return dict(result)
+
+    def ack_round_for(self, message: Message) -> Optional[int]:
+        """The round in which the origin acknowledged ``message`` (or None)."""
+        for ev in self._acks:
+            if ev.message.message_id == message.message_id:
+                return ev.round_number
+        return None
+
+    def bcast_round_for(self, message: Message) -> Optional[int]:
+        """The round in which ``message`` was handed to its origin (or None)."""
+        for ev in self._bcasts:
+            if ev.message.message_id == message.message_id:
+                return ev.round_number
+        return None
+
+    def active_interval(self, message: Message) -> Optional[Tuple[int, Optional[int]]]:
+        """The rounds during which ``message`` was actively broadcast.
+
+        Returns ``(start, end)`` where ``start`` is the bcast round and ``end``
+        is the ack round (``None`` if never acknowledged).  Per Section 4.1 a
+        node is *actively broadcasting* ``m`` in every round of
+        ``[start, end]`` -- acks happen at the end of their round, so the ack
+        round itself still counts as active.
+        """
+        start = self.bcast_round_for(message)
+        if start is None:
+            return None
+        return start, self.ack_round_for(message)
+
+    def actively_broadcasting(self, vertex: Vertex, round_number: int) -> List[Message]:
+        """All messages ``vertex`` is actively broadcasting in ``round_number``."""
+        result = []
+        for ev in self._bcasts:
+            if ev.vertex != vertex or ev.round_number > round_number:
+                continue
+            ack_round = self.ack_round_for(ev.message)
+            if ack_round is None or ack_round >= round_number:
+                result.append(ev.message)
+        return result
+
+    def is_active(self, vertex: Vertex, round_number: int) -> bool:
+        """True iff ``vertex`` is actively broadcasting some message."""
+        return bool(self.actively_broadcasting(vertex, round_number))
+
+    def receivers_of(self, message: Message) -> Dict[Vertex, int]:
+        """Vertices that output ``recv(message)`` mapped to the earliest round."""
+        result: Dict[Vertex, int] = {}
+        for ev in self._recvs:
+            if ev.message.message_id == message.message_id:
+                if ev.vertex not in result or ev.round_number < result[ev.vertex]:
+                    result[ev.vertex] = ev.round_number
+        return result
+
+    def recv_rounds_for_vertex(self, vertex: Vertex) -> List[int]:
+        """Sorted rounds in which ``vertex`` generated any recv output."""
+        return sorted(ev.round_number for ev in self._recvs if ev.vertex == vertex)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionTrace(rounds={self._num_rounds}, events={len(self._events)}, "
+            f"bcasts={len(self._bcasts)}, acks={len(self._acks)}, "
+            f"recvs={len(self._recvs)}, decides={len(self._decides)})"
+        )

@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite.
+
+The fixtures build small, deterministic networks and parameter sets so that
+individual tests stay fast; integration tests that need statistical power run
+their own (still modest) trial loops.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DualGraph,
+    IIDScheduler,
+    LBParams,
+    SeedParams,
+    Simulator,
+    SingleShotEnvironment,
+    line_network,
+    make_lb_processes,
+    random_geographic_network,
+    star_network,
+)
+from repro.core.seed_agreement import SeedAgreementProcess
+from repro.simulation.process import ProcessContext
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def triangle_graph() -> DualGraph:
+    """Three mutually reliable vertices plus one unreliable edge to a fourth."""
+    graph = DualGraph(
+        vertices=[0, 1, 2, 3],
+        reliable_edges=[(0, 1), (1, 2), (0, 2)],
+        unreliable_edges=[(2, 3)],
+    )
+    return graph
+
+
+@pytest.fixture
+def small_random_network():
+    """A connected 16-node random geographic network with grey-zone links."""
+    graph, embedding = random_geographic_network(
+        16, side=3.5, r=2.0, rng=3, require_connected=True
+    )
+    return graph, embedding
+
+
+@pytest.fixture
+def small_line_network():
+    """A 6-node path; consecutive vertices are reliable neighbors."""
+    return line_network(6, spacing=0.9)
+
+
+@pytest.fixture
+def small_star_network():
+    """A receiver (vertex 0) with 6 reliable-neighbor broadcasters."""
+    return star_network(6)
+
+
+# ----------------------------------------------------------------------
+# parameters
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_lb_params() -> LBParams:
+    """Small but structurally faithful LBAlg parameters for fast tests."""
+    return LBParams.small_for_testing(delta=8, delta_prime=16)
+
+
+@pytest.fixture
+def tiny_seed_params() -> SeedParams:
+    """SeedAlg parameters with a short phase length for fast tests."""
+    return SeedParams.derive(epsilon=0.2, delta=8, phase_length_override=6)
+
+
+# Shared non-fixture helpers (process builders, scenario runners) live in
+# tests/helpers.py so both fixtures and test modules can import them.

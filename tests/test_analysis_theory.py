@@ -1,0 +1,97 @@
+"""Unit tests for the closed-form theoretical bounds."""
+
+import pytest
+
+from repro.analysis import theory
+
+
+class TestSeedBounds:
+    def test_delta_bound_grows_with_r(self):
+        assert theory.seed_delta_bound(0.1, r=2.0) > theory.seed_delta_bound(0.1, r=1.0)
+
+    def test_delta_bound_grows_as_epsilon_shrinks(self):
+        assert theory.seed_delta_bound(0.01) > theory.seed_delta_bound(0.2)
+
+    def test_runtime_grows_with_delta_and_epsilon(self):
+        assert theory.seed_runtime_bound(64, 0.1) > theory.seed_runtime_bound(8, 0.1)
+        assert theory.seed_runtime_bound(8, 0.01) > theory.seed_runtime_bound(8, 0.1)
+
+    def test_runtime_is_logarithmic_in_delta(self):
+        # Doubling Delta adds a constant, it does not multiply.
+        small = theory.seed_runtime_bound(16, 0.1)
+        large = theory.seed_runtime_bound(32, 0.1)
+        assert large - small < small
+
+    def test_error_bound_non_negative(self):
+        assert theory.seed_error_bound(0.1, 16) >= 0.0
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            theory.seed_delta_bound(0.0)
+
+
+class TestLocalBroadcastBounds:
+    def test_tprog_grows_logarithmically_with_delta(self):
+        t8 = theory.tprog_bound(8, 0.1)
+        t64 = theory.tprog_bound(64, 0.1)
+        t4096 = theory.tprog_bound(4096, 0.1)
+        assert t8 < t64 < t4096
+        # Log-like growth: the multiplicative jump shrinks as Delta grows.
+        assert (t4096 / t64) < (t64 / t8) * 2
+
+    def test_tack_grows_roughly_linearly_with_delta(self):
+        t8 = theory.tack_bound(8, 0.1)
+        t16 = theory.tack_bound(16, 0.1)
+        assert 1.5 < t16 / t8 < 4.0
+
+    def test_tack_at_least_tprog(self):
+        for delta in (4, 16, 64):
+            assert theory.tack_bound(delta, 0.1) >= theory.tprog_bound(delta, 0.1)
+
+    def test_bounds_grow_as_epsilon_shrinks(self):
+        assert theory.tprog_bound(16, 0.01) > theory.tprog_bound(16, 0.2)
+        assert theory.tack_bound(16, 0.01) > theory.tack_bound(16, 0.2)
+
+    def test_bounds_grow_with_r(self):
+        assert theory.tprog_bound(16, 0.1, r=3.0) > theory.tprog_bound(16, 0.1, r=1.0)
+
+
+class TestLemma42:
+    def test_receive_probability_in_unit_interval(self):
+        p = theory.lemma42_receive_probability(16, 0.1)
+        assert 0.0 < p < 1.0
+
+    def test_receive_probability_shrinks_with_delta(self):
+        assert theory.lemma42_receive_probability(64, 0.1) < theory.lemma42_receive_probability(8, 0.1)
+
+    def test_pairwise_probability_divides_by_delta_prime(self):
+        pu = theory.lemma42_receive_probability(16, 0.1)
+        puv = theory.lemma42_pairwise_probability(16, 32, 0.1)
+        assert puv == pytest.approx(pu / 32)
+
+    def test_pairwise_validation(self):
+        with pytest.raises(ValueError):
+            theory.lemma42_pairwise_probability(16, 0, 0.1)
+
+
+class TestLowerBoundContext:
+    def test_progress_lower_bound_is_logarithmic(self):
+        assert theory.progress_lower_bound(1024) == pytest.approx(10.0)
+
+    def test_ack_lower_bound_is_linear(self):
+        assert theory.ack_lower_bound(37) == 37.0
+
+    def test_upper_bounds_dominate_lower_bounds(self):
+        for delta in (8, 32, 128):
+            assert theory.tprog_bound(delta, 0.1) >= theory.progress_lower_bound(delta)
+            assert theory.tack_bound(delta, 0.1) >= theory.ack_lower_bound(delta)
+
+
+class TestDecayReference:
+    def test_cycle_length(self):
+        assert theory.decay_cycle_length(8) == 3
+        assert theory.decay_cycle_length(9) == 4
+
+    def test_expected_rounds_grow_with_both_parameters(self):
+        assert theory.decay_expected_rounds(64, 0.1) > theory.decay_expected_rounds(8, 0.1)
+        assert theory.decay_expected_rounds(8, 0.01) > theory.decay_expected_rounds(8, 0.1)

@@ -1,0 +1,200 @@
+"""Unit tests for the Decay, uniform, and round robin baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    DecayProcess,
+    RoundRobinProcess,
+    UniformProcess,
+    make_baseline_processes,
+)
+from repro.baselines.decay import decay_schedule
+from repro.core.events import AckOutput, RecvOutput
+from repro.core.local_broadcast import DataFrame
+from repro.core.messages import Message
+from repro.dualgraph.generators import clique_network
+from repro.simulation.process import ProcessContext
+
+
+def ctx(vertex=0, delta=8, delta_prime=16, seed=0):
+    return ProcessContext(vertex=vertex, delta=delta, delta_prime=delta_prime,
+                          rng=random.Random(seed))
+
+
+def drive(process, rounds, frames=None):
+    frames = frames or {}
+    transmitted = {}
+    for round_number in range(1, rounds + 1):
+        frame = process.transmit(round_number)
+        if frame is not None:
+            transmitted[round_number] = frame
+        process.on_receive(round_number, frames.get(round_number))
+    return transmitted
+
+
+class TestDecaySchedule:
+    def test_schedule_values(self):
+        assert decay_schedule(8) == [0.5, 0.25, 0.125]
+        assert decay_schedule(2) == [0.5]
+        assert decay_schedule(1) == [0.5]
+
+    def test_schedule_length_is_log_delta(self):
+        assert len(decay_schedule(16)) == 4
+        assert len(decay_schedule(17)) == 5
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            decay_schedule(0)
+
+
+class TestDecayProcess:
+    def test_cycles_through_probabilities(self):
+        process = DecayProcess(ctx(delta=8), num_cycles=2)
+        assert process.schedule == [0.5, 0.25, 0.125]
+        assert process.cycle_length == 3
+        assert process.transmission_probability(1) == 0.5
+        assert process.transmission_probability(3) == 0.125
+        assert process.transmission_probability(4) == 0.5  # wraps around
+
+    def test_active_rounds_is_cycles_times_cycle_length(self):
+        process = DecayProcess(ctx(delta=8), num_cycles=4)
+        assert process.active_rounds == 12
+
+    def test_idle_process_never_transmits(self):
+        process = DecayProcess(ctx(), num_cycles=2)
+        assert drive(process, 10) == {}
+
+    def test_active_process_acks_after_its_cycles(self):
+        process = DecayProcess(ctx(delta=8, seed=1), num_cycles=2)
+        message = Message(origin=0, sequence=0)
+        process.on_input(1, message)
+        drive(process, process.active_rounds + 1)
+        acks = [e for e in process.drain_outputs() if isinstance(e, AckOutput)]
+        assert len(acks) == 1
+        assert acks[0].message.message_id == message.message_id
+        assert not process.is_active
+
+    def test_transmits_its_own_message(self):
+        process = DecayProcess(ctx(delta=8, seed=2), num_cycles=8)
+        message = Message(origin=0, sequence=0)
+        process.on_input(1, message)
+        transmitted = drive(process, process.active_rounds)
+        assert transmitted, "with probability >= 1/8 per round over 24 rounds a transmission is near-certain"
+        assert all(f.message.message_id == message.message_id for f in transmitted.values())
+
+    def test_num_cycles_validation(self):
+        with pytest.raises(ValueError):
+            DecayProcess(ctx(), num_cycles=0)
+
+
+class TestUniformProcess:
+    def test_default_probability_is_one_over_delta(self):
+        process = UniformProcess(ctx(delta=8))
+        assert process.probability == pytest.approx(1.0 / 8.0)
+
+    def test_explicit_probability_and_duration(self):
+        process = UniformProcess(ctx(), probability=1.0, active_rounds=3)
+        message = Message(origin=0, sequence=0)
+        process.on_input(1, message)
+        transmitted = drive(process, 4)
+        assert set(transmitted) == {1, 2, 3}
+        acks = [e for e in process.drain_outputs() if isinstance(e, AckOutput)]
+        assert len(acks) == 1
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            UniformProcess(ctx(), probability=0.0)
+        with pytest.raises(ValueError):
+            UniformProcess(ctx(), probability=1.5)
+
+    def test_default_active_rounds_scale_with_delta(self):
+        assert UniformProcess(ctx(delta=4)).active_rounds == 16
+        assert UniformProcess(ctx(delta=16, delta_prime=16)).active_rounds == 64
+
+
+class TestRoundRobinProcess:
+    def test_slot_is_stable_and_within_frame(self):
+        process = RoundRobinProcess(ctx(vertex=3), frame_size=10, num_frames=2)
+        assert 0 <= process.slot < 10
+        other = RoundRobinProcess(ctx(vertex=3), frame_size=10, num_frames=2)
+        assert other.slot == process.slot
+
+    def test_transmits_exactly_once_per_frame(self):
+        process = RoundRobinProcess(ctx(vertex=5), frame_size=6, num_frames=3)
+        process.on_input(1, Message(origin=5, sequence=0))
+        transmitted = drive(process, process.active_rounds)
+        assert len(transmitted) == 3
+        rounds = sorted(transmitted)
+        assert rounds[1] - rounds[0] == 6
+        assert rounds[2] - rounds[1] == 6
+
+    def test_default_frame_size_is_delta_prime(self):
+        process = RoundRobinProcess(ctx(delta=4, delta_prime=12))
+        assert process.frame_size == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinProcess(ctx(), frame_size=0)
+        with pytest.raises(ValueError):
+            RoundRobinProcess(ctx(), num_frames=0)
+
+
+class TestBaselineSharedBehavior:
+    @pytest.mark.parametrize("factory", [
+        lambda: DecayProcess(ctx(seed=3), num_cycles=2),
+        lambda: UniformProcess(ctx(seed=3), probability=0.3, active_rounds=6),
+        lambda: RoundRobinProcess(ctx(seed=3), frame_size=4, num_frames=2),
+    ])
+    def test_recv_outputs_for_new_messages_only(self, factory):
+        process = factory()
+        other = Message(origin=7, sequence=0)
+        frames = {2: DataFrame(message=other), 4: DataFrame(message=other)}
+        drive(process, 5, frames=frames)
+        recvs = [e for e in process.drain_outputs() if isinstance(e, RecvOutput)]
+        assert len(recvs) == 1
+        assert recvs[0].message.message_id == other.message_id
+
+    @pytest.mark.parametrize("factory", [
+        lambda: DecayProcess(ctx(seed=3), num_cycles=2),
+        lambda: UniformProcess(ctx(seed=3), probability=0.3, active_rounds=6),
+        lambda: RoundRobinProcess(ctx(seed=3), frame_size=4, num_frames=2),
+    ])
+    def test_rejects_input_while_busy(self, factory):
+        process = factory()
+        process.on_input(1, Message(origin=0, sequence=0))
+        with pytest.raises(RuntimeError):
+            process.on_input(2, Message(origin=0, sequence=1))
+
+    def test_rejects_non_message_input(self):
+        process = DecayProcess(ctx(), num_cycles=1)
+        with pytest.raises(TypeError):
+            process.on_input(1, "nope")
+
+
+class TestFactory:
+    def test_builds_processes_for_all_vertices(self):
+        graph, _ = clique_network(5)
+        processes = make_baseline_processes(graph, "decay", random.Random(0), num_cycles=2)
+        assert set(processes) == set(graph.vertices)
+        assert all(isinstance(p, DecayProcess) for p in processes.values())
+
+    def test_kind_selection(self):
+        graph, _ = clique_network(4)
+        uniform = make_baseline_processes(graph, "uniform", random.Random(0))
+        rr = make_baseline_processes(graph, "round_robin", random.Random(0))
+        assert all(isinstance(p, UniformProcess) for p in uniform.values())
+        assert all(isinstance(p, RoundRobinProcess) for p in rr.values())
+
+    def test_unknown_kind_rejected(self):
+        graph, _ = clique_network(3)
+        with pytest.raises(ValueError):
+            make_baseline_processes(graph, "aloha", random.Random(0))
+
+    def test_kwargs_are_forwarded(self):
+        graph, _ = clique_network(3)
+        processes = make_baseline_processes(
+            graph, "uniform", random.Random(0), probability=0.9, active_rounds=5
+        )
+        assert all(p.probability == 0.9 and p.active_rounds == 5 for p in processes.values())

@@ -1,0 +1,115 @@
+"""Unit tests for the Appendix B.1 / C.1 constant calculus."""
+
+import math
+
+import pytest
+
+from repro.core.constants import (
+    LBConstants,
+    ParamMode,
+    SeedConstants,
+    ceil_log2,
+    log2_inverse,
+)
+
+
+class TestLogHelpers:
+    def test_log2_inverse(self):
+        assert log2_inverse(0.5) == pytest.approx(1.0)
+        assert log2_inverse(0.25) == pytest.approx(2.0)
+
+    def test_log2_inverse_rejects_bad_epsilon(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                log2_inverse(bad)
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 1
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(8) == 3
+        assert ceil_log2(9) == 4
+
+    def test_ceil_log2_floor_of_one(self):
+        assert ceil_log2(0.5) == 1
+
+
+class TestSeedConstants:
+    def test_factories_set_mode(self):
+        assert SeedConstants.paper().mode is ParamMode.PAPER
+        assert SeedConstants.simulation().mode is ParamMode.SIMULATION
+        assert SeedConstants.for_mode(ParamMode.PAPER).mode is ParamMode.PAPER
+
+    def test_paper_c2_at_least_four(self):
+        assert SeedConstants.paper().c2 >= 4.0
+
+    def test_c3_is_five_quarters_of_c2(self):
+        constants = SeedConstants.paper()
+        assert constants.c3 == pytest.approx(1.25 * constants.c2)
+
+    def test_cr_scales_with_r_squared(self):
+        constants = SeedConstants.simulation()
+        assert constants.cr(2.0) == pytest.approx(4.0 * constants.cr(1.0))
+
+    def test_paper_c4_honors_lower_bound(self):
+        constants = SeedConstants.paper()
+        # c4 >= 2 * 4^{c_r c3}; for r = 1 the bound is already astronomically
+        # large, so the effective constant must exceed the stored base value.
+        assert constants.c4_for_r(1.0) >= constants.c4
+        assert constants.c4_for_r(1.0) > 1e6
+
+    def test_simulation_c4_is_used_as_is(self):
+        constants = SeedConstants.simulation()
+        assert constants.c4_for_r(1.0) == constants.c4
+        assert constants.c4_for_r(3.0) == constants.c4
+
+    def test_c6_is_small_and_positive_or_zero(self):
+        constants = SeedConstants.simulation()
+        assert 0.0 <= constants.c6() < 1.0
+
+    def test_epsilon2_decreases_with_epsilon1(self):
+        constants = SeedConstants.paper()
+        assert constants.epsilon2(0.01) < constants.epsilon2(0.1)
+
+    def test_epsilon2_below_one_for_small_epsilon(self):
+        constants = SeedConstants.paper()
+        assert constants.epsilon2(1e-6) < 1.0
+
+    def test_epsilon3_monotone_in_epsilon1(self):
+        constants = SeedConstants.simulation()
+        assert constants.epsilon3(0.01, 1.0) <= constants.epsilon3(0.2, 1.0)
+
+    def test_epsilon4_combines_components(self):
+        constants = SeedConstants.simulation()
+        eps1, r = 0.1, 1.0
+        expected = constants.cr(r) * constants.epsilon2(eps1) + constants.epsilon3(eps1, r)
+        assert constants.epsilon4(eps1, r) == pytest.approx(expected)
+
+    def test_epsilon_chain_never_negative(self):
+        constants = SeedConstants.paper()
+        for eps in (0.25, 0.1, 0.01):
+            for r in (1.0, 2.0, 3.0):
+                assert constants.epsilon2(eps) >= 0.0
+                assert constants.epsilon3(eps, r) >= 0.0
+                assert constants.epsilon4(eps, r) >= 0.0
+
+
+class TestLBConstants:
+    def test_factories_set_mode(self):
+        assert LBConstants.paper().mode is ParamMode.PAPER
+        assert LBConstants.simulation().mode is ParamMode.SIMULATION
+        assert LBConstants.for_mode(ParamMode.SIMULATION).mode is ParamMode.SIMULATION
+
+    def test_paper_ack_scale_matches_appendix_factor(self):
+        assert LBConstants.paper().ack_scale == pytest.approx(12.0)
+
+    def test_simulation_constants_positive(self):
+        constants = LBConstants.simulation()
+        assert constants.phase_c1 > 0
+        assert constants.recv_c2 > 0
+        assert constants.ack_scale > 0
+
+    def test_constants_are_frozen(self):
+        constants = LBConstants.simulation()
+        with pytest.raises(AttributeError):
+            constants.phase_c1 = 99.0

@@ -1,0 +1,215 @@
+"""Unit tests for the LB(t_ack, t_prog, ε) specification checker."""
+
+import pytest
+
+from repro.core.events import AckOutput, BcastInput, RecvOutput
+from repro.core.lb_spec import check_lb_execution
+from repro.core.local_broadcast import DataFrame
+from repro.core.messages import Message
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.trace import ExecutionTrace
+
+
+@pytest.fixture
+def graph():
+    """Vertex 0 with reliable neighbors 1, 2; vertex 3 reachable only via G'."""
+    return DualGraph(
+        vertices=[0, 1, 2, 3],
+        reliable_edges=[(0, 1), (0, 2)],
+        unreliable_edges=[(1, 3)],
+    )
+
+
+def trace_of(events, num_rounds=40):
+    trace = ExecutionTrace()
+    trace.note_round(num_rounds)
+    for event in events:
+        trace.record_event(event)
+    return trace
+
+
+def msg(origin=0, seq=0, payload=None):
+    return Message(origin=origin, sequence=seq, payload=payload)
+
+
+class TestTimelyAck:
+    def test_ack_within_deadline_is_ok(self, graph):
+        m = msg()
+        trace = trace_of([
+            BcastInput(vertex=0, message=m, round_number=2),
+            AckOutput(vertex=0, message=m, round_number=10),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert report.timely_ack_ok
+
+    def test_missing_ack_after_deadline_is_a_violation(self, graph):
+        m = msg()
+        trace = trace_of([BcastInput(vertex=0, message=m, round_number=2)], num_rounds=40)
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert not report.timely_ack_ok
+        assert any("never" in v for v in report.timely_ack_violations)
+
+    def test_missing_ack_before_deadline_is_not_a_violation(self, graph):
+        m = msg()
+        trace = trace_of([BcastInput(vertex=0, message=m, round_number=30)], num_rounds=40)
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert report.timely_ack_ok
+
+    def test_late_ack_is_a_violation(self, graph):
+        m = msg()
+        trace = trace_of([
+            BcastInput(vertex=0, message=m, round_number=2),
+            AckOutput(vertex=0, message=m, round_number=30),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert not report.timely_ack_ok
+        assert any("outside" in v for v in report.timely_ack_violations)
+
+    def test_duplicate_ack_is_a_violation(self, graph):
+        m = msg()
+        trace = trace_of([
+            BcastInput(vertex=0, message=m, round_number=2),
+            AckOutput(vertex=0, message=m, round_number=5),
+            AckOutput(vertex=0, message=m, round_number=6),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert any("acknowledged 2 times" in v for v in report.timely_ack_violations)
+
+    def test_ack_from_wrong_vertex_is_a_violation(self, graph):
+        m = msg()
+        trace = trace_of([
+            BcastInput(vertex=0, message=m, round_number=2),
+            AckOutput(vertex=1, message=m, round_number=5),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert any("not by its" in v for v in report.timely_ack_violations)
+
+    def test_unsolicited_ack_is_a_violation(self, graph):
+        trace = trace_of([AckOutput(vertex=0, message=msg(), round_number=5)])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert any("never submitted" in v for v in report.timely_ack_violations)
+
+    def test_invalid_bounds_rejected(self, graph):
+        with pytest.raises(ValueError):
+            check_lb_execution(trace_of([]), graph, tack=3, tprog=5)
+
+
+class TestValidity:
+    def test_recv_while_neighbor_active_is_ok(self, graph):
+        m = msg(origin=1)
+        trace = trace_of([
+            BcastInput(vertex=1, message=m, round_number=1),
+            RecvOutput(vertex=0, message=m, round_number=5),
+            AckOutput(vertex=1, message=m, round_number=10),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert report.validity_ok
+
+    def test_recv_without_any_active_broadcaster_is_a_violation(self, graph):
+        m = msg(origin=1)
+        trace = trace_of([RecvOutput(vertex=0, message=m, round_number=5)])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert not report.validity_ok
+
+    def test_recv_after_the_ack_is_a_violation(self, graph):
+        m = msg(origin=1)
+        trace = trace_of([
+            BcastInput(vertex=1, message=m, round_number=1),
+            AckOutput(vertex=1, message=m, round_number=4),
+            RecvOutput(vertex=0, message=m, round_number=9),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert not report.validity_ok
+
+    def test_recv_from_non_neighbor_is_a_violation(self, graph):
+        # Vertex 2 and 3 are not G'-neighbors, so 2 can never legitimately
+        # receive 3's message.
+        m = msg(origin=3)
+        trace = trace_of([
+            BcastInput(vertex=3, message=m, round_number=1),
+            RecvOutput(vertex=2, message=m, round_number=5),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert not report.validity_ok
+
+    def test_recv_over_unreliable_edge_is_valid(self, graph):
+        m = msg(origin=3)
+        trace = trace_of([
+            BcastInput(vertex=3, message=m, round_number=1),
+            RecvOutput(vertex=1, message=m, round_number=5),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert report.validity_ok
+
+
+class TestReliability:
+    def test_full_delivery_has_no_failures(self, graph):
+        m = msg(origin=0)
+        trace = trace_of([
+            BcastInput(vertex=0, message=m, round_number=1),
+            RecvOutput(vertex=1, message=m, round_number=3),
+            RecvOutput(vertex=2, message=m, round_number=4),
+            AckOutput(vertex=0, message=m, round_number=10),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert report.reliability_failures == []
+        assert report.reliability_failure_rate == 0.0
+
+    def test_partial_delivery_is_a_reliability_failure(self, graph):
+        m = msg(origin=0)
+        trace = trace_of([
+            BcastInput(vertex=0, message=m, round_number=1),
+            RecvOutput(vertex=1, message=m, round_number=3),
+            AckOutput(vertex=0, message=m, round_number=10),
+        ])
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert len(report.reliability_failures) == 1
+        assert report.reliability_failure_rate == 1.0
+
+    def test_pending_broadcasts_are_not_counted(self, graph):
+        m = msg(origin=0)
+        trace = trace_of([BcastInput(vertex=0, message=m, round_number=35)], num_rounds=40)
+        report = check_lb_execution(trace, graph, tack=20, tprog=5)
+        assert report.completed_deliveries == []
+        assert report.reliability_failure_rate == 0.0
+
+
+class TestProgressAndSummary:
+    def test_progress_report_included_by_default(self, graph):
+        m = msg(origin=1)
+        trace = trace_of([
+            BcastInput(vertex=1, message=m, round_number=1),
+        ], num_rounds=20)
+        trace.record_receptions(3, {0: DataFrame(message=m)})
+        report = check_lb_execution(trace, graph, tack=40, tprog=10)
+        assert report.progress is not None
+        assert report.num_progress_windows > 0
+
+    def test_progress_can_be_skipped(self, graph):
+        report = check_lb_execution(trace_of([]), graph, tack=40, tprog=10, check_progress=False)
+        assert report.progress is None
+        assert report.progress_failure_rate == 0.0
+        assert report.num_progress_windows == 0
+
+    def test_summary_keys(self, graph):
+        report = check_lb_execution(trace_of([]), graph, tack=40, tprog=10)
+        summary = report.summary()
+        assert set(summary) == {
+            "timely_ack_violations",
+            "validity_violations",
+            "completed_broadcasts",
+            "reliability_failures",
+            "reliability_failure_rate",
+            "progress_windows",
+            "progress_failure_rate",
+        }
+
+    def test_deterministic_ok_combines_both_conditions(self, graph):
+        m = msg(origin=1)
+        good = trace_of([
+            BcastInput(vertex=1, message=m, round_number=1),
+            AckOutput(vertex=1, message=m, round_number=5),
+        ])
+        assert check_lb_execution(good, graph, tack=20, tprog=5).deterministic_ok
+        bad = trace_of([RecvOutput(vertex=0, message=msg(origin=1), round_number=3)])
+        assert not check_lb_execution(bad, graph, tack=20, tprog=5).deterministic_ok

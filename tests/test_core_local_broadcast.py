@@ -1,0 +1,275 @@
+"""Unit tests for the LBAlg process state machine (Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.core.events import AckOutput, RecvOutput
+from repro.core.local_broadcast import (
+    STATE_RECEIVING,
+    STATE_SENDING,
+    DataFrame,
+    LocalBroadcastProcess,
+    make_lb_processes,
+)
+from repro.core.messages import Message
+from repro.core.params import LBParams
+from repro.core.seed_agreement import SeedFrame
+from repro.dualgraph.generators import line_network
+from repro.simulation.process import ProcessContext
+
+
+@pytest.fixture
+def params():
+    return LBParams.small_for_testing(delta=8, delta_prime=16, tprog=12, tack_phases=2,
+                                      seed_phase_length=4)
+
+
+def make_process(params, vertex=0, seed=0):
+    ctx = ProcessContext(
+        vertex=vertex, delta=params.delta, delta_prime=params.delta_prime, rng=random.Random(seed)
+    )
+    return LocalBroadcastProcess(ctx, params)
+
+
+def drive_rounds(process, params, start_round, end_round, frames=None):
+    """Drive a process through [start_round, end_round] with optional frames."""
+    frames = frames or {}
+    transmitted = {}
+    for round_number in range(start_round, end_round + 1):
+        frame = process.transmit(round_number)
+        if frame is not None:
+            transmitted[round_number] = frame
+        process.on_receive(round_number, frames.get(round_number))
+    return transmitted
+
+
+class TestInitialState:
+    def test_starts_in_receiving_state(self, params):
+        process = make_process(params)
+        assert process.state == STATE_RECEIVING
+        assert process.current_message is None
+        assert process.pending_message is None
+
+    def test_rejects_non_message_inputs(self, params):
+        process = make_process(params)
+        with pytest.raises(TypeError):
+            process.on_input(1, "not a message")
+
+    def test_rejects_second_message_while_busy(self, params):
+        process = make_process(params)
+        process.on_input(1, Message(origin=0, sequence=0))
+        with pytest.raises(RuntimeError):
+            process.on_input(2, Message(origin=0, sequence=1))
+
+
+class TestStateTransitions:
+    def test_switches_to_sending_at_next_phase_boundary(self, params):
+        process = make_process(params)
+        # Input arrives mid-phase: the process stays in receiving state until
+        # the next phase starts.
+        drive_rounds(process, params, 1, 3)
+        process.on_input(4, Message(origin=0, sequence=0, payload="m"))
+        drive_rounds(process, params, 4, params.phase_length)
+        assert process.state == STATE_RECEIVING
+        assert process.pending_message is not None
+        # First round of phase 2: the switch happens.
+        process.transmit(params.phase_length + 1)
+        assert process.state == STATE_SENDING
+        assert process.pending_message is None
+        assert process.current_message.payload == "m"
+        assert process.sending_phases_remaining == params.tack_phases
+
+    def test_input_at_phase_start_switches_immediately(self, params):
+        process = make_process(params)
+        process.on_input(1, Message(origin=0, sequence=0))
+        process.transmit(1)
+        assert process.state == STATE_SENDING
+
+    def test_ack_emitted_after_tack_phases(self, params):
+        process = make_process(params)
+        message = Message(origin=0, sequence=0, payload="m")
+        process.on_input(1, message)
+        total_rounds = (params.tack_phases) * params.phase_length
+        drive_rounds(process, params, 1, total_rounds)
+        events = process.drain_outputs()
+        acks = [e for e in events if isinstance(e, AckOutput)]
+        assert len(acks) == 1
+        assert acks[0].message.message_id == message.message_id
+        assert acks[0].round_number == total_rounds
+        assert process.state == STATE_RECEIVING
+        assert process.current_message is None
+
+    def test_no_ack_before_tack_phases_elapse(self, params):
+        process = make_process(params)
+        process.on_input(1, Message(origin=0, sequence=0))
+        drive_rounds(process, params, 1, params.phase_length)
+        events = process.drain_outputs()
+        assert not any(isinstance(e, AckOutput) for e in events)
+        assert process.sending_phases_remaining == params.tack_phases - 1
+
+    def test_ack_round_within_tack_bound(self, params):
+        """The ack arrives within (Tack + 1)(Ts + Tprog) rounds of the bcast."""
+        process = make_process(params)
+        bcast_round = 5  # mid-phase, worst case for the wait
+        drive_rounds(process, params, 1, bcast_round - 1)
+        process.on_input(bcast_round, Message(origin=0, sequence=0))
+        total = params.tack_rounds + bcast_round
+        drive_rounds(process, params, bcast_round, total)
+        acks = [e for e in process.drain_outputs() if isinstance(e, AckOutput)]
+        assert len(acks) == 1
+        assert acks[0].round_number - bcast_round <= params.tack_rounds
+
+
+class TestPreambleBehavior:
+    def test_phase_seed_committed_by_end_of_preamble(self, params):
+        process = make_process(params)
+        drive_rounds(process, params, 1, params.ts)
+        assert process.committed_phase_seed is not None
+        owner, seed = process.committed_phase_seed
+        assert seed >= 0
+
+    def test_fresh_seed_subroutine_each_phase(self, params):
+        process = make_process(params)
+        drive_rounds(process, params, 1, params.phase_length)
+        first_seed = process.committed_phase_seed
+        drive_rounds(process, params, params.phase_length + 1, 2 * params.phase_length)
+        second_seed = process.committed_phase_seed
+        # Both phases committed something (possibly equal values, but the
+        # subroutine object is fresh -- check it re-committed).
+        assert first_seed is not None and second_seed is not None
+
+    def test_seed_frames_during_body_do_not_produce_recv(self, params):
+        process = make_process(params)
+        drive_rounds(process, params, 1, params.ts)
+        # Deliver a stray seed frame in a body round: no recv output.
+        process.transmit(params.ts + 1)
+        process.on_receive(params.ts + 1, SeedFrame(owner=9, seed=1))
+        events = process.drain_outputs()
+        assert not any(isinstance(e, RecvOutput) for e in events)
+
+
+class TestReceivingData:
+    def test_new_message_generates_recv(self, params):
+        process = make_process(params)
+        drive_rounds(process, params, 1, params.ts)
+        message = Message(origin=5, sequence=0, payload="hello")
+        process.transmit(params.ts + 1)
+        process.on_receive(params.ts + 1, DataFrame(message=message))
+        events = process.drain_outputs()
+        recvs = [e for e in events if isinstance(e, RecvOutput)]
+        assert len(recvs) == 1
+        assert recvs[0].message.message_id == message.message_id
+
+    def test_duplicate_message_generates_single_recv(self, params):
+        process = make_process(params)
+        drive_rounds(process, params, 1, params.ts)
+        message = Message(origin=5, sequence=0)
+        for offset in (1, 2, 3):
+            process.transmit(params.ts + offset)
+            process.on_receive(params.ts + offset, DataFrame(message=message))
+        events = process.drain_outputs()
+        recvs = [e for e in events if isinstance(e, RecvOutput)]
+        assert len(recvs) == 1
+
+    def test_distinct_messages_each_generate_recv(self, params):
+        process = make_process(params)
+        drive_rounds(process, params, 1, params.ts)
+        m1 = Message(origin=5, sequence=0)
+        m2 = Message(origin=6, sequence=0)
+        process.transmit(params.ts + 1)
+        process.on_receive(params.ts + 1, DataFrame(message=m1))
+        process.transmit(params.ts + 2)
+        process.on_receive(params.ts + 2, DataFrame(message=m2))
+        recvs = [e for e in process.drain_outputs() if isinstance(e, RecvOutput)]
+        assert len(recvs) == 2
+
+    def test_sending_node_can_also_receive(self, params):
+        process = make_process(params)
+        process.on_input(1, Message(origin=0, sequence=0))
+        drive_rounds(process, params, 1, params.ts)
+        other = Message(origin=9, sequence=0)
+        process.transmit(params.ts + 1)
+        process.on_receive(params.ts + 1, DataFrame(message=other))
+        recvs = [e for e in process.drain_outputs() if isinstance(e, RecvOutput)]
+        assert len(recvs) == 1
+
+
+class TestBodyTransmissions:
+    @pytest.fixture
+    def long_params(self):
+        """Enough body rounds that at least one transmission is near-certain."""
+        return LBParams.small_for_testing(
+            delta=8, delta_prime=16, tprog=150, tack_phases=3, seed_phase_length=4
+        )
+
+    def test_receiving_state_never_transmits_data(self, params):
+        process = make_process(params)
+        transmitted = drive_rounds(process, params, 1, params.phase_length)
+        data_frames = [f for f in transmitted.values() if isinstance(f, DataFrame)]
+        assert data_frames == []
+
+    def test_sending_state_eventually_transmits_its_message(self, long_params):
+        # ~450 body rounds at ~2% transmit probability per round: the chance
+        # of zero transmissions is below 1e-3; a fixed seed keeps it exact.
+        process = make_process(long_params, seed=123)
+        message = Message(origin=0, sequence=0, payload="m")
+        process.on_input(1, message)
+        transmitted = drive_rounds(
+            process, long_params, 1, long_params.tack_phases * long_params.phase_length
+        )
+        data_frames = [f for f in transmitted.values() if isinstance(f, DataFrame)]
+        assert data_frames, "a sending node must transmit at least once over its phases"
+        assert all(f.message.message_id == message.message_id for f in data_frames)
+
+    def test_data_transmissions_only_in_body_rounds(self, long_params):
+        process = make_process(long_params, seed=7)
+        process.on_input(1, Message(origin=0, sequence=0))
+        transmitted = drive_rounds(
+            process, long_params, 1, long_params.tack_phases * long_params.phase_length
+        )
+        data_rounds = [
+            rnd for rnd, frame in transmitted.items() if isinstance(frame, DataFrame)
+        ]
+        assert data_rounds, "expected at least one data transmission to classify"
+        for round_number in data_rounds:
+            _, offset = long_params.phase_position(round_number)
+            assert long_params.is_body(offset)
+
+    def test_seed_bits_never_exceed_kappa(self, long_params):
+        process = make_process(long_params, seed=11)
+        process.on_input(1, Message(origin=0, sequence=0))
+        drive_rounds(
+            process, long_params, 1, long_params.tack_phases * long_params.phase_length
+        )
+        assert process.stats_max_bits_consumed <= long_params.kappa
+
+    def test_participant_rounds_subset_of_body_rounds(self, long_params):
+        process = make_process(long_params, seed=3)
+        process.on_input(1, Message(origin=0, sequence=0))
+        drive_rounds(
+            process, long_params, 1, long_params.tack_phases * long_params.phase_length
+        )
+        assert process.stats_participant_rounds <= process.stats_body_rounds_sending
+        assert process.stats_broadcast_rounds <= process.stats_participant_rounds
+        assert process.stats_participant_rounds > 0
+
+
+class TestFactory:
+    def test_make_lb_processes_covers_all_vertices(self, params):
+        graph, _ = line_network(5)
+        processes = make_lb_processes(graph, params, random.Random(0))
+        assert set(processes) == set(graph.vertices)
+        assert all(isinstance(p, LocalBroadcastProcess) for p in processes.values())
+
+    def test_processes_have_independent_rngs(self, params):
+        graph, _ = line_network(4)
+        processes = make_lb_processes(graph, params, random.Random(0))
+        draws = {v: p.rng.random() for v, p in processes.items()}
+        assert len(set(draws.values())) == len(draws)
+
+    def test_factory_is_reproducible(self, params):
+        graph, _ = line_network(4)
+        a = make_lb_processes(graph, params, random.Random(5))
+        b = make_lb_processes(graph, params, random.Random(5))
+        assert all(a[v].rng.random() == b[v].rng.random() for v in graph.vertices)

@@ -1,0 +1,74 @@
+"""Unit tests for the message and event vocabulary."""
+
+import pytest
+
+from repro.core.events import AckOutput, BcastInput, DecideOutput, RecvOutput
+from repro.core.messages import Message, fresh_counter, make_message
+
+
+class TestMessage:
+    def test_message_id_combines_origin_and_sequence(self):
+        m = Message(origin=3, sequence=7, payload="x")
+        assert m.message_id == (3, 7)
+
+    def test_messages_are_hashable_and_comparable(self):
+        a = Message(origin=1, sequence=0)
+        b = Message(origin=1, sequence=0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_payload_does_not_affect_identity_semantics(self):
+        a = Message(origin=1, sequence=0, payload="x")
+        b = Message(origin=1, sequence=1, payload="x")
+        assert a.message_id != b.message_id
+
+    def test_repr(self):
+        assert "origin=2" in repr(Message(origin=2, sequence=5))
+
+
+class TestMakeMessage:
+    def test_sequence_numbers_increase_per_origin(self):
+        counter = fresh_counter()
+        first = make_message(0, counter=counter)
+        second = make_message(0, counter=counter)
+        other = make_message(1, counter=counter)
+        assert first.sequence == 0
+        assert second.sequence == 1
+        assert other.sequence == 0
+
+    def test_private_counters_are_independent(self):
+        c1, c2 = fresh_counter(), fresh_counter()
+        assert make_message(0, counter=c1).sequence == 0
+        assert make_message(0, counter=c2).sequence == 0
+
+    def test_global_counter_produces_unique_ids(self):
+        a = make_message("global-test-origin")
+        b = make_message("global-test-origin")
+        assert a.message_id != b.message_id
+
+    def test_payload_is_carried(self):
+        counter = fresh_counter()
+        assert make_message(0, payload={"k": 1}, counter=counter).payload == {"k": 1}
+
+
+class TestEvents:
+    def test_event_kinds(self):
+        m = Message(origin=0, sequence=0)
+        assert BcastInput(vertex=0, message=m, round_number=1).kind == "bcast"
+        assert AckOutput(vertex=0, message=m, round_number=1).kind == "ack"
+        assert RecvOutput(vertex=0, message=m, round_number=1).kind == "recv"
+        assert DecideOutput(vertex=0, owner=1, seed=3, round_number=1).kind == "decide"
+
+    def test_events_are_frozen(self):
+        m = Message(origin=0, sequence=0)
+        event = RecvOutput(vertex=0, message=m, round_number=1)
+        with pytest.raises(AttributeError):
+            event.round_number = 2
+
+    def test_decide_output_fields(self):
+        event = DecideOutput(vertex=5, owner=9, seed=12345, round_number=7)
+        assert event.vertex == 5
+        assert event.owner == 9
+        assert event.seed == 12345
+        assert event.round_number == 7

@@ -1,0 +1,240 @@
+"""Unit tests for the SeedAlg / LBAlg parameter derivation."""
+
+import math
+
+import pytest
+
+from repro.core.constants import ParamMode, SeedConstants
+from repro.core.params import (
+    LBParams,
+    SeedParams,
+    derive_epsilon2,
+    theoretical_seed_error,
+)
+
+
+class TestSeedParamsDerivation:
+    def test_num_phases_is_log_delta(self):
+        assert SeedParams.derive(0.1, delta=8).num_phases == 3
+        assert SeedParams.derive(0.1, delta=16).num_phases == 4
+        assert SeedParams.derive(0.1, delta=1).num_phases == 1
+
+    def test_phase_length_grows_as_epsilon_shrinks(self):
+        long_run = SeedParams.derive(0.01, delta=8)
+        short_run = SeedParams.derive(0.25, delta=8)
+        assert long_run.phase_length > short_run.phase_length
+
+    def test_phase_length_override(self):
+        params = SeedParams.derive(0.1, delta=8, phase_length_override=5)
+        assert params.phase_length == 5
+
+    def test_total_rounds(self):
+        params = SeedParams.derive(0.1, delta=16, phase_length_override=7)
+        assert params.total_rounds == 4 * 7
+
+    def test_leader_broadcast_probability(self):
+        params = SeedParams.derive(0.25, delta=8)
+        # 1 / log2(1/0.25) = 1/2.
+        assert params.leader_broadcast_probability == pytest.approx(0.5)
+
+    def test_leader_broadcast_probability_clamped_to_one(self):
+        params = SeedParams.derive(0.6, delta=8)
+        assert params.leader_broadcast_probability <= 1.0
+
+    def test_leader_election_probabilities_double_per_phase(self):
+        params = SeedParams.derive(0.1, delta=16)
+        probabilities = [
+            params.leader_election_probability(h) for h in range(1, params.num_phases + 1)
+        ]
+        assert probabilities[-1] == pytest.approx(0.5)
+        for earlier, later in zip(probabilities, probabilities[1:]):
+            assert later == pytest.approx(2 * earlier)
+        # Phase 1 probability is 1/2^{log Delta} = 1/Delta for a power of two.
+        assert probabilities[0] == pytest.approx(1.0 / 16.0)
+
+    def test_leader_election_probability_bounds_checked(self):
+        params = SeedParams.derive(0.1, delta=8)
+        with pytest.raises(ValueError):
+            params.leader_election_probability(0)
+        with pytest.raises(ValueError):
+            params.leader_election_probability(params.num_phases + 1)
+
+    def test_phase_of_round(self):
+        params = SeedParams.derive(0.1, delta=8, phase_length_override=4)
+        assert params.phase_of_round(1) == (1, 1)
+        assert params.phase_of_round(4) == (1, 4)
+        assert params.phase_of_round(5) == (2, 1)
+        assert params.phase_of_round(12) == (3, 4)
+        # Past the end: virtual phase num_phases + 1.
+        assert params.phase_of_round(13) == (4, 1)
+        with pytest.raises(ValueError):
+            params.phase_of_round(0)
+
+    def test_delta_bound_grows_with_r_and_shrinking_epsilon(self):
+        base = SeedParams.derive(0.1, delta=8, r=1.0)
+        bigger_r = SeedParams.derive(0.1, delta=8, r=2.0)
+        smaller_eps = SeedParams.derive(0.01, delta=8, r=1.0)
+        assert bigger_r.delta_bound > base.delta_bound
+        assert smaller_eps.delta_bound >= base.delta_bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeedParams.derive(0.0, delta=8)
+        with pytest.raises(ValueError):
+            SeedParams.derive(0.1, delta=0)
+        with pytest.raises(ValueError):
+            SeedParams.derive(0.1, delta=8, r=0.5)
+
+    def test_with_seed_domain_bits(self):
+        params = SeedParams.derive(0.1, delta=8)
+        wider = params.with_seed_domain_bits(256)
+        assert wider.seed_domain_bits == 256
+        assert wider.num_phases == params.num_phases
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(ValueError):
+            SeedParams(
+                epsilon=0.1,
+                delta=8,
+                r=2.0,
+                num_phases=0,
+                phase_length=4,
+                leader_broadcast_probability=0.5,
+            )
+
+    def test_paper_mode_is_larger_than_simulation_mode(self):
+        paper = SeedParams.derive(0.1, delta=8, mode=ParamMode.PAPER)
+        simulation = SeedParams.derive(0.1, delta=8, mode=ParamMode.SIMULATION)
+        assert paper.phase_length > simulation.phase_length
+
+
+class TestTheoreticalSeedError:
+    def test_error_decreases_with_epsilon(self):
+        assert theoretical_seed_error(0.001, 16, 1.0) <= theoretical_seed_error(0.1, 16, 1.0)
+
+    def test_error_grows_with_delta(self):
+        constants = SeedConstants.simulation()
+        assert theoretical_seed_error(0.1, 64, 1.0, constants) >= theoretical_seed_error(
+            0.1, 8, 1.0, constants
+        )
+
+    def test_error_non_negative(self):
+        assert theoretical_seed_error(0.1, 8, 2.0) >= 0.0
+
+
+class TestDeriveEpsilon2:
+    def test_simulation_mode_passes_epsilon_through(self):
+        assert derive_epsilon2(0.2, 16, 2.0, ParamMode.SIMULATION) == 0.2
+
+    def test_paper_mode_never_exceeds_epsilon1(self):
+        assert derive_epsilon2(0.2, 16, 2.0, ParamMode.PAPER) <= 0.2
+
+    def test_paper_mode_positive(self):
+        assert derive_epsilon2(0.2, 16, 2.0, ParamMode.PAPER) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_epsilon2(0.0, 16, 2.0, ParamMode.PAPER)
+
+
+class TestLBParamsDerivation:
+    def test_structure_of_derived_params(self):
+        params = LBParams.derive(0.2, delta=8, delta_prime=16)
+        assert params.phase_length == params.ts + params.tprog
+        assert params.tprog_rounds == params.phase_length
+        assert params.tack_rounds == (params.tack_phases + 1) * params.phase_length
+        assert params.kappa >= params.tprog * (
+            params.participant_bits + params.b_selection_bits
+        )
+
+    def test_ts_matches_seed_subroutine_length(self):
+        params = LBParams.derive(0.2, delta=8, delta_prime=16)
+        assert params.ts == params.seed_params.total_rounds
+
+    def test_seed_subroutine_domain_is_kappa(self):
+        params = LBParams.derive(0.2, delta=8, delta_prime=16)
+        assert params.seed_params.seed_domain_bits == params.kappa
+
+    def test_tprog_grows_with_delta(self):
+        small = LBParams.derive(0.2, delta=8, delta_prime=8)
+        large = LBParams.derive(0.2, delta=64, delta_prime=64)
+        assert large.tprog > small.tprog
+
+    def test_tprog_grows_as_epsilon_shrinks(self):
+        loose = LBParams.derive(0.25, delta=16, delta_prime=16)
+        tight = LBParams.derive(0.05, delta=16, delta_prime=16)
+        assert tight.tprog > loose.tprog
+
+    def test_tack_phases_grow_with_delta_prime(self):
+        small = LBParams.derive(0.2, delta=8, delta_prime=8)
+        large = LBParams.derive(0.2, delta=8, delta_prime=32)
+        assert large.tack_phases > small.tack_phases
+
+    def test_default_delta_prime_is_delta(self):
+        params = LBParams.derive(0.2, delta=8)
+        assert params.delta_prime == 8
+
+    def test_delta_prime_below_delta_rejected(self):
+        with pytest.raises(ValueError):
+            LBParams.derive(0.2, delta=8, delta_prime=4)
+
+    def test_overrides(self):
+        params = LBParams.derive(
+            0.2,
+            delta=8,
+            delta_prime=16,
+            tprog_override=10,
+            tack_phases_override=2,
+            seed_phase_length_override=3,
+        )
+        assert params.tprog == 10
+        assert params.tack_phases == 2
+        assert params.seed_params.phase_length == 3
+
+    def test_participant_probability_is_power_of_two(self):
+        params = LBParams.derive(0.2, delta=8, delta_prime=16)
+        assert params.participant_probability == 2.0 ** (-params.participant_bits)
+        assert 0.0 < params.participant_probability <= 0.5
+
+    def test_log_delta(self):
+        assert LBParams.derive(0.2, delta=8).log_delta == 3
+        assert LBParams.derive(0.2, delta=9).log_delta == 4
+
+    def test_phase_position(self):
+        params = LBParams.small_for_testing(delta=8, tprog=10, seed_phase_length=4)
+        assert params.phase_position(1) == (1, 1)
+        assert params.phase_position(params.phase_length) == (1, params.phase_length)
+        assert params.phase_position(params.phase_length + 1) == (2, 1)
+        with pytest.raises(ValueError):
+            params.phase_position(0)
+
+    def test_preamble_and_body_offsets(self):
+        params = LBParams.small_for_testing(delta=8, tprog=10, seed_phase_length=4)
+        assert params.is_preamble(1)
+        assert params.is_preamble(params.ts)
+        assert not params.is_preamble(params.ts + 1)
+        assert params.is_body(params.ts + 1)
+        assert params.is_body(params.phase_length)
+        assert not params.is_body(params.ts)
+
+    def test_kappa_validation_on_direct_construction(self):
+        good = LBParams.derive(0.2, delta=8, delta_prime=16)
+        with pytest.raises(ValueError):
+            LBParams(
+                epsilon=good.epsilon,
+                delta=good.delta,
+                delta_prime=good.delta_prime,
+                r=good.r,
+                seed_params=good.seed_params,
+                ts=good.ts,
+                tprog=good.tprog,
+                tack_phases=good.tack_phases,
+                participant_bits=good.participant_bits,
+                b_selection_bits=good.b_selection_bits,
+                kappa=1,  # far too small
+            )
+
+    def test_small_for_testing_is_fast_but_valid(self):
+        params = LBParams.small_for_testing()
+        assert params.phase_length < 200
+        assert params.tack_phases <= 5

@@ -1,0 +1,219 @@
+"""Unit tests for the SeedAlg process mechanics (Section 3.2)."""
+
+import random
+
+import pytest
+
+from repro.core.events import DecideOutput
+from repro.core.params import SeedParams
+from repro.core.seed_agreement import (
+    STATUS_ACTIVE,
+    STATUS_INACTIVE,
+    STATUS_LEADER,
+    SeedAgreementProcess,
+    SeedFrame,
+)
+from repro.simulation.process import ProcessContext
+
+
+def make_process(seed=0, params=None, emit=True, initial_seed=None, delta=8):
+    if params is None:
+        params = SeedParams.derive(0.2, delta=delta, phase_length_override=4)
+    ctx = ProcessContext(vertex=1, delta=delta, delta_prime=delta * 2, rng=random.Random(seed))
+    return SeedAgreementProcess(ctx, params, emit_decides=emit, initial_seed=initial_seed), params
+
+
+class ForcedLeader(SeedAgreementProcess):
+    """A SeedAlg process whose leader coin always comes up heads."""
+
+    def _begin_phase(self, phase, global_round):
+        self._current_phase = phase
+        self._leader_this_phase = False
+        if self.status != STATUS_ACTIVE:
+            return
+        self._status = STATUS_LEADER
+        self._leader_this_phase = True
+        self._commit(self.process_id, self.initial_seed, global_round)
+
+
+class NeverLeader(SeedAgreementProcess):
+    """A SeedAlg process whose leader coin never comes up heads."""
+
+    def _begin_phase(self, phase, global_round):
+        self._current_phase = phase
+        self._leader_this_phase = False
+
+
+class TestInitialState:
+    def test_starts_active_and_uncommitted(self):
+        process, _ = make_process()
+        assert process.status == STATUS_ACTIVE
+        assert not process.has_committed
+        assert process.committed_owner is None
+        assert process.committed_seed is None
+
+    def test_initial_seed_within_domain(self):
+        process, params = make_process(seed=3)
+        assert 0 <= process.initial_seed < 2 ** params.seed_domain_bits
+
+    def test_explicit_initial_seed(self):
+        process, _ = make_process(initial_seed=42)
+        assert process.initial_seed == 42
+
+    def test_initial_seed_is_reproducible_from_rng(self):
+        a, _ = make_process(seed=5)
+        b, _ = make_process(seed=5)
+        assert a.initial_seed == b.initial_seed
+
+
+class TestLeaderPath:
+    def test_leader_decides_its_own_seed_immediately(self):
+        params = SeedParams.derive(0.2, delta=8, phase_length_override=4)
+        ctx = ProcessContext(vertex=1, delta=8, delta_prime=16, rng=random.Random(0))
+        process = ForcedLeader(ctx, params, initial_seed=99)
+        process.step_transmit(1)
+        assert process.has_committed
+        assert process.committed_owner == 1
+        assert process.committed_seed == 99
+        events = process.drain_outputs()
+        assert len(events) == 1
+        assert isinstance(events[0], DecideOutput)
+        assert events[0].owner == 1 and events[0].seed == 99
+
+    def test_leader_broadcasts_seed_frames_during_its_phase(self):
+        params = SeedParams(
+            epsilon=0.4,  # log2(1/0.4) ~ 1.3 -> broadcast probability ~ 0.76
+            delta=8,
+            r=2.0,
+            num_phases=3,
+            phase_length=20,
+            leader_broadcast_probability=1.0,
+            seed_domain_bits=16,
+        )
+        ctx = ProcessContext(vertex=1, delta=8, delta_prime=16, rng=random.Random(0))
+        process = ForcedLeader(ctx, params, initial_seed=7)
+        frames = []
+        for round_number in range(1, params.phase_length + 1):
+            frame = process.step_transmit(round_number)
+            process.step_receive(round_number, None)
+            if frame is not None:
+                frames.append(frame)
+        assert frames, "a leader with broadcast probability 1 must transmit"
+        assert all(isinstance(f, SeedFrame) for f in frames)
+        assert all(f.owner == 1 and f.seed == 7 for f in frames)
+
+    def test_leader_becomes_inactive_after_its_phase(self):
+        params = SeedParams.derive(0.2, delta=8, phase_length_override=3)
+        ctx = ProcessContext(vertex=1, delta=8, delta_prime=16, rng=random.Random(0))
+        process = ForcedLeader(ctx, params)
+        for round_number in range(1, params.phase_length + 1):
+            process.step_transmit(round_number)
+            process.step_receive(round_number, None)
+        assert process.status == STATUS_INACTIVE
+
+    def test_leader_never_changes_its_decision(self):
+        params = SeedParams.derive(0.2, delta=8, phase_length_override=3)
+        ctx = ProcessContext(vertex=1, delta=8, delta_prime=16, rng=random.Random(0))
+        process = ForcedLeader(ctx, params, initial_seed=5)
+        for round_number in range(1, params.total_rounds + 1):
+            process.step_transmit(round_number)
+            process.step_receive(round_number, SeedFrame(owner=9, seed=123))
+        assert process.committed_owner == 1
+        assert process.committed_seed == 5
+
+
+class TestListenerPath:
+    def test_listener_adopts_received_seed(self):
+        process, params = make_process()
+        # Use a non-leader by construction: phase-1 election probability is
+        # 1/8, so seed the RNG such that the first draw misses.
+        ctx = ProcessContext(vertex=2, delta=8, delta_prime=16, rng=random.Random(1))
+        listener = NeverLeader(ctx, params)
+        listener.step_transmit(1)
+        listener.step_receive(1, SeedFrame(owner=7, seed=1234))
+        assert listener.has_committed
+        assert listener.committed_owner == 7
+        assert listener.committed_seed == 1234
+        assert listener.status == STATUS_INACTIVE
+
+    def test_listener_ignores_second_seed(self):
+        _, params = make_process()
+        ctx = ProcessContext(vertex=2, delta=8, delta_prime=16, rng=random.Random(1))
+        listener = NeverLeader(ctx, params)
+        listener.step_transmit(1)
+        listener.step_receive(1, SeedFrame(owner=7, seed=1234))
+        listener.step_transmit(2)
+        listener.step_receive(2, SeedFrame(owner=8, seed=999))
+        assert listener.committed_owner == 7
+
+    def test_listener_emits_exactly_one_decide(self):
+        _, params = make_process()
+        ctx = ProcessContext(vertex=2, delta=8, delta_prime=16, rng=random.Random(1))
+        listener = NeverLeader(ctx, params)
+        for round_number in range(1, params.total_rounds + 1):
+            listener.step_transmit(round_number)
+            frame = SeedFrame(owner=7, seed=1) if round_number == 2 else None
+            listener.step_receive(round_number, frame)
+        decides = [e for e in listener.drain_outputs() if isinstance(e, DecideOutput)]
+        assert len(decides) == 1
+
+    def test_non_seed_frames_are_ignored(self):
+        _, params = make_process()
+        ctx = ProcessContext(vertex=2, delta=8, delta_prime=16, rng=random.Random(1))
+        listener = NeverLeader(ctx, params)
+        listener.step_transmit(1)
+        listener.step_receive(1, "garbage frame")
+        assert not listener.has_committed
+
+
+class TestDefaultDecision:
+    def test_never_leader_never_hearing_defaults_to_own_seed(self):
+        _, params = make_process()
+        ctx = ProcessContext(vertex=3, delta=8, delta_prime=16, rng=random.Random(2))
+        process = NeverLeader(ctx, params, initial_seed=77)
+        for round_number in range(1, params.total_rounds + 1):
+            process.step_transmit(round_number)
+            process.step_receive(round_number, None)
+        assert process.is_complete
+        assert process.has_committed
+        assert process.committed_owner == 3
+        assert process.committed_seed == 77
+        assert process.status == STATUS_INACTIVE
+
+    def test_stepping_past_the_end_is_harmless(self):
+        _, params = make_process()
+        ctx = ProcessContext(vertex=3, delta=8, delta_prime=16, rng=random.Random(2))
+        process = NeverLeader(ctx, params)
+        for round_number in range(1, params.total_rounds + 5):
+            assert process.step_transmit(round_number) is None or round_number <= params.total_rounds
+            process.step_receive(round_number, None)
+        assert process.has_committed
+
+
+class TestEmissionControl:
+    def test_emit_decides_false_suppresses_events(self):
+        params = SeedParams.derive(0.2, delta=8, phase_length_override=3)
+        ctx = ProcessContext(vertex=1, delta=8, delta_prime=16, rng=random.Random(0))
+        process = ForcedLeader(ctx, params, emit_decides=False)
+        process.step_transmit(1)
+        assert process.has_committed
+        assert process.drain_outputs() == []
+
+
+class TestStandaloneProcessInterface:
+    def test_transmit_and_on_receive_delegate_to_steps(self):
+        process, params = make_process(seed=4)
+        for round_number in range(1, params.total_rounds + 1):
+            process.transmit(round_number)
+            process.on_receive(round_number, None)
+        assert process.is_complete
+        assert process.has_committed
+
+    def test_local_round_counter(self):
+        process, _ = make_process()
+        process.transmit(100)  # global round number is irrelevant
+        assert process.local_round == 1
+
+    def test_repr(self):
+        process, _ = make_process()
+        assert "SeedAgreementProcess" in repr(process)

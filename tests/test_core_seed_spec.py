@@ -1,0 +1,118 @@
+"""Unit tests for the Seed(δ, ε) specification checker."""
+
+import pytest
+
+from repro.core.events import DecideOutput
+from repro.core.seed_spec import (
+    check_seed_execution,
+    decide_latency_rounds,
+    owner_seed_pairs,
+)
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.trace import ExecutionTrace
+
+
+@pytest.fixture
+def graph():
+    """A path 0-1-2 with an unreliable edge 2-3."""
+    return DualGraph(
+        vertices=[0, 1, 2, 3],
+        reliable_edges=[(0, 1), (1, 2)],
+        unreliable_edges=[(2, 3)],
+    )
+
+
+def trace_with(decides):
+    trace = ExecutionTrace()
+    trace.note_round(10)
+    for vertex, owner, seed, rnd in decides:
+        trace.record_event(DecideOutput(vertex=vertex, owner=owner, seed=seed, round_number=rnd))
+    return trace
+
+
+class TestWellFormedness:
+    def test_exactly_one_decide_per_vertex_is_ok(self, graph):
+        trace = trace_with([(0, 0, 5, 1), (1, 0, 5, 2), (2, 2, 9, 3), (3, 3, 1, 4)])
+        report = check_seed_execution(trace, graph, delta_bound=10)
+        assert report.well_formed
+        assert report.ok
+
+    def test_missing_decide_is_a_violation(self, graph):
+        trace = trace_with([(0, 0, 5, 1), (1, 0, 5, 2), (2, 2, 9, 3)])
+        report = check_seed_execution(trace, graph, delta_bound=10)
+        assert not report.well_formed
+        assert any("never decided" in v for v in report.well_formedness_violations)
+
+    def test_duplicate_decide_is_a_violation(self, graph):
+        trace = trace_with(
+            [(0, 0, 5, 1), (0, 0, 5, 2), (1, 0, 5, 2), (2, 2, 9, 3), (3, 3, 1, 4)]
+        )
+        report = check_seed_execution(trace, graph, delta_bound=10)
+        assert not report.well_formed
+        assert any("2 times" in v for v in report.well_formedness_violations)
+
+    def test_restrict_to_limits_the_check(self, graph):
+        trace = trace_with([(0, 0, 5, 1)])
+        report = check_seed_execution(trace, graph, delta_bound=10, restrict_to=[0])
+        assert report.well_formed
+
+
+class TestConsistency:
+    def test_same_owner_same_seed_is_ok(self, graph):
+        trace = trace_with([(0, 9, 5, 1), (1, 9, 5, 1), (2, 9, 5, 1), (3, 9, 5, 1)])
+        report = check_seed_execution(trace, graph, delta_bound=10)
+        assert report.consistent
+
+    def test_same_owner_different_seed_is_a_violation(self, graph):
+        trace = trace_with([(0, 9, 5, 1), (1, 9, 6, 1), (2, 9, 5, 1), (3, 9, 5, 1)])
+        report = check_seed_execution(trace, graph, delta_bound=10)
+        assert not report.consistent
+        assert not report.ok
+        assert any("distinct seeds" in v for v in report.consistency_violations)
+
+
+class TestAgreement:
+    def test_counts_owners_in_closed_gprime_neighborhood(self, graph):
+        trace = trace_with([(0, 0, 1, 1), (1, 1, 2, 1), (2, 2, 3, 1), (3, 3, 4, 1)])
+        report = check_seed_execution(trace, graph, delta_bound=10)
+        # Vertex 1's closed G' neighborhood is {0, 1, 2}: 3 owners.
+        assert report.agreement_counts[1] == 3
+        # Vertex 3's closed G' neighborhood is {2, 3}: 2 owners.
+        assert report.agreement_counts[3] == 2
+        assert report.max_agreement_count == 3
+
+    def test_violations_when_bound_exceeded(self, graph):
+        trace = trace_with([(0, 0, 1, 1), (1, 1, 2, 1), (2, 2, 3, 1), (3, 3, 4, 1)])
+        report = check_seed_execution(trace, graph, delta_bound=2)
+        assert not report.agreement_ok
+        assert 1 in report.agreement_violations
+        assert 0.0 < report.agreement_failure_fraction() <= 1.0
+
+    def test_single_owner_everywhere_gives_count_one(self, graph):
+        trace = trace_with([(v, 0, 7, 1) for v in graph.vertices])
+        report = check_seed_execution(trace, graph, delta_bound=1)
+        assert report.agreement_ok
+        assert set(report.agreement_counts.values()) == {1}
+
+    def test_empty_trace_counts_are_zero(self, graph):
+        report = check_seed_execution(trace_with([]), graph, delta_bound=1)
+        assert report.max_agreement_count == 0
+        assert report.agreement_failure_fraction() == 0.0
+        # But well-formedness fails because nobody decided.
+        assert not report.well_formed
+
+
+class TestHelpers:
+    def test_owner_seed_pairs(self, graph):
+        trace = trace_with([(0, 0, 5, 1), (1, 0, 5, 2), (2, 2, 9, 3)])
+        pairs = owner_seed_pairs(trace)
+        assert pairs == [(0, 5), (2, 9)]
+
+    def test_decide_latency_rounds(self, graph):
+        trace = trace_with([(0, 0, 5, 4), (1, 0, 5, 2), (2, 2, 9, 9)])
+        latencies = decide_latency_rounds(trace)
+        assert latencies == {0: 4, 1: 2, 2: 9}
+
+    def test_decide_latency_keeps_earliest(self, graph):
+        trace = trace_with([(0, 0, 5, 8), (0, 0, 5, 3)])
+        assert decide_latency_rounds(trace)[0] == 3

@@ -1,0 +1,199 @@
+"""Unit tests for the oblivious link schedulers."""
+
+import pytest
+
+from repro.baselines.decay import decay_schedule
+from repro.dualgraph.adversary import (
+    AntiScheduleAdversary,
+    FullInclusionScheduler,
+    IIDScheduler,
+    NoUnreliableScheduler,
+    PeriodicScheduler,
+    TraceScheduler,
+)
+from repro.dualgraph.graph import DualGraph, normalize_edge
+
+
+@pytest.fixture
+def graph_with_unreliable_edges():
+    return DualGraph(
+        vertices=[0, 1, 2, 3],
+        reliable_edges=[(0, 1), (1, 2)],
+        unreliable_edges=[(0, 2), (2, 3), (1, 3)],
+    )
+
+
+class TestBasicSchedulers:
+    def test_no_unreliable_scheduler(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        scheduler = NoUnreliableScheduler(graph)
+        for round_number in (1, 5, 100):
+            assert scheduler.unreliable_edges_for_round(round_number) == frozenset()
+            assert scheduler.topology_edges_for_round(round_number) == graph.reliable_edges
+
+    def test_full_inclusion_scheduler(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        scheduler = FullInclusionScheduler(graph)
+        assert scheduler.unreliable_edges_for_round(1) == graph.unreliable_edges
+        assert scheduler.topology_edges_for_round(1) == graph.all_edges
+
+    def test_topology_always_contains_reliable_edges(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        for scheduler in (
+            NoUnreliableScheduler(graph),
+            FullInclusionScheduler(graph),
+            IIDScheduler(graph, probability=0.3, seed=1),
+            PeriodicScheduler(graph, on_rounds=2, off_rounds=3),
+        ):
+            for round_number in range(1, 20):
+                topology = scheduler.topology_edges_for_round(round_number)
+                assert graph.reliable_edges <= topology
+                assert topology <= graph.all_edges
+
+    def test_describe_strings(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        assert "IIDScheduler" in IIDScheduler(graph, 0.25).describe()
+        assert "PeriodicScheduler" in PeriodicScheduler(graph).describe()
+        assert NoUnreliableScheduler(graph).describe() == "NoUnreliableScheduler"
+
+
+class TestIIDScheduler:
+    def test_probability_validation(self, graph_with_unreliable_edges):
+        with pytest.raises(ValueError):
+            IIDScheduler(graph_with_unreliable_edges, probability=1.5)
+
+    def test_extreme_probabilities(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        assert IIDScheduler(graph, 0.0).unreliable_edges_for_round(3) == frozenset()
+        assert IIDScheduler(graph, 1.0).unreliable_edges_for_round(3) == graph.unreliable_edges
+
+    def test_obliviousness_same_round_same_result(self, graph_with_unreliable_edges):
+        scheduler = IIDScheduler(graph_with_unreliable_edges, probability=0.5, seed=4)
+        first = scheduler.unreliable_edges_for_round(17)
+        second = scheduler.unreliable_edges_for_round(17)
+        assert first == second
+
+    def test_different_seeds_differ_somewhere(self, graph_with_unreliable_edges):
+        a = IIDScheduler(graph_with_unreliable_edges, probability=0.5, seed=1)
+        b = IIDScheduler(graph_with_unreliable_edges, probability=0.5, seed=2)
+        rounds = range(1, 40)
+        assert any(
+            a.unreliable_edges_for_round(t) != b.unreliable_edges_for_round(t) for t in rounds
+        )
+
+    def test_empirical_inclusion_rate_near_probability(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        scheduler = IIDScheduler(graph, probability=0.3, seed=7)
+        total = 0
+        included = 0
+        for round_number in range(1, 400):
+            chosen = scheduler.unreliable_edges_for_round(round_number)
+            total += len(graph.unreliable_edges)
+            included += len(chosen)
+        rate = included / total
+        assert 0.2 < rate < 0.4
+
+
+class TestPeriodicScheduler:
+    def test_validation(self, graph_with_unreliable_edges):
+        with pytest.raises(ValueError):
+            PeriodicScheduler(graph_with_unreliable_edges, on_rounds=0, off_rounds=0)
+
+    def test_on_off_pattern_without_stagger(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        scheduler = PeriodicScheduler(graph, on_rounds=2, off_rounds=3)
+        pattern = [
+            len(scheduler.unreliable_edges_for_round(t)) for t in range(1, 11)
+        ]
+        expected_on = len(graph.unreliable_edges)
+        assert pattern == [expected_on, expected_on, 0, 0, 0] * 2
+
+    def test_stagger_spreads_edge_phases(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        scheduler = PeriodicScheduler(graph, on_rounds=1, off_rounds=4, stagger=True, seed=3)
+        # With stagger, not every edge toggles at the same round.
+        per_round_counts = {
+            t: len(scheduler.unreliable_edges_for_round(t)) for t in range(1, 6)
+        }
+        assert any(0 < count < len(graph.unreliable_edges) or count == 0
+                   for count in per_round_counts.values())
+
+    def test_deterministic_per_round(self, graph_with_unreliable_edges):
+        scheduler = PeriodicScheduler(
+            graph_with_unreliable_edges, on_rounds=3, off_rounds=2, stagger=True, seed=5
+        )
+        assert scheduler.unreliable_edges_for_round(9) == scheduler.unreliable_edges_for_round(9)
+
+
+class TestAntiScheduleAdversary:
+    def test_includes_everything_on_high_probability_rounds(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        victim = decay_schedule(8)  # [1/2, 1/4, 1/8]
+        adversary = AntiScheduleAdversary(graph, victim, threshold=0.3)
+        # Round 1 -> victim probability 1/2 >= 0.3: all unreliable edges included.
+        assert adversary.unreliable_edges_for_round(1) == graph.unreliable_edges
+        # Round 3 -> victim probability 1/8 < 0.3: none included.
+        assert adversary.unreliable_edges_for_round(3) == frozenset()
+
+    def test_cycles_with_the_victim_schedule(self, graph_with_unreliable_edges):
+        victim = [0.5, 0.25, 0.125]
+        adversary = AntiScheduleAdversary(graph_with_unreliable_edges, victim, threshold=0.3)
+        for t in range(1, 10):
+            assert adversary.victim_probability_for_round(t) == victim[(t - 1) % 3]
+
+    def test_default_threshold_is_median(self, graph_with_unreliable_edges):
+        adversary = AntiScheduleAdversary(graph_with_unreliable_edges, [0.5, 0.25, 0.125])
+        assert adversary.threshold == 0.25
+
+    def test_phase_offset_shifts_alignment(self, graph_with_unreliable_edges):
+        victim = [0.5, 0.125]
+        base = AntiScheduleAdversary(graph_with_unreliable_edges, victim, threshold=0.3)
+        shifted = AntiScheduleAdversary(
+            graph_with_unreliable_edges, victim, threshold=0.3, phase_offset=1
+        )
+        assert base.victim_probability_for_round(1) == shifted.victim_probability_for_round(2)
+
+    def test_validation(self, graph_with_unreliable_edges):
+        with pytest.raises(ValueError):
+            AntiScheduleAdversary(graph_with_unreliable_edges, [])
+        with pytest.raises(ValueError):
+            AntiScheduleAdversary(graph_with_unreliable_edges, [1.5])
+
+    def test_is_oblivious(self, graph_with_unreliable_edges):
+        adversary = AntiScheduleAdversary(graph_with_unreliable_edges, decay_schedule(8))
+        assert adversary.unreliable_edges_for_round(7) == adversary.unreliable_edges_for_round(7)
+
+
+class TestTraceScheduler:
+    def test_explicit_schedule_is_followed(self, graph_with_unreliable_edges):
+        graph = graph_with_unreliable_edges
+        scheduler = TraceScheduler(
+            graph,
+            schedule=[[(0, 2)], [], [(2, 3), (1, 3)]],
+            cycle=False,
+        )
+        assert scheduler.unreliable_edges_for_round(1) == {normalize_edge(0, 2)}
+        assert scheduler.unreliable_edges_for_round(2) == frozenset()
+        assert scheduler.unreliable_edges_for_round(3) == {
+            normalize_edge(2, 3),
+            normalize_edge(1, 3),
+        }
+
+    def test_past_end_without_cycle_is_empty(self, graph_with_unreliable_edges):
+        scheduler = TraceScheduler(graph_with_unreliable_edges, [[(0, 2)]], cycle=False)
+        assert scheduler.unreliable_edges_for_round(5) == frozenset()
+
+    def test_past_end_with_cycle_repeats(self, graph_with_unreliable_edges):
+        scheduler = TraceScheduler(
+            graph_with_unreliable_edges, [[(0, 2)], []], cycle=True
+        )
+        assert scheduler.unreliable_edges_for_round(3) == {normalize_edge(0, 2)}
+        assert scheduler.unreliable_edges_for_round(4) == frozenset()
+
+    def test_rejects_unknown_edges(self, graph_with_unreliable_edges):
+        with pytest.raises(ValueError):
+            TraceScheduler(graph_with_unreliable_edges, [[(0, 1)]])  # (0,1) is reliable
+
+    def test_empty_schedule(self, graph_with_unreliable_edges):
+        scheduler = TraceScheduler(graph_with_unreliable_edges, [])
+        assert scheduler.unreliable_edges_for_round(1) == frozenset()

@@ -1,0 +1,130 @@
+"""Unit tests for embeddings and the r-geographic property."""
+
+import math
+
+import pytest
+
+from repro.dualgraph.geometric import (
+    Embedding,
+    always_reliable_policy,
+    always_unreliable_policy,
+    euclidean_distance,
+    geographic_dual_graph,
+    is_r_geographic,
+    never_connected_policy,
+    r_geographic_violations,
+)
+from repro.dualgraph.graph import DualGraph
+
+
+class TestEmbedding:
+    def test_positions_and_distance(self):
+        emb = Embedding({0: (0, 0), 1: (3, 4)})
+        assert emb.position(0) == (0.0, 0.0)
+        assert emb.distance(0, 1) == pytest.approx(5.0)
+
+    def test_unknown_vertex_raises(self):
+        emb = Embedding({0: (0, 0)})
+        with pytest.raises(KeyError):
+            emb.position(1)
+
+    def test_empty_embedding_rejected(self):
+        with pytest.raises(ValueError):
+            Embedding({})
+
+    def test_bounding_box(self):
+        emb = Embedding({0: (0, 1), 1: (2, -1), 2: (1, 3)})
+        assert emb.bounding_box() == (0.0, -1.0, 2.0, 3.0)
+
+    def test_contains_and_len(self):
+        emb = Embedding({0: (0, 0), "a": (1, 1)})
+        assert 0 in emb and "a" in emb and 5 not in emb
+        assert len(emb) == 2
+
+
+class TestEuclideanDistance:
+    def test_zero_distance(self):
+        assert euclidean_distance((1, 1), (1, 1)) == 0.0
+
+    def test_pythagoras(self):
+        assert euclidean_distance((0, 0), (1, 1)) == pytest.approx(math.sqrt(2))
+
+
+class TestGeographicConstruction:
+    def test_close_pairs_get_reliable_edges(self):
+        graph, emb = geographic_dual_graph({0: (0, 0), 1: (0.5, 0)}, r=2.0)
+        assert graph.has_reliable_edge(0, 1)
+
+    def test_grey_zone_pairs_follow_policy(self):
+        positions = {0: (0, 0), 1: (1.5, 0)}
+        graph_u, _ = geographic_dual_graph(positions, r=2.0, grey_zone_policy=always_unreliable_policy)
+        assert graph_u.has_unreliable_edge(0, 1)
+        graph_r, _ = geographic_dual_graph(positions, r=2.0, grey_zone_policy=always_reliable_policy)
+        assert graph_r.has_reliable_edge(0, 1)
+        graph_n, _ = geographic_dual_graph(positions, r=2.0, grey_zone_policy=never_connected_policy)
+        assert not graph_n.has_any_edge(0, 1)
+
+    def test_far_pairs_get_no_edge(self):
+        graph, _ = geographic_dual_graph({0: (0, 0), 1: (5, 0)}, r=2.0)
+        assert not graph.has_any_edge(0, 1)
+
+    def test_boundary_distance_exactly_one_is_reliable(self):
+        graph, _ = geographic_dual_graph({0: (0, 0), 1: (1.0, 0)}, r=2.0)
+        assert graph.has_reliable_edge(0, 1)
+
+    def test_boundary_distance_exactly_r_may_have_edge(self):
+        graph, _ = geographic_dual_graph(
+            {0: (0, 0), 1: (2.0, 0)}, r=2.0, grey_zone_policy=always_unreliable_policy
+        )
+        assert graph.has_unreliable_edge(0, 1)
+
+    def test_invalid_r_rejected(self):
+        with pytest.raises(ValueError):
+            geographic_dual_graph({0: (0, 0)}, r=0.5)
+
+    def test_invalid_policy_value_rejected(self):
+        def bad_policy(u, v, d):
+            return "sometimes"
+
+        with pytest.raises(ValueError):
+            geographic_dual_graph({0: (0, 0), 1: (1.5, 0)}, r=2.0, grey_zone_policy=bad_policy)
+
+    def test_construction_result_is_r_geographic(self):
+        positions = {i: (i * 0.8, (i % 3) * 0.7) for i in range(10)}
+        graph, emb = geographic_dual_graph(positions, r=2.0)
+        assert is_r_geographic(graph, emb, 2.0)
+
+
+class TestRGeographicChecks:
+    def test_missing_reliable_edge_is_a_violation(self):
+        emb = Embedding({0: (0, 0), 1: (0.5, 0)})
+        graph = DualGraph(vertices=[0, 1])  # no edges at all
+        violations = r_geographic_violations(graph, emb, r=2.0)
+        assert len(violations) == 1
+        assert "not reliable neighbors" in violations[0]
+        assert not is_r_geographic(graph, emb, 2.0)
+
+    def test_long_edge_is_a_violation(self):
+        emb = Embedding({0: (0, 0), 1: (5, 0)})
+        graph = DualGraph(vertices=[0, 1], unreliable_edges=[(0, 1)])
+        violations = r_geographic_violations(graph, emb, r=2.0)
+        assert len(violations) == 1
+        assert "> r=2.0" in violations[0]
+
+    def test_violation_limit_short_circuits(self):
+        emb = Embedding({i: (i * 0.1, 0) for i in range(6)})
+        graph = DualGraph(vertices=range(6))  # every close pair is missing its edge
+        limited = r_geographic_violations(graph, emb, r=2.0, limit=2)
+        assert len(limited) == 2
+
+    def test_invalid_r_rejected(self):
+        emb = Embedding({0: (0, 0)})
+        graph = DualGraph(vertices=[0])
+        with pytest.raises(ValueError):
+            r_geographic_violations(graph, emb, r=0.9)
+
+    def test_grey_zone_freedom_is_not_a_violation(self):
+        # A grey-zone pair with no edge and another with a reliable edge: both legal.
+        emb = Embedding({0: (0, 0), 1: (1.5, 0), 2: (0, 1.5)})
+        graph = DualGraph(vertices=[0, 1, 2], reliable_edges=[(0, 2)])
+        assert is_r_geographic(graph, emb, 2.0)

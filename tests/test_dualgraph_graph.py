@@ -1,0 +1,145 @@
+"""Unit tests for the DualGraph structure (Section 2 model definitions)."""
+
+import pytest
+
+from repro.dualgraph.graph import DualGraph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_is_order_insensitive(self):
+        assert normalize_edge(1, 2) == normalize_edge(2, 1)
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            normalize_edge(3, 3)
+
+    def test_is_a_two_element_frozenset(self):
+        edge = normalize_edge("a", "b")
+        assert isinstance(edge, frozenset)
+        assert edge == {"a", "b"}
+
+
+class TestConstruction:
+    def test_requires_at_least_one_vertex(self):
+        with pytest.raises(ValueError):
+            DualGraph(vertices=[])
+
+    def test_single_vertex_graph(self):
+        graph = DualGraph(vertices=[0])
+        assert graph.n == 1
+        assert graph.max_reliable_degree == 1
+        assert graph.max_potential_degree == 1
+
+    def test_edges_to_unknown_vertices_are_rejected(self):
+        with pytest.raises(KeyError):
+            DualGraph(vertices=[0, 1], reliable_edges=[(0, 2)])
+
+    def test_reliable_edge_is_also_in_g_prime(self, triangle_graph):
+        assert triangle_graph.has_reliable_edge(0, 1)
+        assert triangle_graph.has_any_edge(0, 1)
+        assert not triangle_graph.has_unreliable_edge(0, 1)
+
+    def test_unreliable_edge_is_only_in_g_prime(self, triangle_graph):
+        assert not triangle_graph.has_reliable_edge(2, 3)
+        assert triangle_graph.has_unreliable_edge(2, 3)
+        assert triangle_graph.has_any_edge(2, 3)
+
+    def test_duplicate_unreliable_edge_of_reliable_edge_is_ignored(self):
+        graph = DualGraph(
+            vertices=[0, 1],
+            reliable_edges=[(0, 1)],
+            unreliable_edges=[(0, 1)],
+        )
+        assert graph.has_reliable_edge(0, 1)
+        assert not graph.has_unreliable_edge(0, 1)
+        assert len(graph.unreliable_edges) == 0
+
+    def test_promoting_an_unreliable_edge_to_reliable(self):
+        graph = DualGraph(vertices=[0, 1], unreliable_edges=[(0, 1)])
+        assert graph.has_unreliable_edge(0, 1)
+        graph.add_reliable_edge(0, 1)
+        assert graph.has_reliable_edge(0, 1)
+        assert not graph.has_unreliable_edge(0, 1)
+        graph.validate()
+
+    def test_malformed_edge_tuples_are_rejected(self):
+        with pytest.raises(ValueError):
+            DualGraph(vertices=[0, 1, 2], reliable_edges=[(0, 1, 2)])
+
+
+class TestNeighborhoods:
+    def test_reliable_neighbors_exclude_self(self, triangle_graph):
+        assert triangle_graph.reliable_neighbors(0) == {1, 2}
+
+    def test_potential_neighbors_include_unreliable(self, triangle_graph):
+        assert triangle_graph.potential_neighbors(2) == {0, 1, 3}
+        assert triangle_graph.potential_neighbors(3) == {2}
+
+    def test_closed_neighborhoods_include_self(self, triangle_graph):
+        assert 0 in triangle_graph.closed_reliable_neighborhood(0)
+        assert 3 in triangle_graph.closed_potential_neighborhood(3)
+
+    def test_neighbors_of_set(self, triangle_graph):
+        assert triangle_graph.reliable_neighbors_of_set([0]) == {1, 2}
+        assert triangle_graph.reliable_neighbors_of_set([0, 1]) == {0, 1, 2}
+
+    def test_unknown_vertex_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            triangle_graph.reliable_neighbors(99)
+
+
+class TestDegreeBounds:
+    def test_degree_bounds_on_triangle(self, triangle_graph):
+        # Every triangle vertex has 2 reliable neighbors plus itself = 3.
+        assert triangle_graph.max_reliable_degree == 3
+        # Vertex 2 additionally sees vertex 3 in G'.
+        assert triangle_graph.max_potential_degree == 4
+        assert triangle_graph.degree_bounds() == (3, 4)
+
+    def test_delta_prime_at_least_delta(self, small_random_network):
+        graph, _ = small_random_network
+        delta, delta_prime = graph.degree_bounds()
+        assert delta_prime >= delta >= 1
+
+    def test_isolated_vertex_has_degree_one(self):
+        graph = DualGraph(vertices=[0, 1], reliable_edges=[])
+        assert graph.max_reliable_degree == 1
+
+
+class TestStructuralQueries:
+    def test_hop_distance_on_a_path(self):
+        graph = DualGraph(vertices=range(5), reliable_edges=[(i, i + 1) for i in range(4)])
+        assert graph.reliable_hop_distance(0, 0) == 0
+        assert graph.reliable_hop_distance(0, 1) == 1
+        assert graph.reliable_hop_distance(0, 4) == 4
+
+    def test_hop_distance_disconnected_is_none(self):
+        graph = DualGraph(vertices=[0, 1, 2], reliable_edges=[(0, 1)])
+        assert graph.reliable_hop_distance(0, 2) is None
+
+    def test_unreliable_edges_do_not_count_for_hop_distance(self, triangle_graph):
+        assert triangle_graph.reliable_hop_distance(0, 3) is None
+
+    def test_eccentricity_on_a_path(self):
+        graph = DualGraph(vertices=range(5), reliable_edges=[(i, i + 1) for i in range(4)])
+        assert graph.reliable_eccentricity(0) == 4
+        assert graph.reliable_eccentricity(2) == 2
+
+    def test_connectivity(self, triangle_graph):
+        # Vertex 3 is connected only by an unreliable edge, so G is disconnected.
+        assert not triangle_graph.is_reliably_connected()
+        graph = DualGraph(vertices=[0, 1], reliable_edges=[(0, 1)])
+        assert graph.is_reliably_connected()
+
+    def test_validate_passes_on_consistent_graph(self, triangle_graph):
+        triangle_graph.validate()
+
+    def test_contains_and_len(self, triangle_graph):
+        assert 0 in triangle_graph
+        assert 99 not in triangle_graph
+        assert len(triangle_graph) == 4
+
+    def test_repr_mentions_counts(self, triangle_graph):
+        text = repr(triangle_graph)
+        assert "n=4" in text
+        assert "Delta=3" in text

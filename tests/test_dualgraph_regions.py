@@ -1,0 +1,168 @@
+"""Unit tests for the region partition machinery (Appendix A.1)."""
+
+import math
+
+import pytest
+
+from repro.dualgraph.generators import random_geographic_network
+from repro.dualgraph.geometric import Embedding
+from repro.dualgraph.regions import GridRegionPartition, RegionGraph
+
+
+class TestGridRegionPartition:
+    def test_default_side_is_half(self):
+        assert GridRegionPartition().side == 0.5
+
+    def test_rejects_sides_that_break_the_diameter_bound(self):
+        with pytest.raises(ValueError):
+            GridRegionPartition(side=0.8)
+        with pytest.raises(ValueError):
+            GridRegionPartition(side=0.0)
+
+    def test_region_diameter_at_most_one(self):
+        partition = GridRegionPartition()
+        assert partition.max_region_diameter() <= 1.0 + 1e-12
+
+    def test_region_of_point_half_open_convention(self):
+        partition = GridRegionPartition(side=0.5)
+        assert partition.region_of_point((0.0, 0.0)) == (0, 0)
+        assert partition.region_of_point((0.49, 0.49)) == (0, 0)
+        assert partition.region_of_point((0.5, 0.0)) == (1, 0)
+        assert partition.region_of_point((-0.01, 0.0)) == (-1, 0)
+
+    def test_each_point_belongs_to_exactly_one_region(self):
+        partition = GridRegionPartition()
+        # Points on boundaries map to a single region (the half-open one).
+        for point in [(0.5, 0.5), (1.0, 0.0), (0.0, 1.0)]:
+            region = partition.region_of_point(point)
+            assert isinstance(region, tuple) and len(region) == 2
+
+    def test_assign_vertices_groups_by_region(self):
+        partition = GridRegionPartition()
+        emb = Embedding({0: (0.1, 0.1), 1: (0.2, 0.3), 2: (1.6, 1.6)})
+        buckets = partition.assign_vertices(emb)
+        assert buckets[(0, 0)] == frozenset({0, 1})
+        assert buckets[(3, 3)] == frozenset({2})
+
+    def test_min_distance_between_adjacent_and_far_regions(self):
+        partition = GridRegionPartition(side=0.5)
+        assert partition.min_distance_between((0, 0), (1, 0)) == pytest.approx(0.0)
+        assert partition.min_distance_between((0, 0), (4, 0)) == pytest.approx(1.5)
+        assert partition.min_distance_between((0, 0), (3, 4)) == pytest.approx(
+            math.hypot(1.0, 1.5)
+        )
+
+    def test_neighboring_regions_within_r(self):
+        partition = GridRegionPartition(side=0.5)
+        neighbors = partition.neighboring_regions((0, 0), r=1.0)
+        assert (1, 0) in neighbors
+        assert (0, 0) not in neighbors
+        # A region 3 squares away starts at distance 1.0, so it is included...
+        assert (3, 0) in neighbors
+        # ...but 4 squares away starts at 1.5 > 1.0.
+        assert (4, 0) not in neighbors
+
+    def test_region_center(self):
+        partition = GridRegionPartition(side=0.5)
+        assert partition.region_center((0, 0)) == (0.25, 0.25)
+        assert partition.region_center((-1, 2)) == (-0.25, 1.25)
+
+    def test_f_bound_constant_positive(self):
+        partition = GridRegionPartition()
+        assert partition.f_bound_constant(2.0) > 0
+
+
+class TestRegionGraph:
+    @pytest.fixture
+    def embedded_network(self):
+        graph, emb = random_geographic_network(20, side=3.0, r=2.0, rng=8)
+        return graph, emb
+
+    def test_regions_cover_all_vertices(self, embedded_network):
+        graph, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        covered = set()
+        for region in region_graph.regions:
+            covered |= set(region_graph.members(region))
+        assert covered == set(graph.vertices)
+
+    def test_region_of_matches_membership(self, embedded_network):
+        graph, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        for vertex in graph.vertices:
+            region = region_graph.region_of(vertex)
+            assert vertex in region_graph.members(region)
+
+    def test_neighbors_are_symmetric(self, embedded_network):
+        _, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        for region in region_graph.regions:
+            for other in region_graph.neighbors(region):
+                assert region in region_graph.neighbors(other)
+
+    def test_regions_within_zero_hops_is_self(self, embedded_network):
+        _, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        some_region = next(iter(region_graph.regions))
+        assert region_graph.regions_within_hops(some_region, 0) == {some_region}
+
+    def test_regions_within_hops_is_monotone(self, embedded_network):
+        _, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        some_region = next(iter(region_graph.regions))
+        previous = set()
+        for hops in range(4):
+            current = region_graph.regions_within_hops(some_region, hops)
+            assert previous <= current
+            previous = set(current)
+
+    def test_unknown_region_raises(self, embedded_network):
+        _, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        with pytest.raises(KeyError):
+            region_graph.regions_within_hops((999, 999), 1)
+
+    def test_f_boundedness_with_lemma_constant(self, embedded_network):
+        """Lemma A.2: occupied regions within h hops are at most c_r h^2."""
+        _, emb = embedded_network
+        partition = GridRegionPartition()
+        region_graph = RegionGraph(partition, emb, r=2.0)
+        c1 = partition.f_bound_constant(2.0)
+        assert region_graph.check_f_bounded(c1, max_hops=3)
+
+    def test_co_region_vertices_are_reliable_neighbors(self, embedded_network):
+        """Lemma A.3's premise: all vertices in one region are G-neighbors."""
+        graph, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        for region in region_graph.regions:
+            members = sorted(region_graph.members(region), key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert graph.has_reliable_edge(u, v)
+
+    def test_max_vertices_per_region_at_most_delta(self, embedded_network):
+        """Lemma A.3: |region| <= Delta for r-geographic dual graphs."""
+        graph, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        assert region_graph.max_vertices_per_region() <= graph.max_reliable_degree
+
+    def test_delta_prime_bounded_by_cr_delta(self, embedded_network):
+        """Lemma A.3: Delta' <= c_r * Delta with the explicit grid constant."""
+        graph, emb = embedded_network
+        partition = GridRegionPartition()
+        c_r = partition.f_bound_constant(2.0) * 2.0 * 2.0
+        assert graph.max_potential_degree <= c_r * graph.max_reliable_degree
+
+    def test_vertices_within_hops(self, embedded_network):
+        graph, emb = embedded_network
+        region_graph = RegionGraph(GridRegionPartition(), emb, r=2.0)
+        some_region = next(iter(region_graph.regions))
+        zero_hop = region_graph.vertices_within_hops(some_region, 0)
+        assert zero_hop == region_graph.members(some_region)
+        all_hops = region_graph.vertices_within_hops(some_region, 50)
+        assert zero_hop <= all_hops
+
+    def test_invalid_r_rejected(self, embedded_network):
+        _, emb = embedded_network
+        with pytest.raises(ValueError):
+            RegionGraph(GridRegionPartition(), emb, r=0.5)

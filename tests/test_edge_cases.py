@@ -1,0 +1,146 @@
+"""Edge-case and robustness tests across the stack.
+
+Degenerate networks (a single vertex, no neighbors, Δ = 1), boundary values of
+the geographic and error parameters, and misbehaving inputs should all either
+work trivially or fail loudly -- never corrupt an execution silently.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DualGraph,
+    LBParams,
+    SeedParams,
+    Simulator,
+    SingleShotEnvironment,
+    check_lb_execution,
+    check_seed_execution,
+    geographic_dual_graph,
+    make_lb_processes,
+)
+from repro.core.seed_agreement import SeedAgreementProcess
+from repro.simulation.metrics import ack_delays, delivery_report, progress_report
+from repro.simulation.process import ProcessContext
+from repro.simulation.trace import ExecutionTrace
+
+
+class TestDegenerateNetworks:
+    def test_lbalg_on_a_single_isolated_vertex(self):
+        """A sender with no neighbors still acknowledges; reliability is vacuous."""
+        graph = DualGraph(vertices=[0])
+        params = LBParams.small_for_testing(delta=1, delta_prime=1, tprog=8,
+                                            tack_phases=1, seed_phase_length=3)
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(0)),
+            environment=SingleShotEnvironment(senders=[0]),
+        )
+        trace = simulator.run(params.tack_rounds)
+        report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds)
+        assert report.deterministic_ok
+        assert report.reliability_failure_rate == 0.0
+        records = ack_delays(trace)
+        assert len(records) == 1 and records[0].delay is not None
+
+    def test_lbalg_on_two_vertices_with_one_reliable_edge(self):
+        graph = DualGraph(vertices=[0, 1], reliable_edges=[(0, 1)])
+        params = LBParams.small_for_testing(delta=2, delta_prime=2, tprog=60,
+                                            tack_phases=2, seed_phase_length=4)
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(1)),
+            environment=SingleShotEnvironment(senders=[0]),
+        )
+        trace = simulator.run(params.tack_rounds)
+        report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds,
+                                    check_progress=False)
+        assert report.deterministic_ok
+        # The single reliable neighbor is reached before the ack.
+        deliveries = delivery_report(trace, graph)
+        assert deliveries[0].fully_delivered
+
+    def test_seedalg_on_a_single_vertex_defaults_to_itself(self):
+        graph = DualGraph(vertices=[0])
+        params = SeedParams.derive(0.2, delta=1, phase_length_override=3)
+        ctx = ProcessContext(vertex=0, delta=1, delta_prime=1, rng=random.Random(0))
+        simulator = Simulator(graph, {0: SeedAgreementProcess(ctx, params)})
+        trace = simulator.run(params.total_rounds)
+        report = check_seed_execution(trace, graph, delta_bound=1)
+        assert report.ok
+        assert trace.decide_outputs[0].owner == 0
+
+    def test_delta_one_params_are_valid(self):
+        params = LBParams.derive(0.2, delta=1, delta_prime=1)
+        assert params.log_delta == 1
+        assert params.tack_rounds >= params.tprog_rounds
+
+    def test_vertices_with_non_integer_identifiers(self):
+        graph, _ = geographic_dual_graph(
+            {"alpha": (0.0, 0.0), "beta": (0.5, 0.0), ("tuple", 1): (0.2, 0.4)}, r=2.0
+        )
+        assert graph.has_reliable_edge("alpha", "beta")
+        params = LBParams.small_for_testing(delta=3, delta_prime=3, tprog=10,
+                                            tack_phases=1, seed_phase_length=3)
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(2)),
+            environment=SingleShotEnvironment(senders=["alpha"]),
+        )
+        trace = simulator.run(params.tack_rounds)
+        assert check_lb_execution(
+            trace, graph, params.tack_rounds, params.tprog_rounds, check_progress=False
+        ).deterministic_ok
+
+
+class TestBoundaryParameters:
+    def test_r_exactly_one_is_allowed(self):
+        graph, emb = geographic_dual_graph({0: (0, 0), 1: (0.8, 0)}, r=1.0)
+        assert graph.has_reliable_edge(0, 1)
+        params = LBParams.derive(0.2, delta=2, delta_prime=2, r=1.0)
+        assert params.tprog >= 1
+
+    def test_extremely_small_epsilon_still_derives(self):
+        params = LBParams.derive(1e-6, delta=8, delta_prime=8)
+        assert params.tprog > LBParams.derive(0.2, delta=8, delta_prime=8).tprog
+        assert 0 < params.participant_probability <= 0.5
+
+    def test_epsilon_bounds_rejected(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                LBParams.derive(bad, delta=8)
+            with pytest.raises(ValueError):
+                SeedParams.derive(bad, delta=8)
+
+    def test_large_delta_derivation_is_finite_and_fast(self):
+        params = LBParams.derive(0.1, delta=4096, delta_prime=8192)
+        assert params.tprog < 10 ** 5
+        assert params.kappa < 10 ** 7
+
+
+class TestEmptyAndPartialTraces:
+    def test_metrics_on_an_empty_trace(self):
+        graph = DualGraph(vertices=[0, 1], reliable_edges=[(0, 1)])
+        trace = ExecutionTrace()
+        assert ack_delays(trace) == []
+        assert delivery_report(trace, graph) == []
+        report = progress_report(trace, graph, window=5)
+        assert report.num_applicable == 0
+
+    def test_spec_checkers_on_an_empty_trace(self):
+        graph = DualGraph(vertices=[0, 1], reliable_edges=[(0, 1)])
+        trace = ExecutionTrace()
+        lb = check_lb_execution(trace, graph, tack=10, tprog=5)
+        assert lb.deterministic_ok
+        seed = check_seed_execution(trace, graph, delta_bound=3)
+        assert not seed.well_formed  # nobody decided
+        assert seed.consistent
+
+    def test_run_zero_rounds(self):
+        graph = DualGraph(vertices=[0])
+        params = LBParams.small_for_testing(delta=1, delta_prime=1, tprog=8,
+                                            tack_phases=1, seed_phase_length=3)
+        simulator = Simulator(graph, make_lb_processes(graph, params, random.Random(0)))
+        trace = simulator.run(0)
+        assert trace.num_rounds == 0

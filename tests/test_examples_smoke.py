@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; these tests execute each one
+in a subprocess (exactly as a user would) and check it exits cleanly and
+prints the expected kind of report.  They are the slowest tests in the suite
+(a few seconds total) but they keep the examples from silently rotting.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    ("quickstart.py", "specification check"),
+    ("seed_agreement_demo.py", "seed owners emerged"),
+    ("adversarial_links_demo.py", "adversary cost"),
+    ("sensor_field_monitoring.py", "per-summary outcomes"),
+    ("emergency_alert_flood.py", "alert arrival by station"),
+    ("neighbor_discovery_demo.py", "mean discovery fraction"),
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name, expected_phrase", EXAMPLES)
+def test_example_runs_and_reports(name, expected_phrase):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} exited with {result.returncode}; stderr:\n{result.stderr[-2000:]}"
+    )
+    assert expected_phrase in result.stdout, (
+        f"{name} ran but its report is missing {expected_phrase!r}"
+    )
+
+
+def test_every_example_file_is_covered():
+    on_disk = {
+        entry for entry in os.listdir(EXAMPLES_DIR)
+        if entry.endswith(".py") and not entry.startswith("_")
+    }
+    covered = {name for name, _ in EXAMPLES}
+    assert on_disk == covered, (
+        "examples/ and the smoke-test list are out of sync: "
+        f"missing {sorted(on_disk - covered)}, stale {sorted(covered - on_disk)}"
+    )

@@ -1,0 +1,149 @@
+"""Integration tests: baselines vs LBAlg under benign and adversarial schedulers.
+
+The paper's motivating observation (Section 1, "Discussion") is that a fixed
+broadcast-probability schedule such as Decay can be defeated by an oblivious
+link scheduler built against it, while LBAlg's seed-permuted schedule cannot.
+These tests stage exactly that comparison at a small scale (the E6 benchmark
+repeats it with more statistical power).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import make_baseline_processes
+from repro.baselines.decay import decay_schedule
+from repro.core.local_broadcast import make_lb_processes
+from repro.core.params import LBParams
+from repro.dualgraph.adversary import AntiScheduleAdversary, IIDScheduler, NoUnreliableScheduler
+from repro.dualgraph.generators import clique_network, star_network, two_clusters_network
+from repro.simulation.engine import Simulator
+from repro.simulation.environment import SaturatingEnvironment, SingleShotEnvironment
+from repro.simulation.metrics import data_reception_rounds, delivery_report
+
+
+def run_baseline(graph, kind, senders, rounds, scheduler=None, master_seed=0, **kwargs):
+    rng = random.Random(master_seed)
+    processes = make_baseline_processes(graph, kind, rng, **kwargs)
+    simulator = Simulator(
+        graph,
+        processes,
+        scheduler=scheduler,
+        environment=SaturatingEnvironment(senders=senders),
+    )
+    return simulator.run(rounds)
+
+
+def receiver_hears_fraction(trace, receiver, rounds):
+    """Fraction of rounds in which the receiver physically got a data frame."""
+    heard = data_reception_rounds(trace, receiver)
+    return len(heard) / rounds
+
+
+class TestBaselinesUnderBenignSchedulers:
+    def test_decay_delivers_in_the_static_model(self):
+        """Without unreliable edges Decay works as in the classic analysis."""
+        graph, _ = star_network(4)
+        trace = run_baseline(
+            graph, "decay", senders=[1], rounds=200,
+            scheduler=NoUnreliableScheduler(graph), num_cycles=8,
+        )
+        records = delivery_report(trace, graph)
+        assert records, "the saturating environment must have submitted something"
+        delivered = [r for r in records if r.ack_round is not None]
+        assert any(0 in r.delivered_before_ack for r in delivered)
+
+    def test_round_robin_delivers_without_collisions_on_a_clique(self):
+        graph, _ = clique_network(5)
+        trace = run_baseline(
+            graph, "round_robin", senders=[0], rounds=120,
+            scheduler=NoUnreliableScheduler(graph), frame_size=16, num_frames=2,
+        )
+        records = [r for r in delivery_report(trace, graph) if r.ack_round is not None]
+        assert records
+        assert records[0].delivery_fraction == 1.0
+
+    def test_uniform_delivers_with_moderate_probability(self):
+        graph, _ = clique_network(4)
+        trace = run_baseline(
+            graph, "uniform", senders=[0], rounds=150,
+            scheduler=NoUnreliableScheduler(graph), probability=0.25, active_rounds=40,
+        )
+        records = [r for r in delivery_report(trace, graph) if r.ack_round is not None]
+        assert records
+        assert records[0].delivery_fraction > 0.0
+
+
+class TestAntiScheduleAdversary:
+    @pytest.fixture
+    def contended_network(self):
+        """Two dense clusters bridged only by unreliable links: the adversary
+        controls how much cross-cluster contention each receiver sees."""
+        return two_clusters_network(cluster_size=5, gap=1.5, rng=9)
+
+    def test_adversary_degrades_decay_reception(self, contended_network):
+        graph, _ = contended_network
+        delta = graph.max_reliable_degree
+        senders = [v for v in sorted(graph.vertices) if v != 0][:6]
+        rounds = 400
+        receiver = 0
+
+        benign_trace = run_baseline(
+            graph, "decay", senders=senders, rounds=rounds,
+            scheduler=IIDScheduler(graph, probability=0.5, seed=1),
+            num_cycles=8, master_seed=1,
+        )
+        adversarial_trace = run_baseline(
+            graph, "decay", senders=senders, rounds=rounds,
+            scheduler=AntiScheduleAdversary(graph, decay_schedule(delta)),
+            num_cycles=8, master_seed=1,
+        )
+        benign_rate = receiver_hears_fraction(benign_trace, receiver, rounds)
+        adversarial_rate = receiver_hears_fraction(adversarial_trace, receiver, rounds)
+        # The targeted schedule must not help, and typically clearly hurts.
+        assert adversarial_rate <= benign_rate + 0.05
+
+    def test_lbalg_survives_the_same_adversary(self, contended_network):
+        graph, _ = contended_network
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime)
+        senders = [v for v in sorted(graph.vertices) if v != 0][:6]
+        receiver = 0
+        rounds = 4 * params.phase_length
+
+        rng = random.Random(3)
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, rng),
+            scheduler=AntiScheduleAdversary(graph, decay_schedule(delta)),
+            environment=SaturatingEnvironment(senders=senders),
+        )
+        trace = simulator.run(rounds)
+        heard = data_reception_rounds(trace, receiver)
+        # The receiver has reliable in-cluster neighbors broadcasting the whole
+        # time; LBAlg must keep delivering something every phase or two.
+        assert len(heard) >= rounds / (2 * params.phase_length)
+
+
+class TestCrossAlgorithmComparison:
+    def test_lbalg_and_decay_traces_are_comparable(self):
+        """Both speak the same event vocabulary, so the same metrics apply."""
+        graph, _ = star_network(4)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.small_for_testing(delta=delta, delta_prime=delta_prime,
+                                            tprog=40, tack_phases=2, seed_phase_length=4)
+        rng = random.Random(0)
+        lb_sim = Simulator(
+            graph,
+            make_lb_processes(graph, params, rng),
+            environment=SingleShotEnvironment(senders=[1]),
+        )
+        lb_trace = lb_sim.run(params.tack_rounds)
+        decay_trace = run_baseline(
+            graph, "decay", senders=[1], rounds=params.tack_rounds,
+            scheduler=NoUnreliableScheduler(graph), num_cycles=8,
+        )
+        for trace in (lb_trace, decay_trace):
+            records = delivery_report(trace, graph)
+            assert records
+            assert all(hasattr(r, "delivery_fraction") for r in records)

@@ -1,0 +1,214 @@
+"""Integration tests: LBAlg executions checked against the LB spec.
+
+These tests run the full local broadcast service on dual graph networks under
+several link schedulers and workloads and verify the deterministic conditions
+on every execution plus the probabilistic conditions statistically.
+"""
+
+import random
+
+import pytest
+
+from repro.core.lb_spec import check_lb_execution
+from repro.core.local_broadcast import make_lb_processes
+from repro.core.params import LBParams
+from repro.dualgraph.adversary import (
+    AntiScheduleAdversary,
+    FullInclusionScheduler,
+    IIDScheduler,
+    NoUnreliableScheduler,
+)
+from repro.dualgraph.generators import (
+    random_geographic_network,
+    star_network,
+    two_clusters_network,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.environment import (
+    SaturatingEnvironment,
+    SingleShotEnvironment,
+)
+from repro.simulation.metrics import ack_delays, delivery_report, progress_report
+
+
+def build_simulator(graph, params, environment, scheduler=None, master_seed=0):
+    rng = random.Random(master_seed)
+    return Simulator(
+        graph,
+        make_lb_processes(graph, params, rng),
+        scheduler=scheduler,
+        environment=environment,
+    )
+
+
+@pytest.fixture
+def network_and_params():
+    graph, _ = random_geographic_network(16, side=3.5, rng=3, require_connected=True)
+    delta, delta_prime = graph.degree_bounds()
+    params = LBParams.small_for_testing(
+        delta=delta, delta_prime=delta_prime, tprog=60, tack_phases=4, seed_phase_length=6
+    )
+    return graph, params
+
+
+class TestDeterministicConditions:
+    @pytest.mark.parametrize("scheduler_factory", [
+        lambda g: NoUnreliableScheduler(g),
+        lambda g: FullInclusionScheduler(g),
+        lambda g: IIDScheduler(g, probability=0.5, seed=2),
+    ])
+    def test_timely_ack_and_validity_on_every_execution(
+        self, network_and_params, scheduler_factory
+    ):
+        graph, params = network_and_params
+        senders = sorted(graph.vertices, key=repr)[:3]
+        simulator = build_simulator(
+            graph, params, SingleShotEnvironment(senders=senders),
+            scheduler=scheduler_factory(graph),
+        )
+        trace = simulator.run(params.tack_rounds)
+        report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds,
+                                    check_progress=False)
+        assert report.timely_ack_ok, report.timely_ack_violations
+        assert report.validity_ok, report.validity_violations
+
+    def test_every_submitted_message_is_acknowledged_exactly_once(self, network_and_params):
+        graph, params = network_and_params
+        senders = sorted(graph.vertices, key=repr)[:4]
+        simulator = build_simulator(graph, params, SaturatingEnvironment(senders=senders))
+        trace = simulator.run(params.tack_rounds + 2 * params.phase_length)
+        acked = {a.message.message_id for a in trace.ack_outputs}
+        # Each ack corresponds to a bcast.
+        submitted = {b.message.message_id for b in trace.bcast_inputs}
+        assert acked <= submitted
+        # No duplicate acks.
+        assert len(acked) == len(trace.ack_outputs)
+
+    def test_ack_delay_is_never_more_than_tack(self, network_and_params):
+        graph, params = network_and_params
+        senders = sorted(graph.vertices, key=repr)[:2]
+        simulator = build_simulator(graph, params, SingleShotEnvironment(senders=senders))
+        trace = simulator.run(params.tack_rounds)
+        for record in ack_delays(trace):
+            assert record.delay is not None
+            assert record.delay <= params.tack_rounds
+
+    def test_recv_messages_were_really_sent(self, network_and_params):
+        """Every recv corresponds to a message some G' neighbor was broadcasting."""
+        graph, params = network_and_params
+        senders = sorted(graph.vertices, key=repr)[:3]
+        simulator = build_simulator(
+            graph, params, SingleShotEnvironment(senders=senders),
+            scheduler=IIDScheduler(graph, probability=0.7, seed=5),
+        )
+        trace = simulator.run(params.tack_rounds)
+        submitted_ids = {b.message.message_id for b in trace.bcast_inputs}
+        for recv in trace.recv_outputs:
+            assert recv.message.message_id in submitted_ids
+            assert recv.vertex != recv.message.origin
+
+
+class TestReliability:
+    def test_single_sender_reaches_all_reliable_neighbors(self):
+        """With no contention, reliability should hold in (almost) every trial."""
+        graph, _ = random_geographic_network(14, side=3.0, rng=4, require_connected=True)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime)
+        failures = 0
+        trials = 5
+        for trial in range(trials):
+            simulator = build_simulator(
+                graph, params, SingleShotEnvironment(senders=[0]),
+                scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
+                master_seed=trial,
+            )
+            trace = simulator.run(params.tack_rounds)
+            records = delivery_report(trace, graph)
+            assert len(records) == 1
+            if not records[0].fully_delivered:
+                failures += 1
+        assert failures <= 1, f"reliability failed in {failures}/{trials} low-contention trials"
+
+    def test_star_topology_under_full_contention_still_acks_in_time(self):
+        """The Δ-broadcasters-one-receiver worst case from the introduction."""
+        graph, _ = star_network(6)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.small_for_testing(
+            delta=delta, delta_prime=delta_prime, tprog=80, tack_phases=6, seed_phase_length=6
+        )
+        senders = list(range(1, 7))
+        simulator = build_simulator(graph, params, SingleShotEnvironment(senders=senders))
+        trace = simulator.run(params.tack_rounds)
+        report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds,
+                                    check_progress=False)
+        assert report.timely_ack_ok
+        # The central receiver should have heard most of the broadcasters.
+        received_at_center = {
+            r.message.origin for r in trace.recv_outputs if r.vertex == 0
+        }
+        assert len(received_at_center) >= 3
+
+
+class TestProgress:
+    def test_progress_holds_with_saturating_senders(self):
+        graph, _ = random_geographic_network(16, side=3.5, rng=6, require_connected=True)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime)
+        simulator = build_simulator(
+            graph, params, SaturatingEnvironment(senders=[0, 5]),
+            scheduler=IIDScheduler(graph, probability=0.5, seed=8),
+        )
+        trace = simulator.run(6 * params.phase_length)
+        report = progress_report(trace, graph, window=params.tprog_rounds)
+        assert report.num_applicable > 0
+        assert report.failure_rate <= params.epsilon + 0.15
+
+    def test_progress_holds_under_targeted_adversary(self):
+        """The seed-permuted schedule should survive the anti-Decay adversary."""
+        from repro.baselines.decay import decay_schedule
+
+        graph, _ = two_clusters_network(cluster_size=5, gap=1.5, rng=4)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime)
+        adversary = AntiScheduleAdversary(graph, decay_schedule(delta))
+        simulator = build_simulator(
+            graph, params, SaturatingEnvironment(senders=[0]),
+            scheduler=adversary,
+        )
+        trace = simulator.run(6 * params.phase_length)
+        report = progress_report(trace, graph, window=params.tprog_rounds)
+        assert report.num_applicable > 0
+        assert report.failure_rate <= params.epsilon + 0.15
+
+
+class TestTrueLocality:
+    def test_local_behavior_is_insensitive_to_network_size(self):
+        """Growing n with local density fixed must not change the schedule lengths
+        (the parameters depend only on Δ, Δ', r, ε) nor break local delivery."""
+        params_by_n = {}
+        for n, side in ((12, 3.0), (48, 4.5)):
+            graph, _ = random_geographic_network(
+                n, side=side, rng=21, require_connected=True
+            )
+            delta, delta_prime = graph.degree_bounds()
+            params_by_n[n] = LBParams.derive(0.2, delta=min(delta, 12),
+                                             delta_prime=min(delta_prime, 24))
+        small, large = params_by_n[12], params_by_n[48]
+        # Same local bounds -> same derived schedule, regardless of n.
+        assert abs(small.tprog - large.tprog) <= small.tprog  # same order
+        assert small.phase_length > 0 and large.phase_length > 0
+
+    def test_delivery_happens_in_a_large_network_with_small_degree(self):
+        graph, _ = random_geographic_network(40, side=4.5, rng=23, require_connected=True)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.small_for_testing(
+            delta=delta, delta_prime=delta_prime, tprog=80, tack_phases=4, seed_phase_length=6
+        )
+        sender = sorted(graph.vertices)[0]
+        simulator = build_simulator(
+            graph, params, SingleShotEnvironment(senders=[sender]),
+            scheduler=IIDScheduler(graph, probability=0.5, seed=2),
+        )
+        trace = simulator.run(params.tack_rounds)
+        records = delivery_report(trace, graph)
+        assert records[0].delivery_fraction >= 0.5

@@ -1,0 +1,179 @@
+"""Integration tests: SeedAlg executions checked against the Seed(δ, ε) spec.
+
+These tests run the full algorithm on real dual graph networks under several
+link schedulers and verify the specification conditions (and the statistical
+properties of Theorem 3.1) end to end.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.params import SeedParams
+from repro.core.seed_spec import (
+    check_seed_execution,
+    decide_latency_rounds,
+    owner_seed_pairs,
+)
+from repro.dualgraph.adversary import (
+    FullInclusionScheduler,
+    IIDScheduler,
+    NoUnreliableScheduler,
+    PeriodicScheduler,
+)
+from repro.dualgraph.generators import clique_network, random_geographic_network
+from repro.simulation.engine import Simulator
+from repro.simulation.metrics import unique_seed_owner_counts
+
+from tests.helpers import make_seed_processes
+
+
+def run_seed_execution(graph, params, scheduler_factory=None, master_seed=0):
+    processes = make_seed_processes(graph, params, master_seed=master_seed)
+    scheduler = scheduler_factory(graph) if scheduler_factory else None
+    simulator = Simulator(graph, processes, scheduler=scheduler)
+    trace = simulator.run(params.total_rounds)
+    return simulator, trace
+
+
+class TestSeedSpecOnNetworks:
+    @pytest.mark.parametrize("scheduler_factory", [
+        None,
+        lambda g: FullInclusionScheduler(g),
+        lambda g: IIDScheduler(g, probability=0.5, seed=13),
+        lambda g: PeriodicScheduler(g, on_rounds=3, off_rounds=3),
+    ])
+    def test_well_formedness_and_consistency_always_hold(self, scheduler_factory):
+        graph, _ = random_geographic_network(18, side=3.5, rng=5, require_connected=True)
+        params = SeedParams.derive(0.2, delta=graph.max_reliable_degree,
+                                   phase_length_override=8)
+        _, trace = run_seed_execution(graph, params, scheduler_factory)
+        report = check_seed_execution(trace, graph, delta_bound=params.delta_bound)
+        assert report.well_formed, report.well_formedness_violations
+        assert report.consistent, report.consistency_violations
+
+    def test_every_node_decides_within_the_runtime_bound(self):
+        graph, _ = random_geographic_network(18, side=3.5, rng=6, require_connected=True)
+        params = SeedParams.derive(0.2, delta=graph.max_reliable_degree,
+                                   phase_length_override=8)
+        _, trace = run_seed_execution(graph, params)
+        latencies = decide_latency_rounds(trace)
+        assert set(latencies) == set(graph.vertices)
+        assert max(latencies.values()) <= params.total_rounds
+
+    def test_agreement_bound_holds_across_trials(self):
+        """Theorem 3.1's agreement condition, estimated over repeated trials."""
+        graph, _ = random_geographic_network(20, side=3.5, rng=7, require_connected=True)
+        params = SeedParams.derive(0.2, delta=graph.max_reliable_degree,
+                                   phase_length_override=8)
+        violations = 0
+        trials = 10
+        for trial in range(trials):
+            _, trace = run_seed_execution(
+                graph, params,
+                scheduler_factory=lambda g: IIDScheduler(g, probability=0.5, seed=trial),
+                master_seed=trial,
+            )
+            report = check_seed_execution(trace, graph, delta_bound=params.delta_bound)
+            if not report.agreement_ok:
+                violations += 1
+        assert violations <= 2, (
+            f"the δ={params.delta_bound} agreement bound failed in {violations}/{trials} trials"
+        )
+
+    def test_owner_counts_are_far_below_neighborhood_sizes(self):
+        """The whole point of seed agreement: few distinct owners per neighborhood."""
+        graph, _ = random_geographic_network(24, side=3.0, rng=9, require_connected=True)
+        params = SeedParams.derive(0.2, delta=graph.max_reliable_degree,
+                                   phase_length_override=8)
+        _, trace = run_seed_execution(graph, params, lambda g: FullInclusionScheduler(g))
+        counts = unique_seed_owner_counts(trace, graph)
+        for vertex, count in counts.items():
+            neighborhood = len(graph.closed_potential_neighborhood(vertex))
+            assert count <= neighborhood
+        # On a dense network the reduction should be substantial on average.
+        avg_count = sum(counts.values()) / len(counts)
+        avg_neighborhood = sum(
+            len(graph.closed_potential_neighborhood(v)) for v in graph.vertices
+        ) / graph.n
+        assert avg_count < avg_neighborhood
+
+    def test_adopted_seeds_belong_to_real_owners(self):
+        """Lemma B.1: a non-default decision names a leader's id and its seed."""
+        graph, _ = random_geographic_network(18, side=3.0, rng=11, require_connected=True)
+        params = SeedParams.derive(0.2, delta=graph.max_reliable_degree,
+                                   phase_length_override=8)
+        simulator, trace = run_seed_execution(graph, params)
+        initial_seeds = {
+            v: simulator.process_at(v).initial_seed for v in graph.vertices
+        }
+        for event in trace.decide_outputs:
+            assert event.owner in graph.vertices
+            assert event.seed == initial_seeds[event.owner]
+
+    def test_owner_is_within_the_gprime_two_hop_neighborhood(self):
+        """An adopted seed can only have traveled one hop in G' per reception."""
+        graph, _ = random_geographic_network(18, side=3.0, rng=12, require_connected=True)
+        params = SeedParams.derive(0.2, delta=graph.max_reliable_degree,
+                                   phase_length_override=8)
+        _, trace = run_seed_execution(graph, params, lambda g: FullInclusionScheduler(g))
+        for event in trace.decide_outputs:
+            if event.owner == event.vertex:
+                continue
+            assert event.owner in graph.potential_neighbors(event.vertex)
+
+
+class TestSeedIndependence:
+    def test_initial_seeds_look_uniform_across_trials(self):
+        """Independence/uniformity (condition 4) on the first seed bit."""
+        graph, _ = clique_network(6)
+        params = SeedParams.derive(0.25, delta=graph.max_reliable_degree,
+                                   phase_length_override=6, seed_domain_bits=16)
+        top_bit_counts = Counter()
+        trials = 60
+        for trial in range(trials):
+            _, trace = run_seed_execution(graph, params, master_seed=trial)
+            for owner, seed in owner_seed_pairs(trace):
+                top_bit_counts[(seed >> 15) & 1] += 1
+        total = sum(top_bit_counts.values())
+        assert total > 0
+        fraction_ones = top_bit_counts[1] / total
+        assert 0.35 < fraction_ones < 0.65
+
+    def test_different_owners_have_independent_looking_seeds(self):
+        """Seeds of distinct owners should not be systematically equal."""
+        graph, _ = clique_network(6)
+        params = SeedParams.derive(0.25, delta=graph.max_reliable_degree,
+                                   phase_length_override=6, seed_domain_bits=32)
+        equal_pairs = 0
+        total_pairs = 0
+        for trial in range(30):
+            _, trace = run_seed_execution(graph, params, master_seed=100 + trial)
+            pairs = owner_seed_pairs(trace)
+            for i in range(len(pairs)):
+                for j in range(i + 1, len(pairs)):
+                    total_pairs += 1
+                    if pairs[i][1] == pairs[j][1]:
+                        equal_pairs += 1
+        if total_pairs:
+            assert equal_pairs / total_pairs < 0.05
+
+
+class TestSeedRuntimeScaling:
+    def test_runtime_grows_logarithmically_with_delta(self):
+        """Theorem 3.1: the number of rounds scales with log Δ."""
+        runtimes = {}
+        for delta in (4, 16, 64):
+            params = SeedParams.derive(0.1, delta=delta)
+            runtimes[delta] = params.total_rounds
+        assert runtimes[16] > runtimes[4]
+        assert runtimes[64] > runtimes[16]
+        # Log growth: the increment from 16 to 64 equals the one from 4 to 16.
+        assert (runtimes[64] - runtimes[16]) == (runtimes[16] - runtimes[4])
+
+    def test_runtime_grows_quadratically_in_log_one_over_epsilon(self):
+        r1 = SeedParams.derive(0.25, delta=16).total_rounds
+        r2 = SeedParams.derive(0.0625, delta=16).total_rounds
+        # log(1/eps) doubles, so the phase length should grow ~4x.
+        assert 2.5 < r2 / r1 < 6.0

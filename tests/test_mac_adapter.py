@@ -1,0 +1,170 @@
+"""Unit tests for the abstract MAC layer interface and adapter."""
+
+import random
+
+import pytest
+
+from repro.core.events import AckOutput, BcastInput, RecvOutput
+from repro.core.params import LBParams
+from repro.dualgraph.generators import line_network
+from repro.mac.adapter import AbstractMacNode, make_mac_nodes
+from repro.mac.spec import MacClient, MacLayerGuarantees
+from repro.simulation.engine import Simulator
+from repro.simulation.process import ProcessContext
+
+
+@pytest.fixture
+def params():
+    return LBParams.small_for_testing(delta=4, delta_prime=8, tprog=10, tack_phases=2,
+                                      seed_phase_length=4)
+
+
+class RecordingClient(MacClient):
+    """A MAC client that records every callback it receives."""
+
+    def __init__(self):
+        self.started_with = None
+        self.recvs = []
+        self.acks = []
+
+    def on_mac_start(self, api):
+        self.started_with = api
+
+    def on_mac_recv(self, payload, round_number):
+        self.recvs.append((payload, round_number))
+
+    def on_mac_ack(self, payload, round_number):
+        self.acks.append((payload, round_number))
+
+
+class EagerClient(RecordingClient):
+    """Submits one payload at start-up."""
+
+    def __init__(self, payload="hello"):
+        super().__init__()
+        self.payload = payload
+
+    def on_mac_start(self, api):
+        super().on_mac_start(api)
+        api.mac_bcast(self.payload)
+
+
+class TestMacLayerGuarantees:
+    def test_from_lb_params(self, params):
+        guarantees = MacLayerGuarantees.from_lb_params(params)
+        assert guarantees.f_prog == params.tprog_rounds
+        assert guarantees.f_ack == params.tack_rounds
+        assert guarantees.epsilon == params.epsilon
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacLayerGuarantees(f_ack=5, f_prog=10, epsilon=0.1)
+        with pytest.raises(ValueError):
+            MacLayerGuarantees(f_ack=10, f_prog=5, epsilon=0.0)
+
+
+class TestMacClientDefaults:
+    def test_default_hooks_are_noops(self):
+        client = MacClient()
+        client.on_mac_start(api=None)
+        client.on_mac_recv("payload", 1)
+        client.on_mac_ack("payload", 1)
+
+
+def build_network(params, clients):
+    graph, _ = line_network(len(clients), spacing=0.9)
+    rng = random.Random(0)
+    nodes = make_mac_nodes(graph, params, lambda v: clients[v], rng)
+    return graph, Simulator(graph, nodes)
+
+
+class TestAdapter:
+    def test_clients_get_started_with_their_api(self, params):
+        clients = {0: RecordingClient(), 1: RecordingClient()}
+        _, sim = build_network(params, clients)
+        sim.run(1)
+        for vertex, client in clients.items():
+            assert isinstance(client.started_with, AbstractMacNode)
+            assert client.started_with.vertex == vertex
+
+    def test_submission_becomes_a_bcast_event(self, params):
+        clients = {0: EagerClient(), 1: RecordingClient()}
+        _, sim = build_network(params, clients)
+        trace = sim.run(1)
+        assert len(trace.bcast_inputs) == 1
+        assert trace.bcast_inputs[0].vertex == 0
+        assert trace.bcast_inputs[0].message.payload == "hello"
+
+    def test_ack_callback_fires_after_tack_phases(self, params):
+        clients = {0: EagerClient(), 1: RecordingClient()}
+        _, sim = build_network(params, clients)
+        sim.run(params.tack_phases * params.phase_length + params.phase_length)
+        assert clients[0].acks, "the submitting client must eventually see its ack"
+        payload, _ = clients[0].acks[0]
+        assert payload == "hello"
+
+    def test_recv_callback_fires_at_neighbors(self, params):
+        clients = {0: EagerClient(), 1: RecordingClient()}
+        _, sim = build_network(params, clients)
+        sim.run(params.tack_phases * params.phase_length + params.phase_length)
+        assert clients[1].recvs, "the reliable neighbor should hear the payload"
+        assert clients[1].recvs[0][0] == "hello"
+
+    def test_queueing_while_busy(self, params):
+        class DoubleSubmit(RecordingClient):
+            def on_mac_start(self, api):
+                super().on_mac_start(api)
+                assert api.mac_bcast("first") is True
+                assert api.mac_bcast("second") is False  # queued
+
+        clients = {0: DoubleSubmit(), 1: RecordingClient()}
+        _, sim = build_network(params, clients)
+        node = sim.process_at(0)
+        sim.run(1)
+        assert node.outstanding_payload == "first"
+        assert node.queued_payloads == 1
+        # After enough rounds the first is acked and the second goes out.
+        sim.run(2 * (params.tack_phases + 1) * params.phase_length)
+        payloads = [p for p, _ in clients[0].acks]
+        assert payloads[:2] == ["first", "second"]
+
+    def test_mac_trace_is_checkable_by_lb_spec(self, params):
+        from repro.core.lb_spec import check_lb_execution
+
+        clients = {0: EagerClient(), 1: RecordingClient(), 2: RecordingClient()}
+        graph, sim = build_network(params, clients)
+        trace = sim.run((params.tack_phases + 1) * params.phase_length)
+        report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds,
+                                    check_progress=False)
+        assert report.deterministic_ok
+
+    def test_environment_inputs_are_treated_as_submissions(self, params):
+        from repro.core.messages import Message
+
+        ctx = ProcessContext(vertex=0, delta=4, delta_prime=8, rng=random.Random(0))
+        from repro.core.local_broadcast import LocalBroadcastProcess
+
+        node = AbstractMacNode(ctx, LocalBroadcastProcess(ctx, params), RecordingClient())
+        node.on_input(1, Message(origin=0, sequence=0, payload="via-env"))
+        assert node.queued_payloads == 1
+
+
+class TestMakeMacNodes:
+    def test_one_node_per_vertex(self, params):
+        graph, _ = line_network(4)
+        nodes = make_mac_nodes(graph, params, lambda v: RecordingClient(), random.Random(0))
+        assert set(nodes) == set(graph.vertices)
+        assert all(isinstance(n, AbstractMacNode) for n in nodes.values())
+
+    def test_custom_inner_factory(self, params):
+        from repro.baselines.decay import DecayProcess
+
+        graph, _ = line_network(3)
+        nodes = make_mac_nodes(
+            graph,
+            params,
+            lambda v: RecordingClient(),
+            random.Random(0),
+            inner_factory=lambda ctx: DecayProcess(ctx, num_cycles=2),
+        )
+        assert all(isinstance(n.inner, DecayProcess) for n in nodes.values())

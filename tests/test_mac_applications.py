@@ -1,0 +1,163 @@
+"""Tests for the additional abstract MAC layer applications.
+
+Neighbor discovery and multi-message broadcast are the other two algorithm
+families the paper's related-work section expects to port to the dual graph
+model through the layer; these tests exercise their client logic in isolation
+and their end-to-end behavior over the LBAlg-backed layer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.params import LBParams
+from repro.dualgraph.adversary import IIDScheduler
+from repro.dualgraph.generators import clique_network, line_network, star_network
+from repro.mac.applications.multi_message import (
+    MultiMessageClient,
+    MultiMessageResult,
+    Token,
+    run_multi_message_broadcast,
+)
+from repro.mac.applications.neighbor_discovery import (
+    Announcement,
+    NeighborDiscoveryClient,
+    NeighborDiscoveryResult,
+    run_neighbor_discovery,
+)
+
+
+@pytest.fixture
+def params():
+    return LBParams.small_for_testing(delta=6, delta_prime=12, tprog=100, tack_phases=2,
+                                      seed_phase_length=4)
+
+
+class FakeApi:
+    def __init__(self, vertex=0):
+        self.vertex = vertex
+        self.submitted = []
+
+    def mac_bcast(self, payload):
+        self.submitted.append(payload)
+        return True
+
+
+class TestNeighborDiscoveryClient:
+    def test_announces_itself_at_start(self):
+        client = NeighborDiscoveryClient(vertex=3)
+        api = FakeApi(vertex=3)
+        client.on_mac_start(api)
+        assert api.submitted == [Announcement(vertex=3)]
+
+    def test_records_first_hearing_round(self):
+        client = NeighborDiscoveryClient(vertex=3)
+        client.on_mac_start(FakeApi(vertex=3))
+        client.on_mac_recv(Announcement(vertex=7), round_number=12)
+        client.on_mac_recv(Announcement(vertex=7), round_number=30)
+        assert client.discovered == {7: 12}
+
+    def test_ignores_foreign_payloads(self):
+        client = NeighborDiscoveryClient(vertex=3)
+        client.on_mac_start(FakeApi(vertex=3))
+        client.on_mac_recv("not an announcement", round_number=5)
+        assert client.discovered == {}
+
+    def test_records_its_own_ack(self):
+        client = NeighborDiscoveryClient(vertex=3)
+        client.on_mac_start(FakeApi(vertex=3))
+        client.on_mac_ack(Announcement(vertex=3), round_number=44)
+        assert client.announced_round == 44
+
+
+class TestNeighborDiscoveryEndToEnd:
+    def test_discovery_on_a_clique(self, params):
+        graph, _ = clique_network(4)
+        result = run_neighbor_discovery(graph, params, rng=random.Random(1))
+        assert isinstance(result, NeighborDiscoveryResult)
+        # Everyone should discover a solid majority of its reliable neighbors
+        # (each of the 4 announcements contends with the other 3).
+        assert result.mean_discovery_fraction >= 0.5
+        assert result.false_positives(graph) == {}
+
+    def test_discovery_respects_gprime(self, params):
+        graph, _ = star_network(4)
+        result = run_neighbor_discovery(
+            graph, params, scheduler=IIDScheduler(graph, probability=0.5, seed=2),
+            rng=random.Random(2),
+        )
+        # Nothing can be discovered that is not a G' neighbor.
+        assert result.false_positives(graph) == {}
+        # The hub hears at least one of its leaves.
+        assert result.discovery_fraction(0) > 0.0
+
+    def test_discovery_fraction_of_isolated_vertex_is_one(self, params):
+        from repro.dualgraph.graph import DualGraph
+
+        graph = DualGraph(vertices=[0, 1], reliable_edges=[(0, 1)])
+        result = run_neighbor_discovery(graph, params, rng=random.Random(3), phases=3)
+        # With no neighbors there is nothing to discover: vacuous success.
+        lonely = NeighborDiscoveryResult(rounds_run=1,
+                                         discovered={9: {}},
+                                         reliable_neighbors={9: frozenset()})
+        assert lonely.discovery_fraction(9) == 1.0
+        assert result.rounds_run == 3 * params.phase_length
+
+
+class TestMultiMessageClient:
+    def test_sources_submit_their_tokens_at_start(self):
+        token = Token(token_id="token-1", source=1)
+        client = MultiMessageClient(vertex=1, own_tokens=[token])
+        api = FakeApi(vertex=1)
+        client.on_mac_start(api)
+        assert api.submitted == [token]
+        assert client.received_round["token-1"] == 0
+
+    def test_relays_each_new_token_once(self):
+        client = MultiMessageClient(vertex=2)
+        api = FakeApi(vertex=2)
+        client.on_mac_start(api)
+        token = Token(token_id="token-1", source=1)
+        client.on_mac_recv(token, round_number=10)
+        client.on_mac_recv(token, round_number=20)
+        assert api.submitted == [token]
+        assert client.received_round["token-1"] == 10
+
+    def test_distinct_tokens_are_relayed_separately(self):
+        client = MultiMessageClient(vertex=2)
+        api = FakeApi(vertex=2)
+        client.on_mac_start(api)
+        a = Token(token_id="token-a", source=0)
+        b = Token(token_id="token-b", source=1)
+        client.on_mac_recv(a, round_number=5)
+        client.on_mac_recv(b, round_number=9)
+        assert api.submitted == [a, b]
+
+
+class TestMultiMessageEndToEnd:
+    def test_two_tokens_cover_a_short_line(self, params):
+        graph, _ = line_network(3, spacing=0.9)
+        result = run_multi_message_broadcast(
+            graph, params, sources=[0, 2], rng=random.Random(4)
+        )
+        assert isinstance(result, MultiMessageResult)
+        assert result.mean_coverage == 1.0
+        assert result.complete
+        assert result.overall_completion_round is not None
+        assert result.overall_completion_round <= result.rounds_run
+
+    def test_validation(self, params):
+        graph, _ = line_network(3)
+        with pytest.raises(ValueError):
+            run_multi_message_broadcast(graph, params, sources=[])
+        with pytest.raises(KeyError):
+            run_multi_message_broadcast(graph, params, sources=[99])
+
+    def test_result_accessors_with_missing_deliveries(self):
+        token = Token(token_id="t", source=0)
+        result = MultiMessageResult(tokens=[token], rounds_run=10)
+        result.receive_rounds["t"] = {0: 0, 1: None}
+        assert result.coverage("t") == 0.5
+        assert not result.complete
+        assert result.completion_round("t") is None
+        assert result.overall_completion_round is None

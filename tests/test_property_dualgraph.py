@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the dual graph substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dualgraph.generators import random_geographic_network
+from repro.dualgraph.geometric import (
+    Embedding,
+    geographic_dual_graph,
+    is_r_geographic,
+)
+from repro.dualgraph.graph import DualGraph, normalize_edge
+from repro.dualgraph.regions import GridRegionPartition, RegionGraph
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+coordinates = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(coordinates, coordinates)
+
+
+@st.composite
+def position_maps(draw, min_size=2, max_size=12):
+    """A mapping of integer vertices to plane positions."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    return {i: draw(points) for i in range(n)}
+
+
+@st.composite
+def edge_lists(draw, n, max_edges=20):
+    """A list of distinct-endpoint vertex pairs within range(n)."""
+    count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+@st.composite
+def dual_graphs(draw, min_size=2, max_size=10):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    reliable = draw(edge_lists(n))
+    unreliable = draw(edge_lists(n))
+    return DualGraph(vertices=range(n), reliable_edges=reliable, unreliable_edges=unreliable)
+
+
+# ----------------------------------------------------------------------
+# DualGraph invariants
+# ----------------------------------------------------------------------
+class TestDualGraphProperties:
+    @given(dual_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_internal_invariants_always_hold(self, graph):
+        graph.validate()
+
+    @given(dual_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_reliable_neighbors_are_subset_of_potential(self, graph):
+        for u in graph.vertices:
+            assert graph.reliable_neighbors(u) <= graph.potential_neighbors(u)
+
+    @given(dual_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_neighborhood_symmetry(self, graph):
+        for u in graph.vertices:
+            for v in graph.reliable_neighbors(u):
+                assert u in graph.reliable_neighbors(v)
+            for v in graph.potential_neighbors(u):
+                assert u in graph.potential_neighbors(v)
+
+    @given(dual_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_bounds_cover_every_vertex(self, graph):
+        delta, delta_prime = graph.degree_bounds()
+        for u in graph.vertices:
+            assert len(graph.closed_reliable_neighborhood(u)) <= delta
+            assert len(graph.closed_potential_neighborhood(u)) <= delta_prime
+        assert delta_prime >= delta
+
+    @given(dual_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_hop_distance_symmetry_and_triangle(self, graph):
+        vertices = sorted(graph.vertices)
+        u, v = vertices[0], vertices[-1]
+        duv = graph.reliable_hop_distance(u, v)
+        dvu = graph.reliable_hop_distance(v, u)
+        assert duv == dvu
+        if duv is not None:
+            assert duv <= graph.n - 1
+
+    @given(st.integers(min_value=0, max_value=10 ** 6), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_edge_is_symmetric(self, u, v):
+        if u == v:
+            return
+        assert normalize_edge(u, v) == normalize_edge(v, u)
+
+
+# ----------------------------------------------------------------------
+# geometric construction invariants
+# ----------------------------------------------------------------------
+class TestGeometricProperties:
+    @given(position_maps(), st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_geographic_construction_is_always_r_geographic(self, positions, r):
+        graph, embedding = geographic_dual_graph(positions, r=r)
+        assert is_r_geographic(graph, embedding, r)
+
+    @given(position_maps())
+    @settings(max_examples=50, deadline=None)
+    def test_close_pairs_always_connected(self, positions):
+        graph, embedding = geographic_dual_graph(positions, r=2.0)
+        vertices = list(positions)
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                if embedding.distance(u, v) <= 1.0:
+                    assert graph.has_reliable_edge(u, v)
+
+    @given(position_maps())
+    @settings(max_examples=50, deadline=None)
+    def test_far_pairs_never_connected(self, positions):
+        graph, embedding = geographic_dual_graph(positions, r=1.5)
+        vertices = list(positions)
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                if embedding.distance(u, v) > 1.5:
+                    assert not graph.has_any_edge(u, v)
+
+    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_networks_are_r_geographic(self, n, seed):
+        graph, embedding = random_geographic_network(n, side=3.0, rng=seed)
+        assert is_r_geographic(graph, embedding, 2.0)
+        assert graph.n == n
+
+
+# ----------------------------------------------------------------------
+# region partition invariants
+# ----------------------------------------------------------------------
+class TestRegionProperties:
+    @given(points)
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_has_exactly_one_region(self, point):
+        partition = GridRegionPartition()
+        region = partition.region_of_point(point)
+        side = partition.side
+        x, y = point
+        assert region[0] * side <= x < (region[0] + 1) * side or math.isclose(x, (region[0]) * side)
+        assert region[1] * side <= y < (region[1] + 1) * side or math.isclose(y, (region[1]) * side)
+
+    @given(position_maps())
+    @settings(max_examples=40, deadline=None)
+    def test_co_region_points_are_within_distance_one(self, positions):
+        partition = GridRegionPartition()
+        embedding = Embedding(positions)
+        buckets = partition.assign_vertices(embedding)
+        for members in buckets.values():
+            members = sorted(members)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert embedding.distance(u, v) <= 1.0 + 1e-9
+
+    @given(position_maps(), st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_region_graph_is_f_bounded(self, positions, r):
+        partition = GridRegionPartition()
+        embedding = Embedding(positions)
+        region_graph = RegionGraph(partition, embedding, r=r)
+        constant = partition.f_bound_constant(r)
+        assert region_graph.check_f_bounded(constant, max_hops=2)
+
+    @given(position_maps())
+    @settings(max_examples=30, deadline=None)
+    def test_region_adjacency_requires_close_points(self, positions):
+        partition = GridRegionPartition()
+        embedding = Embedding(positions)
+        r = 2.0
+        region_graph = RegionGraph(partition, embedding, r=r)
+        for region in region_graph.regions:
+            for other in region_graph.neighbors(region):
+                close = False
+                for u in region_graph.members(region):
+                    for v in region_graph.members(other):
+                        if embedding.distance(u, v) <= r:
+                            close = True
+                assert close

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the round engine's collision rules."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dualgraph.adversary import IIDScheduler
+from repro.dualgraph.generators import random_geographic_network
+from repro.simulation.engine import Simulator
+from repro.simulation.process import Process, ProcessContext
+
+
+class CoinFlipTransmitter(Process):
+    """Transmits its own vertex id with a per-round probability."""
+
+    def __init__(self, ctx, probability):
+        super().__init__(ctx)
+        self.probability = probability
+        self.heard = {}
+
+    def transmit(self, round_number):
+        if self.rng.random() < self.probability:
+            return ("frame", self.vertex, round_number)
+        return None
+
+    def on_receive(self, round_number, frame):
+        self.heard[round_number] = frame
+
+
+def build_simulation(n, seed, probability, scheduler_probability):
+    graph, _ = random_geographic_network(n, side=3.0, rng=seed)
+    master = random.Random(seed)
+    delta, delta_prime = graph.degree_bounds()
+    processes = {
+        v: CoinFlipTransmitter(
+            ProcessContext(vertex=v, delta=delta, delta_prime=delta_prime,
+                           rng=random.Random(master.getrandbits(64))),
+            probability,
+        )
+        for v in graph.vertices
+    }
+    scheduler = IIDScheduler(graph, probability=scheduler_probability, seed=seed)
+    return graph, scheduler, Simulator(graph, processes, scheduler=scheduler)
+
+
+class TestCollisionRuleProperties:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.floats(min_value=0.05, max_value=0.9),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_reception_is_explained_by_a_unique_transmitting_neighbor(
+        self, n, seed, probability, scheduler_probability
+    ):
+        """The fundamental soundness property of the engine: a frame is heard
+        iff exactly one topology neighbor transmitted it, and transmitters
+        never hear anything."""
+        graph, scheduler, simulator = build_simulation(
+            n, seed, probability, scheduler_probability
+        )
+        rounds = 12
+        trace = simulator.run(rounds)
+        for round_number in range(1, rounds + 1):
+            transmissions = trace.transmissions_in_round(round_number)
+            receptions = trace.receptions_in_round(round_number)
+            topology = scheduler.topology_edges_for_round(round_number)
+
+            def topology_neighbors(u):
+                result = set()
+                for edge in topology:
+                    a, b = tuple(edge)
+                    if a == u:
+                        result.add(b)
+                    elif b == u:
+                        result.add(a)
+                return result
+
+            for vertex in graph.vertices:
+                transmitting_neighbors = [
+                    v for v in topology_neighbors(vertex) if v in transmissions
+                ]
+                if vertex in transmissions:
+                    assert vertex not in receptions
+                elif len(transmitting_neighbors) == 1:
+                    assert receptions.get(vertex) == transmissions[transmitting_neighbors[0]]
+                else:
+                    assert vertex not in receptions
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_is_reproducible_from_seeds(self, n, seed):
+        """Identical seeds produce identical traces (bit-for-bit determinism)."""
+        _, _, sim_a = build_simulation(n, seed, probability=0.4, scheduler_probability=0.5)
+        _, _, sim_b = build_simulation(n, seed, probability=0.4, scheduler_probability=0.5)
+        trace_a = sim_a.run(10)
+        trace_b = sim_b.run(10)
+        for round_number in range(1, 11):
+            assert trace_a.transmissions_in_round(round_number) == trace_b.transmissions_in_round(round_number)
+            assert trace_a.receptions_in_round(round_number) == trace_b.receptions_in_round(round_number)
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_receptions_only_travel_along_gprime_edges(self, n, seed, scheduler_probability):
+        graph, _, simulator = build_simulation(n, seed, 0.5, scheduler_probability)
+        rounds = 8
+        trace = simulator.run(rounds)
+        for round_number in range(1, rounds + 1):
+            transmissions = trace.transmissions_in_round(round_number)
+            for receiver, frame in trace.receptions_in_round(round_number).items():
+                sender = frame[1]
+                assert sender in graph.potential_neighbors(receiver)
+                assert sender in transmissions

@@ -1,0 +1,173 @@
+"""Unit tests for the deterministic environments (Section 4.1 restrictions)."""
+
+import pytest
+
+from repro.core.events import AckOutput, RecvOutput
+from repro.core.messages import Message, make_message
+from repro.simulation.environment import (
+    BurstyEnvironment,
+    NullEnvironment,
+    SaturatingEnvironment,
+    ScriptedEnvironment,
+    SingleShotEnvironment,
+)
+
+
+def ack_for(env, vertex, round_number):
+    """Feed the environment the ack for the vertex's outstanding message."""
+    message = env.outstanding_message(vertex)
+    assert message is not None
+    env.observe_outputs(
+        round_number, [AckOutput(vertex=vertex, message=message, round_number=round_number)]
+    )
+    return message
+
+
+class TestNullEnvironment:
+    def test_never_submits(self):
+        env = NullEnvironment()
+        for round_number in range(1, 10):
+            assert env.inputs_for_round(round_number) == {}
+        assert env.submitted_messages == []
+
+
+class TestSingleShotEnvironment:
+    def test_submits_once_at_start_round(self):
+        env = SingleShotEnvironment(senders=[1, 2], start_round=3)
+        assert env.inputs_for_round(1) == {}
+        assert env.inputs_for_round(2) == {}
+        inputs = env.inputs_for_round(3)
+        assert set(inputs) == {1, 2}
+        assert env.inputs_for_round(4) == {}
+
+    def test_messages_are_unique_and_tagged_by_origin(self):
+        env = SingleShotEnvironment(senders=[1, 2])
+        inputs = env.inputs_for_round(1)
+        m1, m2 = inputs[1][0], inputs[2][0]
+        assert m1.origin == 1 and m2.origin == 2
+        assert m1.message_id != m2.message_id
+
+    def test_busy_until_ack(self):
+        env = SingleShotEnvironment(senders=[5])
+        env.inputs_for_round(1)
+        assert env.is_busy(5)
+        ack_for(env, 5, 10)
+        assert not env.is_busy(5)
+
+
+class TestSaturatingEnvironment:
+    def test_initial_submission_for_all_senders(self):
+        env = SaturatingEnvironment(senders=[0, 1])
+        inputs = env.inputs_for_round(1)
+        assert set(inputs) == {0, 1}
+
+    def test_no_resubmission_while_busy(self):
+        env = SaturatingEnvironment(senders=[0])
+        env.inputs_for_round(1)
+        assert env.inputs_for_round(2) == {}
+        assert env.inputs_for_round(3) == {}
+
+    def test_resubmits_after_ack(self):
+        env = SaturatingEnvironment(senders=[0])
+        first = env.inputs_for_round(1)[0][0]
+        ack_for(env, 0, 5)
+        second = env.inputs_for_round(6)[0][0]
+        assert second.message_id != first.message_id
+        assert second.origin == 0
+
+    def test_respects_start_round(self):
+        env = SaturatingEnvironment(senders=[0], start_round=4)
+        assert env.inputs_for_round(3) == {}
+        assert set(env.inputs_for_round(4)) == {0}
+
+    def test_never_violates_well_formedness(self):
+        env = SaturatingEnvironment(senders=[0])
+        outstanding = 0
+        for round_number in range(1, 30):
+            inputs = env.inputs_for_round(round_number)
+            outstanding += sum(len(v) for v in inputs.values())
+            assert outstanding <= 1
+            if round_number % 7 == 0 and env.is_busy(0):
+                ack_for(env, 0, round_number)
+                outstanding -= 1
+
+
+class TestScriptedEnvironment:
+    def test_follows_the_script(self):
+        env = ScriptedEnvironment({1: {0: "a"}, 3: {1: "b"}})
+        assert set(env.inputs_for_round(1)) == {0}
+        assert env.inputs_for_round(2) == {}
+        assert set(env.inputs_for_round(3)) == {1}
+
+    def test_payloads_are_preserved(self):
+        env = ScriptedEnvironment({1: {0: {"key": "value"}}})
+        message = env.inputs_for_round(1)[0][0]
+        assert message.payload == {"key": "value"}
+
+    def test_queues_submissions_while_busy(self):
+        env = ScriptedEnvironment({1: {0: "first"}, 2: {0: "second"}})
+        env.inputs_for_round(1)
+        # Round 2's submission must wait: vertex 0 is still busy.
+        assert env.inputs_for_round(2) == {}
+        assert env.pending == [(0, "second")]
+        ack_for(env, 0, 3)
+        inputs = env.inputs_for_round(4)
+        assert inputs[0][0].payload == "second"
+        assert env.pending == []
+
+    def test_two_vertices_are_independent(self):
+        env = ScriptedEnvironment({1: {0: "a", 1: "b"}})
+        inputs = env.inputs_for_round(1)
+        assert set(inputs) == {0, 1}
+
+
+class TestBurstyEnvironment:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            BurstyEnvironment(senders=[0], period=0)
+
+    def test_submits_every_period(self):
+        env = BurstyEnvironment(senders=[0], period=3, start_round=1)
+        submitted_rounds = []
+        for round_number in range(1, 10):
+            if env.inputs_for_round(round_number):
+                submitted_rounds.append(round_number)
+            if env.is_busy(0):
+                ack_for(env, 0, round_number)
+        assert submitted_rounds == [1, 4, 7]
+
+    def test_drops_attempts_while_busy(self):
+        env = BurstyEnvironment(senders=[0], period=2, start_round=1)
+        env.inputs_for_round(1)
+        # Still busy at round 3: the attempt is dropped, not queued.
+        assert env.inputs_for_round(3) == {}
+        ack_for(env, 0, 4)
+        # Round 5 is the next on-period round and the node is free again.
+        assert set(env.inputs_for_round(5)) == {0}
+
+    def test_all_submitted_messages_are_unique(self):
+        env = BurstyEnvironment(senders=[0, 1], period=1)
+        for round_number in range(1, 20):
+            env.inputs_for_round(round_number)
+            for vertex in (0, 1):
+                if env.is_busy(vertex):
+                    ack_for(env, vertex, round_number)
+        ids = [m.message_id for m in env.submitted_messages]
+        assert len(ids) == len(set(ids))
+
+
+class TestEnvironmentObservation:
+    def test_recv_outputs_are_ignored_gracefully(self):
+        env = SingleShotEnvironment(senders=[0])
+        env.inputs_for_round(1)
+        env.observe_outputs(
+            2, [RecvOutput(vertex=1, message=make_message(0), round_number=2)]
+        )
+        assert env.is_busy(0)
+
+    def test_ack_for_unknown_message_does_not_unblock(self):
+        env = SingleShotEnvironment(senders=[0])
+        env.inputs_for_round(1)
+        other = Message(origin=0, sequence=999, payload=None)
+        env.observe_outputs(2, [AckOutput(vertex=0, message=other, round_number=2)])
+        assert env.is_busy(0)

@@ -1,0 +1,100 @@
+"""Unit tests for the multi-trial executor."""
+
+import random
+
+import pytest
+
+from repro.dualgraph.graph import DualGraph
+from repro.simulation.engine import Simulator
+from repro.simulation.executor import empirical_failure_rate, run_trials
+from repro.simulation.process import ProcessContext, SilentProcess
+
+
+def simple_factory(rng: random.Random) -> Simulator:
+    graph = DualGraph(vertices=[0, 1], reliable_edges=[(0, 1)])
+    processes = {
+        v: SilentProcess(ProcessContext(vertex=v, delta=2, delta_prime=2, rng=rng))
+        for v in graph.vertices
+    }
+    return Simulator(graph, processes)
+
+
+class TestRunTrials:
+    def test_runs_requested_number_of_trials(self):
+        results = run_trials(simple_factory, rounds=3, num_trials=4)
+        assert len(results) == 4
+        assert [r.trial_index for r in results] == [0, 1, 2, 3]
+
+    def test_seeds_are_derived_from_base_seed(self):
+        results = run_trials(simple_factory, rounds=1, num_trials=3, base_seed=10)
+        assert [r.seed for r in results] == [10, 11, 12]
+
+    def test_each_trial_runs_the_requested_rounds(self):
+        results = run_trials(simple_factory, rounds=5, num_trials=2)
+        assert all(r.trace.num_rounds == 5 for r in results)
+
+    def test_evaluator_is_applied(self):
+        results = run_trials(
+            simple_factory,
+            rounds=2,
+            num_trials=3,
+            evaluator=lambda sim, trace: trace.num_rounds * 10,
+        )
+        assert [r.evaluation for r in results] == [20, 20, 20]
+
+    def test_keep_traces_false_drops_traces(self):
+        results = run_trials(
+            simple_factory,
+            rounds=2,
+            num_trials=2,
+            evaluator=lambda sim, trace: "ok",
+            keep_traces=False,
+        )
+        assert all(r.trace is None and r.simulator is None for r in results)
+        assert all(r.evaluation == "ok" for r in results)
+
+    def test_keep_traces_false_requires_evaluator(self):
+        with pytest.raises(ValueError):
+            run_trials(simple_factory, rounds=1, num_trials=1, keep_traces=False)
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(simple_factory, rounds=-1, num_trials=1)
+        with pytest.raises(ValueError):
+            run_trials(simple_factory, rounds=1, num_trials=0)
+
+    def test_factory_rng_differs_across_trials(self):
+        drawn = []
+
+        def factory(rng: random.Random) -> Simulator:
+            drawn.append(rng.random())
+            return simple_factory(rng)
+
+        run_trials(factory, rounds=1, num_trials=3, base_seed=0)
+        assert len(set(drawn)) == 3
+
+    def test_reproducibility_from_base_seed(self):
+        drawn_a, drawn_b = [], []
+
+        def factory_a(rng):
+            drawn_a.append(rng.random())
+            return simple_factory(rng)
+
+        def factory_b(rng):
+            drawn_b.append(rng.random())
+            return simple_factory(rng)
+
+        run_trials(factory_a, rounds=1, num_trials=3, base_seed=42)
+        run_trials(factory_b, rounds=1, num_trials=3, base_seed=42)
+        assert drawn_a == drawn_b
+
+
+class TestEmpiricalFailureRate:
+    def test_rate_computation(self):
+        results = run_trials(simple_factory, rounds=1, num_trials=4)
+        rate = empirical_failure_rate(results, failed=lambda r: r.trial_index % 2 == 0)
+        assert rate == 0.5
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_failure_rate([], failed=lambda r: True)

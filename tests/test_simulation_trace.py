@@ -1,0 +1,132 @@
+"""Unit tests for execution traces and their derived views."""
+
+import pytest
+
+from repro.core.events import AckOutput, BcastInput, DecideOutput, RecvOutput
+from repro.core.messages import Message
+from repro.simulation.trace import ExecutionTrace
+
+
+@pytest.fixture
+def message():
+    return Message(origin=0, sequence=0, payload="hello")
+
+
+@pytest.fixture
+def other_message():
+    return Message(origin=1, sequence=0, payload="other")
+
+
+def build_trace(message, other_message):
+    """A small hand-built trace: bcast at 2, recvs at 5 and 7, ack at 9."""
+    trace = ExecutionTrace()
+    trace.note_round(12)
+    trace.record_event(BcastInput(vertex=0, message=message, round_number=2))
+    trace.record_event(RecvOutput(vertex=1, message=message, round_number=5))
+    trace.record_event(RecvOutput(vertex=2, message=message, round_number=7))
+    trace.record_event(AckOutput(vertex=0, message=message, round_number=9))
+    trace.record_event(BcastInput(vertex=1, message=other_message, round_number=10))
+    trace.record_event(DecideOutput(vertex=3, owner=4, seed=17, round_number=1))
+    return trace
+
+
+class TestEventAccessors:
+    def test_counts_by_kind(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert len(trace.bcast_inputs) == 2
+        assert len(trace.ack_outputs) == 1
+        assert len(trace.recv_outputs) == 2
+        assert len(trace.decide_outputs) == 1
+        assert len(trace.events) == 6
+
+    def test_by_vertex_views(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert set(trace.bcasts_by_vertex()) == {0, 1}
+        assert set(trace.acks_by_vertex()) == {0}
+        assert set(trace.recvs_by_vertex()) == {1, 2}
+        assert set(trace.decides_by_vertex()) == {3}
+
+    def test_num_rounds(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert trace.num_rounds == 12
+
+    def test_repr_is_informative(self, message, other_message):
+        text = repr(build_trace(message, other_message))
+        assert "rounds=12" in text and "bcasts=2" in text
+
+
+class TestMessageLifecycles:
+    def test_bcast_and_ack_rounds(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert trace.bcast_round_for(message) == 2
+        assert trace.ack_round_for(message) == 9
+        assert trace.ack_round_for(other_message) is None
+
+    def test_active_interval(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert trace.active_interval(message) == (2, 9)
+        assert trace.active_interval(other_message) == (10, None)
+        unknown = Message(origin=9, sequence=0)
+        assert trace.active_interval(unknown) is None
+
+    def test_actively_broadcasting(self, message, other_message):
+        trace = build_trace(message, other_message)
+        # Before the bcast: not active.
+        assert trace.actively_broadcasting(0, 1) == []
+        # Between bcast and ack (inclusive): active.
+        assert trace.actively_broadcasting(0, 2) == [message]
+        assert trace.actively_broadcasting(0, 9) == [message]
+        # After the ack: no longer active.
+        assert trace.actively_broadcasting(0, 10) == []
+        # The unacknowledged message stays active forever.
+        assert trace.actively_broadcasting(1, 11) == [other_message]
+
+    def test_is_active(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert trace.is_active(0, 5)
+        assert not trace.is_active(0, 1)
+        assert not trace.is_active(2, 5)
+
+    def test_receivers_of(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert trace.receivers_of(message) == {1: 5, 2: 7}
+        assert trace.receivers_of(other_message) == {}
+
+    def test_receivers_of_keeps_earliest_round(self, message):
+        trace = ExecutionTrace()
+        trace.record_event(RecvOutput(vertex=1, message=message, round_number=8))
+        trace.record_event(RecvOutput(vertex=1, message=message, round_number=4))
+        assert trace.receivers_of(message) == {1: 4}
+
+    def test_recv_rounds_for_vertex(self, message, other_message):
+        trace = build_trace(message, other_message)
+        assert trace.recv_rounds_for_vertex(1) == [5]
+        assert trace.recv_rounds_for_vertex(99) == []
+
+
+class TestFrameRecording:
+    def test_transmissions_and_receptions(self):
+        trace = ExecutionTrace()
+        trace.note_round(1)
+        trace.record_transmissions(1, {0: "frame-a"})
+        trace.record_receptions(1, {1: "frame-a", 2: None})
+        assert trace.transmissions_in_round(1) == {0: "frame-a"}
+        # Null receptions are not stored.
+        assert trace.receptions_in_round(1) == {1: "frame-a"}
+        assert trace.receptions_in_round(2) == {}
+
+    def test_record_frames_false_drops_frames(self, message, other_message):
+        trace = ExecutionTrace(record_frames=False)
+        trace.note_round(1)
+        trace.record_transmissions(1, {0: "frame"})
+        trace.record_receptions(1, {1: "frame"})
+        assert trace.transmissions_in_round(1) == {}
+        assert trace.receptions_in_round(1) == {}
+        # Events are still recorded.
+        trace.record_event(BcastInput(vertex=0, message=message, round_number=1))
+        assert len(trace.bcast_inputs) == 1
+
+    def test_empty_transmissions_are_not_stored(self):
+        trace = ExecutionTrace()
+        trace.record_transmissions(1, {})
+        assert trace.transmissions_in_round(1) == {}
