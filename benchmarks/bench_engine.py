@@ -1,0 +1,214 @@
+"""Engine throughput benchmark: rounds/sec, path comparison, and breakdown.
+
+This is the repo's performance yardstick.  For each network size it runs the
+same fixed-seed LBAlg workload (saturating senders, i.i.d. link scheduler)
+through
+
+* the **legacy** engine path (``fast_path=False``: per-round topology edge
+  frozensets, exactly the seed engine's resolution strategy), and
+* the **fast** path (indexed CSR topology, transmitter-centric collision
+  counters, scheduler edge-id deltas), under each :class:`TraceMode`,
+
+verifies that the legacy and fast executions produce *identical* event traces
+and per-round frames, and writes ``BENCH_engine.json`` at the repo root with
+rounds/sec, speedups, and a per-section time breakdown (from a separate
+profiled run so the headline numbers carry no timer overhead).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_engine.py --jobs 4   # pool over n
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from functools import partial
+from typing import Any, Dict
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro import (
+    IIDScheduler,
+    LBParams,
+    Simulator,
+    TraceMode,
+    make_lb_processes,
+    random_geographic_network,
+)
+from repro.analysis.sweep import format_table
+from repro.simulation.environment import SaturatingEnvironment
+
+from benchmarks.common import add_jobs_argument, run_sweep, save_table
+
+#: Approximate points per unit area; keeps the reliable degree roughly
+#: constant as n grows (side scales with sqrt(n)).
+DENSITY = 2.55
+
+FULL_SIZES = (25, 100, 400)
+QUICK_SIZES = (25, 100)
+FULL_ROUNDS = {25: 1200, 100: 600, 400: 300}
+QUICK_ROUNDS = {25: 200, 100: 100}
+MASTER_SEED = 2015  # PODC 2015
+TARGET_SPEEDUP = 5.0
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_engine.json"
+)
+
+
+def build_workload(n: int, fast_path: bool, trace_mode: TraceMode, profile: bool = False):
+    """One fixed-seed LBAlg workload; identical construction for every config."""
+    import random
+
+    side = math.sqrt(n / DENSITY)
+    graph, _ = random_geographic_network(n, side=side, r=2.0, rng=MASTER_SEED + n)
+    delta, delta_prime = graph.degree_bounds()
+    params = LBParams.small_for_testing(delta=delta, delta_prime=delta_prime)
+    senders = sorted(graph.vertices)[: max(2, n // 5)]
+    simulator = Simulator(
+        graph,
+        make_lb_processes(graph, params, random.Random(MASTER_SEED)),
+        scheduler=IIDScheduler(graph, probability=0.5, seed=MASTER_SEED),
+        environment=SaturatingEnvironment(senders=senders),
+        trace_mode=trace_mode,
+        fast_path=fast_path,
+        profile=profile,
+    )
+    return simulator, params
+
+
+def _timed_run(n: int, rounds: int, fast_path: bool, trace_mode: TraceMode):
+    simulator, _ = build_workload(n, fast_path, trace_mode)
+    start = time.perf_counter()
+    trace = simulator.run(rounds)
+    elapsed = time.perf_counter() - start
+    return simulator, trace, rounds / elapsed
+
+
+def _profiled_breakdown(n: int, rounds: int, fast_path: bool) -> Dict[str, float]:
+    simulator, _ = build_workload(n, fast_path, TraceMode.FULL, profile=True)
+    simulator.run(rounds)
+    total = sum(simulator.perf_stats.values()) or 1.0
+    return {section: t / total for section, t in sorted(simulator.perf_stats.items())}
+
+
+def _traces_identical(trace_a, trace_b, rounds: int) -> bool:
+    if trace_a.events != trace_b.events:
+        return False
+    for round_number in range(1, rounds + 1):
+        if trace_a.transmissions_in_round(round_number) != trace_b.transmissions_in_round(
+            round_number
+        ):
+            return False
+        if trace_a.receptions_in_round(round_number) != trace_b.receptions_in_round(
+            round_number
+        ):
+            return False
+    return True
+
+
+def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
+    """Benchmark one network size across engine paths and trace modes."""
+    rounds = rounds_by_n[n]
+    legacy_sim, legacy_trace, legacy_rps = _timed_run(n, rounds, False, TraceMode.FULL)
+    graph = legacy_sim.graph
+    fast_sim, fast_trace, fast_rps = _timed_run(n, rounds, True, TraceMode.FULL)
+    _, _, fast_events_rps = _timed_run(n, rounds, True, TraceMode.EVENTS)
+    _, _, fast_counters_rps = _timed_run(n, rounds, True, TraceMode.COUNTERS)
+
+    assert not legacy_sim.uses_fast_path and fast_sim.uses_fast_path
+    identical = _traces_identical(legacy_trace, fast_trace, rounds)
+
+    return {
+        "delta": graph.max_reliable_degree,
+        "delta_prime": graph.max_potential_degree,
+        "reliable_edges": len(graph.reliable_edges),
+        "unreliable_edges": len(graph.unreliable_edges),
+        "rounds": rounds,
+        "legacy_rps": legacy_rps,
+        "fast_rps": fast_rps,
+        "fast_events_rps": fast_events_rps,
+        "fast_counters_rps": fast_counters_rps,
+        "speedup": fast_rps / legacy_rps,
+        "speedup_counters": fast_counters_rps / legacy_rps,
+        "trace_identical": identical,
+        "events": len(fast_trace.events),
+        "breakdown_fast": _profiled_breakdown(n, max(rounds // 4, 20), True),
+        "breakdown_legacy": _profiled_breakdown(n, max(rounds // 4, 20), False),
+    }
+
+
+def run_engine_benchmark(quick: bool = False, jobs: int = None):
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rounds_by_n = QUICK_ROUNDS if quick else FULL_ROUNDS
+    run_point = partial(run_workload_point, rounds_by_n=rounds_by_n)
+    return run_sweep({"n": list(sizes)}, run_point, jobs=jobs)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small grid for CI smoke runs")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="path of the JSON report")
+    add_jobs_argument(parser)
+    args = parser.parse_args(argv)
+
+    result = run_engine_benchmark(quick=args.quick, jobs=args.jobs)
+
+    columns = [
+        "n",
+        "delta",
+        "unreliable_edges",
+        "rounds",
+        "legacy_rps",
+        "fast_rps",
+        "fast_events_rps",
+        "fast_counters_rps",
+        "speedup",
+        "trace_identical",
+    ]
+    table = format_table(
+        result.rows,
+        columns=columns,
+        title="Engine throughput: legacy vs fast path (rounds/sec), IID scheduler",
+    )
+    print(table)
+    save_table("BENCH_engine", table)
+
+    largest = max(row["n"] for row in result)
+    headline = next(row for row in result if row["n"] == largest)
+    report = {
+        "benchmark": "bench_engine",
+        "workload": "LBAlg, saturating senders, IIDScheduler(p=0.5), fixed seeds",
+        "quick": bool(args.quick),
+        "python": sys.version.split()[0],
+        "target_speedup": TARGET_SPEEDUP,
+        "headline_n": largest,
+        "headline_speedup": headline["speedup"],
+        "headline_speedup_counters": headline["speedup_counters"],
+        "all_traces_identical": all(row["trace_identical"] for row in result),
+        "workloads": result.rows,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {args.output}")
+    print(
+        f"n={largest}: {headline['speedup']:.1f}x rounds/sec vs seed engine "
+        f"({headline['speedup_counters']:.1f}x with counters-only traces); "
+        f"traces identical: {report['all_traces_identical']}"
+    )
+
+    if not report["all_traces_identical"]:
+        print("ERROR: fast path diverged from the legacy engine", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,10 @@ individual ``bench_*.py`` modules short and uniform.
 
 from __future__ import annotations
 
+import argparse
 import os
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import (
     DualGraph,
@@ -22,10 +23,15 @@ from repro import (
     make_lb_processes,
     random_geographic_network,
 )
-from repro.analysis.sweep import SweepResult, format_table
+from repro.analysis.sweep import ParallelSweepRunner, SweepResult, format_table
 from repro.simulation.environment import Environment
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Environment variable consulted when no explicit --jobs value is given, so
+#: the pytest-driven harnesses can be parallelized without changing call sites
+#: (``BENCH_JOBS=8 pytest benchmarks/...``).
+JOBS_ENV_VAR = "BENCH_JOBS"
 
 #: Network "density profiles": approximate reliable degree bound -> sampling
 #: parameters (n, side) for random geographic networks.  Degree bounds are
@@ -103,3 +109,42 @@ def print_and_save(name: str, title: str, result: SweepResult, columns=None) -> 
 def run_once_benchmark(benchmark, fn: Callable[[], SweepResult]) -> SweepResult:
     """Run an experiment harness exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def default_jobs() -> int:
+    """The sweep worker count when no --jobs flag is given (``BENCH_JOBS`` or 1)."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+def add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--jobs`` flag to a benchmark's CLI parser."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sweep (default: $BENCH_JOBS or 1; "
+            "values above 1 use a process pool over grid points)"
+        ),
+    )
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    run: Callable[..., Mapping[str, Any]],
+    jobs: Optional[int] = None,
+    base_seed: Optional[int] = None,
+) -> SweepResult:
+    """Run a benchmark grid serially or on a process pool.
+
+    ``jobs=None`` falls back to ``$BENCH_JOBS`` (default 1, i.e. the classic
+    serial :func:`repro.analysis.sweep.sweep`).  Rows are identical and in
+    identical order regardless of the worker count; with ``base_seed`` set,
+    per-point derived seeds are injected as the ``seed`` keyword argument.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    return ParallelSweepRunner(jobs=jobs, base_seed=base_seed).run(grid, run)

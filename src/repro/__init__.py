@@ -50,6 +50,7 @@ from repro.dualgraph import (
     CollisionAdaptiveAdversary,
     DualGraph,
     Embedding,
+    TopologyIndex,
     FullInclusionScheduler,
     GridRegionPartition,
     IIDScheduler,
@@ -79,6 +80,7 @@ from repro.simulation import (
     ScriptedEnvironment,
     Simulator,
     SingleShotEnvironment,
+    TraceMode,
     TrialResult,
     ack_delays,
     delivery_report,
@@ -112,13 +114,20 @@ from repro.baselines import (
 from repro.mac import AbstractMacNode, FloodClient, MacClient, run_flood
 from repro.analysis import theory
 from repro.analysis.stats import empirical_error_rate, summarize, wilson_interval
-from repro.analysis.sweep import SweepResult, format_table, sweep
+from repro.analysis.sweep import (
+    ParallelSweepRunner,
+    SweepResult,
+    format_table,
+    parallel_sweep,
+    sweep,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     # dual graph substrate
     "DualGraph",
+    "TopologyIndex",
     "Embedding",
     "GridRegionPartition",
     "RegionGraph",
@@ -151,6 +160,7 @@ __all__ = [
     "ScriptedEnvironment",
     "BurstyEnvironment",
     "ExecutionTrace",
+    "TraceMode",
     "run_trials",
     "TrialResult",
     "ack_delays",
@@ -189,6 +199,8 @@ __all__ = [
     "wilson_interval",
     "summarize",
     "sweep",
+    "parallel_sweep",
+    "ParallelSweepRunner",
     "SweepResult",
     "format_table",
     "__version__",

@@ -18,7 +18,15 @@ from repro.analysis.stats import (
     summarize,
     wilson_interval,
 )
-from repro.analysis.sweep import SweepResult, format_table, sweep
+from repro.analysis.sweep import (
+    ParallelSweepRunner,
+    SweepResult,
+    derive_point_seed,
+    format_table,
+    iter_grid_points,
+    parallel_sweep,
+    sweep,
+)
 
 __all__ = [
     "theory",
@@ -29,6 +37,10 @@ __all__ = [
     "empirical_error_rate",
     "wilson_interval",
     "sweep",
+    "parallel_sweep",
+    "ParallelSweepRunner",
+    "iter_grid_points",
+    "derive_point_seed",
     "SweepResult",
     "format_table",
 ]

@@ -139,32 +139,36 @@ class LocalBroadcastProcess(Process):
     # round processing
     # ------------------------------------------------------------------
     def transmit(self, round_number: int) -> Optional[Any]:
-        phase, offset = self.params.phase_position(round_number)
+        if round_number < 1:
+            raise ValueError("rounds are 1-based")
+        params = self.params
+        phase_m1, index = divmod(round_number - 1, params.phase_length)
+        offset, in_preamble, _, body_start, _ = params.phase_offset_table[index]
 
         if offset == 1:
-            self._begin_phase(phase)
+            self._begin_phase(phase_m1 + 1)
 
-        if self.params.is_preamble(offset):
+        if in_preamble:
             if self._seed_subroutine is None:
                 # A reused-seed phase: the preamble is idle listening.
                 return None
             return self._seed_subroutine.step_transmit(round_number)
 
         # Body round.
-        if offset == self.params.ts + 1:
+        if body_start:
             self._begin_body()
 
         if self._state != STATE_SENDING or self._current_message is None:
             return None
 
         self.stats_body_rounds_sending += 1
-        participant = self._seed_stream.consume_all_zero(self.params.participant_bits)
+        participant = self._seed_stream.consume_all_zero(params.participant_bits)
         if not participant:
             self._note_bits_consumed()
             return None
         self.stats_participant_rounds += 1
         b_index = self._seed_stream.consume_uniform_index(
-            self.params.log_delta, self.params.b_selection_bits
+            params.log_delta, params.b_selection_bits
         )
         self._note_bits_consumed()
         b = b_index + 1
@@ -175,19 +179,23 @@ class LocalBroadcastProcess(Process):
         return None
 
     def on_receive(self, round_number: int, frame: Optional[Any]) -> None:
-        phase, offset = self.params.phase_position(round_number)
+        if round_number < 1:
+            raise ValueError("rounds are 1-based")
+        params = self.params
+        index = (round_number - 1) % params.phase_length
+        _, in_preamble, preamble_end, _, phase_end = params.phase_offset_table[index]
 
-        if self.params.is_preamble(offset):
+        if in_preamble:
             if self._seed_subroutine is not None:
                 self._seed_subroutine.step_receive(round_number, frame)
-                if offset == self.params.ts:
+                if preamble_end:
                     self._finish_preamble()
             return
 
         if isinstance(frame, DataFrame):
             self._handle_data(frame.message, round_number)
 
-        if offset == self.params.phase_length:
+        if phase_end:
             self._end_phase(round_number)
 
     # ------------------------------------------------------------------
@@ -208,16 +216,8 @@ class LocalBroadcastProcess(Process):
             return
 
         # Fresh SeedAlg subroutine for this phase, silent in the LB trace.
-        sub_ctx = ProcessContext(
-            vertex=self.ctx.vertex,
-            delta=self.ctx.delta,
-            delta_prime=self.ctx.delta_prime,
-            r=self.ctx.r,
-            process_id=self.ctx.process_id,
-            rng=self.ctx.rng,
-        )
         self._seed_subroutine = SeedAgreementProcess(
-            sub_ctx, self.params.seed_params, emit_decides=False
+            self.ctx.child(), self.params.seed_params, emit_decides=False
         )
         self._seed_stream = None
         self._phase_seed = None
@@ -287,7 +287,7 @@ def make_lb_processes(
     graph,
     params: LBParams,
     rng: random.Random,
-    r: float = None,
+    r: Optional[float] = None,
     seed_reuse_phases: int = 1,
 ):
     """Build one :class:`LocalBroadcastProcess` per vertex of ``graph``.

@@ -307,6 +307,37 @@ class LBParams:
         """True iff a 1-based in-phase offset falls in the broadcast body."""
         return self.ts < offset <= self.phase_length
 
+    @property
+    def phase_offset_table(self) -> Tuple[Tuple[int, bool, bool, bool, bool], ...]:
+        """Precomputed per-offset phase structure, indexed by ``(round-1) % phase_length``.
+
+        Entry ``i`` is ``(offset, is_preamble, is_preamble_end, is_body_start,
+        is_phase_end)`` for 1-based offset ``i + 1``.  ``LBAlg`` consults the
+        phase structure twice per process per round; this table replaces the
+        repeated ``phase_position`` / ``is_preamble`` arithmetic with a single
+        ``divmod`` and a tuple lookup on the hot path.  Built lazily once per
+        parameter set (the dataclass is frozen, so the cache is stashed via
+        ``object.__setattr__``).
+        """
+        try:
+            return self._phase_offset_table_cache
+        except AttributeError:
+            pass
+        ts = self.ts
+        length = self.phase_length
+        table = tuple(
+            (
+                offset,
+                offset <= ts,
+                offset == ts,
+                offset == ts + 1,
+                offset == length,
+            )
+            for offset in range(1, length + 1)
+        )
+        object.__setattr__(self, "_phase_offset_table_cache", table)
+        return table
+
     # ------------------------------------------------------------------
     # derivation
     # ------------------------------------------------------------------

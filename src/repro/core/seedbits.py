@@ -12,6 +12,11 @@ The initial κ bits are exactly the committed seed (the paper draws seeds from
 ``S_κ = {0,1}^κ``); if an execution somehow consumes more than κ bits the
 stream keeps going by hashing ``seed || block_index``, which preserves the
 "same seed ⇒ same bits" property that the algorithm depends on.
+
+The stream is stored as a single Python integer (MSB-first accumulator) plus a
+cursor, so :meth:`consume_int` is a shift-and-mask rather than a list slice
+and extension appends 256 bits with one shift -- no per-bit list of ints is
+ever materialized.  This is the hot allocation site of every LBAlg body round.
 """
 
 from __future__ import annotations
@@ -35,6 +40,8 @@ class SeedBitStream:
 
     _BLOCK_BITS = 256  # one SHA-256 digest per extension block
 
+    __slots__ = ("_seed", "_kappa", "_acc", "_total_bits", "_cursor", "_extension_blocks")
+
     def __init__(self, seed: int, kappa: int) -> None:
         if kappa < 1:
             raise ValueError(f"kappa must be positive, got {kappa}")
@@ -46,29 +53,31 @@ class SeedBitStream:
             )
         self._seed = seed
         self._kappa = kappa
-        self._bits: List[int] = [(seed >> (kappa - 1 - i)) & 1 for i in range(kappa)]
+        # The accumulator holds every generated bit MSB-first: the top κ bits
+        # are the seed itself, later extension blocks are appended at the low
+        # end.  `_total_bits` is its logical width (leading zeros included).
+        self._acc = seed
+        self._total_bits = kappa
         self._cursor = 0
         self._extension_blocks = 0
 
     # ------------------------------------------------------------------
     # consumption
     # ------------------------------------------------------------------
-    def consume_bits(self, count: int) -> List[int]:
-        """Consume ``count`` bits and return them as a list of 0/1 ints."""
-        if count < 0:
-            raise ValueError("cannot consume a negative number of bits")
-        while self._cursor + count > len(self._bits):
-            self._extend()
-        result = self._bits[self._cursor : self._cursor + count]
-        self._cursor += count
-        return result
-
     def consume_int(self, count: int) -> int:
         """Consume ``count`` bits and return them as an integer in [0, 2^count)."""
-        value = 0
-        for bit in self.consume_bits(count):
-            value = (value << 1) | bit
-        return value
+        if count < 0:
+            raise ValueError("cannot consume a negative number of bits")
+        end = self._cursor + count
+        while end > self._total_bits:
+            self._extend()
+        self._cursor = end
+        return (self._acc >> (self._total_bits - end)) & ((1 << count) - 1)
+
+    def consume_bits(self, count: int) -> List[int]:
+        """Consume ``count`` bits and return them as a list of 0/1 ints."""
+        value = self.consume_int(count)
+        return [(value >> (count - 1 - i)) & 1 for i in range(count)]
 
     def consume_all_zero(self, count: int) -> bool:
         """Consume ``count`` bits and report whether they were all zero.
@@ -128,9 +137,8 @@ class SeedBitStream:
             + str(self._extension_blocks).encode()
         )
         digest = hashlib.sha256(payload).digest()
-        for byte in digest:
-            for i in range(8):
-                self._bits.append((byte >> (7 - i)) & 1)
+        self._acc = (self._acc << self._BLOCK_BITS) | int.from_bytes(digest, "big")
+        self._total_bits += self._BLOCK_BITS
 
     def __repr__(self) -> str:
         return (

@@ -14,7 +14,7 @@ This package implements the network model of Section 2 of the paper:
   unreliable edges appear in each round's communication topology.
 """
 
-from repro.dualgraph.graph import DualGraph, Edge, normalize_edge
+from repro.dualgraph.graph import DualGraph, Edge, TopologyIndex, normalize_edge
 from repro.dualgraph.geometric import (
     Embedding,
     euclidean_distance,
@@ -46,6 +46,7 @@ from repro.dualgraph.adversary import (
 __all__ = [
     "DualGraph",
     "Edge",
+    "TopologyIndex",
     "normalize_edge",
     "Embedding",
     "euclidean_distance",

@@ -39,7 +39,9 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.dualgraph.graph import DualGraph, Edge, normalize_edge
+from repro.dualgraph.graph import DualGraph, Edge, TopologyIndex, normalize_edge
+
+_TWO_64 = float(1 << 64)  # shared by _edge_round_hash and the IID fast paths, which must agree
 
 
 class LinkScheduler(ABC):
@@ -48,10 +50,24 @@ class LinkScheduler(ABC):
     Subclasses implement :meth:`unreliable_edges_for_round`; the simulator
     calls :meth:`resolve_topology` to obtain the full edge set of the round's
     communication topology ``G_t`` (always a superset of ``E``).
+
+    For the engine's fast path, schedulers additionally expose a *delta
+    interface*: :meth:`unreliable_edge_ids_for_round` reports the included
+    edges as dense integer ids from the graph's
+    :meth:`~repro.dualgraph.graph.DualGraph.topology_index`, memoized per
+    round, so the engine never touches frozensets of edges on the hot path.
+    Subclasses with structure to exploit (periodic masks, precomputed hash
+    prefixes) override :meth:`_compute_unreliable_edge_ids`; the default maps
+    :meth:`unreliable_edges_for_round` through the index, so any oblivious
+    scheduler gets the delta interface for free and both views always agree.
     """
 
     def __init__(self, graph: DualGraph) -> None:
         self._graph = graph
+        self._ids_memo_key: Optional[Tuple[int, int]] = None
+        self._ids_memo: Tuple[int, ...] = ()
+        self._ids_set_memo_key: Optional[Tuple[int, int]] = None
+        self._ids_set_memo: FrozenSet[int] = frozenset()
 
     @property
     def graph(self) -> DualGraph:
@@ -77,6 +93,45 @@ class LinkScheduler(ABC):
         included = self.unreliable_edges_for_round(round_number)
         extra = included & self._graph.unreliable_edges
         return frozenset(self._graph.reliable_edges | extra)
+
+    def unreliable_edge_ids_for_round(self, round_number: int) -> Tuple[int, ...]:
+        """Dense ids of the unreliable edges included in ``round_number``.
+
+        Ids refer to ``self.graph.topology_index()``.  The result is memoized
+        per ``(round, topology version)`` so the engine (and anything else
+        inspecting the schedule) can query a round repeatedly for free.
+        """
+        key = (round_number, self._graph.topology_version)
+        if key == self._ids_memo_key:
+            return self._ids_memo
+        ids = self._compute_unreliable_edge_ids(
+            round_number, self._graph.topology_index()
+        )
+        self._ids_memo_key = key
+        self._ids_memo = ids
+        return ids
+
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        """Uncached id computation; override when structure allows a fast path."""
+        return index.edge_ids(self.unreliable_edges_for_round(round_number))
+
+    def unreliable_edge_included(self, edge_id: int, round_number: int) -> bool:
+        """Whether one unreliable edge (by dense id) is scheduled this round.
+
+        The engine's fast path queries only the edges incident to the round's
+        transmitters, which for sparse transmission patterns is far fewer
+        edges than the whole of ``E' \\ E``.  The default answers from a
+        memoized set of the round's full id delta; schedulers whose per-edge
+        decision is O(1) (e.g. :class:`IIDScheduler`) override this so that
+        never-queried edges cost nothing at all.
+        """
+        key = (round_number, self._graph.topology_version)
+        if key != self._ids_set_memo_key:
+            self._ids_set_memo = frozenset(self.unreliable_edge_ids_for_round(round_number))
+            self._ids_set_memo_key = key
+        return edge_id in self._ids_set_memo
 
     def resolve_topology(
         self, round_number: int, transmitting: FrozenSet
@@ -178,12 +233,22 @@ class NoUnreliableScheduler(LinkScheduler):
     def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
         return frozenset()
 
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        return ()
+
 
 class FullInclusionScheduler(LinkScheduler):
     """Always include every unreliable edge: the topology is always ``G'``."""
 
     def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
         return self._graph.unreliable_edges
+
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        return tuple(range(index.num_unreliable_edges))
 
 
 def _edge_round_hash(seed: int, edge: Edge, round_number: int, salt: bytes = b"") -> float:
@@ -205,7 +270,7 @@ def _edge_round_hash(seed: int, edge: Edge, round_number: int, salt: bytes = b""
         + salt
     )
     digest = hashlib.sha256(payload).digest()
-    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return int.from_bytes(digest[:8], "big") / _TWO_64
 
 
 class IIDScheduler(LinkScheduler):
@@ -217,6 +282,8 @@ class IIDScheduler(LinkScheduler):
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         self._p = float(probability)
         self._seed = int(seed)
+        self._prefixes_version: Optional[int] = None
+        self._prefixes: Tuple[bytes, ...] = ()
 
     @property
     def probability(self) -> float:
@@ -232,6 +299,57 @@ class IIDScheduler(LinkScheduler):
             for e in self._graph.unreliable_edges
             if _edge_round_hash(self._seed, e, round_number) < self._p
         )
+
+    def _payload_prefixes(self, index: TopologyIndex) -> Tuple[bytes, ...]:
+        """Per-edge-id constant prefix of the `_edge_round_hash` payload.
+
+        The payload is ``seed|e0|e1|round|salt`` with an empty salt; only the
+        round varies between rounds, so everything up to and including the
+        third separator is hashed from a precomputed bytes object.  The digest
+        (and therefore the inclusion decision) is bit-identical to
+        :func:`_edge_round_hash`.
+        """
+        version = self._graph.topology_version
+        if version != self._prefixes_version:
+            seed_bytes = str(self._seed).encode()
+            prefixes = []
+            for edge in index.unreliable_edge_list:
+                e0, e1 = sorted(repr(v) for v in edge)
+                prefixes.append(
+                    seed_bytes + b"|" + e0.encode() + b"|" + e1.encode() + b"|"
+                )
+            self._prefixes = tuple(prefixes)
+            self._prefixes_version = version
+        return self._prefixes
+
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        if self._p == 0.0:
+            return ()
+        if self._p == 1.0:
+            return tuple(range(index.num_unreliable_edges))
+        suffix = str(round_number).encode() + b"|"
+        p = self._p
+        sha256 = hashlib.sha256
+        from_bytes = int.from_bytes
+        return tuple(
+            eid
+            for eid, prefix in enumerate(self._payload_prefixes(index))
+            if from_bytes(sha256(prefix + suffix).digest()[:8], "big") / _TWO_64 < p
+        )
+
+    def unreliable_edge_included(self, edge_id: int, round_number: int) -> bool:
+        # One hash for one edge: the i.i.d. decisions are independent, so a
+        # membership query never needs the rest of the round's delta.
+        if self._p == 0.0:
+            return False
+        if self._p == 1.0:
+            return True
+        prefixes = self._payload_prefixes(self._graph.topology_index())
+        payload = prefixes[edge_id] + str(round_number).encode() + b"|"
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big") / _TWO_64 < self._p
 
     def describe(self) -> str:
         return f"IIDScheduler(p={self._p})"
@@ -260,6 +378,8 @@ class PeriodicScheduler(LinkScheduler):
         self._off = int(off_rounds)
         self._stagger = bool(stagger)
         self._seed = int(seed)
+        self._period_masks_version: Optional[int] = None
+        self._period_masks: Dict[int, Tuple[int, ...]] = {}
 
     def _offset_for_edge(self, edge: Edge) -> int:
         if not self._stagger:
@@ -275,6 +395,29 @@ class PeriodicScheduler(LinkScheduler):
             if phase < self._on:
                 result.append(e)
         return frozenset(result)
+
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        # The schedule is periodic: the inclusion mask depends only on
+        # (round - 1) mod period, so at most `period` distinct masks exist.
+        # Compute each lazily and reuse it for the rest of the run.
+        period = self._on + self._off
+        version = self._graph.topology_version
+        if version != self._period_masks_version:
+            self._period_masks = {}
+            self._period_masks_version = version
+        phase = (round_number - 1) % period
+        mask = self._period_masks.get(phase)
+        if mask is None:
+            on = self._on
+            mask = tuple(
+                eid
+                for eid, edge in enumerate(index.unreliable_edge_list)
+                if (phase + self._offset_for_edge(edge)) % period < on
+            )
+            self._period_masks[phase] = mask
+        return mask
 
     def describe(self) -> str:
         return f"PeriodicScheduler(on={self._on}, off={self._off}, stagger={self._stagger})"
@@ -335,6 +478,13 @@ class AntiScheduleAdversary(LinkScheduler):
             return self._graph.unreliable_edges
         return frozenset()
 
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        if self.victim_probability_for_round(round_number) >= self._threshold:
+            return tuple(range(index.num_unreliable_edges))
+        return ()
+
     def describe(self) -> str:
         return (
             f"AntiScheduleAdversary(cycle={len(self._victim)}, "
@@ -372,6 +522,8 @@ class TraceScheduler(LinkScheduler):
                 )
             self._schedule.append(edges)
         self._cycle = bool(cycle)
+        self._id_schedule_version: Optional[int] = None
+        self._id_schedule: List[Tuple[int, ...]] = []
 
     def unreliable_edges_for_round(self, round_number: int) -> FrozenSet[Edge]:
         if not self._schedule:
@@ -382,6 +534,22 @@ class TraceScheduler(LinkScheduler):
                 return frozenset()
             index %= len(self._schedule)
         return self._schedule[index]
+
+    def _compute_unreliable_edge_ids(
+        self, round_number: int, index: TopologyIndex
+    ) -> Tuple[int, ...]:
+        version = self._graph.topology_version
+        if version != self._id_schedule_version:
+            self._id_schedule = [index.edge_ids(entry) for entry in self._schedule]
+            self._id_schedule_version = version
+        if not self._id_schedule:
+            return ()
+        slot = round_number - 1
+        if slot >= len(self._id_schedule):
+            if not self._cycle:
+                return ()
+            slot %= len(self._id_schedule)
+        return self._id_schedule[slot]
 
     def describe(self) -> str:
         return f"TraceScheduler(length={len(self._schedule)}, cycle={self._cycle})"

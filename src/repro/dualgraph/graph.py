@@ -28,6 +28,107 @@ Vertex = Hashable
 Edge = FrozenSet[Vertex]
 
 
+class TopologyIndex:
+    """An integer-indexed, read-only view of a :class:`DualGraph`.
+
+    The simulator's hot path cannot afford per-round hashing of arbitrary
+    vertex identifiers and frozenset edges, so this structure maps the graph
+    onto dense integer indices once, at construction time:
+
+    * ``vertices[i]`` is the vertex with index ``i`` (indices are assigned in
+      ``sorted(..., key=repr)`` order so they are stable across runs and match
+      the ordering used by the process factories);
+    * the reliable adjacency of ``G`` is stored CSR-style: the neighbors of
+      vertex index ``i`` are ``g_indices[g_indptr[i]:g_indptr[i+1]]`` (also
+      exposed pre-sliced as ``g_neighbors[i]`` for tight loops);
+    * every unreliable edge of ``E' \\ E`` gets a dense *edge id*; the
+      endpoints of edge id ``e`` are ``(unreliable_u[e], unreliable_v[e])``.
+
+    Link schedulers use the edge ids to describe per-round inclusion deltas
+    (:meth:`repro.dualgraph.adversary.LinkScheduler.unreliable_edge_ids_for_round`)
+    without materializing frozensets, and the engine uses the CSR arrays to
+    resolve receptions transmitter-centrically.
+
+    Instances are built via :meth:`DualGraph.topology_index`, which caches the
+    index and invalidates it when edges are added.
+    """
+
+    __slots__ = (
+        "vertices",
+        "index_of",
+        "g_indptr",
+        "g_indices",
+        "g_neighbors",
+        "unreliable_edge_list",
+        "unreliable_id_of",
+        "unreliable_u",
+        "unreliable_v",
+        "unreliable_adjacency",
+    )
+
+    def __init__(self, graph: "DualGraph") -> None:
+        self.vertices: Tuple[Vertex, ...] = tuple(sorted(graph._vertices, key=repr))
+        self.index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(self.vertices)}
+
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        neighbors: List[Tuple[int, ...]] = []
+        for vertex in self.vertices:
+            row = sorted(self.index_of[nb] for nb in graph._g_adj[vertex])
+            indices.extend(row)
+            indptr.append(len(indices))
+            neighbors.append(tuple(row))
+        self.g_indptr: Tuple[int, ...] = tuple(indptr)
+        self.g_indices: Tuple[int, ...] = tuple(indices)
+        self.g_neighbors: Tuple[Tuple[int, ...], ...] = tuple(neighbors)
+
+        def edge_key(edge: Edge) -> Tuple[int, int]:
+            a, b = sorted(self.index_of[v] for v in edge)
+            return a, b
+
+        self.unreliable_edge_list: Tuple[Edge, ...] = tuple(
+            sorted(graph._unreliable_extra, key=edge_key)
+        )
+        self.unreliable_id_of: Dict[Edge, int] = {
+            edge: eid for eid, edge in enumerate(self.unreliable_edge_list)
+        }
+        endpoint_u: List[int] = []
+        endpoint_v: List[int] = []
+        u_adj: List[List[Tuple[int, int]]] = [[] for _ in self.vertices]
+        for eid, edge in enumerate(self.unreliable_edge_list):
+            a, b = edge_key(edge)
+            endpoint_u.append(a)
+            endpoint_v.append(b)
+            u_adj[a].append((b, eid))
+            u_adj[b].append((a, eid))
+        self.unreliable_u: Tuple[int, ...] = tuple(endpoint_u)
+        self.unreliable_v: Tuple[int, ...] = tuple(endpoint_v)
+        # Per-vertex (neighbor index, edge id) pairs over E' \ E: the engine
+        # walks exactly the unreliable edges incident to each transmitter.
+        self.unreliable_adjacency: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple(row) for row in u_adj
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_unreliable_edges(self) -> int:
+        return len(self.unreliable_edge_list)
+
+    def edge_ids(self, edges: Iterable[Edge]) -> Tuple[int, ...]:
+        """Map unreliable edges to their dense ids (unknown edges are skipped)."""
+        id_of = self.unreliable_id_of
+        return tuple(id_of[e] for e in edges if e in id_of)
+
+    def __repr__(self) -> str:
+        return (
+            f"TopologyIndex(n={self.n}, reliable_entries={len(self.g_indices) // 2}, "
+            f"unreliable_edges={self.num_unreliable_edges})"
+        )
+
+
 def normalize_edge(u: Vertex, v: Vertex) -> Edge:
     """Return the canonical undirected edge ``{u, v}``.
 
@@ -77,6 +178,8 @@ class DualGraph:
         self._unreliable_extra: Set[Edge] = set()
         self._g_adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in self._vertices}
         self._gprime_adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in self._vertices}
+        self._topology_index: Optional[TopologyIndex] = None
+        self._topology_version = 0
 
         for edge in reliable_edges:
             self.add_reliable_edge(*self._edge_endpoints(edge))
@@ -108,6 +211,7 @@ class DualGraph:
         self._g_adj[v].add(u)
         self._gprime_adj[u].add(v)
         self._gprime_adj[v].add(u)
+        self._invalidate_index()
 
     def add_unreliable_edge(self, u: Vertex, v: Vertex) -> None:
         """Add ``{u, v}`` to ``E' \\ E`` (ignored if it is already reliable)."""
@@ -119,6 +223,26 @@ class DualGraph:
         self._unreliable_extra.add(edge)
         self._gprime_adj[u].add(v)
         self._gprime_adj[v].add(u)
+        self._invalidate_index()
+
+    def _invalidate_index(self) -> None:
+        self._topology_index = None
+        self._topology_version += 1
+
+    def topology_index(self) -> TopologyIndex:
+        """The cached integer-indexed (CSR) view of this graph.
+
+        Rebuilt lazily after any edge mutation; callers should not hold on to
+        an index across mutations (compare :attr:`topology_version`).
+        """
+        if self._topology_index is None:
+            self._topology_index = TopologyIndex(self)
+        return self._topology_index
+
+    @property
+    def topology_version(self) -> int:
+        """Bumped on every edge mutation; keys scheduler-side memoization."""
+        return self._topology_version
 
     # ------------------------------------------------------------------
     # basic accessors

@@ -20,7 +20,7 @@ from repro.simulation.environment import (
     SingleShotEnvironment,
     BurstyEnvironment,
 )
-from repro.simulation.trace import ExecutionTrace
+from repro.simulation.trace import ExecutionTrace, TraceMode
 from repro.simulation.metrics import (
     ack_delays,
     delivery_report,
@@ -40,6 +40,7 @@ __all__ = [
     "ScriptedEnvironment",
     "BurstyEnvironment",
     "ExecutionTrace",
+    "TraceMode",
     "ack_delays",
     "delivery_report",
     "progress_report",

@@ -11,18 +11,33 @@
 * transmitting nodes receive nothing;
 * the environment delivers inputs before transmissions and consumes outputs
   after receptions.
+
+Reception resolution has two implementations that produce identical results:
+
+* the **fast path** (default for oblivious schedulers) works on the graph's
+  integer-indexed :class:`~repro.dualgraph.graph.TopologyIndex`.  It is
+  transmitter-centric: each transmitter bumps a collision counter on its
+  reliable neighbors via the CSR adjacency, the scheduler's per-round
+  unreliable-edge id delta adds the scheduled edges incident to transmitters,
+  and a vertex receives iff its counter is exactly one.  Only transmitters'
+  neighborhoods are touched; no per-round edge frozensets are built.
+* the **generic path** asks the scheduler for the round's full topology edge
+  set and scans it.  It is kept for adaptive schedulers (whose edge choice
+  depends on the round's transmitters) and for schedulers that override
+  :meth:`~repro.dualgraph.adversary.LinkScheduler.resolve_topology`, and it
+  doubles as the reference implementation in determinism regression tests.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+import time
+from typing import Any, Dict, Hashable, List, Mapping, Optional
 
 from repro.dualgraph.adversary import LinkScheduler, NoUnreliableScheduler
 from repro.dualgraph.graph import DualGraph
 from repro.simulation.environment import Environment, NullEnvironment
 from repro.simulation.process import Process
-from repro.simulation.trace import ExecutionTrace
+from repro.simulation.trace import ExecutionTrace, TraceMode
 
 Vertex = Hashable
 
@@ -42,8 +57,19 @@ class Simulator:
     environment:
         The input/output environment; defaults to a :class:`NullEnvironment`.
     record_frames:
-        Forwarded to :class:`ExecutionTrace`; disable for very long runs where
-        only input/output events are needed.
+        Legacy knob forwarded to :class:`ExecutionTrace`; ``False`` is
+        shorthand for ``trace_mode=TraceMode.EVENTS``.
+    trace_mode:
+        Explicit :class:`TraceMode` (overrides ``record_frames``).
+    fast_path:
+        Use the indexed transmitter-centric reception resolver when the
+        scheduler allows it.  Disable to force the generic edge-set resolver
+        (used by regression tests and as the "seed engine" benchmark
+        baseline); both produce identical traces.
+    profile:
+        Collect per-section wall-clock totals in :attr:`perf_stats`
+        (``inputs`` / ``transmit`` / ``resolve`` / ``deliver`` / ``outputs``).
+        Off by default; profiling adds a few timer calls per round.
     """
 
     def __init__(
@@ -53,6 +79,9 @@ class Simulator:
         scheduler: Optional[LinkScheduler] = None,
         environment: Optional[Environment] = None,
         record_frames: bool = True,
+        trace_mode: Optional[TraceMode] = None,
+        fast_path: bool = True,
+        profile: bool = False,
     ) -> None:
         missing = graph.vertices - set(processes)
         if missing:
@@ -64,9 +93,39 @@ class Simulator:
         self._processes: Dict[Vertex, Process] = dict(processes)
         self._scheduler = scheduler if scheduler is not None else NoUnreliableScheduler(graph)
         self._environment = environment if environment is not None else NullEnvironment()
-        self._trace = ExecutionTrace(record_frames=record_frames)
+        self._trace = ExecutionTrace(record_frames=record_frames, mode=trace_mode)
         self._current_round = 0
         self._started = False
+        self.perf_stats: Dict[str, float] = {}
+        self._profile = bool(profile)
+
+        self._fast = bool(fast_path) and self._supports_fast_path()
+        if self._fast:
+            self._bind_index()
+
+    def _supports_fast_path(self) -> bool:
+        scheduler = self._scheduler
+        return (
+            not scheduler.is_adaptive
+            and scheduler.graph is self._graph
+            # A scheduler that customizes resolve_topology (beyond the
+            # adaptive subclasses) may depend on the transmitter set, which
+            # the delta interface cannot express.
+            and type(scheduler).resolve_topology is LinkScheduler.resolve_topology
+        )
+
+    def _bind_index(self) -> None:
+        index = self._graph.topology_index()
+        self._index = index
+        self._index_version = self._graph.topology_version
+        self._idx_of = index.index_of
+        self._vertex_of = index.vertices
+        self._g_neighbors = index.g_neighbors
+        self._u_adjacency = index.unreliable_adjacency
+        n = index.n
+        self._tx_flags = bytearray(n)
+        self._hits = [0] * n
+        self._last_sender = [0] * n
 
     # ------------------------------------------------------------------
     # accessors
@@ -92,6 +151,11 @@ class Simulator:
         """The last completed round (0 before the first round runs)."""
         return self._current_round
 
+    @property
+    def uses_fast_path(self) -> bool:
+        """Whether receptions are resolved via the indexed fast path."""
+        return self._fast
+
     def process_at(self, vertex: Vertex) -> Process:
         """The process automaton assigned to ``vertex``."""
         return self._processes[vertex]
@@ -107,9 +171,10 @@ class Simulator:
             for process in self._processes.values():
                 process.on_start()
             self._started = True
+        step = self._run_one_round_profiled if self._profile else self._run_one_round
         for _ in range(rounds):
             self._current_round += 1
-            self._run_one_round(self._current_round)
+            step(self._current_round)
         return self._trace
 
     def run_until(self, predicate, max_rounds: int, check_every: int = 1) -> ExecutionTrace:
@@ -159,8 +224,9 @@ class Simulator:
         # 3. topology for this round and reception resolution
         receptions = self._resolve_receptions(round_number, transmissions)
         trace.record_receptions(round_number, receptions)
+        get_reception = receptions.get
         for vertex, process in processes.items():
-            process.on_receive(round_number, receptions.get(vertex))
+            process.on_receive(round_number, get_reception(vertex))
 
         # 4. outputs
         round_outputs = []
@@ -171,14 +237,131 @@ class Simulator:
                 round_outputs.append(event)
         self._environment.observe_outputs(round_number, round_outputs)
 
+    def _run_one_round_profiled(self, round_number: int) -> None:
+        """`_run_one_round` with per-section wall-clock accounting.
+
+        Kept as a separate copy so the unprofiled hot loop carries no timer
+        overhead at all.
+        """
+        perf = self.perf_stats
+        clock = time.perf_counter
+        trace = self._trace
+        trace.note_round(round_number)
+        processes = self._processes
+
+        t0 = clock()
+        for process in processes.values():
+            process.on_round_start(round_number)
+        inputs = self._environment.inputs_for_round(round_number)
+        for vertex, vertex_inputs in inputs.items():
+            process = processes[vertex]
+            for inp in vertex_inputs:
+                process.on_input(round_number, inp)
+                trace.record_event(_as_bcast_event(vertex, inp, round_number))
+        t1 = clock()
+        perf["inputs"] = perf.get("inputs", 0.0) + (t1 - t0)
+
+        transmissions: Dict[Vertex, Any] = {}
+        for vertex, process in processes.items():
+            frame = process.transmit(round_number)
+            if frame is not None:
+                transmissions[vertex] = frame
+        trace.record_transmissions(round_number, transmissions)
+        t2 = clock()
+        perf["transmit"] = perf.get("transmit", 0.0) + (t2 - t1)
+
+        receptions = self._resolve_receptions(round_number, transmissions)
+        trace.record_receptions(round_number, receptions)
+        t3 = clock()
+        perf["resolve"] = perf.get("resolve", 0.0) + (t3 - t2)
+
+        get_reception = receptions.get
+        for vertex, process in processes.items():
+            process.on_receive(round_number, get_reception(vertex))
+        t4 = clock()
+        perf["deliver"] = perf.get("deliver", 0.0) + (t4 - t3)
+
+        round_outputs = []
+        for vertex, process in processes.items():
+            process.on_round_end(round_number)
+            for event in process.drain_outputs():
+                trace.record_event(event)
+                round_outputs.append(event)
+        self._environment.observe_outputs(round_number, round_outputs)
+        t5 = clock()
+        perf["outputs"] = perf.get("outputs", 0.0) + (t5 - t4)
+
+    # ------------------------------------------------------------------
+    # reception resolution
+    # ------------------------------------------------------------------
     def _resolve_receptions(
         self, round_number: int, transmissions: Dict[Vertex, Any]
-    ) -> Dict[Vertex, Optional[Any]]:
-        """Apply the radio collision rule for one round."""
-        receptions: Dict[Vertex, Optional[Any]] = {}
-        if not transmissions:
-            return receptions
+    ) -> Dict[Vertex, Any]:
+        """Apply the radio collision rule for one round.
 
+        Returns only the vertices that actually received a frame; silent or
+        collided listeners are simply absent (callers use ``.get``).
+        """
+        if not transmissions:
+            return {}
+        if self._fast:
+            if self._index_version != self._graph.topology_version:
+                # The graph was mutated mid-run (dynamic-topology experiment):
+                # refresh the index view so edge ids stay in sync with the
+                # schedulers, which key their own caches on the same version.
+                self._bind_index()
+            return self._resolve_receptions_fast(round_number, transmissions)
+        return self._resolve_receptions_generic(round_number, transmissions)
+
+    def _resolve_receptions_fast(
+        self, round_number: int, transmissions: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Any]:
+        idx_of = self._idx_of
+        vertex_of = self._vertex_of
+        g_neighbors = self._g_neighbors
+        tx = self._tx_flags
+        hits = self._hits
+        last_sender = self._last_sender
+        touched: List[int] = []
+
+        tx_indices = [idx_of[vertex] for vertex in transmissions]
+        for i in tx_indices:
+            tx[i] = 1
+
+        # Reliable edges: every transmitter bumps all its G-neighbors.
+        for i in tx_indices:
+            for j in g_neighbors[i]:
+                if not hits[j]:
+                    touched.append(j)
+                hits[j] += 1
+                last_sender[j] = i
+
+        # Unreliable edges: only those incident to a transmitter can carry or
+        # spoil a frame, so ask the scheduler about exactly those.  Each
+        # (transmitter, incident edge) pair is visited once; an edge between
+        # two transmitters is correctly counted at both endpoints.
+        u_adjacency = self._u_adjacency
+        included = self._scheduler.unreliable_edge_included
+        for i in tx_indices:
+            for j, eid in u_adjacency[i]:
+                if included(eid, round_number):
+                    if not hits[j]:
+                        touched.append(j)
+                    hits[j] += 1
+                    last_sender[j] = i
+
+        receptions: Dict[Vertex, Any] = {}
+        for j in touched:
+            if hits[j] == 1 and not tx[j]:
+                receptions[vertex_of[j]] = transmissions[vertex_of[last_sender[j]]]
+            hits[j] = 0
+        for i in tx_indices:
+            tx[i] = 0
+        return receptions
+
+    def _resolve_receptions_generic(
+        self, round_number: int, transmissions: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Any]:
         topology_edges = self._scheduler.resolve_topology(
             round_number, frozenset(transmissions)
         )
@@ -192,16 +375,13 @@ class Simulator:
             if b in transmissions:
                 neighbors_of.setdefault(a, []).append(b)
 
-        for vertex in self._graph.vertices:
+        receptions: Dict[Vertex, Any] = {}
+        for vertex, senders in neighbors_of.items():
             if vertex in transmissions:
                 # A radio cannot hear while it transmits.
                 continue
-            transmitting_neighbors = neighbors_of.get(vertex, [])
-            if len(transmitting_neighbors) == 1:
-                sender = transmitting_neighbors[0]
-                receptions[vertex] = transmissions[sender]
-            else:
-                receptions[vertex] = None
+            if len(senders) == 1:
+                receptions[vertex] = transmissions[senders[0]]
         return receptions
 
 

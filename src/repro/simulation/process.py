@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Hashable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - only needed for type checkers
@@ -72,6 +72,16 @@ class ProcessContext:
             )
         if self.r < 1:
             raise ValueError(f"the geographic parameter must satisfy r >= 1, got {self.r}")
+
+    def child(self, **overrides: Any) -> "ProcessContext":
+        """A copy of this context for a subroutine automaton.
+
+        By default the child shares everything, including the private RNG --
+        a subroutine run by the same physical node draws from the same coin
+        sequence (this is what LBAlg's embedded SeedAlg preambles need).
+        Pass field overrides (e.g. ``rng=...``) to deviate.
+        """
+        return replace(self, **overrides)
 
 
 class Process(ABC):

@@ -10,6 +10,7 @@ the dual graph, which keeps algorithm code and analysis code fully decoupled.
 
 from __future__ import annotations
 
+import enum
 from collections import defaultdict
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
@@ -19,20 +20,47 @@ from repro.core.messages import Message
 Vertex = Hashable
 
 
+class TraceMode(enum.Enum):
+    """How much of an execution the trace retains.
+
+    * ``FULL`` -- events plus per-round transmission/reception frame maps (the
+      historical default; required by the spec checkers that inspect frames).
+    * ``EVENTS`` -- input/output events only; per-round frame maps are
+      dropped.  Equivalent to the legacy ``record_frames=False``.
+    * ``COUNTERS`` -- neither events nor frames are stored; only aggregate
+      counters (rounds, events by kind, transmissions, receptions) survive.
+      The cheapest mode for very long runs where the consumer reads nothing
+      but the counters (throughput benchmarks, saturation sweeps).
+
+    All modes maintain the aggregate counters, so code written against
+    ``COUNTERS`` keeps working under richer modes.
+    """
+
+    FULL = "full"
+    EVENTS = "events"
+    COUNTERS = "counters"
+
+
 class ExecutionTrace:
     """A recorded execution of the simulator.
 
     Parameters
     ----------
     record_frames:
-        When true (default) the trace stores, per round, which vertex
-        transmitted which frame and what every listener received.  Turning it
-        off saves memory in very long benchmark runs where only the
-        input/output events matter.
+        Legacy knob: ``False`` is shorthand for ``mode=TraceMode.EVENTS``.
+        Ignored when ``mode`` is given explicitly.
+    mode:
+        The :class:`TraceMode` controlling retention (default ``FULL``).
     """
 
-    def __init__(self, record_frames: bool = True) -> None:
-        self._record_frames = record_frames
+    def __init__(
+        self, record_frames: bool = True, mode: Optional[TraceMode] = None
+    ) -> None:
+        if mode is None:
+            mode = TraceMode.FULL if record_frames else TraceMode.EVENTS
+        self._mode = mode
+        self._record_frames = mode is TraceMode.FULL
+        self._record_events = mode is not TraceMode.COUNTERS
         self._events: List[Event] = []
         self._bcasts: List[BcastInput] = []
         self._acks: List[AckOutput] = []
@@ -41,41 +69,90 @@ class ExecutionTrace:
         self._transmissions: Dict[int, Dict[Vertex, Any]] = {}
         self._receptions: Dict[int, Dict[Vertex, Optional[Any]]] = {}
         self._num_rounds = 0
+        self._event_counts: Dict[str, int] = {
+            "bcast": 0,
+            "ack": 0,
+            "recv": 0,
+            "decide": 0,
+            "other": 0,
+        }
+        self._num_transmissions = 0
+        self._num_receptions = 0
 
     # ------------------------------------------------------------------
     # recording (called by the simulator)
     # ------------------------------------------------------------------
     def note_round(self, round_number: int) -> None:
-        self._num_rounds = max(self._num_rounds, round_number)
+        if round_number > self._num_rounds:
+            self._num_rounds = round_number
 
     def record_event(self, event: Event) -> None:
-        self._events.append(event)
+        counts = self._event_counts
         if isinstance(event, BcastInput):
-            self._bcasts.append(event)
+            counts["bcast"] += 1
+            if self._record_events:
+                self._bcasts.append(event)
         elif isinstance(event, AckOutput):
-            self._acks.append(event)
+            counts["ack"] += 1
+            if self._record_events:
+                self._acks.append(event)
         elif isinstance(event, RecvOutput):
-            self._recvs.append(event)
+            counts["recv"] += 1
+            if self._record_events:
+                self._recvs.append(event)
         elif isinstance(event, DecideOutput):
-            self._decides.append(event)
+            counts["decide"] += 1
+            if self._record_events:
+                self._decides.append(event)
+        else:
+            counts["other"] += 1
+        if self._record_events:
+            self._events.append(event)
 
     def record_transmissions(self, round_number: int, frames: Dict[Vertex, Any]) -> None:
-        if self._record_frames and frames:
-            self._transmissions[round_number] = dict(frames)
+        if frames:
+            self._num_transmissions += len(frames)
+            if self._record_frames:
+                self._transmissions[round_number] = dict(frames)
 
     def record_receptions(self, round_number: int, frames: Dict[Vertex, Optional[Any]]) -> None:
         if self._record_frames:
             received = {v: f for v, f in frames.items() if f is not None}
             if received:
+                self._num_receptions += len(received)
                 self._receptions[round_number] = received
+        else:
+            for frame in frames.values():
+                if frame is not None:
+                    self._num_receptions += 1
 
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
+    def mode(self) -> TraceMode:
+        """The retention mode this trace was recorded under."""
+        return self._mode
+
+    @property
     def num_rounds(self) -> int:
         """The number of rounds the simulation ran."""
         return self._num_rounds
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        """Aggregate event counts by kind (maintained in every mode)."""
+        return dict(self._event_counts)
+
+    @property
+    def num_transmissions(self) -> int:
+        """Total frames transmitted across all rounds (every mode)."""
+        return self._num_transmissions
+
+    @property
+    def num_receptions(self) -> int:
+        """Total successful receptions across all rounds (every mode)."""
+        return self._num_receptions
 
     @property
     def events(self) -> Tuple[Event, ...]:

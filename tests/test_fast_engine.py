@@ -1,0 +1,308 @@
+"""Determinism regression tests for the fast-path round engine.
+
+The engine has two reception resolvers -- the generic edge-set path (the seed
+implementation, kept for adaptive schedulers) and the indexed transmitter-
+centric fast path.  These tests pin the contract that made the optimization
+safe to ship: for any fixed seed the two paths, and every :class:`TraceMode`,
+observe exactly the same execution; and the parallel sweep runner produces
+exactly the serial sweep's rows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    AntiScheduleAdversary,
+    CollisionAdaptiveAdversary,
+    DualGraph,
+    FullInclusionScheduler,
+    IIDScheduler,
+    LBParams,
+    NoUnreliableScheduler,
+    PeriodicScheduler,
+    Simulator,
+    TraceMode,
+    TraceScheduler,
+    make_lb_processes,
+    random_geographic_network,
+)
+from repro.analysis.sweep import ParallelSweepRunner, derive_point_seed, sweep
+from repro.simulation.environment import SaturatingEnvironment, SingleShotEnvironment
+
+SCHEDULER_FACTORIES = {
+    "none": lambda g: NoUnreliableScheduler(g),
+    "full": lambda g: FullInclusionScheduler(g),
+    "iid": lambda g: IIDScheduler(g, probability=0.4, seed=13),
+    "periodic": lambda g: PeriodicScheduler(g, on_rounds=3, off_rounds=2, stagger=True, seed=5),
+    "anti": lambda g: AntiScheduleAdversary(g, [0.5, 0.02, 0.25]),
+}
+
+
+def _make_network():
+    graph, _ = random_geographic_network(22, side=3.2, rng=41, require_connected=True)
+    return graph
+
+
+def _build_simulator(graph, fast_path, scheduler_key, trace_mode=TraceMode.FULL):
+    params = LBParams.small_for_testing(
+        delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+    )
+    rng = random.Random(99)
+    senders = sorted(graph.vertices)[:3]
+    simulator = Simulator(
+        graph,
+        make_lb_processes(graph, params, rng),
+        scheduler=SCHEDULER_FACTORIES[scheduler_key](graph),
+        environment=SingleShotEnvironment(senders=senders),
+        trace_mode=trace_mode,
+        fast_path=fast_path,
+    )
+    return simulator, params
+
+
+class TestFastPathMatchesLegacy:
+    @pytest.mark.parametrize("scheduler_key", sorted(SCHEDULER_FACTORIES))
+    def test_identical_traces_for_fixed_seed(self, scheduler_key):
+        graph = _make_network()
+        fast_sim, params = _build_simulator(graph, True, scheduler_key)
+        legacy_sim, _ = _build_simulator(graph, False, scheduler_key)
+        assert fast_sim.uses_fast_path
+        assert not legacy_sim.uses_fast_path
+
+        rounds = 2 * params.phase_length
+        fast_trace = fast_sim.run(rounds)
+        legacy_trace = legacy_sim.run(rounds)
+
+        assert fast_trace.events == legacy_trace.events
+        for round_number in range(1, rounds + 1):
+            assert fast_trace.transmissions_in_round(
+                round_number
+            ) == legacy_trace.transmissions_in_round(round_number)
+            assert fast_trace.receptions_in_round(
+                round_number
+            ) == legacy_trace.receptions_in_round(round_number)
+
+    def test_adaptive_scheduler_falls_back_to_generic_path(self):
+        graph = _make_network()
+        params = LBParams.small_for_testing(
+            delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+        )
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(1)),
+            scheduler=CollisionAdaptiveAdversary(graph),
+        )
+        assert not simulator.uses_fast_path
+        simulator.run(params.phase_length)  # runs without error
+
+    def test_graph_mutation_between_runs_rebinds_index(self):
+        graph = DualGraph([0, 1, 2, 3], reliable_edges=[(0, 1), (1, 2)])
+        params = LBParams.small_for_testing(delta=4, delta_prime=4)
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(5)),
+            scheduler=FullInclusionScheduler(graph),
+            environment=SaturatingEnvironment(senders=[0]),
+        )
+        simulator.run(3)
+        graph.add_unreliable_edge(2, 3)
+        simulator.run(3)  # must pick up the new edge without error
+        assert simulator.trace.num_rounds == 6
+
+    def test_graph_mutation_mid_run_stays_identical_to_generic(self):
+        class MutatingEnvironment(SaturatingEnvironment):
+            """Adds an unreliable edge partway through a single run() call."""
+
+            def __init__(self, graph, senders):
+                super().__init__(senders=senders)
+                self._graph_ref = graph
+
+            def inputs_for_round(self, round_number):
+                if round_number == 5:
+                    self._graph_ref.add_unreliable_edge(0, 3)
+                return super().inputs_for_round(round_number)
+
+        def run_one(fast_path):
+            graph = DualGraph(
+                [0, 1, 2, 3],
+                reliable_edges=[(0, 1), (1, 2)],
+                unreliable_edges=[(2, 3)],
+            )
+            params = LBParams.small_for_testing(delta=4, delta_prime=4)
+            simulator = Simulator(
+                graph,
+                make_lb_processes(graph, params, random.Random(17)),
+                scheduler=IIDScheduler(graph, probability=0.6, seed=3),
+                environment=MutatingEnvironment(graph, senders=[0, 2]),
+                fast_path=fast_path,
+            )
+            return simulator.run(2 * params.phase_length)
+
+        fast_trace = run_one(True)
+        legacy_trace = run_one(False)
+        assert fast_trace.events == legacy_trace.events
+        for round_number in range(1, fast_trace.num_rounds + 1):
+            assert fast_trace.receptions_in_round(
+                round_number
+            ) == legacy_trace.receptions_in_round(round_number)
+
+
+class TestTraceModes:
+    def _run(self, trace_mode, fast_path=True):
+        graph = _make_network()
+        simulator, params = _build_simulator(graph, fast_path, "iid", trace_mode)
+        trace = simulator.run(2 * params.phase_length)
+        return trace
+
+    def test_events_mode_keeps_events_drops_frames(self):
+        full = self._run(TraceMode.FULL)
+        events_only = self._run(TraceMode.EVENTS)
+        assert events_only.events == full.events
+        assert events_only.transmissions_in_round(1) == {}
+        assert events_only.num_transmissions == full.num_transmissions
+        assert events_only.num_receptions == full.num_receptions
+
+    def test_counters_mode_keeps_only_counters(self):
+        full = self._run(TraceMode.FULL)
+        counters = self._run(TraceMode.COUNTERS)
+        assert counters.events == ()
+        assert counters.event_counts == full.event_counts
+        assert counters.num_transmissions == full.num_transmissions
+        assert counters.num_receptions == full.num_receptions
+        assert counters.num_rounds == full.num_rounds
+
+    def test_counters_agree_between_paths(self):
+        fast = self._run(TraceMode.COUNTERS, fast_path=True)
+        legacy = self._run(TraceMode.COUNTERS, fast_path=False)
+        assert fast.event_counts == legacy.event_counts
+        assert fast.num_transmissions == legacy.num_transmissions
+        assert fast.num_receptions == legacy.num_receptions
+
+    def test_legacy_record_frames_flag_maps_to_events_mode(self):
+        graph = _make_network()
+        params = LBParams.small_for_testing(
+            delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+        )
+        simulator = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(3)),
+            record_frames=False,
+        )
+        assert simulator.trace.mode is TraceMode.EVENTS
+
+
+class TestSchedulerDeltaInterface:
+    @pytest.mark.parametrize("scheduler_key", sorted(SCHEDULER_FACTORIES))
+    def test_edge_ids_match_edge_sets(self, scheduler_key):
+        graph = _make_network()
+        scheduler = SCHEDULER_FACTORIES[scheduler_key](graph)
+        index = graph.topology_index()
+        for round_number in range(1, 25):
+            ids = scheduler.unreliable_edge_ids_for_round(round_number)
+            via_ids = frozenset(index.unreliable_edge_list[eid] for eid in ids)
+            reference = (
+                scheduler.unreliable_edges_for_round(round_number) & graph.unreliable_edges
+            )
+            assert via_ids == reference
+            for eid in range(index.num_unreliable_edges):
+                assert scheduler.unreliable_edge_included(eid, round_number) == (
+                    eid in set(ids)
+                )
+
+    def test_trace_scheduler_ids(self):
+        graph = DualGraph(
+            [0, 1, 2, 3],
+            reliable_edges=[(0, 1)],
+            unreliable_edges=[(1, 2), (2, 3)],
+        )
+        scheduler = TraceScheduler(graph, [[(1, 2)], []], cycle=True)
+        index = graph.topology_index()
+        assert [
+            frozenset(index.unreliable_edge_list[eid] for eid in scheduler.unreliable_edge_ids_for_round(t))
+            for t in (1, 2, 3)
+        ] == [
+            scheduler.unreliable_edges_for_round(t) for t in (1, 2, 3)
+        ]
+
+    def test_memoization_tracks_graph_mutation(self):
+        graph = DualGraph([0, 1, 2], reliable_edges=[(0, 1)], unreliable_edges=[(1, 2)])
+        scheduler = FullInclusionScheduler(graph)
+        assert len(scheduler.unreliable_edge_ids_for_round(1)) == 1
+        graph.add_unreliable_edge(0, 2)
+        assert len(scheduler.unreliable_edge_ids_for_round(1)) == 2
+
+
+class TestTopologyIndex:
+    def test_csr_matches_adjacency(self):
+        graph = _make_network()
+        index = graph.topology_index()
+        assert index.n == graph.n
+        for i, vertex in enumerate(index.vertices):
+            assert index.index_of[vertex] == i
+            row = index.g_indices[index.g_indptr[i] : index.g_indptr[i + 1]]
+            assert tuple(row) == index.g_neighbors[i]
+            neighbors = frozenset(index.vertices[j] for j in row)
+            assert neighbors == graph.reliable_neighbors(vertex)
+        seen = set()
+        for eid, edge in enumerate(index.unreliable_edge_list):
+            assert index.unreliable_id_of[edge] == eid
+            endpoints = frozenset(
+                (index.vertices[index.unreliable_u[eid]], index.vertices[index.unreliable_v[eid]])
+            )
+            assert frozenset(endpoints) == edge
+            seen.add(edge)
+        assert seen == set(graph.unreliable_edges)
+
+    def test_index_is_cached_and_invalidated(self):
+        graph = DualGraph([0, 1, 2], reliable_edges=[(0, 1)])
+        first = graph.topology_index()
+        assert graph.topology_index() is first
+        graph.add_reliable_edge(1, 2)
+        second = graph.topology_index()
+        assert second is not first
+        assert second.g_neighbors[1] != first.g_neighbors[1]
+
+
+# ----------------------------------------------------------------------
+# parallel sweep determinism
+# ----------------------------------------------------------------------
+def _sweep_point(alpha: int, beta: str) -> dict:
+    """Module-level so it is picklable by the process pool."""
+    return {"product": alpha * len(beta), "tag": f"{alpha}-{beta}"}
+
+
+def _seeded_point(alpha: int, seed: int = 0) -> dict:
+    return {"value": random.Random(seed).randint(0, 10**9), "alpha2": alpha * 2}
+
+
+GRID = {"alpha": [1, 2, 3], "beta": ["x", "yy"]}
+
+
+class TestParallelSweep:
+    def test_parallel_rows_equal_serial_rows(self):
+        serial = sweep(GRID, _sweep_point)
+        parallel = ParallelSweepRunner(jobs=2).run(GRID, _sweep_point)
+        assert parallel.rows == serial.rows
+
+    def test_jobs_one_equals_serial(self):
+        serial = sweep(GRID, _sweep_point)
+        inline = ParallelSweepRunner(jobs=1).run(GRID, _sweep_point)
+        assert inline.rows == serial.rows
+
+    def test_derived_seeds_are_stable_and_distinct(self):
+        seeds = [derive_point_seed(123, i) for i in range(50)]
+        assert seeds == [derive_point_seed(123, i) for i in range(50)]
+        assert len(set(seeds)) == 50
+        assert derive_point_seed(124, 0) != derive_point_seed(123, 1)
+
+    def test_seed_injection_identical_serial_and_parallel(self):
+        grid = {"alpha": [4, 5, 6, 7]}
+        serial = ParallelSweepRunner(jobs=1, base_seed=7).run(grid, _seeded_point)
+        parallel = ParallelSweepRunner(jobs=2, base_seed=7).run(grid, _seeded_point)
+        assert serial.rows == parallel.rows
+        # Different base seeds must give different per-point draws.
+        other = ParallelSweepRunner(jobs=1, base_seed=8).run(grid, _seeded_point)
+        assert [r["value"] for r in other.rows] != [r["value"] for r in serial.rows]
