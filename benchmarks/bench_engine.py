@@ -2,17 +2,22 @@
 
 This is the repo's performance yardstick.  For each network size it runs the
 same fixed-seed LBAlg workload (saturating senders, i.i.d. link scheduler)
-through
+through three engine configurations:
 
-* the **legacy** engine path (``fast_path=False``: per-round topology edge
-  frozensets, exactly the seed engine's resolution strategy), and
-* the **fast** path (indexed CSR topology, transmitter-centric collision
-  counters, scheduler edge-id deltas), under each :class:`TraceMode`,
+* the **legacy** engine (``fast_path=False, batch_path=False``: per-round
+  topology edge frozensets and per-process stepping -- exactly the seed
+  engine's strategy),
+* the **fast** path (``batch_path=False``: indexed CSR topology,
+  transmitter-centric collision counters, scheduler edge-id deltas, still
+  per-process stepping -- the PR-1 engine, kept as the batching baseline), and
+* the **batched** engine (the default: fast-path resolution plus batch group
+  drivers that share each body round's seed-cohort decision and skip dormant
+  automata entirely), under each :class:`TraceMode`,
 
-verifies that the legacy and fast executions produce *identical* event traces
-and per-round frames, and writes ``BENCH_engine.json`` at the repo root with
-rounds/sec, speedups, and a per-section time breakdown (from a separate
-profiled run so the headline numbers carry no timer overhead).
+verifies that all three produce *identical* event traces and per-round
+frames, and writes ``BENCH_engine.json`` at the repo root with rounds/sec,
+speedups, and per-section time breakdowns (from separate profiled runs so the
+headline numbers carry no timer overhead).
 
 Run it directly::
 
@@ -29,8 +34,7 @@ import math
 import os
 import sys
 import time
-from functools import partial
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -54,19 +58,36 @@ DENSITY = 2.55
 FULL_SIZES = (25, 100, 400)
 QUICK_SIZES = (25, 100)
 FULL_ROUNDS = {25: 1200, 100: 600, 400: 300}
-QUICK_ROUNDS = {25: 200, 100: 100}
+#: Quick-mode rounds stay closer to the full run's steady state at n=100 so
+#: the CI regression check is not dominated by warm-up rounds.
+QUICK_ROUNDS = {25: 200, 100: 300}
 MASTER_SEED = 2015  # PODC 2015
 TARGET_SPEEDUP = 5.0
+#: The PR-2 acceptance bar: batched rounds/sec over the PR-1 fast path.
+TARGET_BATCHED_OVER_FAST = 2.0
+
+#: name -> (fast_path, batch_path); "batched" is the production default.
+ENGINES = {
+    "legacy": (False, False),
+    "fast": (True, False),
+    "batched": (True, True),
+}
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_engine.json"
 )
 
 
-def build_workload(n: int, fast_path: bool, trace_mode: TraceMode, profile: bool = False):
+def build_workload(
+    n: int,
+    engine: str,
+    trace_mode: TraceMode,
+    profile: bool = False,
+):
     """One fixed-seed LBAlg workload; identical construction for every config."""
     import random
 
+    fast_path, batch_path = ENGINES[engine]
     side = math.sqrt(n / DENSITY)
     graph, _ = random_geographic_network(n, side=side, r=2.0, rng=MASTER_SEED + n)
     delta, delta_prime = graph.degree_bounds()
@@ -79,21 +100,41 @@ def build_workload(n: int, fast_path: bool, trace_mode: TraceMode, profile: bool
         environment=SaturatingEnvironment(senders=senders),
         trace_mode=trace_mode,
         fast_path=fast_path,
+        batch_path=batch_path,
         profile=profile,
     )
     return simulator, params
 
 
-def _timed_run(n: int, rounds: int, fast_path: bool, trace_mode: TraceMode):
-    simulator, _ = build_workload(n, fast_path, trace_mode)
-    start = time.perf_counter()
-    trace = simulator.run(rounds)
-    elapsed = time.perf_counter() - start
-    return simulator, trace, rounds / elapsed
+#: Timing samples per engine config; rounds/sec is the best of these.  The
+#: fastest configs finish a whole sample in tens of milliseconds, where a
+#: single GC pause or scheduler hiccup skews one sample by double digits --
+#: best-of-N keeps the committed numbers and the CI regression gate stable.
+TIMING_REPEATS = 3
 
 
-def _profiled_breakdown(n: int, rounds: int, fast_path: bool) -> Dict[str, float]:
-    simulator, _ = build_workload(n, fast_path, TraceMode.FULL, profile=True)
+def _timed_run(n: int, rounds: int, engine: str, trace_mode: TraceMode):
+    """Build and run the workload ``TIMING_REPEATS`` times; report the best.
+
+    Every repeat constructs an identical fixed-seed simulator, so the traces
+    are interchangeable; the first run's simulator and trace are returned for
+    the identity checks.
+    """
+    simulator = trace = None
+    best_rps = 0.0
+    for _ in range(TIMING_REPEATS):
+        sim, _ = build_workload(n, engine, trace_mode)
+        start = time.perf_counter()
+        this_trace = sim.run(rounds)
+        elapsed = time.perf_counter() - start
+        best_rps = max(best_rps, rounds / elapsed)
+        if simulator is None:
+            simulator, trace = sim, this_trace
+    return simulator, trace, best_rps
+
+
+def _profiled_breakdown(n: int, rounds: int, engine: str) -> Dict[str, float]:
+    simulator, _ = build_workload(n, engine, TraceMode.FULL, profile=True)
     simulator.run(rounds)
     total = sum(simulator.perf_stats.values()) or 1.0
     return {section: t / total for section, t in sorted(simulator.perf_stats.items())}
@@ -117,15 +158,23 @@ def _traces_identical(trace_a, trace_b, rounds: int) -> bool:
 def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
     """Benchmark one network size across engine paths and trace modes."""
     rounds = rounds_by_n[n]
-    legacy_sim, legacy_trace, legacy_rps = _timed_run(n, rounds, False, TraceMode.FULL)
+    legacy_sim, legacy_trace, legacy_rps = _timed_run(n, rounds, "legacy", TraceMode.FULL)
     graph = legacy_sim.graph
-    fast_sim, fast_trace, fast_rps = _timed_run(n, rounds, True, TraceMode.FULL)
-    _, _, fast_events_rps = _timed_run(n, rounds, True, TraceMode.EVENTS)
-    _, _, fast_counters_rps = _timed_run(n, rounds, True, TraceMode.COUNTERS)
+    fast_sim, fast_trace, fast_rps = _timed_run(n, rounds, "fast", TraceMode.FULL)
+    batched_sim, batched_trace, batched_rps = _timed_run(
+        n, rounds, "batched", TraceMode.FULL
+    )
+    _, _, batched_events_rps = _timed_run(n, rounds, "batched", TraceMode.EVENTS)
+    _, _, batched_counters_rps = _timed_run(n, rounds, "batched", TraceMode.COUNTERS)
 
-    assert not legacy_sim.uses_fast_path and fast_sim.uses_fast_path
-    identical = _traces_identical(legacy_trace, fast_trace, rounds)
+    assert not legacy_sim.uses_fast_path and not legacy_sim.uses_batch_stepping
+    assert fast_sim.uses_fast_path and not fast_sim.uses_batch_stepping
+    assert batched_sim.uses_fast_path and batched_sim.uses_batch_stepping
+    identical = _traces_identical(legacy_trace, fast_trace, rounds) and _traces_identical(
+        legacy_trace, batched_trace, rounds
+    )
 
+    profile_rounds = max(rounds // 4, 20)
     return {
         "delta": graph.max_reliable_degree,
         "delta_prime": graph.max_potential_degree,
@@ -134,22 +183,30 @@ def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
         "rounds": rounds,
         "legacy_rps": legacy_rps,
         "fast_rps": fast_rps,
-        "fast_events_rps": fast_events_rps,
-        "fast_counters_rps": fast_counters_rps,
-        "speedup": fast_rps / legacy_rps,
-        "speedup_counters": fast_counters_rps / legacy_rps,
+        "batched_rps": batched_rps,
+        "batched_events_rps": batched_events_rps,
+        "batched_counters_rps": batched_counters_rps,
+        "speedup_fast": fast_rps / legacy_rps,
+        "speedup": batched_rps / legacy_rps,
+        "speedup_counters": batched_counters_rps / legacy_rps,
+        "batched_over_fast": batched_rps / fast_rps,
         "trace_identical": identical,
-        "events": len(fast_trace.events),
-        "breakdown_fast": _profiled_breakdown(n, max(rounds // 4, 20), True),
-        "breakdown_legacy": _profiled_breakdown(n, max(rounds // 4, 20), False),
+        "events": len(batched_trace.events),
+        "breakdown_batched": _profiled_breakdown(n, profile_rounds, "batched"),
+        "breakdown_fast": _profiled_breakdown(n, profile_rounds, "fast"),
+        "breakdown_legacy": _profiled_breakdown(n, profile_rounds, "legacy"),
     }
 
 
-def run_engine_benchmark(quick: bool = False, jobs: int = None):
+def run_engine_benchmark(quick: bool = False, jobs: Optional[int] = None):
     sizes = QUICK_SIZES if quick else FULL_SIZES
     rounds_by_n = QUICK_ROUNDS if quick else FULL_ROUNDS
-    run_point = partial(run_workload_point, rounds_by_n=rounds_by_n)
-    return run_sweep({"n": list(sizes)}, run_point, jobs=jobs)
+    return run_sweep(
+        {"n": list(sizes)},
+        run_workload_point,
+        jobs=jobs,
+        common={"rounds_by_n": rounds_by_n},
+    )
 
 
 def main(argv=None) -> int:
@@ -168,18 +225,22 @@ def main(argv=None) -> int:
         "rounds",
         "legacy_rps",
         "fast_rps",
-        "fast_events_rps",
-        "fast_counters_rps",
+        "batched_rps",
+        "batched_counters_rps",
+        "speedup_fast",
         "speedup",
+        "batched_over_fast",
         "trace_identical",
     ]
     table = format_table(
         result.rows,
         columns=columns,
-        title="Engine throughput: legacy vs fast path (rounds/sec), IID scheduler",
+        title="Engine throughput: legacy vs fast vs batched (rounds/sec), IID scheduler",
     )
     print(table)
-    save_table("BENCH_engine", table)
+    # Quick smoke runs save under a separate name so they never clobber the
+    # committed full-grid table that evidences the headline numbers.
+    save_table("BENCH_engine_quick" if args.quick else "BENCH_engine", table)
 
     largest = max(row["n"] for row in result)
     headline = next(row for row in result if row["n"] == largest)
@@ -189,8 +250,11 @@ def main(argv=None) -> int:
         "quick": bool(args.quick),
         "python": sys.version.split()[0],
         "target_speedup": TARGET_SPEEDUP,
+        "target_batched_over_fast": TARGET_BATCHED_OVER_FAST,
         "headline_n": largest,
         "headline_speedup": headline["speedup"],
+        "headline_speedup_fast": headline["speedup_fast"],
+        "headline_batched_over_fast": headline["batched_over_fast"],
         "headline_speedup_counters": headline["speedup_counters"],
         "all_traces_identical": all(row["trace_identical"] for row in result),
         "workloads": result.rows,
@@ -200,12 +264,12 @@ def main(argv=None) -> int:
     print(f"\nwrote {args.output}")
     print(
         f"n={largest}: {headline['speedup']:.1f}x rounds/sec vs seed engine "
-        f"({headline['speedup_counters']:.1f}x with counters-only traces); "
+        f"({headline['batched_over_fast']:.1f}x over the PR-1 fast path); "
         f"traces identical: {report['all_traces_identical']}"
     )
 
     if not report["all_traces_identical"]:
-        print("ERROR: fast path diverged from the legacy engine", file=sys.stderr)
+        print("ERROR: an engine path diverged from the legacy engine", file=sys.stderr)
         return 1
     return 0
 

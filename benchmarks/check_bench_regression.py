@@ -1,0 +1,94 @@
+"""CI guard: fail when engine throughput regresses against the committed baseline.
+
+Compares a freshly produced ``bench_engine`` JSON report (e.g. from
+``bench_engine.py --quick``) against the repo's committed
+``BENCH_engine.json`` at one network size and exits non-zero when the batched
+engine's rounds/sec regressed by more than the allowed fraction.
+
+Raw rounds/sec are only comparable between runs on the same machine, and CI
+runners are not the machine the baseline was committed from.  The default
+mode therefore *normalizes* each report's batched rounds/sec by its own
+legacy rounds/sec -- the batched/legacy speedup -- which cancels the hardware
+factor and regresses only when the batched engine got slower *relative to
+the same code's legacy path*.  Pass ``--absolute`` for raw rounds/sec
+comparisons between runs on one machine.
+
+Usage (the CI smoke step)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick --output /tmp/smoke.json
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        --baseline BENCH_engine.json --fresh /tmp/smoke.json \
+        --at-n 100 --max-regression 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _row_for(report: dict, n: int) -> dict:
+    for row in report.get("workloads", []):
+        if row.get("n") == n:
+            return row
+    raise KeyError(f"no n={n} row in report (sizes: {[r.get('n') for r in report.get('workloads', [])]})")
+
+
+def _metric(row: dict, absolute: bool) -> float:
+    batched = row["batched_rps"]
+    if absolute:
+        return batched
+    return batched / row["legacy_rps"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", required=True, help="freshly produced report to check")
+    parser.add_argument("--at-n", type=int, default=100, help="network size to compare")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum allowed fractional drop (0.30 = fail below 70%% of baseline)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw rounds/sec (same-machine runs only) instead of the "
+        "hardware-independent batched/legacy speedup",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    if not fresh.get("all_traces_identical", False):
+        print("FAIL: fresh report says engine traces diverged", file=sys.stderr)
+        return 1
+
+    base_value = _metric(_row_for(baseline, args.at_n), args.absolute)
+    fresh_value = _metric(_row_for(fresh, args.at_n), args.absolute)
+    floor = base_value * (1.0 - args.max_regression)
+    unit = "rounds/sec" if args.absolute else "batched/legacy speedup"
+
+    print(
+        f"n={args.at_n}: baseline {unit} {base_value:.2f}, fresh {fresh_value:.2f}, "
+        f"floor {floor:.2f} (max regression {args.max_regression:.0%})"
+    )
+    if fresh_value < floor:
+        print(
+            f"FAIL: batched engine {unit} at n={args.at_n} regressed more than "
+            f"{args.max_regression:.0%} vs the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: no throughput regression beyond the allowed margin")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

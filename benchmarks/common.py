@@ -83,6 +83,7 @@ def build_lb_simulator(
     scheduler=None,
     master_seed: int = 0,
     record_frames: bool = True,
+    batch_path: bool = True,
 ) -> Simulator:
     """A Simulator running LBAlg at every vertex (the default experiment setup)."""
     rng = random.Random(master_seed)
@@ -94,6 +95,7 @@ def build_lb_simulator(
         scheduler=scheduler,
         environment=environment,
         record_frames=record_frames,
+        batch_path=batch_path,
     )
 
 
@@ -137,6 +139,7 @@ def run_sweep(
     run: Callable[..., Mapping[str, Any]],
     jobs: Optional[int] = None,
     base_seed: Optional[int] = None,
+    common: Optional[Mapping[str, Any]] = None,
 ) -> SweepResult:
     """Run a benchmark grid serially or on a process pool.
 
@@ -144,7 +147,9 @@ def run_sweep(
     serial :func:`repro.analysis.sweep.sweep`).  Rows are identical and in
     identical order regardless of the worker count; with ``base_seed`` set,
     per-point derived seeds are injected as the ``seed`` keyword argument.
+    ``common`` keyword arguments (fixed workload/engine configuration) are
+    passed to ``run`` at every grid point.
     """
     if jobs is None:
         jobs = default_jobs()
-    return ParallelSweepRunner(jobs=jobs, base_seed=base_seed).run(grid, run)
+    return ParallelSweepRunner(jobs=jobs, base_seed=base_seed).run(grid, run, common=common)

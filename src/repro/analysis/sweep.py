@@ -86,9 +86,11 @@ def _run_grid_point(
     point: Dict[str, Any],
     seed_arg: Optional[str],
     seed: Optional[int],
+    common: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Top-level worker target (must be picklable for the process pool)."""
-    kwargs = dict(point)
+    kwargs = dict(common) if common else {}
+    kwargs.update(point)
     if seed_arg is not None and seed is not None:
         kwargs[seed_arg] = seed
     record = dict(run(**kwargs))
@@ -123,6 +125,10 @@ class ParallelSweepRunner:
     -----
     ``run`` must be picklable (a module-level function), as must every grid
     value and returned record -- the standard multiprocessing constraint.
+    Fixed configuration shared by every grid point (engine selection, round
+    budgets, trial counts) goes through :meth:`run`'s ``common`` mapping
+    rather than ``functools.partial``, keeping the worker payload uniform
+    and the configuration out of the result rows.
     """
 
     def __init__(
@@ -141,25 +147,34 @@ class ParallelSweepRunner:
         self,
         grid: Mapping[str, Sequence[Any]],
         run: Callable[..., Mapping[str, Any]],
+        common: Optional[Mapping[str, Any]] = None,
     ) -> SweepResult:
-        """Execute the sweep and return its rows in canonical grid order."""
+        """Execute the sweep and return its rows in canonical grid order.
+
+        ``common`` holds keyword arguments passed to ``run`` at *every* grid
+        point (grid values win on collision).  It is how benchmarks thread
+        fixed configuration -- round budgets, engine selection such as the
+        simulator's ``fast_path`` / ``batch_path`` flags -- through the
+        process pool without baking it into the grid or the result rows.
+        """
         points = list(iter_grid_points(grid))
         seeds: List[Optional[int]] = [
             derive_point_seed(self.base_seed, i) if self.base_seed is not None else None
             for i in range(len(points))
         ]
         seed_arg = self.seed_arg if self.base_seed is not None else None
+        common = dict(common) if common else None
 
         result = SweepResult()
         if self.jobs <= 1 or len(points) <= 1:
             for point, seed in zip(points, seeds):
-                result.append(_run_grid_point(run, point, seed_arg, seed))
+                result.append(_run_grid_point(run, point, seed_arg, seed, common))
             return result
 
         workers = min(self.jobs, len(points))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_grid_point, run, point, seed_arg, seed)
+                pool.submit(_run_grid_point, run, point, seed_arg, seed, common)
                 for point, seed in zip(points, seeds)
             ]
             for future in futures:
@@ -172,9 +187,10 @@ def parallel_sweep(
     run: Callable[..., Mapping[str, Any]],
     jobs: Optional[int] = None,
     base_seed: Optional[int] = None,
+    common: Optional[Mapping[str, Any]] = None,
 ) -> SweepResult:
     """Convenience wrapper: ``ParallelSweepRunner(jobs, base_seed).run(grid, run)``."""
-    return ParallelSweepRunner(jobs=jobs, base_seed=base_seed).run(grid, run)
+    return ParallelSweepRunner(jobs=jobs, base_seed=base_seed).run(grid, run, common=common)
 
 
 def format_table(

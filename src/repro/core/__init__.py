@@ -15,6 +15,9 @@ Modules
 * :mod:`repro.core.lb_spec` / :mod:`repro.core.local_broadcast` -- the
   ``LB(t_ack, t_prog, ε)`` specification and the ``LBAlg`` algorithm
   (Section 4).
+* :mod:`repro.core.seed_groups` -- seed-cohort tracking and the batched
+  stepping drivers that let the simulator advance whole LBAlg populations
+  group-wise with byte-identical traces.
 """
 
 from repro.core.messages import Message, make_message
@@ -31,6 +34,11 @@ from repro.core.seedbits import SeedBitStream
 from repro.core.seed_agreement import SeedAgreementProcess
 from repro.core.seed_spec import SeedSpecReport, check_seed_execution
 from repro.core.local_broadcast import LocalBroadcastProcess
+from repro.core.seed_groups import (
+    LocalBroadcastBatchDriver,
+    SeedAgreementCohort,
+    SeedGroupTracker,
+)
 from repro.core.lb_spec import LBSpecReport, check_lb_execution
 
 __all__ = [
@@ -51,6 +59,9 @@ __all__ = [
     "SeedSpecReport",
     "check_seed_execution",
     "LocalBroadcastProcess",
+    "LocalBroadcastBatchDriver",
+    "SeedAgreementCohort",
+    "SeedGroupTracker",
     "LBSpecReport",
     "check_lb_execution",
 ]

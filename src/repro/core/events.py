@@ -19,7 +19,7 @@ from typing import Hashable, Union
 from repro.core.messages import Message
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BcastInput:
     """``bcast(m)_u`` at the start of ``round_number``."""
 
@@ -30,7 +30,7 @@ class BcastInput:
     kind = "bcast"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckOutput:
     """``ack(m)_u`` generated at the end of ``round_number``."""
 
@@ -41,7 +41,7 @@ class AckOutput:
     kind = "ack"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecvOutput:
     """``recv(m)_u`` generated at the end of ``round_number``."""
 
@@ -52,7 +52,7 @@ class RecvOutput:
     kind = "recv"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecideOutput:
     """``decide(owner, seed)_u`` generated at the end of ``round_number``.
 

@@ -40,7 +40,7 @@ STATE_RECEIVING = "receiving"
 STATE_SENDING = "sending"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataFrame:
     """The frame a sending node broadcasts during body rounds."""
 
@@ -67,7 +67,33 @@ class LocalBroadcastProcess(Process):
         through those rounds) and keep drawing shared bits from the previously
         committed seed.  Worst-case bounds are unchanged; the average cost of
         the preamble drops by the reuse factor (ablation experiment E12).
+
+    Notes
+    -----
+    Populations of plain ``LocalBroadcastProcess`` automata sharing one
+    parameter set are *batchable*: the simulator steps them through a
+    :class:`~repro.core.seed_groups.LocalBroadcastBatchDriver` that computes
+    each body round's shared decision once per seed cohort and skips dispatch
+    to dormant members entirely, with byte-identical traces (see
+    :meth:`batch_group_key`).  Subclasses are stepped per-process.
     """
+
+    __slots__ = (
+        "params",
+        "seed_reuse_phases",
+        "_state",
+        "_pending_message",
+        "_current_message",
+        "_sending_phases_remaining",
+        "_received_ids",
+        "_seed_subroutine",
+        "_seed_stream",
+        "_phase_seed",
+        "stats_participant_rounds",
+        "stats_broadcast_rounds",
+        "stats_body_rounds_sending",
+        "stats_max_bits_consumed",
+    )
 
     def __init__(
         self, ctx: ProcessContext, params: LBParams, seed_reuse_phases: int = 1
@@ -117,6 +143,27 @@ class LocalBroadcastProcess(Process):
     def committed_phase_seed(self) -> Optional[Tuple[Hashable, int]]:
         """The ``(owner, seed)`` committed in the current phase's preamble."""
         return self._phase_seed
+
+    # ------------------------------------------------------------------
+    # batch stepping
+    # ------------------------------------------------------------------
+    def batch_group_key(self) -> Optional[Tuple[str, Any, int]]:
+        """Cohort key for the simulator's batch-stepping protocol.
+
+        Only exact ``LocalBroadcastProcess`` instances are batchable -- a
+        subclass may override any hook, and the driver would silently bypass
+        the override.  Processes sharing parameters and reuse factor land in
+        one cohort regardless of their private contexts (the driver never
+        touches anything but the member's own state and RNG).
+        """
+        if type(self) is not LocalBroadcastProcess:
+            return None
+        return ("lbalg", self.params, self.seed_reuse_phases)
+
+    def make_batch_driver(self):
+        from repro.core.seed_groups import LocalBroadcastBatchDriver
+
+        return LocalBroadcastBatchDriver(self.params, self.seed_reuse_phases)
 
     # ------------------------------------------------------------------
     # environment input

@@ -38,7 +38,7 @@ STATUS_LEADER = "leader"
 STATUS_INACTIVE = "inactive"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SeedFrame:
     """The ``(id, seed)`` pair a leader broadcasts during its phase."""
 
@@ -64,6 +64,17 @@ class SeedAgreementProcess(Process):
         Normally drawn uniformly from ``{0,1}^κ`` using the process RNG; tests
         may fix it.
     """
+
+    __slots__ = (
+        "params",
+        "_emit_decides",
+        "_initial_seed",
+        "_status",
+        "_committed",
+        "_local_round",
+        "_current_phase",
+        "_leader_this_phase",
+    )
 
     def __init__(
         self,
@@ -152,6 +163,46 @@ class SeedAgreementProcess(Process):
         phase, within = self.params.phase_of_round(self._local_round)
         if within == self.params.phase_length:
             self._end_phase(phase, global_round)
+
+    # ------------------------------------------------------------------
+    # cohort stepping (used by the batched LBAlg preamble driver)
+    # ------------------------------------------------------------------
+    # These methods expose the round structure of step_transmit/step_receive
+    # as individually callable pieces so a group driver can compute the
+    # round-position arithmetic once per cohort and dispatch only to the
+    # members that actually have work (active members at phase starts,
+    # leaders in broadcast rounds).  Each piece performs exactly the RNG
+    # draws and state transitions of the corresponding fragment of the
+    # per-process path, which is what keeps batched traces byte-identical.
+
+    def batch_begin_phase(self, phase: int, global_round: int) -> bool:
+        """Run the phase-start leader election; returns True if now a leader.
+
+        Must only be called for subroutines whose status is ``"active"`` (the
+        driver prunes its cohort first); inactive members draw nothing in the
+        per-process path, so skipping them preserves RNG draw order.
+        """
+        self._begin_phase(phase, global_round)
+        return self._leader_this_phase
+
+    def batch_broadcast_frame(self) -> Optional[SeedFrame]:
+        """The per-round leader broadcast draw (call only for current leaders)."""
+        if self.rng.random() < self.params.leader_broadcast_probability:
+            return SeedFrame(owner=self.process_id, seed=self._initial_seed)
+        return None
+
+    def batch_commit_reception(self, frame: SeedFrame, global_round: int) -> None:
+        """Adopt a received ``(id, seed)`` pair (call only while active)."""
+        self._commit(frame.owner, frame.seed, global_round)
+        self._status = STATUS_INACTIVE
+
+    def batch_end_phase(self, phase: int, global_round: int) -> None:
+        """Run the phase-end bookkeeping (leader retirement, default decide)."""
+        self._end_phase(phase, global_round)
+
+    def batch_mark_stepped(self, local_round: int) -> None:
+        """Record that the cohort driver advanced this subroutine's clock."""
+        self._local_round = local_round
 
     # ------------------------------------------------------------------
     # Process hooks for standalone execution

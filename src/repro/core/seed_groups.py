@@ -1,0 +1,342 @@
+"""Seed-cohort tracking and batched stepping for LBAlg populations.
+
+The automata of Section 4.2 have group-level structure that per-process
+stepping cannot exploit:
+
+* every node that committed the same seed makes *identical* shared-bit
+  decisions in each body round (the participant test and the ``b``
+  selection draw from equal :class:`~repro.core.seedbits.SeedBitStream`
+  states), so the shared part of a body round is a per-cohort computation,
+  not a per-node one;
+* receiving-state nodes are provably silent in body rounds -- they transmit
+  nothing and draw nothing -- so they need no per-round dispatch at all;
+* the embedded ``SeedAlg`` preambles of one ``LBAlg`` population run in
+  lockstep (one subroutine round per preamble round, all started at the same
+  phase boundary), so the round-position arithmetic and phase bookkeeping is
+  shared across the whole cohort, and only active members (at phase starts)
+  and leaders (every round) do any per-member work.
+
+This module packages those observations as the batch group driver protocol of
+:class:`~repro.simulation.process.Process` (``batch_group_key`` /
+``make_batch_driver``):
+
+* :class:`SeedGroupTracker` memoizes each round's shared body decision per
+  ``(seed, cursor)`` cohort, advancing non-representative members' streams
+  with a cursor :meth:`~repro.core.seedbits.SeedBitStream.skip`;
+* :class:`SeedAgreementCohort` steps a phase's embedded
+  :class:`~repro.core.seed_agreement.SeedAgreementProcess` instances as one
+  unit;
+* :class:`LocalBroadcastBatchDriver` is the engine-facing driver gluing both
+  together for a cohort of :class:`~repro.core.local_broadcast.LocalBroadcastProcess`.
+
+The invariant every method here preserves: for a fixed seed, the batched
+execution performs exactly the same private RNG draws, emits exactly the same
+events, and produces exactly the same per-round frames as per-process
+stepping -- the regression tests in ``tests/test_fast_engine.py`` pin this
+against both the generic and the PR-1 fast resolution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.local_broadcast import (
+    STATE_SENDING,
+    DataFrame,
+    LocalBroadcastProcess,
+)
+from repro.core.params import LBParams, SeedParams
+from repro.core.seed_agreement import STATUS_ACTIVE, SeedFrame
+
+Vertex = Hashable
+
+
+class SeedGroupTracker:
+    """Per-round memo of the shared body-round decision per seed cohort.
+
+    A body-round decision is a pure function of ``(seed value, cursor
+    position)``: members whose streams are in the same state (same committed
+    seed, same number of bits consumed so far) must make the same participant
+    call and, when participating, select the same ``b``.  The tracker computes
+    the decision once per cohort per round -- the first member encountered
+    consumes the bits from its own stream -- and every other cohort member
+    only advances its cursor.
+
+    ``shared_decisions`` / ``computed_decisions`` count memo hits and misses
+    across the tracker's lifetime; experiments and tests use them to verify
+    cohort sharing actually happens.
+    """
+
+    __slots__ = (
+        "_participant_bits",
+        "_b_modulus",
+        "_b_width",
+        "_decisions",
+        "computed_decisions",
+        "shared_decisions",
+    )
+
+    def __init__(self, params: LBParams) -> None:
+        self._participant_bits = params.participant_bits
+        self._b_modulus = params.log_delta
+        self._b_width = params.b_selection_bits
+        self._decisions: Dict[Tuple[int, int], Tuple[bool, int, int]] = {}
+        self.computed_decisions = 0
+        self.shared_decisions = 0
+
+    def begin_round(self) -> None:
+        """Forget the previous round's decisions (cursors have moved on)."""
+        self._decisions.clear()
+
+    def decision_for(self, stream) -> Tuple[bool, int, int]:
+        """The shared decision for a member whose seed stream is ``stream``.
+
+        Returns ``(participant, b, bits_advanced)`` and advances the stream:
+        by consuming the bits when this member is the cohort's representative
+        this round, by a cursor skip otherwise (skipped-over bits are
+        identical by :meth:`SeedBitStream.skip`'s deferred-extension rule).
+        """
+        key = (stream._seed, stream._cursor)
+        decision = self._decisions.get(key)
+        if decision is None:
+            participant = stream.consume_all_zero(self._participant_bits)
+            if participant:
+                b = stream.consume_uniform_index(self._b_modulus, self._b_width) + 1
+                decision = (True, b, self._participant_bits + self._b_width)
+            else:
+                decision = (False, 0, self._participant_bits)
+            self._decisions[key] = decision
+            self.computed_decisions += 1
+        else:
+            stream.skip(decision[2])
+            self.shared_decisions += 1
+        return decision
+
+
+class SeedAgreementCohort:
+    """One phase's embedded SeedAlg subroutines, stepped as a unit.
+
+    All subroutines are created at the same phase boundary and advance one
+    local round per preamble round, so their round-position arithmetic is
+    identical; the cohort computes it once and dispatches only to members
+    with per-round work: actives at seed-phase starts (leader election),
+    leaders every round (the broadcast draw), and phase-end bookkeeping.
+    Inactive members draw nothing in the per-process path, so skipping their
+    dispatch entirely preserves RNG draw order.
+    """
+
+    __slots__ = ("_sp", "_by_vertex", "_actives", "_leaders")
+
+    def __init__(
+        self,
+        seed_params: SeedParams,
+        members: List[LocalBroadcastProcess],
+        by_vertex: Dict[Vertex, LocalBroadcastProcess],
+    ) -> None:
+        self._sp = seed_params
+        self._by_vertex = by_vertex
+        self._actives: List[LocalBroadcastProcess] = list(members)
+        self._leaders: List[LocalBroadcastProcess] = []
+
+    def transmit_round(self, offset: int, global_round: int, out: Dict[Vertex, Any]) -> None:
+        """The cohort's transmissions for preamble offset ``offset`` (1-based)."""
+        sp = self._sp
+        if offset > sp.total_rounds:
+            # A preamble longer than the subroutine (never produced by
+            # derive()): stepped-past subroutines stay silent.
+            return
+        phase, within = sp.phase_of_round(offset)
+        if within == 1:
+            self._actives = [
+                m for m in self._actives if m._seed_subroutine._status == STATUS_ACTIVE
+            ]
+            leaders = self._leaders = []
+            for member in self._actives:
+                if member._seed_subroutine.batch_begin_phase(phase, global_round):
+                    leaders.append(member)
+        for member in self._leaders:
+            frame = member._seed_subroutine.batch_broadcast_frame()
+            if frame is not None:
+                out[member.vertex] = frame
+
+    def receive_round(
+        self, offset: int, global_round: int, receptions: Dict[Vertex, Any]
+    ) -> None:
+        """The cohort's reception handling and phase-end bookkeeping."""
+        sp = self._sp
+        if offset > sp.total_rounds:
+            return
+        phase, within = sp.phase_of_round(offset)
+        if receptions:
+            by_vertex = self._by_vertex
+            for vertex, frame in receptions.items():
+                if not isinstance(frame, SeedFrame):
+                    continue
+                member = by_vertex.get(vertex)
+                if member is None:
+                    continue
+                sub = member._seed_subroutine
+                if sub is not None and sub._status == STATUS_ACTIVE:
+                    sub.batch_commit_reception(frame, global_round)
+        if within == sp.phase_length:
+            for member in self._leaders:
+                member._seed_subroutine.batch_end_phase(phase, global_round)
+            self._leaders = []
+            if phase == sp.num_phases:
+                for member in self._actives:
+                    sub = member._seed_subroutine
+                    if sub._status == STATUS_ACTIVE:
+                        sub.batch_end_phase(phase, global_round)
+
+
+class LocalBroadcastBatchDriver:
+    """Batch group driver for a cohort of :class:`LocalBroadcastProcess`.
+
+    Registered by the :class:`~repro.simulation.engine.Simulator` for every
+    population of plain ``LocalBroadcastProcess`` automata sharing one
+    parameter set and reuse factor (see ``batch_group_key``).  Per round it
+    partitions the cohort into *active* members -- sending-state nodes in
+    body rounds, live SeedAlg subroutines in preamble rounds -- and *dormant*
+    ones, dispatching per-member work only to the active set.  Phase-boundary
+    work (state transitions, subroutine creation, stream setup) reuses the
+    members' own methods, so the driver cannot drift from the per-process
+    semantics there.
+    """
+
+    __slots__ = (
+        "_params",
+        "_reuse",
+        "_members",
+        "_by_vertex",
+        "_tracker",
+        "_cohort",
+        "_senders",
+    )
+
+    def __init__(self, params: LBParams, seed_reuse_phases: int) -> None:
+        self._params = params
+        self._reuse = int(seed_reuse_phases)
+        self._members: List[LocalBroadcastProcess] = []
+        self._by_vertex: Dict[Vertex, LocalBroadcastProcess] = {}
+        self._tracker = SeedGroupTracker(params)
+        self._cohort: Optional[SeedAgreementCohort] = None
+        self._senders: List[LocalBroadcastProcess] = []
+
+    # ------------------------------------------------------------------
+    # registration (engine-facing)
+    # ------------------------------------------------------------------
+    def add_member(self, process: LocalBroadcastProcess) -> None:
+        self._members.append(process)
+        self._by_vertex[process.vertex] = process
+
+    @property
+    def members(self) -> Tuple[LocalBroadcastProcess, ...]:
+        return tuple(self._members)
+
+    @property
+    def tracker(self) -> SeedGroupTracker:
+        """The cohort's shared-decision tracker (exposed for experiments)."""
+        return self._tracker
+
+    # ------------------------------------------------------------------
+    # round stepping (engine-facing)
+    # ------------------------------------------------------------------
+    def transmit_round(self, round_number: int, out: Dict[Vertex, Any]) -> None:
+        """Add the cohort's transmissions for ``round_number`` to ``out``."""
+        params = self._params
+        phase_m1, index = divmod(round_number - 1, params.phase_length)
+        offset, in_preamble, _, body_start, _ = params.phase_offset_table[index]
+
+        if offset == 1:
+            self._begin_phase_all(phase_m1 + 1)
+
+        if in_preamble:
+            if self._cohort is not None:
+                self._cohort.transmit_round(offset, round_number, out)
+            return
+
+        if body_start:
+            self._begin_body_all()
+        self._body_transmit(out)
+
+    def receive_round(
+        self, round_number: int, receptions: Dict[Vertex, Any]
+    ) -> None:
+        """Consume the round's receptions and run end-of-round bookkeeping."""
+        params = self._params
+        index = (round_number - 1) % params.phase_length
+        offset, in_preamble, preamble_end, _, phase_end = params.phase_offset_table[index]
+
+        if in_preamble:
+            if self._cohort is not None:
+                self._cohort.receive_round(offset, round_number, receptions)
+                if preamble_end:
+                    self._finish_preamble_all(offset)
+            return
+
+        if receptions:
+            by_vertex = self._by_vertex
+            for vertex, frame in receptions.items():
+                if isinstance(frame, DataFrame):
+                    member = by_vertex.get(vertex)
+                    if member is not None:
+                        member._handle_data(frame.message, round_number)
+
+        if phase_end:
+            for member in self._senders:
+                member._end_phase(round_number)
+
+    # ------------------------------------------------------------------
+    # phase boundaries (delegate to the members' own methods)
+    # ------------------------------------------------------------------
+    def _begin_phase_all(self, phase: int) -> None:
+        for member in self._members:
+            member._begin_phase(phase)
+        live = [m for m in self._members if m._seed_subroutine is not None]
+        self._cohort = (
+            SeedAgreementCohort(self._params.seed_params, live, self._by_vertex)
+            if live
+            else None
+        )
+
+    def _finish_preamble_all(self, local_rounds: int) -> None:
+        for member in self._members:
+            sub = member._seed_subroutine
+            if sub is not None:
+                member._finish_preamble()
+                sub.batch_mark_stepped(local_rounds)
+
+    def _begin_body_all(self) -> None:
+        senders = []
+        for member in self._members:
+            member._begin_body()
+            if member._state == STATE_SENDING and member._current_message is not None:
+                senders.append(member)
+        self._senders = senders
+
+    # ------------------------------------------------------------------
+    # body rounds (the hot path)
+    # ------------------------------------------------------------------
+    def _body_transmit(self, out: Dict[Vertex, Any]) -> None:
+        tracker = self._tracker
+        tracker.begin_round()
+        decision_for = tracker.decision_for
+        for member in self._senders:
+            member.stats_body_rounds_sending += 1
+            stream = member._seed_stream
+            participant, b, _ = decision_for(stream)
+            cursor = stream._cursor
+            if cursor > member.stats_max_bits_consumed:
+                member.stats_max_bits_consumed = cursor
+            if not participant:
+                continue
+            member.stats_participant_rounds += 1
+            # b private coins, broadcast iff all zero -- drawn exactly as the
+            # per-process path draws them (short-circuit on the first one).
+            rand = member.ctx.rng.random
+            for _ in range(b):
+                if rand() >= 0.5:
+                    break
+            else:
+                member.stats_broadcast_rounds += 1
+                out[member.vertex] = DataFrame(message=member._current_message)

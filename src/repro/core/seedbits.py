@@ -87,6 +87,20 @@ class SeedBitStream:
         """
         return self.consume_int(count) == 0
 
+    def skip(self, count: int) -> None:
+        """Advance the cursor ``count`` bits without materializing their value.
+
+        Used by the batched body-round path: when another stream with the same
+        seed and cursor has already computed a shared decision, cohort members
+        only need their cursors moved in lockstep.  Extension is deferred --
+        :meth:`consume_int` extends lazily when the cursor runs past the
+        generated bits, and extension blocks are a pure function of the seed,
+        so skipped-over bits are identical to consumed ones.
+        """
+        if count < 0:
+            raise ValueError("cannot skip a negative number of bits")
+        self._cursor += count
+
     def consume_uniform_index(self, modulus: int, width: int) -> int:
         """Consume ``width`` bits and map them into ``[0, modulus)``.
 

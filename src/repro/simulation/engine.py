@@ -26,6 +26,22 @@ Reception resolution has two implementations that produce identical results:
   depends on the round's transmitters) and for schedulers that override
   :meth:`~repro.dualgraph.adversary.LinkScheduler.resolve_topology`, and it
   doubles as the reference implementation in determinism regression tests.
+
+Independently of reception resolution, *process stepping* has two
+implementations that also produce identical results:
+
+* **batched stepping** (default): processes exposing a batch group key
+  (:meth:`~repro.simulation.process.Process.batch_group_key`) are stepped by
+  shared cohort drivers -- one ``transmit_round`` / ``receive_round`` call
+  per driver per round instead of two method calls per process -- which lets
+  homogeneous populations share per-round decisions and skip dormant members
+  entirely.  Ungrouped processes in the same run are stepped per-process.
+* **per-process stepping** steps every process individually and doubles as
+  the reference implementation in the batching regression tests.
+
+In both stepping modes the ``on_round_start`` / ``on_round_end`` hook loops
+only visit processes whose class actually overrides those hooks (detected
+once at construction); for hook-free populations the loops vanish.
 """
 
 from __future__ import annotations
@@ -66,6 +82,11 @@ class Simulator:
         scheduler allows it.  Disable to force the generic edge-set resolver
         (used by regression tests and as the "seed engine" benchmark
         baseline); both produce identical traces.
+    batch_path:
+        Step batchable processes through shared cohort drivers (see module
+        docstring).  Disable to force per-process stepping for every process
+        (used by regression tests and as the "PR-1 fast engine" benchmark
+        baseline); both produce identical traces.
     profile:
         Collect per-section wall-clock totals in :attr:`perf_stats`
         (``inputs`` / ``transmit`` / ``resolve`` / ``deliver`` / ``outputs``).
@@ -81,6 +102,7 @@ class Simulator:
         record_frames: bool = True,
         trace_mode: Optional[TraceMode] = None,
         fast_path: bool = True,
+        batch_path: bool = True,
         profile: bool = False,
     ) -> None:
         missing = graph.vertices - set(processes)
@@ -102,6 +124,50 @@ class Simulator:
         self._fast = bool(fast_path) and self._supports_fast_path()
         if self._fast:
             self._bind_index()
+
+        # Batch stepping: group processes that expose a cohort key under one
+        # driver each; everything else is stepped per-process.  Output drain
+        # order must match the per-process engine, so keep the full process
+        # list in registration order regardless of grouping.
+        self._ordered_processes: List[Process] = list(self._processes.values())
+        self._batch_drivers: List[Any] = []
+        self._ungrouped: Dict[Vertex, Process] = self._processes
+        if batch_path:
+            self._build_batch_groups()
+
+        # Hook-override detection: the on_round_start/on_round_end loops are
+        # pure overhead for populations that never override them (two full
+        # scans per round); visit only actual overriders.
+        self._round_start_hooks: List[Process] = [
+            p
+            for p in self._ordered_processes
+            if type(p).on_round_start is not Process.on_round_start
+        ]
+        self._round_end_hooks: List[Process] = [
+            p
+            for p in self._ordered_processes
+            if type(p).on_round_end is not Process.on_round_end
+        ]
+
+    def _build_batch_groups(self) -> None:
+        groups: Dict[Any, Any] = {}
+        ungrouped: Dict[Vertex, Process] = {}
+        for vertex, process in self._processes.items():
+            driver = None
+            key = process.batch_group_key()
+            if key is not None:
+                driver = groups.get(key)
+                if driver is None:
+                    driver = process.make_batch_driver()
+                    if driver is not None:
+                        groups[key] = driver
+            if driver is None:
+                ungrouped[vertex] = process
+            else:
+                driver.add_member(process)
+        if groups:
+            self._batch_drivers = list(groups.values())
+            self._ungrouped = ungrouped
 
     def _supports_fast_path(self) -> bool:
         scheduler = self._scheduler
@@ -156,6 +222,16 @@ class Simulator:
         """Whether receptions are resolved via the indexed fast path."""
         return self._fast
 
+    @property
+    def uses_batch_stepping(self) -> bool:
+        """Whether any processes are stepped through batch group drivers."""
+        return bool(self._batch_drivers)
+
+    @property
+    def batch_drivers(self) -> List[Any]:
+        """The registered batch group drivers (empty when none apply)."""
+        return list(self._batch_drivers)
+
     def process_at(self, vertex: Vertex) -> Process:
         """The process automaton assigned to ``vertex``."""
         return self._processes[vertex]
@@ -171,7 +247,14 @@ class Simulator:
             for process in self._processes.values():
                 process.on_start()
             self._started = True
-        step = self._run_one_round_profiled if self._profile else self._run_one_round
+        if self._batch_drivers:
+            step = (
+                self._run_one_round_batched_profiled
+                if self._profile
+                else self._run_one_round_batched
+            )
+        else:
+            step = self._run_one_round_profiled if self._profile else self._run_one_round
         for _ in range(rounds):
             self._current_round += 1
             step(self._current_round)
@@ -200,7 +283,7 @@ class Simulator:
         trace.note_round(round_number)
         processes = self._processes
 
-        for process in processes.values():
+        for process in self._round_start_hooks:
             process.on_round_start(round_number)
 
         # 1. environment inputs
@@ -229,12 +312,70 @@ class Simulator:
             process.on_receive(round_number, get_reception(vertex))
 
         # 4. outputs
-        round_outputs = []
-        for vertex, process in processes.items():
+        for process in self._round_end_hooks:
             process.on_round_end(round_number)
-            for event in process.drain_outputs():
-                trace.record_event(event)
-                round_outputs.append(event)
+        round_outputs = []
+        for process in self._ordered_processes:
+            if process._pending_outputs:
+                for event in process.drain_outputs():
+                    trace.record_event(event)
+                    round_outputs.append(event)
+        self._environment.observe_outputs(round_number, round_outputs)
+
+    def _run_one_round_batched(self, round_number: int) -> None:
+        """`_run_one_round` with grouped processes stepped by their drivers.
+
+        Grouped processes get no per-round ``transmit`` / ``on_receive``
+        dispatch at all; their drivers add transmissions to, and consume
+        receptions from, the same round-level dicts the per-process loops
+        use, which is what keeps traces byte-identical across the stepping
+        modes (events are drained in registration order either way).
+        """
+        trace = self._trace
+        trace.note_round(round_number)
+
+        for process in self._round_start_hooks:
+            process.on_round_start(round_number)
+
+        # 1. environment inputs
+        inputs = self._environment.inputs_for_round(round_number)
+        if inputs:
+            processes = self._processes
+            for vertex, vertex_inputs in inputs.items():
+                process = processes[vertex]
+                for inp in vertex_inputs:
+                    process.on_input(round_number, inp)
+                    trace.record_event(_as_bcast_event(vertex, inp, round_number))
+
+        # 2. transmission decisions
+        transmissions: Dict[Vertex, Any] = {}
+        for driver in self._batch_drivers:
+            driver.transmit_round(round_number, transmissions)
+        for vertex, process in self._ungrouped.items():
+            frame = process.transmit(round_number)
+            if frame is not None:
+                transmissions[vertex] = frame
+        trace.record_transmissions(round_number, transmissions)
+
+        # 3. topology for this round and reception resolution
+        receptions = self._resolve_receptions(round_number, transmissions)
+        trace.record_receptions(round_number, receptions)
+        for driver in self._batch_drivers:
+            driver.receive_round(round_number, receptions)
+        if self._ungrouped:
+            get_reception = receptions.get
+            for vertex, process in self._ungrouped.items():
+                process.on_receive(round_number, get_reception(vertex))
+
+        # 4. outputs
+        for process in self._round_end_hooks:
+            process.on_round_end(round_number)
+        round_outputs = []
+        for process in self._ordered_processes:
+            if process._pending_outputs:
+                for event in process.drain_outputs():
+                    trace.record_event(event)
+                    round_outputs.append(event)
         self._environment.observe_outputs(round_number, round_outputs)
 
     def _run_one_round_profiled(self, round_number: int) -> None:
@@ -250,7 +391,7 @@ class Simulator:
         processes = self._processes
 
         t0 = clock()
-        for process in processes.values():
+        for process in self._round_start_hooks:
             process.on_round_start(round_number)
         inputs = self._environment.inputs_for_round(round_number)
         for vertex, vertex_inputs in inputs.items():
@@ -281,12 +422,72 @@ class Simulator:
         t4 = clock()
         perf["deliver"] = perf.get("deliver", 0.0) + (t4 - t3)
 
-        round_outputs = []
-        for vertex, process in processes.items():
+        for process in self._round_end_hooks:
             process.on_round_end(round_number)
-            for event in process.drain_outputs():
-                trace.record_event(event)
-                round_outputs.append(event)
+        round_outputs = []
+        for process in self._ordered_processes:
+            if process._pending_outputs:
+                for event in process.drain_outputs():
+                    trace.record_event(event)
+                    round_outputs.append(event)
+        self._environment.observe_outputs(round_number, round_outputs)
+        t5 = clock()
+        perf["outputs"] = perf.get("outputs", 0.0) + (t5 - t4)
+
+    def _run_one_round_batched_profiled(self, round_number: int) -> None:
+        """`_run_one_round_batched` with per-section wall-clock accounting."""
+        perf = self.perf_stats
+        clock = time.perf_counter
+        trace = self._trace
+        trace.note_round(round_number)
+
+        t0 = clock()
+        for process in self._round_start_hooks:
+            process.on_round_start(round_number)
+        inputs = self._environment.inputs_for_round(round_number)
+        if inputs:
+            processes = self._processes
+            for vertex, vertex_inputs in inputs.items():
+                process = processes[vertex]
+                for inp in vertex_inputs:
+                    process.on_input(round_number, inp)
+                    trace.record_event(_as_bcast_event(vertex, inp, round_number))
+        t1 = clock()
+        perf["inputs"] = perf.get("inputs", 0.0) + (t1 - t0)
+
+        transmissions: Dict[Vertex, Any] = {}
+        for driver in self._batch_drivers:
+            driver.transmit_round(round_number, transmissions)
+        for vertex, process in self._ungrouped.items():
+            frame = process.transmit(round_number)
+            if frame is not None:
+                transmissions[vertex] = frame
+        trace.record_transmissions(round_number, transmissions)
+        t2 = clock()
+        perf["transmit"] = perf.get("transmit", 0.0) + (t2 - t1)
+
+        receptions = self._resolve_receptions(round_number, transmissions)
+        trace.record_receptions(round_number, receptions)
+        t3 = clock()
+        perf["resolve"] = perf.get("resolve", 0.0) + (t3 - t2)
+
+        for driver in self._batch_drivers:
+            driver.receive_round(round_number, receptions)
+        if self._ungrouped:
+            get_reception = receptions.get
+            for vertex, process in self._ungrouped.items():
+                process.on_receive(round_number, get_reception(vertex))
+        t4 = clock()
+        perf["deliver"] = perf.get("deliver", 0.0) + (t4 - t3)
+
+        for process in self._round_end_hooks:
+            process.on_round_end(round_number)
+        round_outputs = []
+        for process in self._ordered_processes:
+            if process._pending_outputs:
+                for event in process.drain_outputs():
+                    trace.record_event(event)
+                    round_outputs.append(event)
         self._environment.observe_outputs(round_number, round_outputs)
         t5 = clock()
         perf["outputs"] = perf.get("outputs", 0.0) + (t5 - t4)

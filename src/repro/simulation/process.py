@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - only needed for type checkers
     from repro.core.events import Event
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessContext:
     """Everything a process is allowed to know at start-up.
 
@@ -87,6 +87,8 @@ class ProcessContext:
 class Process(ABC):
     """Base class for per-vertex algorithm automata."""
 
+    __slots__ = ("ctx", "_pending_outputs")
+
     def __init__(self, ctx: ProcessContext) -> None:
         self.ctx = ctx
         self._pending_outputs: List["Event"] = []
@@ -118,6 +120,36 @@ class Process(ABC):
 
     def on_round_end(self, round_number: int) -> None:
         """Called at the end of each round, after receptions."""
+
+    # ------------------------------------------------------------------
+    # batch stepping protocol (opt-in; see Simulator)
+    # ------------------------------------------------------------------
+    def batch_group_key(self) -> Optional[Hashable]:
+        """A hashable cohort key, or ``None`` if this process cannot be batched.
+
+        Processes returning the same key are stepped together by a *batch
+        group driver* (see :meth:`make_batch_driver`) instead of receiving
+        individual :meth:`transmit` / :meth:`on_receive` calls each round.
+        The contract a batchable process signs up for: the driver must
+        reproduce this process's per-round behavior exactly -- same private
+        RNG draw order, same emitted events, same state transitions -- so
+        traces stay byte-identical with the per-process path.  The default is
+        ``None`` (never batched); subclasses that override behavior-relevant
+        hooks must *not* inherit a non-``None`` key, which is why concrete
+        implementations gate on ``type(self) is <exact class>``.
+        """
+        return None
+
+    def make_batch_driver(self) -> Optional[Any]:
+        """Build the driver for this process's cohort (first member only).
+
+        The simulator calls this once per distinct :meth:`batch_group_key`
+        and then registers every member via ``driver.add_member(process)``.
+        A driver exposes ``transmit_round(round_number, transmissions)`` and
+        ``receive_round(round_number, receptions)``; both mutate/consume the
+        round-level dicts in place of the per-process hook calls.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # output plumbing
@@ -156,6 +188,8 @@ class SilentProcess(Process):
     Useful as a placeholder for vertices that do not participate in an
     experiment, and in unit tests of the engine's collision rules.
     """
+
+    __slots__ = ()
 
     def transmit(self, round_number: int) -> Optional[Any]:
         return None

@@ -2,10 +2,12 @@
 
 The engine has two reception resolvers -- the generic edge-set path (the seed
 implementation, kept for adaptive schedulers) and the indexed transmitter-
-centric fast path.  These tests pin the contract that made the optimization
-safe to ship: for any fixed seed the two paths, and every :class:`TraceMode`,
-observe exactly the same execution; and the parallel sweep runner produces
-exactly the serial sweep's rows.
+centric fast path -- and two process stepping modes -- per-process and
+batched cohort drivers.  These tests pin the contract that made the
+optimizations safe to ship: for any fixed seed every resolver/stepping
+combination, and every :class:`TraceMode`, observes exactly the same
+execution; and the parallel sweep runner produces exactly the serial sweep's
+rows.
 """
 
 from __future__ import annotations
@@ -26,11 +28,14 @@ from repro import (
     Simulator,
     TraceMode,
     TraceScheduler,
+    cluster_network,
     make_lb_processes,
     random_geographic_network,
 )
 from repro.analysis.sweep import ParallelSweepRunner, derive_point_seed, sweep
+from repro.core.local_broadcast import LocalBroadcastProcess
 from repro.simulation.environment import SaturatingEnvironment, SingleShotEnvironment
+from repro.simulation.process import ProcessContext, SilentProcess
 
 SCHEDULER_FACTORIES = {
     "none": lambda g: NoUnreliableScheduler(g),
@@ -267,6 +272,191 @@ class TestTopologyIndex:
 
 
 # ----------------------------------------------------------------------
+# batched cohort stepping
+# ----------------------------------------------------------------------
+def _assert_identical_traces(trace_a, trace_b, rounds):
+    assert trace_a.events == trace_b.events
+    for round_number in range(1, rounds + 1):
+        assert trace_a.transmissions_in_round(
+            round_number
+        ) == trace_b.transmissions_in_round(round_number)
+        assert trace_a.receptions_in_round(round_number) == trace_b.receptions_in_round(
+            round_number
+        )
+
+
+GRAPH_FACTORIES = {
+    "geometric": lambda: random_geographic_network(
+        26, side=3.4, rng=23, require_connected=True
+    )[0],
+    "regions": lambda: cluster_network(
+        clusters=3, cluster_size=7, cluster_spacing=1.4, rng=31
+    )[0],
+}
+
+
+class TestBatchedStepping:
+    def _build(self, graph, batch_path, reuse=1, fast_path=None):
+        params = LBParams.small_for_testing(
+            delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+        )
+        simulator = Simulator(
+            graph,
+            make_lb_processes(
+                graph, params, random.Random(71), seed_reuse_phases=reuse
+            ),
+            scheduler=IIDScheduler(graph, probability=0.5, seed=7),
+            environment=SaturatingEnvironment(senders=sorted(graph.vertices)[:5]),
+            fast_path=batch_path if fast_path is None else fast_path,
+            batch_path=batch_path,
+        )
+        return simulator, params
+
+    @pytest.mark.parametrize("graph_kind", sorted(GRAPH_FACTORIES))
+    @pytest.mark.parametrize("reuse", [1, 2, 3])
+    def test_batched_identical_to_generic_path(self, graph_kind, reuse):
+        """Batched engine vs the seed engine, incl. seed_reuse_phases > 1."""
+        graph = GRAPH_FACTORIES[graph_kind]()
+        batched_sim, params = self._build(graph, True, reuse=reuse)
+        generic_sim, _ = self._build(graph, False, reuse=reuse)
+        assert batched_sim.uses_batch_stepping
+        assert not generic_sim.uses_batch_stepping and not generic_sim.uses_fast_path
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(
+            batched_sim.run(rounds), generic_sim.run(rounds), rounds
+        )
+
+    def test_batched_identical_to_per_process_fast_path(self):
+        graph = GRAPH_FACTORIES["geometric"]()
+        batched_sim, params = self._build(graph, True)
+        fast_sim, _ = self._build(graph, False, fast_path=True)
+        assert fast_sim.uses_fast_path and not fast_sim.uses_batch_stepping
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(batched_sim.run(rounds), fast_sim.run(rounds), rounds)
+
+    def test_cohort_decisions_are_shared(self):
+        graph = GRAPH_FACTORIES["geometric"]()
+        simulator, params = self._build(graph, True)
+        simulator.run(3 * params.phase_length)
+        (driver,) = simulator.batch_drivers
+        tracker = driver.tracker
+        assert tracker.computed_decisions > 0
+        # Saturating senders on a connected network commit overlapping seeds,
+        # so at least some body-round decisions must have been cohort-shared.
+        assert tracker.shared_decisions > 0
+
+    def test_mixed_population_batches_only_groupable_processes(self):
+        graph = GRAPH_FACTORIES["geometric"]()
+        params = LBParams.small_for_testing(
+            delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+        )
+
+        def build(batch_path):
+            rng = random.Random(5)
+            processes = {}
+            silent = sorted(graph.vertices)[-3:]
+            for vertex in sorted(graph.vertices, key=repr):
+                ctx = ProcessContext(
+                    vertex=vertex,
+                    delta=max(graph.max_reliable_degree, params.delta),
+                    delta_prime=max(graph.max_potential_degree, params.delta_prime),
+                    rng=random.Random(rng.getrandbits(64)),
+                )
+                if vertex in silent:
+                    processes[vertex] = SilentProcess(ctx)
+                else:
+                    processes[vertex] = LocalBroadcastProcess(ctx, params)
+            return Simulator(
+                graph,
+                processes,
+                scheduler=IIDScheduler(graph, probability=0.5, seed=11),
+                environment=SingleShotEnvironment(senders=sorted(graph.vertices)[:3]),
+                batch_path=batch_path,
+                fast_path=batch_path,
+            )
+
+        batched_sim = build(True)
+        generic_sim = build(False)
+        assert batched_sim.uses_batch_stepping
+        (driver,) = batched_sim.batch_drivers
+        assert len(driver.members) == graph.n - 3
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(
+            batched_sim.run(rounds), generic_sim.run(rounds), rounds
+        )
+
+    def test_subclasses_are_never_batched(self):
+        class TweakedLB(LocalBroadcastProcess):
+            pass
+
+        ctx = ProcessContext(vertex=0, delta=4, delta_prime=4)
+        params = LBParams.small_for_testing(delta=4, delta_prime=4)
+        assert TweakedLB(ctx, params).batch_group_key() is None
+        assert LocalBroadcastProcess(ctx.child(), params).batch_group_key() is not None
+
+    @pytest.mark.parametrize("trace_mode", list(TraceMode))
+    def test_trace_modes_under_batching(self, trace_mode):
+        graph = GRAPH_FACTORIES["geometric"]()
+        params = LBParams.small_for_testing(
+            delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+        )
+
+        def build(batch_path, mode):
+            return Simulator(
+                graph,
+                make_lb_processes(graph, params, random.Random(9)),
+                scheduler=IIDScheduler(graph, probability=0.4, seed=9),
+                environment=SaturatingEnvironment(senders=sorted(graph.vertices)[:4]),
+                trace_mode=mode,
+                batch_path=batch_path,
+            )
+
+        rounds = 2 * params.phase_length
+        batched = build(True, trace_mode).run(rounds)
+        reference = build(False, TraceMode.FULL).run(rounds)
+        assert batched.event_counts == reference.event_counts
+        assert batched.num_transmissions == reference.num_transmissions
+        assert batched.num_receptions == reference.num_receptions
+
+
+class TestRoundHookSkipping:
+    class HookCountingProcess(SilentProcess):
+        def __init__(self, ctx):
+            super().__init__(ctx)
+            self.starts = 0
+            self.ends = 0
+
+        def on_round_start(self, round_number):
+            self.starts += 1
+
+        def on_round_end(self, round_number):
+            self.ends += 1
+
+    def _simulator(self, with_hooks):
+        graph = DualGraph([0, 1], reliable_edges=[(0, 1)])
+        cls = self.HookCountingProcess if with_hooks else SilentProcess
+        processes = {
+            v: cls(ProcessContext(vertex=v, delta=2, delta_prime=2)) for v in (0, 1)
+        }
+        return Simulator(graph, processes), processes
+
+    def test_overriding_processes_still_get_hooks(self):
+        simulator, processes = self._simulator(with_hooks=True)
+        simulator.run(7)
+        assert all(p.starts == 7 and p.ends == 7 for p in processes.values())
+
+    def test_hookless_population_skips_the_loops(self):
+        simulator, _ = self._simulator(with_hooks=False)
+        assert simulator._round_start_hooks == []
+        assert simulator._round_end_hooks == []
+        simulator.run(3)  # runs without error
+        assert simulator.trace.num_rounds == 3
+
+
+# ----------------------------------------------------------------------
 # parallel sweep determinism
 # ----------------------------------------------------------------------
 def _sweep_point(alpha: int, beta: str) -> dict:
@@ -276,6 +466,10 @@ def _sweep_point(alpha: int, beta: str) -> dict:
 
 def _seeded_point(alpha: int, seed: int = 0) -> dict:
     return {"value": random.Random(seed).randint(0, 10**9), "alpha2": alpha * 2}
+
+
+def _configured_point(alpha: int, scale: int = 1) -> dict:
+    return {"scaled": alpha * scale}
 
 
 GRID = {"alpha": [1, 2, 3], "beta": ["x", "yy"]}
@@ -306,3 +500,12 @@ class TestParallelSweep:
         # Different base seeds must give different per-point draws.
         other = ParallelSweepRunner(jobs=1, base_seed=8).run(grid, _seeded_point)
         assert [r["value"] for r in other.rows] != [r["value"] for r in serial.rows]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_common_kwargs_reach_every_point_but_stay_out_of_rows(self, jobs):
+        grid = {"alpha": [1, 2, 3]}
+        result = ParallelSweepRunner(jobs=jobs).run(
+            grid, _configured_point, common={"scale": 10}
+        )
+        assert [r["scaled"] for r in result.rows] == [10, 20, 30]
+        assert all("scale" not in row for row in result.rows)
