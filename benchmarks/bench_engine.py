@@ -2,22 +2,27 @@
 
 This is the repo's performance yardstick.  For each network size it runs the
 same fixed-seed LBAlg workload (saturating senders, i.i.d. link scheduler)
-through three engine configurations:
+through four engine configurations:
 
 * the **legacy** engine (``fast_path=False, batch_path=False``: per-round
   topology edge frozensets and per-process stepping -- exactly the seed
   engine's strategy),
-* the **fast** path (``batch_path=False``: indexed CSR topology,
-  transmitter-centric collision counters, scheduler edge-id deltas, still
-  per-process stepping -- the PR-1 engine, kept as the batching baseline), and
-* the **batched** engine (the default: fast-path resolution plus batch group
-  drivers that share each body round's seed-cohort decision and skip dormant
-  automata entirely), under each :class:`TraceMode`,
+* the **fast** path (indexed CSR topology, transmitter-centric collision
+  counters with per-edge scheduler point queries, still per-process stepping
+  -- the PR-1 engine, kept as the batching baseline),
+* the **batched** engine (point-query resolution plus batch group drivers
+  that share each body round's seed-cohort decision and skip dormant
+  automata entirely -- the PR-2 engine), and
+* the **vector** engine (the default: batched stepping plus the vectorized
+  reception resolver over flat per-round structures, with per-round
+  scheduler deltas shared across runs by the ``SchedulerDeltaCache``),
+  under each :class:`TraceMode`,
 
-verifies that all three produce *identical* event traces and per-round
+verifies that all four produce *identical* event traces and per-round
 frames, and writes ``BENCH_engine.json`` at the repo root with rounds/sec,
-speedups, and per-section time breakdowns (from separate profiled runs so the
-headline numbers carry no timer overhead).
+speedups, a ``resolve`` section comparing the resolvers' share of a round,
+and per-section time breakdowns (from separate profiled runs so the headline
+numbers carry no timer overhead).
 
 Run it directly::
 
@@ -65,12 +70,17 @@ MASTER_SEED = 2015  # PODC 2015
 TARGET_SPEEDUP = 5.0
 #: The PR-2 acceptance bar: batched rounds/sec over the PR-1 fast path.
 TARGET_BATCHED_OVER_FAST = 2.0
+#: The PR-3 acceptance bar: the vectorized resolver must cut the resolve
+#: share of a batched round at the largest n by at least this factor.
+TARGET_RESOLVE_SHARE_CUT = 1.5
 
-#: name -> (fast_path, batch_path); "batched" is the production default.
+#: name -> (fast_path, vector_path, batch_path); "vector" is the production
+#: default engine, the other three are the regression baselines it stacks on.
 ENGINES = {
-    "legacy": (False, False),
-    "fast": (True, False),
-    "batched": (True, True),
+    "legacy": (False, False, False),
+    "fast": (True, False, False),
+    "batched": (True, False, True),
+    "vector": (True, True, True),
 }
 
 DEFAULT_OUTPUT = os.path.join(
@@ -87,7 +97,7 @@ def build_workload(
     """One fixed-seed LBAlg workload; identical construction for every config."""
     import random
 
-    fast_path, batch_path = ENGINES[engine]
+    fast_path, vector_path, batch_path = ENGINES[engine]
     side = math.sqrt(n / DENSITY)
     graph, _ = random_geographic_network(n, side=side, r=2.0, rng=MASTER_SEED + n)
     delta, delta_prime = graph.degree_bounds()
@@ -100,6 +110,7 @@ def build_workload(
         environment=SaturatingEnvironment(senders=senders),
         trace_mode=trace_mode,
         fast_path=fast_path,
+        vector_path=vector_path,
         batch_path=batch_path,
         profile=profile,
     )
@@ -164,17 +175,25 @@ def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
     batched_sim, batched_trace, batched_rps = _timed_run(
         n, rounds, "batched", TraceMode.FULL
     )
-    _, _, batched_events_rps = _timed_run(n, rounds, "batched", TraceMode.EVENTS)
-    _, _, batched_counters_rps = _timed_run(n, rounds, "batched", TraceMode.COUNTERS)
+    vector_sim, vector_trace, vector_rps = _timed_run(n, rounds, "vector", TraceMode.FULL)
+    _, _, vector_events_rps = _timed_run(n, rounds, "vector", TraceMode.EVENTS)
+    _, _, vector_counters_rps = _timed_run(n, rounds, "vector", TraceMode.COUNTERS)
 
     assert not legacy_sim.uses_fast_path and not legacy_sim.uses_batch_stepping
-    assert fast_sim.uses_fast_path and not fast_sim.uses_batch_stepping
+    assert fast_sim.uses_fast_path and not fast_sim.uses_vector_path
+    assert not fast_sim.uses_batch_stepping
     assert batched_sim.uses_fast_path and batched_sim.uses_batch_stepping
-    identical = _traces_identical(legacy_trace, fast_trace, rounds) and _traces_identical(
-        legacy_trace, batched_trace, rounds
+    assert not batched_sim.uses_vector_path
+    assert vector_sim.uses_vector_path and vector_sim.uses_batch_stepping
+    identical = (
+        _traces_identical(legacy_trace, fast_trace, rounds)
+        and _traces_identical(legacy_trace, batched_trace, rounds)
+        and _traces_identical(legacy_trace, vector_trace, rounds)
     )
 
     profile_rounds = max(rounds // 4, 20)
+    breakdown_batched = _profiled_breakdown(n, profile_rounds, "batched")
+    breakdown_vector = _profiled_breakdown(n, profile_rounds, "vector")
     return {
         "delta": graph.max_reliable_degree,
         "delta_prime": graph.max_potential_degree,
@@ -184,15 +203,21 @@ def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
         "legacy_rps": legacy_rps,
         "fast_rps": fast_rps,
         "batched_rps": batched_rps,
-        "batched_events_rps": batched_events_rps,
-        "batched_counters_rps": batched_counters_rps,
+        "vector_rps": vector_rps,
+        "vector_events_rps": vector_events_rps,
+        "vector_counters_rps": vector_counters_rps,
         "speedup_fast": fast_rps / legacy_rps,
-        "speedup": batched_rps / legacy_rps,
-        "speedup_counters": batched_counters_rps / legacy_rps,
+        "speedup_batched": batched_rps / legacy_rps,
+        "speedup": vector_rps / legacy_rps,
+        "speedup_counters": vector_counters_rps / legacy_rps,
         "batched_over_fast": batched_rps / fast_rps,
+        "vector_over_batched": vector_rps / batched_rps,
+        "resolve_share_batched": breakdown_batched.get("resolve", 0.0),
+        "resolve_share_vector": breakdown_vector.get("resolve", 0.0),
         "trace_identical": identical,
-        "events": len(batched_trace.events),
-        "breakdown_batched": _profiled_breakdown(n, profile_rounds, "batched"),
+        "events": len(vector_trace.events),
+        "breakdown_vector": breakdown_vector,
+        "breakdown_batched": breakdown_batched,
         "breakdown_fast": _profiled_breakdown(n, profile_rounds, "fast"),
         "breakdown_legacy": _profiled_breakdown(n, profile_rounds, "legacy"),
     }
@@ -226,16 +251,22 @@ def main(argv=None) -> int:
         "legacy_rps",
         "fast_rps",
         "batched_rps",
-        "batched_counters_rps",
+        "vector_rps",
         "speedup_fast",
+        "speedup_batched",
         "speedup",
-        "batched_over_fast",
+        "vector_over_batched",
+        "resolve_share_batched",
+        "resolve_share_vector",
         "trace_identical",
     ]
     table = format_table(
         result.rows,
         columns=columns,
-        title="Engine throughput: legacy vs fast vs batched (rounds/sec), IID scheduler",
+        title=(
+            "Engine throughput: legacy vs fast vs batched vs vector "
+            "(rounds/sec), IID scheduler"
+        ),
     )
     print(table)
     # Quick smoke runs save under a separate name so they never clobber the
@@ -244,6 +275,32 @@ def main(argv=None) -> int:
 
     largest = max(row["n"] for row in result)
     headline = next(row for row in result if row["n"] == largest)
+    resolve_section = {
+        "description": (
+            "per-section profile shares of one round; 'cut' is the batched "
+            "(point-query) resolver's share over the vectorized resolver's "
+            "share at the same n"
+        ),
+        "target_share_cut": TARGET_RESOLVE_SHARE_CUT,
+        "by_n": {
+            str(row["n"]): {
+                "batched_share": row["resolve_share_batched"],
+                "vector_share": row["resolve_share_vector"],
+                # None (not inf) when the vector share rounds to zero: the
+                # report must stay strict JSON.
+                "share_cut": (
+                    row["resolve_share_batched"] / row["resolve_share_vector"]
+                    if row["resolve_share_vector"]
+                    else None
+                ),
+            }
+            for row in result
+        },
+    }
+    headline_cut = resolve_section["by_n"][str(largest)]["share_cut"]
+    headline_cut_text = (
+        f"{headline_cut:.1f}x" if headline_cut is not None else "n/a (zero vector share)"
+    )
     report = {
         "benchmark": "bench_engine",
         "workload": "LBAlg, saturating senders, IIDScheduler(p=0.5), fixed seeds",
@@ -254,8 +311,12 @@ def main(argv=None) -> int:
         "headline_n": largest,
         "headline_speedup": headline["speedup"],
         "headline_speedup_fast": headline["speedup_fast"],
+        "headline_speedup_batched": headline["speedup_batched"],
         "headline_batched_over_fast": headline["batched_over_fast"],
+        "headline_vector_over_batched": headline["vector_over_batched"],
         "headline_speedup_counters": headline["speedup_counters"],
+        "headline_resolve_share_cut": headline_cut,
+        "resolve": resolve_section,
         "all_traces_identical": all(row["trace_identical"] for row in result),
         "workloads": result.rows,
     }
@@ -264,7 +325,10 @@ def main(argv=None) -> int:
     print(f"\nwrote {args.output}")
     print(
         f"n={largest}: {headline['speedup']:.1f}x rounds/sec vs seed engine "
-        f"({headline['batched_over_fast']:.1f}x over the PR-1 fast path); "
+        f"({headline['vector_over_batched']:.2f}x over the PR-2 batched engine); "
+        f"resolve share {headline['resolve_share_batched']:.0%} -> "
+        f"{headline['resolve_share_vector']:.0%} "
+        f"({headline_cut_text} cut, target {TARGET_RESOLVE_SHARE_CUT:.1f}x); "
         f"traces identical: {report['all_traces_identical']}"
     )
 

@@ -2,16 +2,22 @@
 
 Compares a freshly produced ``bench_engine`` JSON report (e.g. from
 ``bench_engine.py --quick``) against the repo's committed
-``BENCH_engine.json`` at one network size and exits non-zero when the batched
+``BENCH_engine.json`` at one network size and exits non-zero when a gated
 engine's rounds/sec regressed by more than the allowed fraction.
 
 Raw rounds/sec are only comparable between runs on the same machine, and CI
 runners are not the machine the baseline was committed from.  The default
-mode therefore *normalizes* each report's batched rounds/sec by its own
-legacy rounds/sec -- the batched/legacy speedup -- which cancels the hardware
-factor and regresses only when the batched engine got slower *relative to
-the same code's legacy path*.  Pass ``--absolute`` for raw rounds/sec
-comparisons between runs on one machine.
+mode therefore *normalizes* each report's engine rounds/sec by its own
+legacy rounds/sec -- the engine/legacy speedup -- which cancels the hardware
+factor and regresses only when the engine got slower *relative to the same
+code's legacy path*.  Pass ``--absolute`` for raw rounds/sec comparisons
+between runs on one machine.
+
+Both the PR-2 ``batched`` engine and the PR-3 ``vector`` engine are gated by
+default (``--engines``).  A report that lacks an engine's column or the
+requested network size -- e.g. a baseline committed before that engine
+existed -- is *skipped* for that engine with a warning instead of failing
+with a ``KeyError``, so the gate stays usable across baseline generations.
 
 Usage (the CI smoke step)::
 
@@ -26,20 +32,74 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Optional
 
 
-def _row_for(report: dict, n: int) -> dict:
+def _row_for(report: dict, n: int) -> Optional[dict]:
     for row in report.get("workloads", []):
         if row.get("n") == n:
             return row
-    raise KeyError(f"no n={n} row in report (sizes: {[r.get('n') for r in report.get('workloads', [])]})")
+    return None
 
 
-def _metric(row: dict, absolute: bool) -> float:
-    batched = row["batched_rps"]
-    if absolute:
-        return batched
-    return batched / row["legacy_rps"]
+def _metric(row: dict, engine: str, absolute: bool):
+    """``(value, None)`` for the gated metric, or ``(None, reason)``."""
+    engine_rps = row.get(f"{engine}_rps")
+    if engine_rps is None:
+        return None, f"lacks the '{engine}_rps' column"
+    if not absolute:
+        legacy_rps = row.get("legacy_rps")
+        if not legacy_rps:
+            return None, "lacks a usable 'legacy_rps' denominator"
+        return engine_rps / legacy_rps, None
+    return engine_rps, None
+
+
+def check_engine(
+    engine: str,
+    baseline: dict,
+    fresh: dict,
+    at_n: int,
+    max_regression: float,
+    absolute: bool,
+) -> Optional[bool]:
+    """Gate one engine; True=pass, False=fail, None=skipped (data missing)."""
+    unit = "rounds/sec" if absolute else f"{engine}/legacy speedup"
+    for name, report in (("baseline", baseline), ("fresh", fresh)):
+        if _row_for(report, at_n) is None:
+            sizes = [r.get("n") for r in report.get("workloads", [])]
+            print(f"SKIP [{engine}]: {name} report has no n={at_n} row (sizes: {sizes})")
+            return None
+    base_value, base_reason = _metric(_row_for(baseline, at_n), engine, absolute)
+    fresh_value, fresh_reason = _metric(_row_for(fresh, at_n), engine, absolute)
+    for name, value, reason in (
+        ("baseline", base_value, base_reason),
+        ("fresh", fresh_value, fresh_reason),
+    ):
+        if value is None:
+            print(
+                f"SKIP [{engine}]: {name} report {reason} at n={at_n} "
+                f"(older benchmark format?)"
+            )
+            return None
+
+    floor = base_value * (1.0 - max_regression)
+    ratio = fresh_value / base_value if base_value else float("inf")
+    allowed = 1.0 - max_regression
+    print(
+        f"n={at_n} [{engine}]: baseline {unit} {base_value:.2f}, fresh {fresh_value:.2f}, "
+        f"floor {floor:.2f} (max regression {max_regression:.0%})"
+    )
+    if fresh_value < floor:
+        print(
+            f"FAIL [{engine}]: measured fresh/baseline ratio {ratio:.3f} is below the "
+            f"allowed {allowed:.3f} -- the {engine} engine {unit} at n={at_n} "
+            f"regressed more than {max_regression:.0%} vs the committed baseline",
+            file=sys.stderr,
+        )
+        return False
+    print(f"OK [{engine}]: ratio {ratio:.3f} >= allowed {allowed:.3f}")
+    return True
 
 
 def main(argv=None) -> int:
@@ -54,10 +114,16 @@ def main(argv=None) -> int:
         help="maximum allowed fractional drop (0.30 = fail below 70%% of baseline)",
     )
     parser.add_argument(
+        "--engines",
+        default="batched,vector",
+        help="comma-separated engine names to gate (each needs an <engine>_rps "
+        "column; engines missing from either report are skipped with a warning)",
+    )
+    parser.add_argument(
         "--absolute",
         action="store_true",
         help="compare raw rounds/sec (same-machine runs only) instead of the "
-        "hardware-independent batched/legacy speedup",
+        "hardware-independent engine/legacy speedup",
     )
     args = parser.parse_args(argv)
 
@@ -70,19 +136,22 @@ def main(argv=None) -> int:
         print("FAIL: fresh report says engine traces diverged", file=sys.stderr)
         return 1
 
-    base_value = _metric(_row_for(baseline, args.at_n), args.absolute)
-    fresh_value = _metric(_row_for(fresh, args.at_n), args.absolute)
-    floor = base_value * (1.0 - args.max_regression)
-    unit = "rounds/sec" if args.absolute else "batched/legacy speedup"
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    if not engines:
+        print("FAIL: --engines selected nothing to gate", file=sys.stderr)
+        return 1
 
-    print(
-        f"n={args.at_n}: baseline {unit} {base_value:.2f}, fresh {fresh_value:.2f}, "
-        f"floor {floor:.2f} (max regression {args.max_regression:.0%})"
-    )
-    if fresh_value < floor:
+    verdicts = [
+        check_engine(engine, baseline, fresh, args.at_n, args.max_regression, args.absolute)
+        for engine in engines
+    ]
+    if any(verdict is False for verdict in verdicts):
+        return 1
+    if all(verdict is None for verdict in verdicts):
+        # Nothing was comparable at all -- almost certainly a misconfiguration
+        # (wrong --at-n, or a report from a different benchmark entirely).
         print(
-            f"FAIL: batched engine {unit} at n={args.at_n} regressed more than "
-            f"{args.max_regression:.0%} vs the committed baseline",
+            "FAIL: no engine could be compared between the two reports",
             file=sys.stderr,
         )
         return 1

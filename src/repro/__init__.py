@@ -46,6 +46,7 @@ True
 
 from repro.dualgraph import (
     AdaptiveLinkScheduler,
+    SchedulerDeltaCache,
     AntiScheduleAdversary,
     CollisionAdaptiveAdversary,
     DualGraph,
@@ -149,6 +150,7 @@ __all__ = [
     "PeriodicScheduler",
     "AntiScheduleAdversary",
     "TraceScheduler",
+    "SchedulerDeltaCache",
     # simulation substrate
     "Process",
     "ProcessContext",

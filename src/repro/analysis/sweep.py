@@ -81,6 +81,22 @@ def derive_point_seed(base_seed: int, point_index: int) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+#: Reserved ``common`` kwarg: a prebuilt ``{(delta_cache_key, round): ids}``
+#: table (see :func:`repro.dualgraph.adversary.prebuild_scheduler_deltas`).
+#: It is *not* passed to ``run``; instead each worker preloads its process-wide
+#: :class:`~repro.dualgraph.adversary.SchedulerDeltaCache` with it before the
+#: first grid point runs, so every scheduler the trials construct starts with
+#: the sweep's per-round deltas already computed.
+SCHEDULER_DELTA_TABLE_KWARG = "scheduler_delta_table"
+
+
+def _preload_worker_deltas(delta_table: Mapping) -> None:
+    """Process-pool initializer: preload the delta table once per worker."""
+    from repro.dualgraph.adversary import preload_process_delta_cache
+
+    preload_process_delta_cache(delta_table)
+
+
 def _run_grid_point(
     run: Callable[..., Mapping[str, Any]],
     point: Dict[str, Any],
@@ -90,6 +106,12 @@ def _run_grid_point(
 ) -> Dict[str, Any]:
     """Top-level worker target (must be picklable for the process pool)."""
     kwargs = dict(common) if common else {}
+    delta_table = kwargs.pop(SCHEDULER_DELTA_TABLE_KWARG, None)
+    if delta_table:
+        # Normally stripped by ParallelSweepRunner.run (which ships the table
+        # through the pool initializer, once per worker); handled here too so
+        # direct callers get the same behavior.
+        _preload_worker_deltas(delta_table)
     kwargs.update(point)
     if seed_arg is not None and seed is not None:
         kwargs[seed_arg] = seed
@@ -154,8 +176,18 @@ class ParallelSweepRunner:
         ``common`` holds keyword arguments passed to ``run`` at *every* grid
         point (grid values win on collision).  It is how benchmarks thread
         fixed configuration -- round budgets, engine selection such as the
-        simulator's ``fast_path`` / ``batch_path`` flags -- through the
-        process pool without baking it into the grid or the result rows.
+        simulator's ``fast_path`` / ``batch_path`` / ``vector_path`` flags --
+        through the process pool without baking it into the grid or the
+        result rows.
+
+        One key is reserved: :data:`SCHEDULER_DELTA_TABLE_KWARG`
+        (``"scheduler_delta_table"``).  Its value -- a prebuilt per-round
+        delta table from
+        :func:`repro.dualgraph.adversary.prebuild_scheduler_deltas` -- is
+        stripped before ``run`` is called and instead preloaded into each
+        worker's process-wide scheduler delta cache, so trials on every
+        worker share the parent's precomputed schedules instead of re-hashing
+        them per process.
         """
         points = list(iter_grid_points(grid))
         seeds: List[Optional[int]] = [
@@ -164,15 +196,24 @@ class ParallelSweepRunner:
         ]
         seed_arg = self.seed_arg if self.base_seed is not None else None
         common = dict(common) if common else None
+        delta_table = common.pop(SCHEDULER_DELTA_TABLE_KWARG, None) if common else None
 
         result = SweepResult()
         if self.jobs <= 1 or len(points) <= 1:
+            if delta_table:
+                _preload_worker_deltas(delta_table)
             for point, seed in zip(points, seeds):
                 result.append(_run_grid_point(run, point, seed_arg, seed, common))
             return result
 
         workers = min(self.jobs, len(points))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        # The delta table rides in the pool initializer -- pickled once per
+        # worker -- rather than in every grid point's common mapping.
+        pool_kwargs: Dict[str, Any] = {"max_workers": workers}
+        if delta_table:
+            pool_kwargs["initializer"] = _preload_worker_deltas
+            pool_kwargs["initargs"] = (delta_table,)
+        with ProcessPoolExecutor(**pool_kwargs) as pool:
             futures = [
                 pool.submit(_run_grid_point, run, point, seed_arg, seed, common)
                 for point, seed in zip(points, seeds)

@@ -65,6 +65,13 @@ class SeedGroupTracker:
     ``shared_decisions`` / ``computed_decisions`` count memo hits and misses
     across the tracker's lifetime; experiments and tests use them to verify
     cohort sharing actually happens.
+
+    Contract: :meth:`begin_round` must be called exactly once per body round
+    before any :meth:`decision_for` call (cursors advance every round, so a
+    stale memo would mis-share); after :meth:`decision_for` returns, the
+    member's stream has advanced by ``bits_advanced`` positions regardless of
+    whether the decision was computed or shared, which is what keeps the
+    member's future draws identical to per-process stepping.
     """
 
     __slots__ = (

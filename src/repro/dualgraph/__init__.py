@@ -33,6 +33,10 @@ from repro.dualgraph.generators import (
 from repro.dualgraph.regions import GridRegionPartition, RegionGraph
 from repro.dualgraph.adversary import (
     AdaptiveLinkScheduler,
+    SchedulerDeltaCache,
+    prebuild_scheduler_deltas,
+    preload_process_delta_cache,
+    process_delta_cache,
     AntiScheduleAdversary,
     CollisionAdaptiveAdversary,
     FullInclusionScheduler,
@@ -70,4 +74,8 @@ __all__ = [
     "PeriodicScheduler",
     "AntiScheduleAdversary",
     "TraceScheduler",
+    "SchedulerDeltaCache",
+    "prebuild_scheduler_deltas",
+    "preload_process_delta_cache",
+    "process_delta_cache",
 ]

@@ -37,11 +37,195 @@ from __future__ import annotations
 import hashlib
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dualgraph.graph import DualGraph, Edge, TopologyIndex, normalize_edge
 
 _TWO_64 = float(1 << 64)  # shared by _edge_round_hash and the IID fast paths, which must agree
+
+
+class SchedulerDeltaCache:
+    """Cross-trial cache of per-round unreliable-edge-id deltas.
+
+    An oblivious scheduler's per-round delta -- the tuple of dense edge ids
+    included in round ``t`` -- is a pure function of ``(scheduler
+    configuration, topology structure, t)``.  Sweeps and multi-trial
+    experiments re-derive exactly the same deltas in every trial (each trial
+    builds a fresh graph and scheduler with the same parameters), and for
+    hash-driven schedulers like :class:`IIDScheduler` that derivation is one
+    SHA-256 per unreliable edge per round -- the single most expensive part
+    of reception resolution.  This cache shares the computed deltas across
+    every scheduler instance whose :meth:`LinkScheduler.delta_cache_key`
+    matches, so the hashing happens once per sweep point instead of once per
+    trial.
+
+    Contract:
+
+    * Entries are keyed by ``(delta_cache_key, round_number)``.  The key
+      embeds the scheduler type, its full configuration (seed, probability,
+      period, ...) and the structural
+      :attr:`~repro.dualgraph.graph.TopologyIndex.fingerprint` of the indexed
+      topology, so distinct schedules can never alias.
+    * Values are the exact tuples
+      :meth:`LinkScheduler._compute_unreliable_edge_ids` would return --
+      byte-identical schedules, byte-identical traces.
+    * The cache is bounded (FIFO eviction at ``maxsize`` entries); eviction
+      only ever costs recomputation, never correctness.  :meth:`preload`
+      raises the bound to fit an explicitly prebuilt table (see its
+      docstring).
+
+    A process-wide instance (:func:`process_delta_cache`) is attached to
+    every scheduler at construction; :meth:`LinkScheduler.attach_delta_cache`
+    swaps in a private cache (or ``None`` to disable caching).  For
+    :class:`~repro.analysis.sweep.ParallelSweepRunner` fan-out, a prebuilt
+    table (:func:`prebuild_scheduler_deltas`) can be shipped to workers
+    through the reserved ``scheduler_delta_table`` common kwarg, which
+    preloads each worker's process cache before any trial runs.
+    """
+
+    __slots__ = ("_table", "_set_table", "_maxsize", "hits", "misses")
+
+    #: Default entry bound: at a few KB per cached delta this keeps the
+    #: process-wide cache in the tens of MB even for adversarial workloads.
+    DEFAULT_MAXSIZE = 8192
+
+    def __init__(
+        self,
+        table: Optional[Mapping[Tuple[Hashable, int], Tuple[int, ...]]] = None,
+        maxsize: Optional[int] = DEFAULT_MAXSIZE,
+    ) -> None:
+        self._table: Dict[Tuple[Hashable, int], Tuple[int, ...]] = (
+            dict(table) if table else {}
+        )
+        # The frozenset views of the same deltas, cached separately: the
+        # vectorized resolver consumes sets, and building a frozenset over a
+        # few thousand ids every round costs more than the whole rest of a
+        # sparse round's resolution.  Set views are process-local (rebuilt
+        # from the id tuples after a preload) and bounded like the id table.
+        self._set_table: Dict[Tuple[Hashable, int], FrozenSet[int]] = {}
+        self._maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable, round_number: int) -> Optional[Tuple[int, ...]]:
+        """The cached delta for ``(key, round_number)``, or ``None`` on a miss."""
+        ids = self._table.get((key, round_number))
+        if ids is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return ids
+
+    def store(self, key: Hashable, round_number: int, ids: Tuple[int, ...]) -> None:
+        """Record a computed delta (evicting the oldest entry when full)."""
+        table = self._table
+        if self._maxsize is not None and len(table) >= self._maxsize:
+            table.pop(next(iter(table)))
+        table[(key, round_number)] = ids
+
+    def lookup_set(self, key: Hashable, round_number: int) -> Optional[FrozenSet[int]]:
+        """The cached frozenset view of a delta, or ``None`` when unbuilt."""
+        return self._set_table.get((key, round_number))
+
+    def store_set(self, key: Hashable, round_number: int, ids: FrozenSet[int]) -> None:
+        """Record a delta's frozenset view (same FIFO bound as the id table)."""
+        table = self._set_table
+        if self._maxsize is not None and len(table) >= self._maxsize:
+            table.pop(next(iter(table)))
+        table[(key, round_number)] = ids
+
+    def preload(self, table: Mapping[Tuple[Hashable, int], Tuple[int, ...]]) -> None:
+        """Merge a prebuilt ``(key, round) -> ids`` table into the cache.
+
+        A preloaded table is a deliberate memory commitment: if it is larger
+        than ``maxsize``, the bound is raised to fit it (the bound exists to
+        stop unbounded *incremental* growth, not to silently drop entries an
+        operator explicitly prebuilt).  Preloading is idempotent-cheap: when
+        the table's first *and* last entries are already cached with the same
+        values the merge is skipped, so repeated preloads of the same table
+        (e.g. per-grid-point re-sends) cost two dict lookups instead of a
+        full ``update`` -- while a superset table (same scheduler, more
+        rounds) still merges, because its last entry is new.
+        """
+        if not table:
+            return
+        items = iter(table.items())
+        first_key, first_ids = next(items)
+        if self._table.get(first_key) == first_ids:
+            last_key = next(reversed(table)) if hasattr(table, "__reversed__") else None
+            if last_key is not None and self._table.get(last_key) == table[last_key]:
+                # Already merged (or a prefix survived eviction -- dropped
+                # rounds are simply recomputed on demand).
+                return
+        self._table.update(table)
+        if self._maxsize is not None and len(self._table) > self._maxsize:
+            self._maxsize = len(self._table)
+
+    def export_table(self) -> Dict[Tuple[Hashable, int], Tuple[int, ...]]:
+        """A picklable snapshot of the cache contents (plain dict of id tuples)."""
+        return dict(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+        self._set_table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulerDeltaCache(entries={len(self._table)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: The process-wide cache every scheduler uses unless told otherwise.
+_PROCESS_DELTA_CACHE = SchedulerDeltaCache()
+
+
+def process_delta_cache() -> SchedulerDeltaCache:
+    """The process-wide :class:`SchedulerDeltaCache` shared by all schedulers."""
+    return _PROCESS_DELTA_CACHE
+
+
+def preload_process_delta_cache(
+    table: Mapping[Tuple[Hashable, int], Tuple[int, ...]],
+) -> None:
+    """Merge a prebuilt delta table into the process-wide cache.
+
+    This is the worker-side half of cross-process delta sharing: a parent
+    builds the table once (:func:`prebuild_scheduler_deltas`), ships it
+    through :class:`~repro.analysis.sweep.ParallelSweepRunner`'s reserved
+    ``scheduler_delta_table`` common kwarg, and every worker preloads it here
+    before running its grid points.
+    """
+    _PROCESS_DELTA_CACHE.preload(table)
+
+
+def prebuild_scheduler_deltas(
+    scheduler: "LinkScheduler", rounds: int
+) -> Dict[Tuple[Hashable, int], Tuple[int, ...]]:
+    """Compute rounds ``1..rounds`` of a scheduler's deltas into a plain table.
+
+    The result is picklable and keyed exactly as :class:`SchedulerDeltaCache`
+    stores entries, so it can be passed across process boundaries and fed to
+    :func:`preload_process_delta_cache` (or ``SchedulerDeltaCache(table)``).
+    Raises ``ValueError`` for schedulers whose deltas are not cacheable
+    (adaptive adversaries, custom subclasses without a cache key).
+    """
+    key = scheduler.delta_cache_key()
+    if key is None:
+        raise ValueError(
+            f"{type(scheduler).__name__} deltas are not cacheable "
+            "(delta_cache_key() returned None)"
+        )
+    index = scheduler.graph.topology_index()
+    return {
+        (key, t): scheduler._compute_unreliable_edge_ids(t, index)
+        for t in range(1, rounds + 1)
+    }
 
 
 class LinkScheduler(ABC):
@@ -68,6 +252,8 @@ class LinkScheduler(ABC):
         self._ids_memo: Tuple[int, ...] = ()
         self._ids_set_memo_key: Optional[Tuple[int, int]] = None
         self._ids_set_memo: FrozenSet[int] = frozenset()
+        self._delta_cache: Optional[SchedulerDeltaCache] = _PROCESS_DELTA_CACHE
+        self._cache_key_memo: Optional[Tuple[int, Optional[Hashable]]] = None
 
     @property
     def graph(self) -> DualGraph:
@@ -97,19 +283,64 @@ class LinkScheduler(ABC):
     def unreliable_edge_ids_for_round(self, round_number: int) -> Tuple[int, ...]:
         """Dense ids of the unreliable edges included in ``round_number``.
 
-        Ids refer to ``self.graph.topology_index()``.  The result is memoized
-        per ``(round, topology version)`` so the engine (and anything else
-        inspecting the schedule) can query a round repeatedly for free.
+        This is the scheduler half of the engine's fast-path contract:
+
+        * Ids refer to ``self.graph.topology_index()`` (the dense edge ids of
+          ``E' \\ E``); the tuple is the round's complete inclusion delta.
+        * The result is memoized per ``(round, topology version)``, so the
+          engine -- and anything else inspecting the schedule -- can query
+          the current round repeatedly for free.
+        * For schedulers exposing a :meth:`delta_cache_key`, computed deltas
+          are additionally shared through the attached
+          :class:`SchedulerDeltaCache`, so structurally identical trials
+          (same scheduler configuration, same indexed topology) never
+          re-derive a round's delta.
+
+        The returned tuple must be treated as immutable; it may be the cached
+        object shared across scheduler instances and trials.
         """
         key = (round_number, self._graph.topology_version)
         if key == self._ids_memo_key:
             return self._ids_memo
-        ids = self._compute_unreliable_edge_ids(
-            round_number, self._graph.topology_index()
-        )
+        cache = self._delta_cache
+        cache_key = self.delta_cache_key() if cache is not None else None
+        ids: Optional[Tuple[int, ...]] = None
+        if cache_key is not None:
+            ids = cache.lookup(cache_key, round_number)
+        if ids is None:
+            ids = self._compute_unreliable_edge_ids(
+                round_number, self._graph.topology_index()
+            )
+            if cache_key is not None:
+                cache.store(cache_key, round_number, ids)
         self._ids_memo_key = key
         self._ids_memo = ids
         return ids
+
+    def unreliable_edge_id_set_for_round(self, round_number: int) -> FrozenSet[int]:
+        """The round's inclusion delta as a frozenset of dense edge ids.
+
+        The set view of :meth:`unreliable_edge_ids_for_round`, memoized per
+        ``(round, topology version)``.  The vectorized reception resolver
+        intersects it with each transmitter's precomputed incident-edge-id
+        set (:attr:`~repro.dualgraph.graph.TopologyIndex.unreliable_incident_ids`),
+        keeping the whole unreliable-edge step in C-level set operations.
+        """
+        key = (round_number, self._graph.topology_version)
+        if key == self._ids_set_memo_key:
+            return self._ids_set_memo
+        cache = self._delta_cache
+        cache_key = self.delta_cache_key() if cache is not None else None
+        ids_set: Optional[FrozenSet[int]] = None
+        if cache_key is not None:
+            ids_set = cache.lookup_set(cache_key, round_number)
+        if ids_set is None:
+            ids_set = frozenset(self.unreliable_edge_ids_for_round(round_number))
+            if cache_key is not None:
+                cache.store_set(cache_key, round_number, ids_set)
+        self._ids_set_memo = ids_set
+        self._ids_set_memo_key = key
+        return ids_set
 
     def _compute_unreliable_edge_ids(
         self, round_number: int, index: TopologyIndex
@@ -117,21 +348,66 @@ class LinkScheduler(ABC):
         """Uncached id computation; override when structure allows a fast path."""
         return index.edge_ids(self.unreliable_edges_for_round(round_number))
 
+    def delta_cache_key(self) -> Optional[Hashable]:
+        """The cross-trial identity of this scheduler's delta stream, or ``None``.
+
+        Two scheduler instances with equal keys are guaranteed to produce
+        identical :meth:`unreliable_edge_ids_for_round` results for every
+        round, even across processes -- that is the license the
+        :class:`SchedulerDeltaCache` needs to share deltas between them.  The
+        key combines the subclass's configuration signature
+        (:meth:`_delta_cache_signature`) with the structural fingerprint of
+        the indexed topology; ``None`` (the default for subclasses without a
+        signature, and always for adaptive schedulers) disables caching.
+        """
+        if self.is_adaptive:
+            return None
+        version = self._graph.topology_version
+        memo = self._cache_key_memo
+        if memo is not None and memo[0] == version:
+            return memo[1]
+        signature = self._delta_cache_signature()
+        key: Optional[Hashable] = None
+        if signature is not None:
+            key = (
+                type(self).__name__,
+                tuple(signature),
+                self._graph.topology_index().fingerprint,
+            )
+        self._cache_key_memo = (version, key)
+        return key
+
+    def _delta_cache_signature(self) -> Optional[Tuple[Hashable, ...]]:
+        """The scheduler-configuration part of :meth:`delta_cache_key`.
+
+        Subclasses whose schedule is a pure function of constructor arguments
+        return those arguments (e.g. ``(seed, probability)``); the default
+        ``None`` keeps unknown subclasses out of the cache, which is always
+        safe -- their deltas are simply recomputed per instance.
+        """
+        return None
+
+    def attach_delta_cache(self, cache: Optional[SchedulerDeltaCache]) -> None:
+        """Use ``cache`` for cross-trial delta sharing (``None`` disables it).
+
+        Schedulers are born attached to the process-wide cache
+        (:func:`process_delta_cache`); experiments that want isolation (or a
+        preloaded private table) swap it here.
+        """
+        self._delta_cache = cache
+
     def unreliable_edge_included(self, edge_id: int, round_number: int) -> bool:
         """Whether one unreliable edge (by dense id) is scheduled this round.
 
-        The engine's fast path queries only the edges incident to the round's
-        transmitters, which for sparse transmission patterns is far fewer
-        edges than the whole of ``E' \\ E``.  The default answers from a
-        memoized set of the round's full id delta; schedulers whose per-edge
-        decision is O(1) (e.g. :class:`IIDScheduler`) override this so that
-        never-queried edges cost nothing at all.
+        The engine's point-query (PR-2) fast path asks only about the edges
+        incident to the round's transmitters, which for sparse transmission
+        patterns is far fewer edges than the whole of ``E' \\ E``.  The
+        default answers from the memoized set view of the round's full id
+        delta; schedulers whose per-edge decision is O(1) (e.g.
+        :class:`IIDScheduler`) override this so that never-queried edges cost
+        nothing at all.
         """
-        key = (round_number, self._graph.topology_version)
-        if key != self._ids_set_memo_key:
-            self._ids_set_memo = frozenset(self.unreliable_edge_ids_for_round(round_number))
-            self._ids_set_memo_key = key
-        return edge_id in self._ids_set_memo
+        return edge_id in self.unreliable_edge_id_set_for_round(round_number)
 
     def resolve_topology(
         self, round_number: int, transmitting: FrozenSet
@@ -351,6 +627,12 @@ class IIDScheduler(LinkScheduler):
         digest = hashlib.sha256(payload).digest()
         return int.from_bytes(digest[:8], "big") / _TWO_64 < self._p
 
+    def _delta_cache_signature(self) -> Tuple[Hashable, ...]:
+        # The whole schedule is a pure function of (seed, p) and the edge
+        # identities -- exactly what the cache key's topology fingerprint plus
+        # this signature pin down.
+        return ("iid", self._seed, self._p)
+
     def describe(self) -> str:
         return f"IIDScheduler(p={self._p})"
 
@@ -418,6 +700,9 @@ class PeriodicScheduler(LinkScheduler):
             )
             self._period_masks[phase] = mask
         return mask
+
+    def _delta_cache_signature(self) -> Tuple[Hashable, ...]:
+        return ("periodic", self._on, self._off, self._stagger, self._seed)
 
     def describe(self) -> str:
         return f"PeriodicScheduler(on={self._on}, off={self._off}, stagger={self._stagger})"

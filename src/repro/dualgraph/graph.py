@@ -22,6 +22,7 @@ consecutive integers).  Edges are stored as frozensets of two vertices so that
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 Vertex = Hashable
@@ -64,6 +65,9 @@ class TopologyIndex:
         "unreliable_u",
         "unreliable_v",
         "unreliable_adjacency",
+        "unreliable_incident_ids",
+        "unreliable_neighbor_by_eid",
+        "_fingerprint",
     )
 
     def __init__(self, graph: "DualGraph") -> None:
@@ -108,10 +112,47 @@ class TopologyIndex:
         self.unreliable_adjacency: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
             tuple(row) for row in u_adj
         )
+        # The same incidence split into the two flat views the vectorized
+        # resolver consumes: a frozenset of incident edge ids per vertex (for
+        # C-level intersection with a round's scheduled-edge-id set) and an
+        # eid -> other-endpoint map per vertex.  Rows are in ascending edge-id
+        # order, matching ``unreliable_adjacency``.
+        self.unreliable_incident_ids: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(eid for _, eid in row) for row in u_adj
+        )
+        self.unreliable_neighbor_by_eid: Tuple[Dict[int, int], ...] = tuple(
+            {eid: j for j, eid in row} for row in u_adj
+        )
+        self._fingerprint: Optional[str] = None
 
     @property
     def n(self) -> int:
         return len(self.vertices)
+
+    @property
+    def fingerprint(self) -> str:
+        """A structural hash of the indexed topology (hex digest, cached).
+
+        Two dual graphs that index identically -- same vertex reprs in the
+        same order, same reliable CSR arrays, same unreliable edge endpoint
+        arrays -- share a fingerprint, even when they are distinct objects
+        built independently (e.g. one per sweep trial).  The
+        :class:`~repro.dualgraph.adversary.SchedulerDeltaCache` keys on it so
+        per-round edge-id deltas computed in one trial are valid in every
+        other trial over a structurally identical network.
+        """
+        if self._fingerprint is None:
+            payload = "|".join(
+                (
+                    repr(self.vertices),
+                    repr(self.g_indptr),
+                    repr(self.g_indices),
+                    repr(self.unreliable_u),
+                    repr(self.unreliable_v),
+                )
+            )
+            self._fingerprint = hashlib.sha256(payload.encode()).hexdigest()
+        return self._fingerprint
 
     @property
     def num_unreliable_edges(self) -> int:
@@ -232,8 +273,19 @@ class DualGraph:
     def topology_index(self) -> TopologyIndex:
         """The cached integer-indexed (CSR) view of this graph.
 
-        Rebuilt lazily after any edge mutation; callers should not hold on to
-        an index across mutations (compare :attr:`topology_version`).
+        This is the entry point of the engine's fast path: the returned
+        :class:`TopologyIndex` maps vertices to dense integers (stable
+        ``sorted(..., key=repr)`` order), stores the reliable adjacency of
+        ``G`` CSR-style, and assigns every edge of ``E' \\ E`` a dense *edge
+        id* that link schedulers use to describe per-round inclusion deltas
+        (:meth:`~repro.dualgraph.adversary.LinkScheduler.unreliable_edge_ids_for_round`).
+
+        Contract: the index is immutable and cached; it is rebuilt lazily
+        after any edge mutation, so callers must not hold on to one across
+        mutations -- re-call this method, or compare :attr:`topology_version`
+        (every consumer that memoizes by edge id keys its memo on that
+        version).  Building is O(V + E log E); every subsequent call is a
+        cache hit until the graph changes.
         """
         if self._topology_index is None:
             self._topology_index = TopologyIndex(self)

@@ -12,15 +12,34 @@
 * the environment delivers inputs before transmissions and consumes outputs
   after receptions.
 
-Reception resolution has two implementations that produce identical results:
+Reception resolution has three implementations that produce identical
+results:
 
-* the **fast path** (default for oblivious schedulers) works on the graph's
-  integer-indexed :class:`~repro.dualgraph.graph.TopologyIndex`.  It is
-  transmitter-centric: each transmitter bumps a collision counter on its
-  reliable neighbors via the CSR adjacency, the scheduler's per-round
-  unreliable-edge id delta adds the scheduled edges incident to transmitters,
-  and a vertex receives iff its counter is exactly one.  Only transmitters'
-  neighborhoods are touched; no per-round edge frozensets are built.
+* the **vectorized path** (default for oblivious schedulers) works on flat
+  per-round structures over the graph's integer-indexed
+  :class:`~repro.dualgraph.graph.TopologyIndex`.  Collision candidates are
+  bulk-collected per transmitter neighborhood slice (one C-level ``extend``
+  of the precomputed CSR row per transmitter), last-transmitter ids are
+  bulk-filled with ``dict.fromkeys`` over the same slices, and the collision
+  counters fall out of one C-level ``Counter`` pass over the candidate list.
+  Reliable-edge contributions come entirely from the per-transmitter CSR
+  slices precomputed once per topology; only unreliable edges consult the
+  scheduler, via a per-round scheduled-edge-id *set*
+  (:meth:`~repro.dualgraph.adversary.LinkScheduler.unreliable_edge_id_set_for_round`)
+  intersected with each transmitter's precomputed incident-id set.  Those
+  per-round deltas are shared across trials by the
+  :class:`~repro.dualgraph.adversary.SchedulerDeltaCache`, so in sweeps the
+  scheduler hashing is paid once per sweep point, not once per trial.
+* the **point-query fast path** (``vector_path=False``; the PR-1/PR-2
+  resolver) is transmitter-centric with explicit Python loops: each
+  transmitter bumps a collision counter on its reliable neighbors via the
+  CSR adjacency and point-queries the scheduler
+  (:meth:`~repro.dualgraph.adversary.LinkScheduler.unreliable_edge_included`)
+  for exactly the unreliable edges incident to transmitters.  It never
+  materializes a round's full delta, which makes it the better choice for
+  one-shot runs of hash-driven schedulers with very sparse transmission
+  patterns, and it doubles as a reference implementation in the vectorized
+  path's regression tests.
 * the **generic path** asks the scheduler for the round's full topology edge
   set and scans it.  It is kept for adaptive schedulers (whose edge choice
   depends on the round's transmitters) and for schedulers that override
@@ -47,6 +66,7 @@ once at construction); for hook-free populations the loops vanish.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from typing import Any, Dict, Hashable, List, Mapping, Optional
 
 from repro.dualgraph.adversary import LinkScheduler, NoUnreliableScheduler
@@ -78,10 +98,17 @@ class Simulator:
     trace_mode:
         Explicit :class:`TraceMode` (overrides ``record_frames``).
     fast_path:
-        Use the indexed transmitter-centric reception resolver when the
+        Use the indexed transmitter-centric reception resolvers when the
         scheduler allows it.  Disable to force the generic edge-set resolver
         (used by regression tests and as the "seed engine" benchmark
-        baseline); both produce identical traces.
+        baseline); all resolvers produce identical traces.
+    vector_path:
+        Within the fast path, resolve receptions with the vectorized
+        flat-array resolver (see module docstring); requires the scheduler's
+        per-round delta set, which the :class:`SchedulerDeltaCache` shares
+        across trials.  Disable to fall back to the PR-1/PR-2 point-query
+        resolver (which never materializes full deltas); both produce
+        identical traces.  Ignored when the fast path itself is off.
     batch_path:
         Step batchable processes through shared cohort drivers (see module
         docstring).  Disable to force per-process stepping for every process
@@ -102,6 +129,7 @@ class Simulator:
         record_frames: bool = True,
         trace_mode: Optional[TraceMode] = None,
         fast_path: bool = True,
+        vector_path: bool = True,
         batch_path: bool = True,
         profile: bool = False,
     ) -> None:
@@ -122,6 +150,7 @@ class Simulator:
         self._profile = bool(profile)
 
         self._fast = bool(fast_path) and self._supports_fast_path()
+        self._vector = self._fast and bool(vector_path)
         if self._fast:
             self._bind_index()
 
@@ -192,6 +221,12 @@ class Simulator:
         self._tx_flags = bytearray(n)
         self._hits = [0] * n
         self._last_sender = [0] * n
+        # Vector-path views: per-vertex incident unreliable edge ids (for set
+        # intersection with the round's scheduled delta) and eid -> neighbor
+        # maps, both precomputed once per topology by the index.
+        self._u_incident = index.unreliable_incident_ids
+        self._u_neighbor_of = index.unreliable_neighbor_by_eid
+        self._has_unreliable = index.num_unreliable_edges > 0
 
     # ------------------------------------------------------------------
     # accessors
@@ -221,6 +256,11 @@ class Simulator:
     def uses_fast_path(self) -> bool:
         """Whether receptions are resolved via the indexed fast path."""
         return self._fast
+
+    @property
+    def uses_vector_path(self) -> bool:
+        """Whether receptions are resolved via the vectorized flat-array path."""
+        return self._vector
 
     @property
     def uses_batch_stepping(self) -> bool:
@@ -511,8 +551,77 @@ class Simulator:
                 # refresh the index view so edge ids stay in sync with the
                 # schedulers, which key their own caches on the same version.
                 self._bind_index()
+            if self._vector:
+                return self._resolve_receptions_vector(round_number, transmissions)
             return self._resolve_receptions_fast(round_number, transmissions)
         return self._resolve_receptions_generic(round_number, transmissions)
+
+    def _resolve_receptions_vector(
+        self, round_number: int, transmissions: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Any]:
+        """The vectorized collision-rule resolver (see module docstring).
+
+        Semantically identical to :meth:`_resolve_receptions_fast`, but the
+        per-(transmitter, neighbor) Python work is replaced by bulk C-level
+        operations over flat precomputed structures:
+
+        * candidate receivers are collected by extending one list with each
+          transmitter's precomputed CSR neighbor slice (reliable edges never
+          consult the scheduler);
+        * last-transmitter ids are bulk-filled per slice with
+          ``dict.fromkeys(slice, transmitter)`` -- unambiguous wherever the
+          collision count ends up exactly 1;
+        * scheduled unreliable edges come from one frozenset intersection per
+          transmitter between the round's delta set and the transmitter's
+          precomputed incident-edge-id set;
+        * collision counters are one ``Counter`` pass over the candidates.
+
+        First-touch candidate order matches the point-query resolver exactly
+        (reliable slices in transmitter order, then scheduled unreliable
+        edges in ascending edge id per transmitter), so the receptions dict
+        is built in the same insertion order and traces stay byte-identical.
+        """
+        idx_of = self._idx_of
+        vertex_of = self._vertex_of
+        rows = self._g_neighbors
+        tx = self._tx_flags
+        fromkeys = dict.fromkeys
+
+        tx_indices = [idx_of[vertex] for vertex in transmissions]
+        for i in tx_indices:
+            tx[i] = 1
+
+        touched: List[int] = []
+        extend = touched.extend
+        sender: Dict[int, int] = {}
+        fill = sender.update
+        for i in tx_indices:
+            row = rows[i]
+            if row:
+                extend(row)
+                fill(fromkeys(row, i))
+
+        if self._has_unreliable:
+            scheduled = self._scheduler.unreliable_edge_id_set_for_round(round_number)
+            if scheduled:
+                incident = self._u_incident
+                neighbor_of = self._u_neighbor_of
+                for i in tx_indices:
+                    hit = scheduled & incident[i]
+                    if hit:
+                        nbs = neighbor_of[i]
+                        js = [nbs[eid] for eid in sorted(hit)]
+                        extend(js)
+                        fill(fromkeys(js, i))
+
+        receptions: Dict[Vertex, Any] = {}
+        if touched:
+            for j, count in Counter(touched).items():
+                if count == 1 and not tx[j]:
+                    receptions[vertex_of[j]] = transmissions[vertex_of[sender[j]]]
+        for i in tx_indices:
+            tx[i] = 0
+        return receptions
 
     def _resolve_receptions_fast(
         self, round_number: int, transmissions: Dict[Vertex, Any]

@@ -137,6 +137,13 @@ class Process(ABC):
         ``None`` (never batched); subclasses that override behavior-relevant
         hooks must *not* inherit a non-``None`` key, which is why concrete
         implementations gate on ``type(self) is <exact class>``.
+
+        The key must be stable for the process's lifetime (the simulator
+        reads it once, at construction) and must encode everything two
+        processes need to share per-round decisions -- see
+        :meth:`repro.core.local_broadcast.LocalBroadcastProcess.batch_group_key`
+        for the canonical implementation (algorithm tag, parameter set, and
+        seed reuse factor).
         """
         return None
 

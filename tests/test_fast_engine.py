@@ -51,7 +51,9 @@ def _make_network():
     return graph
 
 
-def _build_simulator(graph, fast_path, scheduler_key, trace_mode=TraceMode.FULL):
+def _build_simulator(
+    graph, fast_path, scheduler_key, trace_mode=TraceMode.FULL, vector_path=False
+):
     params = LBParams.small_for_testing(
         delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
     )
@@ -64,17 +66,22 @@ def _build_simulator(graph, fast_path, scheduler_key, trace_mode=TraceMode.FULL)
         environment=SingleShotEnvironment(senders=senders),
         trace_mode=trace_mode,
         fast_path=fast_path,
+        vector_path=vector_path,
     )
     return simulator, params
 
 
 class TestFastPathMatchesLegacy:
+    @pytest.mark.parametrize("resolver", ["point", "vector"])
     @pytest.mark.parametrize("scheduler_key", sorted(SCHEDULER_FACTORIES))
-    def test_identical_traces_for_fixed_seed(self, scheduler_key):
+    def test_identical_traces_for_fixed_seed(self, scheduler_key, resolver):
         graph = _make_network()
-        fast_sim, params = _build_simulator(graph, True, scheduler_key)
+        fast_sim, params = _build_simulator(
+            graph, True, scheduler_key, vector_path=(resolver == "vector")
+        )
         legacy_sim, _ = _build_simulator(graph, False, scheduler_key)
         assert fast_sim.uses_fast_path
+        assert fast_sim.uses_vector_path == (resolver == "vector")
         assert not legacy_sim.uses_fast_path
 
         rounds = 2 * params.phase_length
@@ -100,8 +107,40 @@ class TestFastPathMatchesLegacy:
             make_lb_processes(graph, params, random.Random(1)),
             scheduler=CollisionAdaptiveAdversary(graph),
         )
+        # vector_path defaults to True, but an adaptive scheduler disables the
+        # whole fast path, vectorized resolution included.
         assert not simulator.uses_fast_path
+        assert not simulator.uses_vector_path
         simulator.run(params.phase_length)  # runs without error
+
+    def test_vector_resolver_matches_generic_under_adaptive_fallback(self):
+        """Requesting the vector path against an adaptive adversary must not
+        change the execution: both engines land on the generic resolver."""
+
+        def run_one(vector_path):
+            graph = _make_network()
+            params = LBParams.small_for_testing(
+                delta=graph.max_reliable_degree,
+                delta_prime=graph.max_potential_degree,
+            )
+            simulator = Simulator(
+                graph,
+                make_lb_processes(graph, params, random.Random(12)),
+                scheduler=CollisionAdaptiveAdversary(graph),
+                environment=SingleShotEnvironment(senders=sorted(graph.vertices)[:3]),
+                fast_path=True,
+                vector_path=vector_path,
+            )
+            assert not simulator.uses_vector_path
+            return simulator.run(2 * params.phase_length)
+
+        requested = run_one(True)
+        reference = run_one(False)
+        assert requested.events == reference.events
+        for round_number in range(1, requested.num_rounds + 1):
+            assert requested.receptions_in_round(
+                round_number
+            ) == reference.receptions_in_round(round_number)
 
     def test_graph_mutation_between_runs_rebinds_index(self):
         graph = DualGraph([0, 1, 2, 3], reliable_edges=[(0, 1), (1, 2)])
@@ -130,7 +169,7 @@ class TestFastPathMatchesLegacy:
                     self._graph_ref.add_unreliable_edge(0, 3)
                 return super().inputs_for_round(round_number)
 
-        def run_one(fast_path):
+        def run_one(fast_path, vector_path=False):
             graph = DualGraph(
                 [0, 1, 2, 3],
                 reliable_edges=[(0, 1), (1, 2)],
@@ -143,14 +182,20 @@ class TestFastPathMatchesLegacy:
                 scheduler=IIDScheduler(graph, probability=0.6, seed=3),
                 environment=MutatingEnvironment(graph, senders=[0, 2]),
                 fast_path=fast_path,
+                vector_path=vector_path,
             )
             return simulator.run(2 * params.phase_length)
 
         fast_trace = run_one(True)
+        vector_trace = run_one(True, vector_path=True)
         legacy_trace = run_one(False)
         assert fast_trace.events == legacy_trace.events
+        assert vector_trace.events == legacy_trace.events
         for round_number in range(1, fast_trace.num_rounds + 1):
             assert fast_trace.receptions_in_round(
+                round_number
+            ) == legacy_trace.receptions_in_round(round_number)
+            assert vector_trace.receptions_in_round(
                 round_number
             ) == legacy_trace.receptions_in_round(round_number)
 
@@ -239,6 +284,167 @@ class TestSchedulerDeltaInterface:
         graph.add_unreliable_edge(0, 2)
         assert len(scheduler.unreliable_edge_ids_for_round(1)) == 2
 
+    @pytest.mark.parametrize("scheduler_key", sorted(SCHEDULER_FACTORIES))
+    def test_id_set_view_matches_id_tuple(self, scheduler_key):
+        graph = _make_network()
+        scheduler = SCHEDULER_FACTORIES[scheduler_key](graph)
+        for round_number in (1, 2, 7, 19):
+            assert scheduler.unreliable_edge_id_set_for_round(round_number) == frozenset(
+                scheduler.unreliable_edge_ids_for_round(round_number)
+            )
+
+
+def _cache_probe_graph():
+    """A fixed small dual graph, rebuilt per call (distinct objects, equal
+    structure -- exactly the cross-trial sharing scenario)."""
+    return DualGraph(
+        [0, 1, 2, 3, 4],
+        reliable_edges=[(0, 1), (1, 2), (3, 4)],
+        unreliable_edges=[(0, 2), (1, 3), (2, 4), (0, 4)],
+    )
+
+
+def _delta_cache_probe_point(alpha: int) -> dict:
+    """Module-level so it is picklable; reports whether the process cache was
+    preloaded with the parent's delta for round ``alpha``."""
+    from repro.dualgraph.adversary import process_delta_cache
+
+    scheduler = IIDScheduler(_cache_probe_graph(), probability=0.4, seed=21)
+    cache = process_delta_cache()
+    hits_before = cache.hits
+    ids = scheduler.unreliable_edge_ids_for_round(alpha)
+    return {"ids": list(ids), "preloaded": cache.hits > hits_before}
+
+
+class TestSchedulerDeltaCache:
+    def _schedulers(self):
+        return (
+            IIDScheduler(_cache_probe_graph(), probability=0.4, seed=21),
+            IIDScheduler(_cache_probe_graph(), probability=0.4, seed=21),
+        )
+
+    def test_structurally_equal_trials_share_deltas(self):
+        from repro import SchedulerDeltaCache
+
+        first, second = self._schedulers()
+        cache = SchedulerDeltaCache()
+        first.attach_delta_cache(cache)
+        second.attach_delta_cache(cache)
+        for round_number in range(1, 11):
+            ids = first.unreliable_edge_ids_for_round(round_number)
+            assert second.unreliable_edge_ids_for_round(round_number) is ids
+        assert cache.hits == 10 and cache.misses == 10
+
+    def test_set_views_are_shared_too(self):
+        from repro import SchedulerDeltaCache
+
+        first, second = self._schedulers()
+        cache = SchedulerDeltaCache()
+        first.attach_delta_cache(cache)
+        second.attach_delta_cache(cache)
+        view = first.unreliable_edge_id_set_for_round(5)
+        assert second.unreliable_edge_id_set_for_round(5) is view
+
+    def test_cache_keys_distinguish_configurations(self):
+        graph = _cache_probe_graph()
+        base = IIDScheduler(graph, probability=0.4, seed=21)
+        assert base.delta_cache_key() is not None
+        assert base.delta_cache_key() == IIDScheduler(
+            _cache_probe_graph(), probability=0.4, seed=21
+        ).delta_cache_key()
+        for other in (
+            IIDScheduler(graph, probability=0.4, seed=22),
+            IIDScheduler(graph, probability=0.5, seed=21),
+            PeriodicScheduler(graph, on_rounds=3, off_rounds=2),
+        ):
+            assert other.delta_cache_key() != base.delta_cache_key()
+        # A structurally different topology must not share keys either.
+        mutated = _cache_probe_graph()
+        mutated.add_unreliable_edge(3, 0)
+        assert (
+            IIDScheduler(mutated, probability=0.4, seed=21).delta_cache_key()
+            != base.delta_cache_key()
+        )
+
+    def test_adaptive_and_unknown_schedulers_are_not_cacheable(self):
+        graph = _cache_probe_graph()
+        assert CollisionAdaptiveAdversary(graph).delta_cache_key() is None
+        assert TraceScheduler(graph, [[(0, 2)]]).delta_cache_key() is None
+        with pytest.raises(ValueError):
+            from repro.dualgraph import prebuild_scheduler_deltas
+
+            prebuild_scheduler_deltas(CollisionAdaptiveAdversary(graph), 5)
+
+    def test_cache_key_tracks_graph_mutation(self):
+        graph = _cache_probe_graph()
+        scheduler = IIDScheduler(graph, probability=0.4, seed=21)
+        before = scheduler.delta_cache_key()
+        graph.add_unreliable_edge(3, 0)
+        after = scheduler.delta_cache_key()
+        assert before != after
+
+    def test_fifo_bound_evicts_but_stays_correct(self):
+        from repro import SchedulerDeltaCache
+
+        scheduler, _ = self._schedulers()
+        cache = SchedulerDeltaCache(maxsize=4)
+        scheduler.attach_delta_cache(cache)
+        reference = {
+            t: scheduler.unreliable_edge_ids_for_round(t) for t in range(1, 13)
+        }
+        assert len(cache) <= 4
+        # Evicted rounds are recomputed, not wrong.
+        fresh = IIDScheduler(_cache_probe_graph(), probability=0.4, seed=21)
+        fresh.attach_delta_cache(cache)
+        for t, ids in reference.items():
+            assert fresh.unreliable_edge_ids_for_round(t) == ids
+
+    def test_detached_cache_disables_sharing(self):
+        from repro import SchedulerDeltaCache
+
+        first, second = self._schedulers()
+        cache = SchedulerDeltaCache()
+        first.attach_delta_cache(cache)
+        second.attach_delta_cache(None)
+        ids = first.unreliable_edge_ids_for_round(3)
+        assert second.unreliable_edge_ids_for_round(3) == ids
+        assert cache.hits == 0  # second never consulted the cache
+
+    def test_prebuilt_table_roundtrip(self):
+        from repro import SchedulerDeltaCache
+        from repro.dualgraph import prebuild_scheduler_deltas
+
+        scheduler, fresh = self._schedulers()
+        scheduler.attach_delta_cache(None)
+        table = prebuild_scheduler_deltas(scheduler, 8)
+        assert len(table) == 8
+        fresh.attach_delta_cache(SchedulerDeltaCache(table))
+        for t in range(1, 9):
+            assert fresh.unreliable_edge_ids_for_round(t) == table[
+                (scheduler.delta_cache_key(), t)
+            ]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_sweep_workers_consume_prebuilt_delta_table(self, jobs):
+        from repro.dualgraph import prebuild_scheduler_deltas
+
+        scheduler = IIDScheduler(_cache_probe_graph(), probability=0.4, seed=21)
+        scheduler.attach_delta_cache(None)
+        table = prebuild_scheduler_deltas(scheduler, 3)
+        result = ParallelSweepRunner(jobs=jobs).run(
+            {"alpha": [1, 2, 3]},
+            _delta_cache_probe_point,
+            common={"scheduler_delta_table": table},
+        )
+        index = scheduler.graph.topology_index()
+        for row in result.rows:
+            # The reserved kwarg never reaches the run callable as an
+            # argument; instead the worker's process cache answered the
+            # scheduler's very first delta query.
+            assert row["preloaded"], row
+            expected = scheduler._compute_unreliable_edge_ids(row["alpha"], index)
+            assert tuple(row["ids"]) == expected
+
 
 class TestTopologyIndex:
     def test_csr_matches_adjacency(self):
@@ -296,7 +502,7 @@ GRAPH_FACTORIES = {
 
 
 class TestBatchedStepping:
-    def _build(self, graph, batch_path, reuse=1, fast_path=None):
+    def _build(self, graph, batch_path, reuse=1, fast_path=None, vector_path=False):
         params = LBParams.small_for_testing(
             delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
         )
@@ -308,6 +514,7 @@ class TestBatchedStepping:
             scheduler=IIDScheduler(graph, probability=0.5, seed=7),
             environment=SaturatingEnvironment(senders=sorted(graph.vertices)[:5]),
             fast_path=batch_path if fast_path is None else fast_path,
+            vector_path=vector_path,
             batch_path=batch_path,
         )
         return simulator, params
@@ -326,6 +533,35 @@ class TestBatchedStepping:
         _assert_identical_traces(
             batched_sim.run(rounds), generic_sim.run(rounds), rounds
         )
+
+    @pytest.mark.parametrize("graph_kind", sorted(GRAPH_FACTORIES))
+    @pytest.mark.parametrize("reuse", [1, 2, 3])
+    def test_vectorized_identical_to_generic_path(self, graph_kind, reuse):
+        """The full production stack (vector resolver + batched stepping) vs
+        the seed engine, over geometric and region graphs and every seed
+        reuse factor."""
+        graph = GRAPH_FACTORIES[graph_kind]()
+        vector_sim, params = self._build(graph, True, reuse=reuse, vector_path=True)
+        generic_sim, _ = self._build(graph, False, reuse=reuse)
+        assert vector_sim.uses_vector_path and vector_sim.uses_batch_stepping
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(
+            vector_sim.run(rounds), generic_sim.run(rounds), rounds
+        )
+
+    @pytest.mark.parametrize("graph_kind", sorted(GRAPH_FACTORIES))
+    def test_vectorized_identical_to_point_query_resolver(self, graph_kind):
+        """Vector resolver vs the PR-2 point-query resolver, batched stepping
+        on both sides, so the only difference is reception resolution."""
+        graph = GRAPH_FACTORIES[graph_kind]()
+        vector_sim, params = self._build(graph, True, vector_path=True)
+        point_sim, _ = self._build(graph, True, vector_path=False)
+        assert vector_sim.uses_vector_path
+        assert point_sim.uses_fast_path and not point_sim.uses_vector_path
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(vector_sim.run(rounds), point_sim.run(rounds), rounds)
 
     def test_batched_identical_to_per_process_fast_path(self):
         graph = GRAPH_FACTORIES["geometric"]()
