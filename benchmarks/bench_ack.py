@@ -19,20 +19,13 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro import LBParams
 from repro.analysis import theory
 from repro.analysis.stats import mean
 from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import IIDScheduler
-from repro.simulation.environment import SingleShotEnvironment
+from repro.scenarios import run as run_scenario
 from repro.simulation.metrics import ack_delays, delivery_report
 
-from benchmarks.common import (
-    build_lb_simulator,
-    network_with_target_degree,
-    print_and_save,
-    run_once_benchmark,
-)
+from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
 
 TARGET_DELTAS = (8, 16)
 EPSILON = 0.2
@@ -45,26 +38,27 @@ def _run_point(target_delta: int) -> Dict[str, float]:
     delivery_fractions = []
     full_deliveries = 0
     broadcasts = 0
-    params = None
     measured_delta = None
     tack_bounds = []
 
     for trial in range(TRIALS):
-        graph, _ = network_with_target_degree(target_delta, seed=9100 + 13 * target_delta + trial)
-        delta, delta_prime = graph.degree_bounds()
-        measured_delta = delta
-        params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
-        tack_bounds.append(params.tack_rounds)
-        senders = sorted(graph.vertices)[:SIMULTANEOUS_SENDERS]
-        simulator = build_lb_simulator(
-            graph,
-            params,
-            SingleShotEnvironment(senders=senders),
-            scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
-            master_seed=trial,
-            record_frames=False,
+        spec = lb_point_spec(
+            "bench-ack",
+            target_delta=target_delta,
+            graph_seed=9100 + 13 * target_delta + trial,
+            trial_seed=trial,
+            epsilon=EPSILON,
+            environment="single_shot",
+            senders={"select": "first", "count": SIMULTANEOUS_SENDERS},
+            rounds=1,
+            rounds_unit="tack",
+            trace_mode="events",
         )
-        trace = simulator.run(params.tack_rounds)
+        result = run_scenario(spec)
+        (point,) = result.trials
+        graph, params, trace = point.graph, point.params, point.trace
+        measured_delta = params.delta
+        tack_bounds.append(params.tack_rounds)
         for record in ack_delays(trace):
             assert record.delay is not None, "timely acknowledgment must always hold"
             assert record.delay <= params.tack_rounds

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import Dict
 
-from repro import LBParams, Simulator, make_lb_processes
+from repro import LBParams, Simulator, TraceMode, make_lb_processes
 from repro.analysis import theory
 from repro.analysis.sweep import SweepResult, sweep
 from repro.dualgraph.adversary import IIDScheduler
@@ -42,7 +42,7 @@ def _run_point(target_delta: int, epsilon: float) -> Dict[str, float]:
         make_lb_processes(graph, params, random.Random(0)),
         scheduler=IIDScheduler(graph, probability=0.5, seed=0),
         environment=SaturatingEnvironment(senders=senders),
-        record_frames=False,
+        trace_mode=TraceMode.EVENTS,
     )
     simulator.run(2 * params.phase_length)
     max_bits = max(

@@ -17,20 +17,13 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro import LBParams
 from repro.analysis import theory
 from repro.analysis.stats import wilson_interval
 from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import IIDScheduler
-from repro.simulation.environment import SaturatingEnvironment
+from repro.scenarios import run as run_scenario
 from repro.simulation.metrics import progress_report
 
-from benchmarks.common import (
-    build_lb_simulator,
-    network_with_target_degree,
-    print_and_save,
-    run_once_benchmark,
-)
+from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
 
 TARGET_DELTAS = (8, 16, 24)
 EPSILONS = (0.2, 0.1)
@@ -45,19 +38,21 @@ def _run_point(target_delta: int, epsilon: float) -> Dict[str, float]:
     measured_delta = None
 
     for trial in range(TRIALS):
-        graph, _ = network_with_target_degree(target_delta, seed=7000 + 17 * target_delta + trial)
-        delta, delta_prime = graph.degree_bounds()
-        measured_delta = delta
-        params = LBParams.derive(epsilon, delta=delta, delta_prime=delta_prime, r=2.0)
-        senders = sorted(graph.vertices)[: max(2, graph.n // 6)]
-        simulator = build_lb_simulator(
-            graph,
-            params,
-            SaturatingEnvironment(senders=senders),
-            scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
-            master_seed=trial,
+        spec = lb_point_spec(
+            "bench-progress",
+            target_delta=target_delta,
+            graph_seed=7000 + 17 * target_delta + trial,
+            trial_seed=trial,
+            epsilon=epsilon,
+            environment="saturating",
+            senders={"select": "first", "divisor": 6, "min": 2},
+            rounds=PHASES_PER_TRIAL,
+            rounds_unit="phases",
         )
-        trace = simulator.run(PHASES_PER_TRIAL * params.phase_length)
+        result = run_scenario(spec)
+        (point,) = result.trials
+        graph, params, trace = point.graph, point.params, point.trace
+        measured_delta = params.delta
         report = progress_report(trace, graph, window=params.tprog_rounds)
         applicable += report.num_applicable
         failures += len(report.failures)

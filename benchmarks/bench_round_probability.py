@@ -26,21 +26,19 @@ from repro import LBParams
 from repro.analysis import theory
 from repro.analysis.stats import mean
 from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import IIDScheduler
-from repro.simulation.environment import SaturatingEnvironment
+from repro.scenarios import resolve_senders, run as run_scenario
 from repro.simulation.metrics import data_reception_rounds
 
-from benchmarks.common import (
-    build_lb_simulator,
-    network_with_target_degree,
-    print_and_save,
-    run_once_benchmark,
-)
+from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
 
 TARGET_DELTAS = (8, 16)
 EPSILON = 0.2
 TRIALS = 3
 PHASES_PER_TRIAL = 3
+
+#: Declared once and shared between the spec (who transmits) and the
+#: receiver sampling below (who listens next to a transmitter).
+SENDERS_SELECTION = {"select": "first", "divisor": 5, "min": 2}
 
 
 def _body_rounds(params: LBParams, phases: int):
@@ -57,19 +55,22 @@ def _run_point(target_delta: int) -> Dict[str, float]:
     measured_delta_prime = None
 
     for trial in range(TRIALS):
-        graph, _ = network_with_target_degree(target_delta, seed=5200 + 11 * target_delta + trial)
-        delta, delta_prime = graph.degree_bounds()
-        measured_delta, measured_delta_prime = delta, delta_prime
-        params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
-        senders = sorted(graph.vertices)[: max(2, graph.n // 5)]
-        simulator = build_lb_simulator(
-            graph,
-            params,
-            SaturatingEnvironment(senders=senders),
-            scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
-            master_seed=trial,
+        spec = lb_point_spec(
+            "bench-round-probability",
+            target_delta=target_delta,
+            graph_seed=5200 + 11 * target_delta + trial,
+            trial_seed=trial,
+            epsilon=EPSILON,
+            environment="saturating",
+            senders=SENDERS_SELECTION,
+            rounds=PHASES_PER_TRIAL,
+            rounds_unit="phases",
         )
-        trace = simulator.run(PHASES_PER_TRIAL * params.phase_length)
+        result = run_scenario(spec)
+        (point,) = result.trials
+        graph, params, trace = point.graph, point.params, point.trace
+        measured_delta, measured_delta_prime = params.delta, params.delta_prime
+        senders = resolve_senders(graph, SENDERS_SELECTION)
 
         body_rounds = set(_body_rounds(params, PHASES_PER_TRIAL))
         receivers = set()

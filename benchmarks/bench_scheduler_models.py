@@ -17,20 +17,12 @@ destroy a reception -- which is the mechanism behind the impossibility result.
 
 from __future__ import annotations
 
-import random
 from typing import Dict
 
-from repro import LBParams, Simulator, make_lb_processes
 from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import (
-    CollisionAdaptiveAdversary,
-    FullInclusionScheduler,
-    IIDScheduler,
-    NoUnreliableScheduler,
-)
-from repro.simulation.environment import SaturatingEnvironment
+from repro.scenarios import run as run_scenario
 
-from benchmarks.common import network_with_target_degree, print_and_save, run_once_benchmark
+from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
 
 SCHEDULER_KINDS = ("none", "iid", "full", "adaptive")
 TARGET_DELTA = 16
@@ -38,15 +30,14 @@ EPSILON = 0.2
 TRIALS = 3
 PHASES_PER_TRIAL = 4
 
-
-def _make_scheduler(kind: str, graph, seed: int):
-    if kind == "none":
-        return NoUnreliableScheduler(graph)
-    if kind == "iid":
-        return IIDScheduler(graph, probability=0.5, seed=seed)
-    if kind == "full":
-        return FullInclusionScheduler(graph)
-    return CollisionAdaptiveAdversary(graph)
+#: Experiment kind -> (registered scheduler name, args template); the i.i.d.
+#: entry takes the per-trial seed, the rest are parameter-free.
+_SCHEDULER_SPECS = {
+    "none": ("none", {}),
+    "iid": ("iid", {"probability": 0.5}),
+    "full": ("full", {}),
+    "adaptive": ("adaptive_collision", {}),
+}
 
 
 def _run_point(scheduler: str) -> Dict[str, float]:
@@ -55,18 +46,26 @@ def _run_point(scheduler: str) -> Dict[str, float]:
     unreliable_receptions = 0
 
     for trial in range(TRIALS):
-        graph, _ = network_with_target_degree(TARGET_DELTA, seed=6100 + trial)
-        delta, delta_prime = graph.degree_bounds()
-        params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
-        senders = sorted(graph.vertices)[: max(2, graph.n // 6)]
-        simulator = Simulator(
-            graph,
-            make_lb_processes(graph, params, random.Random(trial)),
-            scheduler=_make_scheduler(scheduler, graph, trial),
-            environment=SaturatingEnvironment(senders=senders),
+        scheduler_name, scheduler_args = _SCHEDULER_SPECS[scheduler]
+        if scheduler_name == "iid":
+            scheduler_args = dict(scheduler_args, seed=trial)
+        spec = lb_point_spec(
+            "bench-scheduler-models",
+            target_delta=TARGET_DELTA,
+            graph_seed=6100 + trial,
+            trial_seed=trial,
+            epsilon=EPSILON,
+            environment="saturating",
+            senders={"select": "first", "divisor": 6, "min": 2},
+            rounds=PHASES_PER_TRIAL,
+            rounds_unit="phases",
+            scheduler=scheduler_name,
+            scheduler_args=scheduler_args,
         )
-        rounds = PHASES_PER_TRIAL * params.phase_length
-        trace = simulator.run(rounds)
+        result = run_scenario(spec)
+        (point,) = result.trials
+        graph, trace = point.graph, point.trace
+        rounds = point.rounds
         total_rounds += rounds
 
         for round_number in range(1, rounds + 1):

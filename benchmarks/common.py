@@ -12,19 +12,34 @@ from __future__ import annotations
 import argparse
 import os
 import random
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro import (
     DualGraph,
-    Embedding,
     IIDScheduler,
     LBParams,
     Simulator,
     make_lb_processes,
-    random_geographic_network,
 )
 from repro.analysis.sweep import ParallelSweepRunner, SweepResult, format_table
+
+# The density-profile table and degree-targeted sampler moved into the
+# scenario component library (so the ``target_degree`` registered topology
+# and the benches share one source of truth); re-exported here because the
+# bench harnesses historically import them from this module.
+from repro.scenarios.components import DENSITY_PROFILES, network_with_target_degree
+from repro.scenarios.spec import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+)
 from repro.simulation.environment import Environment
+from repro.simulation.trace import TraceMode
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -32,21 +47,6 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: the pytest-driven harnesses can be parallelized without changing call sites
 #: (``BENCH_JOBS=8 pytest benchmarks/...``).
 JOBS_ENV_VAR = "BENCH_JOBS"
-
-#: Network "density profiles": approximate reliable degree bound -> sampling
-#: parameters (n, side) for random geographic networks.  Degree bounds are
-#: approximate by nature (the sample decides), which is fine because every
-#: experiment records the *measured* Δ of the network it actually used.
-DENSITY_PROFILES: Dict[int, Tuple[int, float]] = {
-    4: (12, 4.2),
-    8: (16, 3.5),
-    10: (20, 3.0),
-    12: (28, 3.3),
-    16: (30, 2.6),
-    20: (36, 2.6),
-    24: (40, 2.4),
-    32: (56, 2.4),
-}
 
 
 def ensure_results_dir() -> str:
@@ -62,40 +62,91 @@ def save_table(name: str, table: str) -> str:
     return path
 
 
-def network_with_target_degree(
-    target_delta: int, seed: int, require_connected: bool = True
-) -> Tuple[DualGraph, Embedding]:
-    """Sample a random geographic network whose Δ lands near the target."""
-    if target_delta not in DENSITY_PROFILES:
-        raise KeyError(
-            f"no density profile for Δ≈{target_delta}; known targets: {sorted(DENSITY_PROFILES)}"
-        )
-    n, side = DENSITY_PROFILES[target_delta]
-    return random_geographic_network(
-        n, side=side, r=2.0, rng=seed, require_connected=require_connected, max_attempts=80
-    )
-
-
 def build_lb_simulator(
     graph: DualGraph,
     params: LBParams,
     environment: Environment,
     scheduler=None,
     master_seed: int = 0,
-    record_frames: bool = True,
+    record_frames: Optional[bool] = None,
+    trace_mode: Optional[TraceMode] = None,
     batch_path: bool = True,
 ) -> Simulator:
-    """A Simulator running LBAlg at every vertex (the default experiment setup)."""
+    """A Simulator running LBAlg at every vertex (the default experiment setup).
+
+    This is the low-level escape hatch kept for harnesses that hand-build
+    graphs or environments; spec-expressible workloads use
+    :mod:`repro.scenarios` instead (see ``docs/scenarios.md``).
+    ``record_frames`` is deprecated exactly as on the
+    :class:`~repro.simulation.engine.Simulator` constructor -- pass
+    ``trace_mode=`` instead.
+    """
     rng = random.Random(master_seed)
     if scheduler is None:
         scheduler = IIDScheduler(graph, probability=0.5, seed=master_seed)
+    if record_frames is not None:
+        warnings.warn(
+            "build_lb_simulator(record_frames=...) is deprecated; pass trace_mode=",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if trace_mode is None:
+            trace_mode = TraceMode.FULL if record_frames else TraceMode.EVENTS
     return Simulator(
         graph,
         make_lb_processes(graph, params, rng),
         scheduler=scheduler,
         environment=environment,
-        record_frames=record_frames,
+        trace_mode=trace_mode,
         batch_path=batch_path,
+    )
+
+
+def lb_point_spec(
+    name: str,
+    target_delta: int,
+    graph_seed: int,
+    trial_seed: int,
+    epsilon: float,
+    environment: str,
+    senders: Any,
+    rounds: int,
+    rounds_unit: str,
+    trace_mode: str = "full",
+    scheduler: str = "iid",
+    scheduler_args: Optional[Mapping[str, Any]] = None,
+) -> ScenarioSpec:
+    """The standard bench workload as a :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+    One trial of the classic experiment recipe: a degree-targeted random
+    geographic network (``graph_seed`` pins the sample), LBAlg with
+    parameters derived from the measured bounds, an i.i.d. link scheduler
+    seeded by the trial, and process RNGs rooted at ``trial_seed`` -- exactly
+    the wiring :func:`build_lb_simulator` produced, so migrated harnesses
+    keep their historical traces byte-for-byte.
+    """
+    if scheduler_args is None:
+        # Only the i.i.d. scheduler takes these; parameter-free schedulers
+        # ("none", "full", "adaptive_collision") default to empty args.
+        scheduler_args = (
+            {"probability": 0.5, "seed": trial_seed} if scheduler == "iid" else {}
+        )
+    return ScenarioSpec(
+        name=name,
+        topology=TopologySpec(
+            "target_degree", {"target_delta": target_delta, "seed": graph_seed}
+        ),
+        algorithm=AlgorithmSpec("lbalg", {"epsilon": epsilon, "preset": "derived"}),
+        scheduler=SchedulerSpec(scheduler, dict(scheduler_args)),
+        environment=EnvironmentSpec(environment, {"senders": senders}),
+        engine=EngineConfig(trace_mode=trace_mode),
+        run=RunPolicy(
+            rounds=rounds,
+            rounds_unit=rounds_unit,
+            trials=1,
+            master_seed=trial_seed,
+            seed_policy="fixed",
+        ),
     )
 
 
@@ -114,10 +165,22 @@ def run_once_benchmark(benchmark, fn: Callable[[], SweepResult]) -> SweepResult:
 
 
 def default_jobs() -> int:
-    """The sweep worker count when no --jobs flag is given (``BENCH_JOBS`` or 1)."""
+    """The sweep worker count when no --jobs flag is given (``BENCH_JOBS`` or 1).
+
+    An unparseable ``BENCH_JOBS`` value falls back to 1 **with a warning** --
+    a silent fallback here once meant "BENCH_JOBS=all" quietly ran a long
+    sweep serially.
+    """
+    raw = os.environ.get(JOBS_ENV_VAR, "1")
     try:
-        return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
+        return max(1, int(raw))
     except ValueError:
+        warnings.warn(
+            f"ignoring unparseable {JOBS_ENV_VAR}={raw!r} (expected an integer); "
+            "running sweeps serially with jobs=1",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 

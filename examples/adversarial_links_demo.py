@@ -13,8 +13,10 @@ knows Decay's fixed probability cycle can therefore:
 
 LBAlg permutes its probability schedule with seed-agreement randomness drawn
 *after* the link schedule was fixed, so the same trap cannot be laid for it.
-The demo prints the receiver's per-round reception rate for both algorithms
-under both a benign scheduler and the targeted adversary.
+The demo expresses each of the four (algorithm, scheduler) combinations as a
+:class:`~repro.scenarios.spec.ScenarioSpec` -- same topology spec, different
+``algorithm`` / ``scheduler`` entries -- and prints the receiver's per-round
+reception rate for each.
 
 Run it with:
 
@@ -23,19 +25,17 @@ Run it with:
 
 from __future__ import annotations
 
-import random
-
-from repro import (
-    AntiScheduleAdversary,
-    IIDScheduler,
-    LBParams,
-    SaturatingEnvironment,
-    Simulator,
-    make_lb_processes,
-    two_clusters_network,
-)
-from repro.baselines import make_baseline_processes
 from repro.baselines.decay import decay_schedule
+from repro.scenarios import (
+    AlgorithmSpec,
+    EnvironmentSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+    materialize,
+    run,
+)
 from repro.simulation.metrics import data_reception_rounds
 
 
@@ -43,33 +43,41 @@ CLUSTER_SIZE = 5
 RECEIVER = 0
 EPSILON = 0.2
 
+TOPOLOGY = TopologySpec(
+    "two_clusters", {"cluster_size": CLUSTER_SIZE, "gap": 1.5, "seed": 42}
+)
 
-def reception_rate(trace, receiver, rounds):
-    return len(data_reception_rounds(trace, receiver)) / rounds
 
-
-def run_decay(graph, senders, scheduler, rounds=1000, seed=0):
-    processes = make_baseline_processes(graph, "decay", random.Random(seed), num_cycles=8)
-    simulator = Simulator(
-        graph, processes, scheduler=scheduler,
-        environment=SaturatingEnvironment(senders=senders),
+def make_spec(algorithm: AlgorithmSpec, scheduler: SchedulerSpec, senders, policy: RunPolicy):
+    return ScenarioSpec(
+        name=f"adversarial-links-{algorithm.name}-{scheduler.name}",
+        topology=TOPOLOGY,
+        algorithm=algorithm,
+        scheduler=scheduler,
+        environment=EnvironmentSpec("saturating", {"senders": senders}),
+        run=policy,
     )
-    return simulator.run(rounds), rounds
 
 
-def run_lbalg(graph, senders, scheduler, params, phases=5, seed=0):
-    processes = make_lb_processes(graph, params, random.Random(seed))
-    simulator = Simulator(
-        graph, processes, scheduler=scheduler,
-        environment=SaturatingEnvironment(senders=senders),
-    )
-    rounds = phases * params.phase_length
-    return simulator.run(rounds), rounds
+def reception_rate_of(spec: ScenarioSpec) -> float:
+    result = run(spec)
+    trial = result.trials[0]
+    return len(data_reception_rounds(trial.trace, RECEIVER)) / trial.rounds
 
 
 def main() -> None:
-    graph, _ = two_clusters_network(cluster_size=CLUSTER_SIZE, gap=1.5, rng=42)
-    delta, delta_prime = graph.degree_bounds()
+    # Materialize the topology once (via its spec) to pick the senders: the
+    # receiver's single reliable broadcaster plus the whole far cluster.
+    probe = materialize(
+        make_spec(
+            AlgorithmSpec("decay", {"num_cycles": 8}),
+            SchedulerSpec("none"),
+            [],
+            RunPolicy(rounds=0, rounds_unit="rounds", master_seed=0, seed_policy="fixed"),
+        )
+    )
+    graph = probe.graph
+    delta = graph.max_reliable_degree
     print(f"two-cluster network: {graph}")
 
     reliable_sender = min(graph.reliable_neighbors(RECEIVER))
@@ -80,22 +88,24 @@ def main() -> None:
         f"{len(far_cluster)} far-cluster broadcasters reach it only over unreliable links"
     )
 
-    params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
-    benign = IIDScheduler(graph, probability=0.5, seed=1)
-    adversary = AntiScheduleAdversary(graph, decay_schedule(delta))
+    benign = SchedulerSpec("iid", {"probability": 0.5, "seed": 1})
+    adversary = SchedulerSpec("anti_schedule", {"victim": "decay"})
     print(f"targeted adversary built against Decay's cycle {decay_schedule(delta)}")
+
+    decay_alg = AlgorithmSpec("decay", {"num_cycles": 8})
+    lbalg = AlgorithmSpec("lbalg", {"epsilon": EPSILON})
+    decay_policy = RunPolicy(rounds=1000, rounds_unit="rounds", master_seed=0, seed_policy="fixed")
+    lbalg_policy = RunPolicy(rounds=5, rounds_unit="phases", master_seed=0, seed_policy="fixed")
 
     print()
     print(f"{'algorithm':<10} {'scheduler':<22} {'reception rate at receiver':>28}")
     results = {}
     for name, scheduler in (("benign i.i.d.", benign), ("anti-Decay adversary", adversary)):
-        trace, rounds = run_decay(graph, senders, scheduler)
-        rate = reception_rate(trace, RECEIVER, rounds)
+        rate = reception_rate_of(make_spec(decay_alg, scheduler, senders, decay_policy))
         results[("decay", name)] = rate
         print(f"{'Decay':<10} {name:<22} {rate:>27.3%}")
     for name, scheduler in (("benign i.i.d.", benign), ("anti-Decay adversary", adversary)):
-        trace, rounds = run_lbalg(graph, senders, scheduler, params)
-        rate = reception_rate(trace, RECEIVER, rounds)
+        rate = reception_rate_of(make_spec(lbalg, scheduler, senders, lbalg_policy))
         results[("lbalg", name)] = rate
         print(f"{'LBAlg':<10} {name:<22} {rate:>27.3%}")
 

@@ -10,6 +10,12 @@ node, with all grey-zone links left to an unreliable-link scheduler.
 It prints how the alert spreads hop by hop and compares the completion time
 with the ``diameter x f_ack`` envelope the layer's guarantees predict.
 
+The network and scheduler come from the scenario component registries
+(:mod:`repro.scenarios`); the flood driver itself
+(`src/repro/mac/applications/flood.py:run_flood`) builds its own simulator --
+the supported low-level escape hatch for layered protocols that a flat
+scenario spec does not express.
+
 Run it with:
 
     python examples/emergency_alert_flood.py
@@ -19,20 +25,26 @@ from __future__ import annotations
 
 import random
 
-from repro import IIDScheduler, LBParams, line_network
+from repro import LBParams
 from repro.mac.applications.flood import run_flood
 from repro.mac.spec import MacLayerGuarantees
+from repro.scenarios import SchedulerSpec, TopologySpec
+from repro.scenarios.registry import SCHEDULERS, TOPOLOGIES
 
 
 CORRIDOR_LENGTH = 6
 EPSILON = 0.2
+MASTER_SEED = 5
 
 
 def main() -> None:
     # A corridor of 6 relay stations 0.9 distance units apart: consecutive
     # stations share reliable links, stations two hops apart only grey-zone
-    # (unreliable) links.
-    graph, _ = line_network(CORRIDOR_LENGTH, spacing=0.9, r=2.0)
+    # (unreliable) links.  Both components are declared as specs and resolved
+    # through the registries.
+    topology = TopologySpec("line", {"n": CORRIDOR_LENGTH, "spacing": 0.9, "r": 2.0})
+    scheduler_spec = SchedulerSpec("iid", {"probability": 0.5, "seed": MASTER_SEED})
+    graph, _ = TOPOLOGIES.get(topology.name)(MASTER_SEED, **topology.args)
     delta, delta_prime = graph.degree_bounds()
     print(f"corridor deployment: {graph}")
 
@@ -52,9 +64,13 @@ def main() -> None:
     )
 
     source = 0
-    scheduler = IIDScheduler(graph, probability=0.5, seed=5)
+    scheduler = SCHEDULERS.get(scheduler_spec.name)(
+        graph, MASTER_SEED, **scheduler_spec.args
+    )
     print(f"flooding an alert from station {source} ...")
-    result = run_flood(graph, params, source=source, scheduler=scheduler, rng=random.Random(5))
+    result = run_flood(
+        graph, params, source=source, scheduler=scheduler, rng=random.Random(MASTER_SEED)
+    )
 
     print()
     print("alert arrival by station:")

@@ -9,7 +9,11 @@ same three-line client works in a network full of unreliable links.
 
 The demo deploys a modest ad hoc network, runs discovery for one
 acknowledgment period, and prints each node's discovered neighbor table next
-to its true reliable neighborhood.
+to its true reliable neighborhood.  The deployment and the link schedule are
+declared as scenario components
+(:class:`~repro.scenarios.spec.TopologySpec` /
+:class:`~repro.scenarios.spec.SchedulerSpec`); the discovery driver builds
+its own layered simulator -- the supported low-level escape hatch.
 
 Run it with:
 
@@ -20,19 +24,25 @@ from __future__ import annotations
 
 import random
 
-from repro import IIDScheduler, LBParams, random_geographic_network
+from repro import LBParams
 from repro.mac.applications.neighbor_discovery import run_neighbor_discovery
+from repro.scenarios import SchedulerSpec, TopologySpec
+from repro.scenarios.registry import SCHEDULERS, TOPOLOGIES
 
 
 NUM_NODES = 14
 AREA_SIDE = 3.2
 EPSILON = 0.2
+MASTER_SEED = 23
 
 
 def main() -> None:
-    graph, _ = random_geographic_network(
-        NUM_NODES, side=AREA_SIDE, r=2.0, rng=23, require_connected=True
+    topology = TopologySpec(
+        "random_geographic",
+        {"n": NUM_NODES, "side": AREA_SIDE, "r": 2.0, "seed": MASTER_SEED, "require_connected": True},
     )
+    scheduler_spec = SchedulerSpec("iid", {"probability": 0.5, "seed": MASTER_SEED})
+    graph, _ = TOPOLOGIES.get(topology.name)(MASTER_SEED, **topology.args)
     delta, delta_prime = graph.degree_bounds()
     print(f"ad hoc deployment: {graph}")
 
@@ -54,8 +64,8 @@ def main() -> None:
     result = run_neighbor_discovery(
         graph,
         params,
-        scheduler=IIDScheduler(graph, probability=0.5, seed=23),
-        rng=random.Random(23),
+        scheduler=SCHEDULERS.get(scheduler_spec.name)(graph, MASTER_SEED, **scheduler_spec.args),
+        rng=random.Random(MASTER_SEED),
     )
 
     print()

@@ -1,68 +1,56 @@
 #!/usr/bin/env python
-"""Quickstart: run the local broadcast service on a small dual graph network.
+"""Quickstart: run the local broadcast service from a declarative scenario.
 
-This example walks through the whole pipeline in one file:
+This example walks through the whole pipeline in one file -- now expressed as
+a :class:`~repro.scenarios.spec.ScenarioSpec` (the JSON checked in next to it
+at ``examples/scenarios/quickstart.json`` is the same experiment as data):
 
-1. sample an r-geographic dual graph network (reliable links within distance
-   1, possibly-unreliable links in the grey zone up to distance r = 2),
-2. derive LBAlg parameters from the local degree bounds and a target error ε,
-3. run the service under an i.i.d. oblivious link scheduler with one node
-   broadcasting a message,
-4. check the execution against the LB(t_ack, t_prog, ε) specification and
-   print what happened.
+1. an r-geographic dual graph network (reliable links within distance 1,
+   possibly-unreliable links in the grey zone up to distance r = 2),
+2. LBAlg parameters derived from the local degree bounds and a target ε,
+3. an i.i.d. oblivious link scheduler with one node broadcasting a message,
+4. a check of the execution against the LB(t_ack, t_prog, ε) specification.
 
 Run it with:
 
     python examples/quickstart.py
+
+or run the identical scenario straight from its JSON:
+
+    python -m repro run examples/scenarios/quickstart.json
 """
 
 from __future__ import annotations
 
-import random
+import os
 
-from repro import (
-    IIDScheduler,
-    LBParams,
-    Simulator,
-    SingleShotEnvironment,
-    ack_delays,
-    check_lb_execution,
-    delivery_report,
-    make_lb_processes,
-    random_geographic_network,
-)
+from repro import check_lb_execution
+from repro.scenarios import ScenarioSpec, run
+from repro.simulation.metrics import ack_delays, delivery_report
+
+SCENARIO_PATH = os.path.join(os.path.dirname(__file__), "scenarios", "quickstart.json")
 
 
 def main() -> None:
-    # 1. A 20-node network in a 3.5 x 3.5 area; grey-zone pairs get unreliable
-    #    links that the adversary may toggle every round.
-    graph, embedding = random_geographic_network(
-        20, side=3.5, r=2.0, rng=7, require_connected=True
-    )
+    # 1. + 2. + 3. The whole experiment is data: a 20-node network in a
+    #    3.5 x 3.5 area, derived parameters for a 20% per-event error budget
+    #    (local quantities only -- the network size n never appears), and an
+    #    oblivious i.i.d. schedule over the grey-zone links.
+    spec = ScenarioSpec.load(SCENARIO_PATH)
+    print(f"scenario: {spec.name}  (fingerprint {spec.fingerprint()})")
+
+    result = run(spec)
+    trial = result.trials[0]
+    graph, params, trace = trial.graph, trial.params, trial.trace
+
     delta, delta_prime = graph.degree_bounds()
     print(f"network: {graph}")
     print(f"degree bounds known to every process: Delta={delta}, Delta'={delta_prime}")
-
-    # 2. Parameters for a 20% per-event error budget.  Everything is derived
-    #    from local quantities only -- the network size n never appears.
-    params = LBParams.derive(epsilon=0.2, delta=delta, delta_prime=delta_prime, r=2.0)
     print(
         f"derived schedule: Ts={params.ts} preamble rounds, Tprog={params.tprog} body rounds, "
         f"Tack={params.tack_phases} sending phases"
     )
     print(f"t_prog = {params.tprog_rounds} rounds, t_ack = {params.tack_rounds} rounds")
-
-    # 3. Run: vertex 0 broadcasts one message; every unreliable edge appears
-    #    independently with probability 1/2 each round (an oblivious schedule).
-    sender = 0
-    rng = random.Random(7)
-    simulator = Simulator(
-        graph,
-        make_lb_processes(graph, params, rng),
-        scheduler=IIDScheduler(graph, probability=0.5, seed=7),
-        environment=SingleShotEnvironment(senders=[sender]),
-    )
-    trace = simulator.run(params.tack_rounds)
 
     # 4. What happened?
     report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds)

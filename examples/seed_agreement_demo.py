@@ -4,8 +4,10 @@
 Seed agreement (Section 3) is the paper's reusable primitive: every node
 commits to a nearby node's random seed, and with probability 1 - ε no closed
 G' neighborhood ends up with more than δ = O(r² log(1/ε)) distinct seeds.
-This demo runs ``SeedAlg`` standalone on a dense random deployment, then
-prints:
+This demo runs ``SeedAlg`` standalone on a dense random deployment -- wired
+declaratively through a :class:`~repro.scenarios.spec.ScenarioSpec` (the same
+experiment is checked in as ``examples/scenarios/seed_agreement.json``) --
+then prints:
 
 * who ended up owning seeds and how many followers each owner gathered,
 * a histogram of distinct-owner counts per closed G' neighborhood (the
@@ -20,15 +22,20 @@ Run it with:
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 
-from repro import IIDScheduler, SeedParams, Simulator, random_geographic_network
 from repro.analysis import theory
-from repro.core.seed_agreement import SeedAgreementProcess
 from repro.core.seed_spec import check_seed_execution, decide_latency_rounds
+from repro.scenarios import (
+    AlgorithmSpec,
+    EnvironmentSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+    run,
+)
 from repro.simulation.metrics import unique_seed_owner_counts
-from repro.simulation.process import ProcessContext
 
 
 NUM_NODES = 30
@@ -46,32 +53,31 @@ def ascii_histogram(counter: Counter, width: int = 40) -> str:
 
 
 def main() -> None:
-    graph, _ = random_geographic_network(
-        NUM_NODES, side=AREA_SIDE, r=2.0, rng=19, require_connected=True
+    spec = ScenarioSpec(
+        name="seed-agreement-demo",
+        description="Standalone SeedAlg on a dense random deployment",
+        topology=TopologySpec(
+            "random_geographic",
+            {"n": NUM_NODES, "side": AREA_SIDE, "r": 2.0, "seed": 19, "require_connected": True},
+        ),
+        algorithm=AlgorithmSpec("seed_agreement", {"epsilon": EPSILON}),
+        scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": 19}),
+        environment=EnvironmentSpec("null"),
+        run=RunPolicy(rounds=1, rounds_unit="algorithm", master_seed=19, seed_policy="fixed"),
     )
-    delta, delta_prime = graph.degree_bounds()
-    print(f"deployment: {graph}")
 
-    params = SeedParams.derive(EPSILON, delta=delta, r=2.0)
+    result = run(spec)
+    trial = result.trials[0]
+    graph, params, trace = trial.graph, trial.params, trial.trace
+
+    delta = graph.max_reliable_degree
+    print(f"deployment: {graph}")
     print(
         f"SeedAlg({EPSILON}): {params.num_phases} phases x {params.phase_length} rounds "
         f"= {params.total_rounds} rounds"
     )
     print(f"theoretical runtime shape O(log Δ log²(1/ε)) = {theory.seed_runtime_bound(delta, EPSILON):.0f}")
     print(f"theoretical owner bound shape O(r² log(1/ε)) = {theory.seed_delta_bound(EPSILON):.0f}")
-
-    master = random.Random(19)
-    processes = {}
-    for vertex in sorted(graph.vertices):
-        ctx = ProcessContext(
-            vertex=vertex, delta=delta, delta_prime=delta_prime, r=2.0,
-            rng=random.Random(master.getrandbits(64)),
-        )
-        processes[vertex] = SeedAgreementProcess(ctx, params)
-    simulator = Simulator(
-        graph, processes, scheduler=IIDScheduler(graph, probability=0.5, seed=19)
-    )
-    trace = simulator.run(params.total_rounds)
 
     report = check_seed_execution(trace, graph, delta_bound=params.delta_bound)
     print()

@@ -8,6 +8,11 @@ which a handful of aggregation points periodically broadcast fresh summaries
 to their reliable neighbors, while the link scheduler keeps toggling the
 grey-zone links (multipath fading, interference, ...).
 
+The whole workload is one declarative
+:class:`~repro.scenarios.spec.ScenarioSpec`: a bursty environment over the
+``degree_top`` sender selection (the aggregation points), a staggered
+periodic link scheduler, and three acknowledgment periods of LBAlg.
+
 It reports, per aggregator, the acknowledgment latency of every summary and
 the fraction of reliable neighbors that got each one -- the two quantities the
 LB specification bounds -- and shows they do not depend on the total field
@@ -21,19 +26,18 @@ Run it with:
 
 from __future__ import annotations
 
-import random
-
-from repro import (
-    BurstyEnvironment,
-    LBParams,
-    PeriodicScheduler,
-    Simulator,
-    ack_delays,
-    delivery_report,
-    make_lb_processes,
-    random_geographic_network,
-)
 from repro.analysis.stats import summarize
+from repro.scenarios import (
+    AlgorithmSpec,
+    EnvironmentSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+    materialize,
+    run,
+)
+from repro.simulation.metrics import ack_delays, delivery_report
 
 
 FIELD_SIZE = 60
@@ -44,43 +48,51 @@ REPORT_PERIOD_PHASES = 2  # a fresh summary every other protocol phase
 
 
 def main() -> None:
-    graph, embedding = random_geographic_network(
-        FIELD_SIZE, side=AREA_SIDE, r=2.0, rng=11, require_connected=True
+    spec = ScenarioSpec(
+        name="sensor-field-monitoring",
+        description="Periodic summaries from aggregation points under fading links",
+        topology=TopologySpec(
+            "random_geographic",
+            {"n": FIELD_SIZE, "side": AREA_SIDE, "r": 2.0, "seed": 11, "require_connected": True},
+        ),
+        algorithm=AlgorithmSpec("lbalg", {"epsilon": EPSILON}),
+        # Links fade on a coarse timescale: every unreliable edge is up for 40
+        # rounds, then down for 40, staggered per edge.
+        scheduler=SchedulerSpec(
+            "periodic", {"on_rounds": 40, "off_rounds": 40, "stagger": True, "seed": 3}
+        ),
+        # Well-spread aggregation points: the highest-degree vertices.
+        environment=EnvironmentSpec(
+            "bursty",
+            {"senders": {"select": "degree_top", "count": NUM_AGGREGATORS}},
+        ),
+        run=RunPolicy(rounds=3, rounds_unit="tack", master_seed=11, seed_policy="fixed"),
     )
-    delta, delta_prime = graph.degree_bounds()
-    print(f"sensor field: {graph}")
 
-    # The processes are configured with a modest local budget; the field size
-    # itself never enters the derivation.
-    params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
+    # The burst period depends on the derived phase length, which depends on
+    # the sampled graph; resolve it from a probe materialization, then run
+    # the finished spec.
+    probe = materialize(spec)
+    params = probe.params
+    spec = spec.with_overrides(
+        {"environment.args.period": REPORT_PERIOD_PHASES * params.phase_length}
+    )
+
+    graph = probe.graph
+    print(f"sensor field: {graph}")
     print(
         f"service parameters: phase length {params.phase_length} rounds, "
         f"t_ack {params.tack_rounds} rounds, target error {EPSILON}"
     )
-
-    # Pick well-spread aggregation points: the highest-degree vertices.
     by_degree = sorted(
         graph.vertices, key=lambda v: len(graph.reliable_neighbors(v)), reverse=True
     )
-    aggregators = by_degree[:NUM_AGGREGATORS]
-    print(f"aggregation points: {sorted(aggregators)}")
+    print(f"aggregation points: {sorted(by_degree[:NUM_AGGREGATORS])}")
+    print(f"simulating {3 * params.tack_rounds} rounds ...")
 
-    environment = BurstyEnvironment(
-        senders=aggregators, period=REPORT_PERIOD_PHASES * params.phase_length
-    )
-    # Links fade on a coarse timescale: every unreliable edge is up for 40
-    # rounds, then down for 40, staggered per edge.
-    scheduler = PeriodicScheduler(graph, on_rounds=40, off_rounds=40, stagger=True, seed=3)
-
-    simulator = Simulator(
-        graph,
-        make_lb_processes(graph, params, random.Random(11)),
-        scheduler=scheduler,
-        environment=environment,
-    )
-    rounds = 3 * params.tack_rounds
-    print(f"simulating {rounds} rounds ...")
-    trace = simulator.run(rounds)
+    result = run(spec)
+    trial = result.trials[0]
+    trace = trial.trace
 
     print()
     print("per-summary outcomes:")

@@ -20,6 +20,9 @@ This package reproduces, as a runnable Python library, the system described in
   applications built on top of it (multi-hop flooding).
 * :mod:`repro.analysis` -- the paper's theoretical bound formulas, statistics
   helpers, and parameter sweep utilities used by the benchmarks.
+* :mod:`repro.scenarios` -- the declarative experiment layer: serializable
+  :class:`ScenarioSpec` trees over component registries, ``build`` / ``run``
+  / ``run_many``, and the ``python -m repro`` CLI (see ``docs/scenarios.md``).
 
 Quickstart
 ----------
@@ -122,8 +125,23 @@ from repro.analysis.sweep import (
     parallel_sweep,
     sweep,
 )
+from repro import scenarios
+from repro.scenarios import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    RunPolicy,
+    RunResult,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+    register_algorithm,
+    register_environment,
+    register_scheduler,
+    register_topology,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # dual graph substrate
@@ -195,6 +213,20 @@ __all__ = [
     "MacClient",
     "FloodClient",
     "run_flood",
+    # declarative scenarios
+    "scenarios",
+    "ScenarioSpec",
+    "TopologySpec",
+    "SchedulerSpec",
+    "AlgorithmSpec",
+    "EnvironmentSpec",
+    "EngineConfig",
+    "RunPolicy",
+    "RunResult",
+    "register_topology",
+    "register_scheduler",
+    "register_algorithm",
+    "register_environment",
     # analysis
     "theory",
     "empirical_error_rate",

@@ -1,0 +1,6 @@
+"""``python -m repro``: the scenario runner CLI (see docs/scenarios.md)."""
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

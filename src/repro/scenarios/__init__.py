@@ -1,0 +1,88 @@
+"""Declarative scenario layer: serializable experiment specs and registries.
+
+``repro.scenarios`` turns an experiment into *data*: a
+:class:`~repro.scenarios.spec.ScenarioSpec` tree that names registered
+components (topology, scheduler, algorithm, environment) plus engine and run
+policy, round-trips through JSON, and carries a stable
+:meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`.  On top of it:
+
+* :func:`~repro.scenarios.runtime.build` -- spec to a configured
+  :class:`~repro.simulation.engine.Simulator`;
+* :func:`~repro.scenarios.runtime.run` -- spec to a
+  :class:`~repro.scenarios.runtime.RunResult` (metrics, traces, perf stats);
+* :func:`~repro.scenarios.runtime.run_many` -- an override grid over a spec,
+  dispatched to :class:`~repro.analysis.sweep.ParallelSweepRunner` workers as
+  serialized specs (never pickled closures), with scheduler-delta tables
+  prebuilt and shared by spec fingerprint;
+* ``python -m repro`` -- the ``run`` / ``sweep`` / ``list`` CLI over scenario
+  JSON files (:mod:`repro.scenarios.cli`).
+
+See ``docs/scenarios.md`` for the spec schema and the registry catalogue.
+"""
+
+from repro.scenarios import components  # noqa: F401  (registers built-ins)
+from repro.scenarios.components import AlgorithmBuild, resolve_senders
+from repro.scenarios.registry import (
+    ALGORITHMS,
+    ENVIRONMENTS,
+    SCHEDULERS,
+    TOPOLOGIES,
+    Registry,
+    register_algorithm,
+    register_environment,
+    register_scheduler,
+    register_topology,
+)
+from repro.scenarios.runtime import (
+    BuiltScenario,
+    RunResult,
+    TrialRunResult,
+    build,
+    materialize,
+    prebuild_delta_table,
+    run,
+    run_many,
+    run_spec_point,
+)
+from repro.scenarios.spec import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    # spec tree
+    "ScenarioSpec",
+    "TopologySpec",
+    "SchedulerSpec",
+    "AlgorithmSpec",
+    "EnvironmentSpec",
+    "EngineConfig",
+    "RunPolicy",
+    # registries
+    "Registry",
+    "TOPOLOGIES",
+    "SCHEDULERS",
+    "ALGORITHMS",
+    "ENVIRONMENTS",
+    "register_topology",
+    "register_scheduler",
+    "register_algorithm",
+    "register_environment",
+    # runtime
+    "AlgorithmBuild",
+    "BuiltScenario",
+    "RunResult",
+    "TrialRunResult",
+    "build",
+    "materialize",
+    "run",
+    "run_many",
+    "run_spec_point",
+    "prebuild_delta_table",
+    "resolve_senders",
+]

@@ -1,0 +1,244 @@
+"""The ``python -m repro`` command line: run scenario JSON files end to end.
+
+Subcommands:
+
+* ``run SCENARIO.json`` -- execute one scenario and print (or write) its
+  :class:`~repro.scenarios.runtime.RunResult` summary.  Exits non-zero when
+  the result is empty (no trial ran a round / nothing was ever transmitted),
+  which is what the CI smoke job asserts against.
+* ``sweep SCENARIO.json --grid path=v1,v2,...`` -- fan an override grid out
+  over the parallel sweep runner (``--jobs``) and print the result table.
+* ``list`` -- the registered components, with their sample arguments.
+
+Values on ``--set`` / ``--grid`` are parsed as JSON when possible and fall
+back to strings, so ``--set scheduler.args.probability=0.25`` and
+``--set topology.name=grid`` both do what they look like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.sweep import format_table
+from repro.scenarios.registry import ALGORITHMS, ENVIRONMENTS, SCHEDULERS, TOPOLOGIES
+from repro.scenarios.runtime import run, run_many
+from repro.scenarios.spec import ScenarioSpec
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_set_options(options: Optional[Sequence[str]]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for option in options or ():
+        path, sep, value = option.partition("=")
+        if not sep or not path:
+            raise SystemExit(f"--set expects PATH=VALUE, got {option!r}")
+        overrides[path] = _parse_value(value)
+    return overrides
+
+
+def _parse_grid_values(values: str) -> List[Any]:
+    """Parse a ``--grid`` value list without shredding JSON on inner commas.
+
+    The text is first tried as one JSON array (``[values]``), which handles
+    list- and object-valued entries like ``[0,1],[2,3]`` or
+    ``{"select":"first","count":1},{"select":"all"}``; only if that fails is
+    it split on top-level commas with each fragment parsed individually
+    (JSON when possible, bare string otherwise).
+    """
+    try:
+        parsed = json.loads(f"[{values}]")
+        if isinstance(parsed, list) and parsed:
+            return parsed
+    except ValueError:
+        pass
+    return [_parse_value(value) for value in values.split(",")]
+
+
+def _parse_grid_options(options: Optional[Sequence[str]]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for option in options or ():
+        path, sep, values = option.partition("=")
+        if not sep or not path or not values:
+            raise SystemExit(f"--grid expects PATH=V1,V2,..., got {option!r}")
+        grid[path] = _parse_grid_values(values)
+    return grid
+
+
+def _load_spec(path: str, set_options: Optional[Sequence[str]]) -> ScenarioSpec:
+    spec = ScenarioSpec.load(path)
+    overrides = _parse_set_options(set_options)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.scenario, args.set)
+    result = run(spec, keep=False)
+    summary = result.to_dict()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if not args.quiet:
+        print(f"scenario   : {spec.name}  (fingerprint {result.fingerprint})")
+        if spec.description:
+            print(f"description: {spec.description}")
+        print(
+            f"components : topology={spec.topology.name} algorithm={spec.algorithm.name} "
+            f"scheduler={spec.scheduler.name} environment={spec.environment.name}"
+        )
+        print(
+            format_table(
+                [t.to_dict()["metrics"] | {"trial": t.trial_index, "seed": t.seed} for t in result.trials],
+                columns=["trial", "seed", "rounds", "transmissions", "receptions", "bcasts", "acks", "recvs", "rounds_per_s"],
+                title="per-trial results:",
+            )
+        )
+        print()
+        print("aggregate  : " + json.dumps(result.metrics, sort_keys=True, default=str))
+    if not result or result.metrics.get("transmissions", 0) == 0:
+        print("ERROR: scenario produced an empty result", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.scenario, args.set)
+    grid = _parse_grid_options(args.grid)
+    if not grid:
+        raise SystemExit("sweep needs at least one --grid PATH=V1,V2,... option")
+    result = run_many(
+        spec,
+        grid,
+        jobs=args.jobs,
+        base_seed=args.base_seed,
+        cache_dir=args.cache_dir,
+    )
+    columns = list(grid) + [
+        "trials",
+        "rounds",
+        "transmissions",
+        "receptions",
+        "acks",
+        "recvs",
+        "rounds_per_s",
+    ]
+    print(format_table(result.rows, columns=columns, title=f"sweep over {spec.name}:"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"scenario": spec.to_dict(), "grid": grid, "rows": result.rows},
+                handle,
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        print(f"wrote {args.json}")
+    # Mirror `run`'s emptiness check: a sweep that completes but never
+    # transmitted anywhere is a degenerate configuration, not a result.
+    if not any(row.get("transmissions", 0) > 0 for row in result.rows):
+        print("ERROR: sweep produced no transmissions in any grid point", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registries = {
+        "topology": TOPOLOGIES,
+        "scheduler": SCHEDULERS,
+        "algorithm": ALGORITHMS,
+        "environment": ENVIRONMENTS,
+    }
+    if args.kind:
+        registries = {args.kind: registries[args.kind]}
+    if args.json:
+        payload = {
+            kind: {name: registry.sample_args(name) for name in registry.names()}
+            for kind, registry in registries.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for kind, registry in registries.items():
+        print(f"{kind} ({len(registry)}):")
+        for name in registry.names():
+            sample = registry.sample_args(name)
+            suffix = f"  e.g. args={json.dumps(sample, sort_keys=True)}" if sample else ""
+            print(f"  {name}{suffix}")
+        print()
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative experiment scenarios (see docs/scenarios.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute one scenario JSON end to end")
+    run_parser.add_argument("scenario", help="path of the scenario JSON file")
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="override a spec field (dotted path), e.g. run.trials=3",
+    )
+    run_parser.add_argument("--json", help="also write the RunResult summary JSON here")
+    run_parser.add_argument("--quiet", "-q", action="store_true", help="suppress the table")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="run an override grid over a scenario")
+    sweep_parser.add_argument("scenario", help="path of the scenario JSON file")
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="one grid dimension (repeatable), e.g. scheduler.args.probability=0.25,0.5",
+    )
+    sweep_parser.add_argument(
+        "--set", action="append", metavar="PATH=VALUE", help="fixed override applied first"
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="sweep worker processes (default 1 = serial; values above 1 use a process pool)",
+    )
+    sweep_parser.add_argument(
+        "--base-seed", type=int, default=None, help="derive per-point master seeds from this"
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, help="directory for on-disk scheduler-delta tables"
+    )
+    sweep_parser.add_argument("--json", help="also write the sweep rows JSON here")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    list_parser = sub.add_parser("list", help="list registered scenario components")
+    list_parser.add_argument(
+        "--kind",
+        choices=["topology", "scheduler", "algorithm", "environment"],
+        help="restrict to one registry",
+    )
+    list_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

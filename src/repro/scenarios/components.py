@@ -1,0 +1,511 @@
+"""Built-in scenario components.
+
+Importing this module (which :mod:`repro.scenarios` does eagerly) populates
+the four registries of :mod:`repro.scenarios.registry` with every network
+generator, link scheduler, algorithm, and environment the library ships:
+
+* **topologies** -- the :mod:`repro.dualgraph.generators` families plus the
+  benchmark suite's degree-targeted sampler (``target_degree``);
+* **schedulers** -- the oblivious schedulers of
+  :mod:`repro.dualgraph.adversary`, the anti-schedule adversary, and the
+  adaptive collision adversary (outside the paper's model, for boundary
+  experiments);
+* **algorithms** -- LBAlg, standalone SeedAlg, and the Decay / uniform /
+  round-robin baselines;
+* **environments** -- the deterministic environments of
+  :mod:`repro.simulation.environment`.
+
+Seed conventions: a component whose args pin an explicit ``seed`` is
+byte-reproducible regardless of the trial; a component that omits it inherits
+the trial seed from the :class:`~repro.scenarios.spec.RunPolicy`, which is
+how multi-trial scenarios get independent samples from one spec.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.baselines.decay import decay_schedule
+from repro.baselines.factory import make_baseline_processes
+from repro.core.local_broadcast import make_lb_processes
+from repro.core.params import LBParams, SeedParams
+from repro.core.seed_agreement import SeedAgreementProcess
+from repro.dualgraph.adversary import (
+    AntiScheduleAdversary,
+    CollisionAdaptiveAdversary,
+    FullInclusionScheduler,
+    IIDScheduler,
+    NoUnreliableScheduler,
+    PeriodicScheduler,
+    TraceScheduler,
+)
+from repro.dualgraph.generators import (
+    cluster_network,
+    clique_network,
+    grid_network,
+    line_network,
+    random_geographic_network,
+    star_network,
+    two_clusters_network,
+)
+from repro.scenarios.registry import (
+    register_algorithm,
+    register_environment,
+    register_scheduler,
+    register_topology,
+)
+from repro.simulation.environment import (
+    BurstyEnvironment,
+    NullEnvironment,
+    SaturatingEnvironment,
+    ScriptedEnvironment,
+    SingleShotEnvironment,
+)
+from repro.simulation.process import ProcessContext
+
+#: Network "density profiles" for degree-targeted sampling: approximate
+#: reliable degree bound -> (n, side) for random geographic networks.  Degree
+#: bounds are approximate by nature (the sample decides), which is fine
+#: because experiments record the *measured* Δ of the network they used.
+#: (Shared with ``benchmarks/common.py``, which re-exports it.)
+DENSITY_PROFILES: Dict[int, Tuple[int, float]] = {
+    4: (12, 4.2),
+    8: (16, 3.5),
+    10: (20, 3.0),
+    12: (28, 3.3),
+    16: (30, 2.6),
+    20: (36, 2.6),
+    24: (40, 2.4),
+    32: (56, 2.4),
+}
+
+
+def network_with_target_degree(
+    target_delta: int, seed: int, require_connected: bool = True
+):
+    """Sample a random geographic network whose Δ lands near the target."""
+    if target_delta not in DENSITY_PROFILES:
+        raise KeyError(
+            f"no density profile for Δ≈{target_delta}; known targets: {sorted(DENSITY_PROFILES)}"
+        )
+    n, side = DENSITY_PROFILES[target_delta]
+    return random_geographic_network(
+        n, side=side, r=2.0, rng=seed, require_connected=require_connected, max_attempts=80
+    )
+
+
+# ----------------------------------------------------------------------
+# topologies
+# ----------------------------------------------------------------------
+@register_topology(
+    "random_geographic", sample_args={"n": 16, "side": 3.2, "seed": 7}, trial_seeded=True
+)
+def _topology_random_geographic(
+    trial_seed: int,
+    n: int,
+    side: float = 4.0,
+    r: float = 2.0,
+    seed: Optional[int] = None,
+    grey_zone_edge_probability: Optional[float] = None,
+    require_connected: bool = False,
+    max_attempts: int = 50,
+):
+    return random_geographic_network(
+        n,
+        side=side,
+        r=r,
+        rng=seed if seed is not None else trial_seed,
+        grey_zone_edge_probability=grey_zone_edge_probability,
+        require_connected=require_connected,
+        max_attempts=max_attempts,
+    )
+
+
+@register_topology(
+    "target_degree", sample_args={"target_delta": 8, "seed": 3}, trial_seeded=True
+)
+def _topology_target_degree(
+    trial_seed: int,
+    target_delta: int,
+    seed: Optional[int] = None,
+    require_connected: bool = True,
+):
+    return network_with_target_degree(
+        target_delta,
+        seed=seed if seed is not None else trial_seed,
+        require_connected=require_connected,
+    )
+
+
+@register_topology("grid", sample_args={"rows": 3, "cols": 4})
+def _topology_grid(trial_seed: int, rows: int, cols: int, spacing: float = 0.9, r: float = 2.0):
+    return grid_network(rows, cols, spacing=spacing, r=r)
+
+
+@register_topology("line", sample_args={"n": 6})
+def _topology_line(trial_seed: int, n: int, spacing: float = 0.9, r: float = 2.0):
+    return line_network(n, spacing=spacing, r=r)
+
+
+@register_topology("clique", sample_args={"n": 6})
+def _topology_clique(trial_seed: int, n: int, radius: float = 0.45, r: float = 2.0):
+    return clique_network(n, radius=radius, r=r)
+
+
+@register_topology("star", sample_args={"leaves": 5})
+def _topology_star(trial_seed: int, leaves: int, r: float = 2.0):
+    return star_network(leaves, r=r)
+
+
+@register_topology(
+    "cluster", sample_args={"clusters": 2, "cluster_size": 4, "seed": 11}, trial_seeded=True
+)
+def _topology_cluster(
+    trial_seed: int,
+    clusters: int,
+    cluster_size: int,
+    cluster_spacing: float = 1.5,
+    cluster_radius: float = 0.4,
+    r: float = 2.0,
+    seed: Optional[int] = None,
+):
+    return cluster_network(
+        clusters,
+        cluster_size,
+        cluster_spacing=cluster_spacing,
+        cluster_radius=cluster_radius,
+        r=r,
+        rng=seed if seed is not None else trial_seed,
+    )
+
+
+@register_topology(
+    "two_clusters", sample_args={"cluster_size": 5, "seed": 42}, trial_seeded=True
+)
+def _topology_two_clusters(
+    trial_seed: int,
+    cluster_size: int = 6,
+    gap: float = 1.5,
+    r: float = 2.0,
+    seed: Optional[int] = None,
+):
+    return two_clusters_network(
+        cluster_size=cluster_size,
+        gap=gap,
+        r=r,
+        rng=seed if seed is not None else trial_seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+@register_scheduler("none")
+def _scheduler_none(graph, trial_seed: int):
+    return NoUnreliableScheduler(graph)
+
+
+@register_scheduler("full")
+def _scheduler_full(graph, trial_seed: int):
+    return FullInclusionScheduler(graph)
+
+
+@register_scheduler(
+    "iid", sample_args={"probability": 0.5, "seed": 7}, trial_seeded=True
+)
+def _scheduler_iid(
+    graph, trial_seed: int, probability: float = 0.5, seed: Optional[int] = None
+):
+    return IIDScheduler(
+        graph, probability=probability, seed=seed if seed is not None else trial_seed
+    )
+
+
+@register_scheduler(
+    "periodic", sample_args={"on_rounds": 3, "off_rounds": 2}, trial_seeded=True
+)
+def _scheduler_periodic(
+    graph,
+    trial_seed: int,
+    on_rounds: int = 5,
+    off_rounds: int = 5,
+    stagger: bool = False,
+    seed: Optional[int] = None,
+):
+    return PeriodicScheduler(
+        graph,
+        on_rounds=on_rounds,
+        off_rounds=off_rounds,
+        stagger=stagger,
+        seed=seed if seed is not None else trial_seed,
+    )
+
+
+@register_scheduler("anti_schedule", sample_args={"victim": "decay"})
+def _scheduler_anti_schedule(
+    graph,
+    trial_seed: int,
+    victim: Optional[str] = None,
+    victim_probabilities: Optional[List[float]] = None,
+    threshold: Optional[float] = None,
+    phase_offset: int = 0,
+):
+    """The targeted oblivious adversary; ``victim="decay"`` derives the
+    victim probability cycle from Decay's schedule for the graph's Δ."""
+    if victim_probabilities is None:
+        if victim != "decay":
+            raise ValueError(
+                "anti_schedule needs either victim_probabilities or victim='decay'"
+            )
+        victim_probabilities = list(decay_schedule(graph.max_reliable_degree))
+    return AntiScheduleAdversary(
+        graph,
+        victim_probabilities,
+        threshold=threshold,
+        phase_offset=phase_offset,
+    )
+
+
+@register_scheduler("adaptive_collision")
+def _scheduler_adaptive_collision(graph, trial_seed: int):
+    """The collision-manufacturing adaptive adversary (outside the paper's
+    model; the engine automatically falls back to the generic resolver)."""
+    return CollisionAdaptiveAdversary(graph)
+
+
+@register_scheduler("trace", sample_args={"schedule": [[], []]})
+def _scheduler_trace(graph, trial_seed: int, schedule: List[List[List[Any]]], cycle: bool = True):
+    return TraceScheduler(
+        graph, [[tuple(pair) for pair in entry] for entry in schedule], cycle=cycle
+    )
+
+
+# ----------------------------------------------------------------------
+# algorithms
+# ----------------------------------------------------------------------
+@dataclass
+class AlgorithmBuild:
+    """What an algorithm builder hands back to the scenario runtime.
+
+    ``phase_length`` / ``tack_rounds`` / ``natural_rounds`` feed the
+    :class:`~repro.scenarios.spec.RunPolicy` round units (``"phases"`` /
+    ``"tack"`` / ``"algorithm"``); builders leave them ``None`` when the
+    algorithm has no such structure (the baselines), in which case only the
+    literal ``"rounds"`` unit applies.
+    """
+
+    processes: Dict[Hashable, Any]
+    params: Any = None
+    phase_length: Optional[int] = None
+    tack_rounds: Optional[int] = None
+    natural_rounds: Optional[int] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+@register_algorithm("lbalg", sample_args={"epsilon": 0.2, "preset": "small"})
+def _algorithm_lbalg(
+    graph,
+    rng: random.Random,
+    epsilon: float = 0.2,
+    preset: str = "derived",
+    r: float = 2.0,
+    seed_reuse_phases: int = 1,
+    tprog_override: Optional[int] = None,
+    tack_phases_override: Optional[int] = None,
+    seed_phase_length_override: Optional[int] = None,
+) -> AlgorithmBuild:
+    """LBAlg at every vertex, with parameters derived from the measured Δ, Δ'.
+
+    ``preset="derived"`` is the full Appendix C.1 calculus;
+    ``preset="small"`` is :meth:`~repro.core.params.LBParams.small_for_testing`
+    (compact but structurally faithful -- what the engine benchmarks use).
+    """
+    delta, delta_prime = graph.degree_bounds()
+    if preset == "derived":
+        params = LBParams.derive(
+            epsilon,
+            delta=delta,
+            delta_prime=delta_prime,
+            r=r,
+            tprog_override=tprog_override,
+            tack_phases_override=tack_phases_override,
+            seed_phase_length_override=seed_phase_length_override,
+        )
+    elif preset == "small":
+        params = LBParams.small_for_testing(
+            delta=delta, delta_prime=delta_prime, epsilon=epsilon, r=r
+        )
+    else:
+        raise ValueError(f"unknown lbalg preset {preset!r}; expected 'derived' or 'small'")
+    processes = make_lb_processes(
+        graph, params, rng, seed_reuse_phases=seed_reuse_phases
+    )
+    return AlgorithmBuild(
+        processes=processes,
+        params=params,
+        phase_length=params.phase_length,
+        tack_rounds=params.tack_rounds,
+        natural_rounds=params.tack_rounds,
+    )
+
+
+@register_algorithm("seed_agreement", sample_args={"epsilon": 0.2})
+def _algorithm_seed_agreement(
+    graph,
+    rng: random.Random,
+    epsilon: float = 0.1,
+    r: float = 2.0,
+    phase_length_override: Optional[int] = None,
+    emit_decides: bool = True,
+) -> AlgorithmBuild:
+    """Standalone SeedAlg at every vertex (the Section 3 primitive)."""
+    delta, delta_prime = graph.degree_bounds()
+    params = SeedParams.derive(
+        epsilon, delta=delta, r=r, phase_length_override=phase_length_override
+    )
+    # Natural vertex order (falling back to repr for mixed types): this is the
+    # order the pre-spec SeedAlg experiments assigned per-vertex RNGs in, so
+    # migrating them onto specs keeps their published outputs.
+    try:
+        ordered = sorted(graph.vertices)
+    except TypeError:
+        ordered = sorted(graph.vertices, key=repr)
+    processes: Dict[Hashable, Any] = {}
+    for vertex in ordered:
+        ctx = ProcessContext(
+            vertex=vertex,
+            delta=delta,
+            delta_prime=delta_prime,
+            r=r,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        processes[vertex] = SeedAgreementProcess(ctx, params, emit_decides=emit_decides)
+    return AlgorithmBuild(
+        processes=processes,
+        params=params,
+        phase_length=params.phase_length,
+        natural_rounds=params.total_rounds,
+    )
+
+
+def _register_baseline(kind: str, sample_args: Mapping[str, Any]):
+    @register_algorithm(kind, sample_args=sample_args)
+    def _build(graph, rng: random.Random, r: float = 2.0, **kwargs) -> AlgorithmBuild:
+        return AlgorithmBuild(
+            processes=make_baseline_processes(graph, kind, rng, r=r, **kwargs)
+        )
+
+    _build.__name__ = f"_algorithm_{kind}"
+    _build.__doc__ = f"The {kind!r} baseline broadcast strategy at every vertex."
+    return _build
+
+
+_register_baseline("decay", {"num_cycles": 4})
+_register_baseline("uniform", {})
+_register_baseline("round_robin", {})
+
+
+# ----------------------------------------------------------------------
+# environments
+# ----------------------------------------------------------------------
+def resolve_senders(graph, senders: Any) -> List[Hashable]:
+    """Resolve a declarative sender selection against a materialized graph.
+
+    Accepted forms:
+
+    * an explicit list of vertices (used verbatim);
+    * ``{"select": "all"}`` -- every vertex, sorted;
+    * ``{"select": "first", "count": k}`` -- the first ``k`` vertices in
+      sorted order;
+    * ``{"select": "first", "divisor": d, "min": m}`` -- the first
+      ``max(m, n // d)`` vertices (the benchmark suite's contention recipe);
+    * ``{"select": "degree_top", "count": k}`` -- the ``k`` highest reliable
+      degree vertices (ties broken by sort order).
+    """
+    if isinstance(senders, (list, tuple)):
+        return list(senders)
+    if not isinstance(senders, Mapping):
+        raise TypeError(
+            f"senders must be a list of vertices or a selection mapping, got {senders!r}"
+        )
+    select = senders.get("select")
+    ordered = sorted(graph.vertices)
+    if select == "all":
+        return ordered
+    if select == "first":
+        if "count" in senders:
+            count = int(senders["count"])
+        elif "divisor" in senders:
+            count = max(int(senders.get("min", 1)), graph.n // int(senders["divisor"]))
+        else:
+            raise ValueError("senders select='first' needs 'count' or 'divisor'")
+        return ordered[:count]
+    if select == "degree_top":
+        count = int(senders["count"])
+        by_degree = sorted(
+            ordered, key=lambda v: len(graph.reliable_neighbors(v)), reverse=True
+        )
+        return by_degree[:count]
+    raise ValueError(
+        f"unknown senders selection {select!r}; expected 'all', 'first' or 'degree_top'"
+    )
+
+
+@register_environment("null")
+def _environment_null(graph):
+    return NullEnvironment()
+
+
+@register_environment(
+    "single_shot", sample_args={"senders": {"select": "first", "count": 1}}
+)
+def _environment_single_shot(
+    graph, senders: Any, start_round: int = 1, payload_prefix: str = "msg-"
+):
+    return SingleShotEnvironment(
+        senders=resolve_senders(graph, senders),
+        start_round=start_round,
+        payload_prefix=payload_prefix,
+    )
+
+
+@register_environment(
+    "saturating", sample_args={"senders": {"select": "first", "count": 2}}
+)
+def _environment_saturating(graph, senders: Any, start_round: int = 1):
+    return SaturatingEnvironment(
+        senders=resolve_senders(graph, senders), start_round=start_round
+    )
+
+
+@register_environment(
+    "bursty", sample_args={"senders": {"select": "first", "count": 2}, "period": 25}
+)
+def _environment_bursty(graph, senders: Any, period: int = 50, start_round: int = 1):
+    return BurstyEnvironment(
+        senders=resolve_senders(graph, senders), period=period, start_round=start_round
+    )
+
+
+@register_environment("scripted", sample_args={"script": {"1": {"0": "hello"}}})
+def _environment_scripted(graph, script: Mapping[str, Mapping[str, Any]]):
+    """A :class:`ScriptedEnvironment` from JSON.
+
+    JSON object keys are strings; round keys are converted to ``int`` and
+    vertex keys are converted to ``int`` when the graph's vertices are ints
+    (the case for every registered topology), otherwise used verbatim.
+    """
+    int_vertices = all(isinstance(v, int) for v in graph.vertices)
+
+    def vertex_key(key: Any) -> Any:
+        if int_vertices and isinstance(key, str):
+            return int(key)
+        return key
+
+    converted = {
+        int(round_key): {vertex_key(v): payload for v, payload in entries.items()}
+        for round_key, entries in script.items()
+    }
+    return ScriptedEnvironment(converted)

@@ -1,0 +1,463 @@
+"""Materializing and executing :class:`~repro.scenarios.spec.ScenarioSpec` trees.
+
+The runtime is the bridge from declarative specs to the live simulation
+stack:
+
+* :func:`materialize` resolves a spec's registry names into a graph,
+  processes, scheduler, environment, and a configured
+  :class:`~repro.simulation.engine.Simulator` (one trial's worth);
+* :func:`build` is the ``spec -> Simulator`` convenience;
+* :func:`run` executes every trial of the spec's
+  :class:`~repro.scenarios.spec.RunPolicy` and reduces the traces to a
+  :class:`RunResult` (aggregate metrics + optional per-trial traces +
+  ``perf_stats``);
+* :func:`run_many` fans a dotted-path override grid out over the
+  :class:`~repro.analysis.sweep.ParallelSweepRunner` -- workers receive the
+  **serialized spec** (JSON text shipped once through the pool's ``common``
+  mapping) plus each point's overrides, never pickled closures -- and
+  preloads worker scheduler-delta caches with tables prebuilt (and optionally
+  disk-cached) under each variant spec's
+  :meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`.
+
+The raw :class:`~repro.simulation.engine.Simulator` constructor remains the
+supported low-level escape hatch for experiments whose wiring a spec cannot
+express (hand-built process populations, adaptive environments, mid-run graph
+mutation); everything a spec *can* express behaves identically either way --
+:func:`build` produces byte-identical traces to the equivalent hand
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import (
+    SCHEDULER_DELTA_TABLE_KWARG,
+    ParallelSweepRunner,
+    SweepResult,
+    derive_point_seed,
+    iter_grid_points,
+)
+from repro.dualgraph.adversary import prebuild_scheduler_deltas
+from repro.scenarios import components as _components  # noqa: F401  (populates registries)
+from repro.scenarios.registry import ALGORITHMS, ENVIRONMENTS, SCHEDULERS, TOPOLOGIES
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.engine import Simulator
+from repro.simulation.metrics import ack_delays
+from repro.simulation.trace import ExecutionTrace, TraceMode
+
+
+@dataclass
+class BuiltScenario:
+    """One trial's worth of live objects materialized from a spec."""
+
+    spec: ScenarioSpec
+    trial_index: int
+    trial_seed: int
+    graph: Any
+    embedding: Any
+    processes: Dict[Hashable, Any]
+    params: Any
+    scheduler: Any
+    environment: Any
+    simulator: Simulator
+    total_rounds: int
+    algorithm_build: Any
+
+
+def _resolve_total_rounds(spec: ScenarioSpec, build) -> int:
+    policy = spec.run
+    unit = policy.rounds_unit
+    if unit == "rounds":
+        return policy.rounds
+    lengths = {
+        "phases": build.phase_length,
+        "tack": build.tack_rounds,
+        "algorithm": build.natural_rounds,
+    }
+    length = lengths[unit]
+    if length is None:
+        raise ValueError(
+            f"rounds_unit={unit!r} needs the {spec.algorithm.name!r} algorithm to "
+            "report that length; use rounds_unit='rounds' for this algorithm"
+        )
+    return policy.rounds * length
+
+
+def materialize(spec: ScenarioSpec, trial_index: int = 0) -> BuiltScenario:
+    """Resolve one trial of a spec into live objects (without running it).
+
+    Construction order (topology, then algorithm processes from a fresh
+    ``random.Random(trial_seed)``, then scheduler, then environment) is part
+    of the determinism contract: a spec-built simulator is byte-identical to
+    the equivalent hand construction that follows the same order (the
+    convention used throughout the examples and benchmarks).
+    """
+    trial_seed = spec.run.trial_seed(trial_index)
+
+    topology_builder = TOPOLOGIES.get(spec.topology.name)
+    graph, embedding = topology_builder(trial_seed, **spec.topology.args)
+
+    algorithm_builder = ALGORITHMS.get(spec.algorithm.name)
+    rng = random.Random(trial_seed)
+    build = algorithm_builder(graph, rng, **spec.algorithm.args)
+
+    scheduler_builder = SCHEDULERS.get(spec.scheduler.name)
+    scheduler = scheduler_builder(graph, trial_seed, **spec.scheduler.args)
+
+    environment_builder = ENVIRONMENTS.get(spec.environment.name)
+    environment = environment_builder(graph, **spec.environment.args)
+
+    engine = spec.engine
+    simulator = Simulator(
+        graph,
+        build.processes,
+        scheduler=scheduler,
+        environment=environment,
+        trace_mode=engine.trace_mode_enum,
+        fast_path=engine.fast_path,
+        vector_path=engine.vector_path,
+        batch_path=engine.batch_path,
+        profile=engine.profile,
+    )
+    return BuiltScenario(
+        spec=spec,
+        trial_index=trial_index,
+        trial_seed=trial_seed,
+        graph=graph,
+        embedding=embedding,
+        processes=build.processes,
+        params=build.params,
+        scheduler=scheduler,
+        environment=environment,
+        simulator=simulator,
+        total_rounds=_resolve_total_rounds(spec, build),
+        algorithm_build=build,
+    )
+
+
+def build(spec: ScenarioSpec) -> Simulator:
+    """``spec -> Simulator`` for trial 0 (the declarative front door)."""
+    return materialize(spec).simulator
+
+
+@dataclass
+class TrialRunResult:
+    """One executed trial: summary metrics plus (optionally) the live objects."""
+
+    trial_index: int
+    seed: int
+    rounds: int
+    metrics: Dict[str, Any]
+    trace: Optional[ExecutionTrace] = None
+    simulator: Optional[Simulator] = None
+    graph: Any = None
+    params: Any = None
+    environment: Any = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trial_index": self.trial_index,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "metrics": dict(self.metrics),
+        }
+
+
+@dataclass
+class RunResult:
+    """The outcome of :func:`run`: per-trial records plus aggregate metrics."""
+
+    spec: ScenarioSpec
+    fingerprint: str
+    trials: List[TrialRunResult] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    perf_stats: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        """Non-empty iff at least one trial ran at least one round."""
+        return any(t.rounds > 0 for t in self.trials)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable summary (no traces / simulators)."""
+        return {
+            "scenario": self.spec.to_dict(),
+            "fingerprint": self.fingerprint,
+            "trials": [t.to_dict() for t in self.trials],
+            "metrics": dict(self.metrics),
+            "perf_stats": dict(self.perf_stats),
+        }
+
+    def to_row(self) -> Dict[str, Any]:
+        """A flat record for sweep tables (aggregate metrics only)."""
+        row = {"scenario": self.spec.name, "fingerprint": self.fingerprint}
+        row.update(self.metrics)
+        return row
+
+
+def _trial_metrics(trace: ExecutionTrace, rounds: int, elapsed: float) -> Dict[str, Any]:
+    counts = trace.event_counts
+    metrics: Dict[str, Any] = {
+        "rounds": rounds,
+        "elapsed_s": elapsed,
+        "rounds_per_s": rounds / elapsed if elapsed > 0 else 0.0,
+        "transmissions": trace.num_transmissions,
+        "receptions": trace.num_receptions,
+        "bcasts": counts["bcast"],
+        "acks": counts["ack"],
+        "recvs": counts["recv"],
+        "decides": counts["decide"],
+    }
+    if trace.mode is not TraceMode.COUNTERS and counts["ack"]:
+        delays = [r.delay for r in ack_delays(trace) if r.delay is not None]
+        if delays:
+            metrics["ack_delay_mean"] = sum(delays) / len(delays)
+            metrics["ack_delay_max"] = max(delays)
+    return metrics
+
+
+def run(spec: ScenarioSpec, keep: bool = True) -> RunResult:
+    """Execute every trial of the spec and aggregate the results.
+
+    ``keep=True`` (default) retains each trial's trace, simulator, graph and
+    derived params on the :class:`TrialRunResult` -- what the examples and
+    benchmark harnesses consume.  ``keep=False`` drops the live objects
+    (sweep workers and the CLI JSON output need only the metrics).
+    """
+    result = RunResult(spec=spec, fingerprint=spec.fingerprint())
+    totals: Dict[str, float] = {}
+    for trial_index in range(spec.run.trials):
+        built = materialize(spec, trial_index)
+        start = time.perf_counter()
+        trace = built.simulator.run(built.total_rounds)
+        elapsed = time.perf_counter() - start
+        metrics = _trial_metrics(trace, built.total_rounds, elapsed)
+        result.trials.append(
+            TrialRunResult(
+                trial_index=trial_index,
+                seed=built.trial_seed,
+                rounds=built.total_rounds,
+                metrics=metrics,
+                trace=trace if keep else None,
+                simulator=built.simulator if keep else None,
+                graph=built.graph if keep else None,
+                params=built.params if keep else None,
+                environment=built.environment if keep else None,
+            )
+        )
+        for key, value in metrics.items():
+            if isinstance(value, (int, float)):
+                totals[key] = totals.get(key, 0.0) + value
+        if spec.engine.profile:
+            for section, seconds in built.simulator.perf_stats.items():
+                result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
+
+    trials = len(result.trials)
+    aggregate: Dict[str, Any] = {"trials": trials}
+    for key in ("rounds", "transmissions", "receptions", "bcasts", "acks", "recvs", "decides"):
+        aggregate[key] = int(totals.get(key, 0))
+    aggregate["elapsed_s"] = totals.get("elapsed_s", 0.0)
+    aggregate["rounds_per_s"] = (
+        aggregate["rounds"] / aggregate["elapsed_s"] if aggregate["elapsed_s"] > 0 else 0.0
+    )
+    delay_means = [
+        t.metrics["ack_delay_mean"] for t in result.trials if "ack_delay_mean" in t.metrics
+    ]
+    if delay_means:
+        aggregate["ack_delay_mean"] = sum(delay_means) / len(delay_means)
+        aggregate["ack_delay_max"] = max(
+            t.metrics["ack_delay_max"] for t in result.trials if "ack_delay_max" in t.metrics
+        )
+    result.metrics = aggregate
+    return result
+
+
+# ----------------------------------------------------------------------
+# delta-table prebuilding (spec-keyed, optionally disk-backed)
+# ----------------------------------------------------------------------
+def _delta_identity(spec: ScenarioSpec) -> str:
+    """Canonical identity of the delta table a spec's variant would prebuild.
+
+    Two grid variants that differ only in fields the table does not depend on
+    (environment, trace mode, name, trial count, ...) map to the same
+    identity, so :func:`run_many` computes their shared table once.  The
+    identity covers the topology and scheduler specs, the engine's fast-path
+    eligibility, the seed root (``master_seed`` + ``seed_policy`` determine
+    trial 0's seed), and the round budget -- including the algorithm spec
+    exactly when the round unit derives the budget from it.
+    """
+    from repro.scenarios.spec import _json_canonical
+
+    payload: Dict[str, Any] = {
+        "topology": spec.topology.to_dict(),
+        "scheduler": spec.scheduler.to_dict(),
+        "fast": spec.engine.fast_path and spec.engine.vector_path,
+        "master_seed": spec.run.master_seed,
+        "seed_policy": spec.run.seed_policy,
+        "rounds": spec.run.rounds,
+        "rounds_unit": spec.run.rounds_unit,
+    }
+    if spec.run.rounds_unit != "rounds":
+        payload["algorithm"] = spec.algorithm.to_dict()
+    return _json_canonical(payload)
+
+
+def _component_rerandomizes_per_trial(registry, component) -> bool:
+    """Whether a component's sample differs from trial to trial.
+
+    True exactly when the builder declared itself trial-seeded at
+    registration (see :meth:`~repro.scenarios.registry.Registry.register`)
+    and the spec does not pin an explicit ``seed`` argument -- the rule holds
+    for downstream-registered components too, with no name lists to maintain.
+    """
+    return registry.is_trial_seeded(component.name) and "seed" not in component.args
+
+
+def prebuild_delta_table(
+    spec: ScenarioSpec,
+    rounds: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> Optional[Dict[Tuple[Hashable, int], Tuple[int, ...]]]:
+    """Prebuild (or load) the spec's scheduler-delta table, or ``None``.
+
+    Builds trial 0's topology and scheduler, asks the scheduler for its
+    :meth:`~repro.dualgraph.adversary.LinkScheduler.delta_cache_key`, and --
+    when the deltas are cacheable -- computes rounds ``1..rounds`` through
+    :func:`repro.dualgraph.adversary.prebuild_scheduler_deltas`, keyed on
+    disk (under ``cache_dir``) by ``spec.fingerprint()``.  Returns ``None``
+    for non-cacheable schedulers (adaptive adversaries, unkeyed subclasses),
+    for engines that bypass the delta interface (``fast_path=False``), and
+    for multi-trial specs whose topology or scheduler re-randomizes per trial
+    (their per-trial delta streams have distinct cache keys, so a trial-0
+    table would mostly miss).
+
+    The process population is only constructed when the run policy's round
+    unit requires the algorithm's structure to resolve the round count
+    (``"phases"`` / ``"tack"`` / ``"algorithm"``); literal round budgets skip
+    it entirely, and even then the already-sampled topology is reused (one
+    topology sample and one algorithm build per call, never a throwaway
+    simulator).
+    """
+    if not (spec.engine.fast_path and spec.engine.vector_path):
+        return None
+    if spec.run.trials > 1 and spec.run.seed_policy != "fixed":
+        if _component_rerandomizes_per_trial(TOPOLOGIES, spec.topology):
+            return None
+        if _component_rerandomizes_per_trial(SCHEDULERS, spec.scheduler):
+            return None
+    trial_seed = spec.run.trial_seed(0)
+    graph, _ = TOPOLOGIES.get(spec.topology.name)(trial_seed, **spec.topology.args)
+    scheduler = SCHEDULERS.get(spec.scheduler.name)(graph, trial_seed, **spec.scheduler.args)
+    if scheduler.delta_cache_key() is None:
+        return None
+    if rounds is None:
+        if spec.run.rounds_unit == "rounds":
+            rounds = spec.run.rounds
+        else:
+            algorithm_build = ALGORITHMS.get(spec.algorithm.name)(
+                graph, random.Random(trial_seed), **spec.algorithm.args
+            )
+            rounds = _resolve_total_rounds(spec, algorithm_build)
+    return prebuild_scheduler_deltas(
+        scheduler,
+        rounds,
+        cache_dir=cache_dir,
+        cache_key=spec.fingerprint(),
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep dispatch: serialized specs, never closures
+# ----------------------------------------------------------------------
+def run_spec_point(
+    spec_json: Optional[str] = None, seed: Optional[int] = None, **overrides: Any
+) -> Dict[str, Any]:
+    """Worker target for :func:`run_many` (module-level, hence picklable).
+
+    ``spec_json`` is the base spec's serialized form (shipped once per worker
+    through the sweep's ``common`` mapping); ``overrides`` are one grid
+    point's dotted-path values; ``seed``, when the runner injects one,
+    replaces the run policy's master seed.  The worker never receives live
+    objects or closures -- reconstruction happens entirely from data.
+    """
+    if spec_json is None:
+        raise ValueError("run_spec_point needs the serialized spec (spec_json)")
+    spec = ScenarioSpec.from_json(spec_json)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    if seed is not None:
+        spec = spec.with_overrides({"run.master_seed": seed})
+    return run(spec, keep=False).to_row()
+
+
+def run_many(
+    spec: ScenarioSpec,
+    overrides_grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    jobs: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    prebuild: bool = True,
+) -> SweepResult:
+    """Run a grid of spec variants, serially or on a process pool.
+
+    Parameters
+    ----------
+    overrides_grid:
+        Dotted-path -> value sequence, e.g.
+        ``{"scheduler.args.probability": [0.25, 0.5, 0.75]}``.  Each grid
+        point yields one row (the overrides plus the variant's aggregate
+        metrics), in canonical grid order regardless of worker count.
+    jobs:
+        Worker processes (``None`` = all cores; <2 = serial), exactly as
+        :class:`~repro.analysis.sweep.ParallelSweepRunner` interprets it.
+    base_seed:
+        When given, each grid point's ``run.master_seed`` is replaced by a
+        derived per-point seed (stable across worker counts).
+    cache_dir:
+        Directory for on-disk scheduler-delta tables; repeated invocations of
+        the same sweep then skip the per-round schedule hashing entirely.
+    prebuild:
+        Prebuild each cacheable variant's delta table in the parent and ship
+        the merged table to workers through the sweep runner's reserved
+        ``scheduler_delta_table`` kwarg (set ``False`` to skip the upfront
+        cost for short exploratory sweeps).
+    """
+    grid = dict(overrides_grid or {})
+    common: Dict[str, Any] = {"spec_json": spec.to_json(indent=None)}
+
+    if prebuild:
+        # Prebuild against the exact spec each worker will run: the runner
+        # replaces run.master_seed with a derived per-point seed when
+        # base_seed is set (see run_spec_point), and a table keyed under the
+        # original seed would never hit.
+        merged: Dict[Tuple[Hashable, int], Tuple[int, ...]] = {}
+        seen_identities = set()
+        for index, point in enumerate(iter_grid_points(grid)):
+            try:
+                variant = spec.with_overrides(point)
+                if base_seed is not None:
+                    variant = variant.with_overrides(
+                        {"run.master_seed": derive_point_seed(base_seed, index)}
+                    )
+                # Variants differing only in table-irrelevant fields (the
+                # environment, trace mode, trial count, ...) share one table;
+                # compute it once.
+                identity = _delta_identity(variant)
+                if identity in seen_identities:
+                    continue
+                seen_identities.add(identity)
+                table = prebuild_delta_table(variant, cache_dir=cache_dir)
+            except (KeyError, TypeError, ValueError):
+                # An invalid point fails loudly when it actually runs; the
+                # prebuild pass is best-effort.
+                continue
+            if table:
+                merged.update(table)
+        if merged:
+            common[SCHEDULER_DELTA_TABLE_KWARG] = merged
+
+    runner = ParallelSweepRunner(jobs=jobs, base_seed=base_seed)
+    return runner.run(grid, run_spec_point, common=common)

@@ -66,6 +66,7 @@ once at construction); for hook-free populations the loops vanish.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import Counter
 from typing import Any, Dict, Hashable, List, Mapping, Optional
 
@@ -93,10 +94,13 @@ class Simulator:
     environment:
         The input/output environment; defaults to a :class:`NullEnvironment`.
     record_frames:
-        Legacy knob forwarded to :class:`ExecutionTrace`; ``False`` is
-        shorthand for ``trace_mode=TraceMode.EVENTS``.
+        **Deprecated** legacy knob (a ``DeprecationWarning`` is emitted when
+        it is passed explicitly): ``False`` mapped to
+        ``trace_mode=TraceMode.EVENTS`` and ``True`` to ``TraceMode.FULL``.
+        Use ``trace_mode=`` instead.
     trace_mode:
-        Explicit :class:`TraceMode` (overrides ``record_frames``).
+        Explicit :class:`TraceMode` (overrides ``record_frames``; default
+        ``TraceMode.FULL``).
     fast_path:
         Use the indexed transmitter-centric reception resolvers when the
         scheduler allows it.  Disable to force the generic edge-set resolver
@@ -126,7 +130,7 @@ class Simulator:
         processes: Mapping[Vertex, Process],
         scheduler: Optional[LinkScheduler] = None,
         environment: Optional[Environment] = None,
-        record_frames: bool = True,
+        record_frames: Optional[bool] = None,
         trace_mode: Optional[TraceMode] = None,
         fast_path: bool = True,
         vector_path: bool = True,
@@ -143,7 +147,17 @@ class Simulator:
         self._processes: Dict[Vertex, Process] = dict(processes)
         self._scheduler = scheduler if scheduler is not None else NoUnreliableScheduler(graph)
         self._environment = environment if environment is not None else NullEnvironment()
-        self._trace = ExecutionTrace(record_frames=record_frames, mode=trace_mode)
+        if record_frames is not None:
+            warnings.warn(
+                "Simulator(record_frames=...) is deprecated; pass "
+                "trace_mode=TraceMode.FULL (record_frames=True) or "
+                "trace_mode=TraceMode.EVENTS (record_frames=False) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if trace_mode is None:
+                trace_mode = TraceMode.FULL if record_frames else TraceMode.EVENTS
+        self._trace = ExecutionTrace(mode=trace_mode)
         self._current_round = 0
         self._started = False
         self.perf_stats: Dict[str, float] = {}

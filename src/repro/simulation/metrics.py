@@ -194,7 +194,7 @@ def progress_report(
         When true (default), "received something" means a data frame reception
         was recorded in the trace for that round -- the paper's ``B_u``
         event.  This requires the simulation to run with
-        ``record_frames=True``.  When false, the check falls back to ``recv``
+        ``TraceMode.FULL``.  When false, the check falls back to ``recv``
         outputs, which undercounts because the service deduplicates repeated
         deliveries of the same message.
     """
@@ -316,7 +316,7 @@ def receive_rate_per_round(
 ) -> float:
     """Fraction of rounds in [start_round, end_round] in which ``vertex`` received a frame.
 
-    Uses the recorded per-round receptions (requires ``record_frames=True``).
+    Uses the recorded per-round receptions (requires ``TraceMode.FULL``).
     This estimates the per-round receive probability of Lemma 4.2.
     """
     if end_round < start_round:

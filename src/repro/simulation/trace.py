@@ -11,6 +11,7 @@ the dual graph, which keeps algorithm code and analysis code fully decoupled.
 from __future__ import annotations
 
 import enum
+import warnings
 from collections import defaultdict
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
@@ -47,17 +48,32 @@ class ExecutionTrace:
     Parameters
     ----------
     record_frames:
-        Legacy knob: ``False`` is shorthand for ``mode=TraceMode.EVENTS``.
-        Ignored when ``mode`` is given explicitly.
+        **Deprecated** legacy knob (a ``DeprecationWarning`` is emitted when
+        it is passed explicitly): ``False`` was shorthand for
+        ``mode=TraceMode.EVENTS``.  Ignored when ``mode`` is given
+        explicitly; use ``mode=`` instead.
     mode:
         The :class:`TraceMode` controlling retention (default ``FULL``).
     """
 
     def __init__(
-        self, record_frames: bool = True, mode: Optional[TraceMode] = None
+        self, record_frames: Optional[bool] = None, mode: Optional[TraceMode] = None
     ) -> None:
+        if record_frames is not None:
+            warnings.warn(
+                "ExecutionTrace(record_frames=...) is deprecated; pass "
+                "mode=TraceMode.FULL or mode=TraceMode.EVENTS instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if mode is None:
-            mode = TraceMode.FULL if record_frames else TraceMode.EVENTS
+            # Truthiness (not an identity check) so falsy non-bool legacy
+            # values like 0 keep mapping to EVENTS, exactly as before the
+            # deprecation and as Simulator's shim does.
+            if record_frames is None or record_frames:
+                mode = TraceMode.FULL
+            else:
+                mode = TraceMode.EVENTS
         self._mode = mode
         self._record_frames = mode is TraceMode.FULL
         self._record_events = mode is not TraceMode.COUNTERS

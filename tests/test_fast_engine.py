@@ -231,17 +231,25 @@ class TestTraceModes:
         assert fast.num_transmissions == legacy.num_transmissions
         assert fast.num_receptions == legacy.num_receptions
 
-    def test_legacy_record_frames_flag_maps_to_events_mode(self):
+    def test_legacy_record_frames_flag_maps_to_events_mode_and_warns(self):
         graph = _make_network()
         params = LBParams.small_for_testing(
             delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
         )
-        simulator = Simulator(
-            graph,
-            make_lb_processes(graph, params, random.Random(3)),
-            record_frames=False,
-        )
+        with pytest.warns(DeprecationWarning, match="record_frames"):
+            simulator = Simulator(
+                graph,
+                make_lb_processes(graph, params, random.Random(3)),
+                record_frames=False,
+            )
         assert simulator.trace.mode is TraceMode.EVENTS
+        with pytest.warns(DeprecationWarning, match="record_frames"):
+            simulator = Simulator(
+                graph,
+                make_lb_processes(graph, params, random.Random(3)),
+                record_frames=True,
+            )
+        assert simulator.trace.mode is TraceMode.FULL
 
 
 class TestSchedulerDeltaInterface:

@@ -50,6 +50,12 @@ PUBLIC_MODULES = [
     "repro.analysis.theory",
     "repro.analysis.stats",
     "repro.analysis.sweep",
+    "repro.scenarios",
+    "repro.scenarios.spec",
+    "repro.scenarios.registry",
+    "repro.scenarios.components",
+    "repro.scenarios.runtime",
+    "repro.scenarios.cli",
 ]
 
 
@@ -82,6 +88,8 @@ class TestPackageSurface:
             "DecayProcess",
             "IIDScheduler",
             "AntiScheduleAdversary",
+            "ScenarioSpec",
+            "register_topology",
         ):
             assert name in repro.__all__
 

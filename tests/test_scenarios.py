@@ -1,0 +1,537 @@
+"""Tests for the declarative scenario layer (specs, registries, runtime, CLI).
+
+Pinned contracts:
+
+* every registered component round-trips through spec JSON and actually
+  materializes (the registry's ``sample_args`` must stay runnable);
+* ``fingerprint()`` is a pure function of the serialized spec -- identical
+  across processes and hash seeds;
+* registries fail loudly on duplicate and unknown names;
+* a spec-built simulator observes *byte-identical* executions to the
+  equivalent hand-built one (LBAlg + IID, the acceptance workload);
+* ``run_many`` dispatches serialized specs (not closures) and produces
+  worker-count-independent rows;
+* the disk-backed scheduler-delta table skips recomputation on re-use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+from repro import (
+    IIDScheduler,
+    LBParams,
+    Simulator,
+    SingleShotEnvironment,
+    make_lb_processes,
+    random_geographic_network,
+)
+from repro.dualgraph.adversary import prebuild_scheduler_deltas
+from repro.scenarios import (
+    ALGORITHMS,
+    ENVIRONMENTS,
+    SCHEDULERS,
+    TOPOLOGIES,
+    AlgorithmSpec,
+    EnvironmentSpec,
+    Registry,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+    build,
+    materialize,
+    prebuild_delta_table,
+    run,
+    run_many,
+    run_spec_point,
+)
+from repro.scenarios.cli import main as cli_main
+from repro.simulation.trace import TraceMode
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    spec = ScenarioSpec(
+        name="test-scenario",
+        topology=TopologySpec(
+            "random_geographic", {"n": 14, "side": 3.2, "seed": 5, "require_connected": True}
+        ),
+        algorithm=AlgorithmSpec("lbalg", {"epsilon": 0.2, "preset": "small"}),
+        scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": 5}),
+        environment=EnvironmentSpec("single_shot", {"senders": [0]}),
+        run=RunPolicy(rounds=2, rounds_unit="phases", master_seed=5, seed_policy="fixed"),
+    )
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec
+
+
+class TestSpecSerialization:
+    def test_json_round_trip_preserves_spec_and_fingerprint(self):
+        spec = small_spec()
+        text = spec.to_json()
+        restored = ScenarioSpec.from_json(text)
+        assert restored == spec
+        assert restored.fingerprint() == spec.fingerprint()
+
+    @pytest.mark.parametrize("name", TOPOLOGIES.names())
+    def test_every_topology_round_trips_and_materializes(self, name):
+        spec = small_spec(
+            **{"topology.name": name, "run.rounds_unit": "rounds", "run.rounds": 2}
+        )
+        spec = spec.with_overrides({"topology.args": TOPOLOGIES.sample_args(name)})
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec and restored.fingerprint() == spec.fingerprint()
+        built = materialize(restored)
+        assert built.graph.n >= 1
+
+    @pytest.mark.parametrize("name", SCHEDULERS.names())
+    def test_every_scheduler_round_trips_and_materializes(self, name):
+        spec = small_spec(
+            **{
+                "scheduler.name": name,
+                "scheduler.args": SCHEDULERS.sample_args(name),
+                "run.rounds_unit": "rounds",
+                "run.rounds": 3,
+            }
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec and restored.fingerprint() == spec.fingerprint()
+        result = run(restored, keep=False)
+        assert result.metrics["rounds"] == 3
+
+    @pytest.mark.parametrize("name", ALGORITHMS.names())
+    def test_every_algorithm_round_trips_and_materializes(self, name):
+        spec = small_spec(
+            **{
+                "algorithm.name": name,
+                "algorithm.args": ALGORITHMS.sample_args(name),
+                "environment.name": "saturating",
+                "environment.args": {"senders": {"select": "first", "count": 2}},
+                "run.rounds_unit": "rounds",
+                "run.rounds": 4,
+            }
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec and restored.fingerprint() == spec.fingerprint()
+        result = run(restored, keep=False)
+        assert result.metrics["rounds"] == 4
+
+    @pytest.mark.parametrize("name", ENVIRONMENTS.names())
+    def test_every_environment_round_trips_and_materializes(self, name):
+        spec = small_spec(
+            **{
+                "environment.name": name,
+                "environment.args": ENVIRONMENTS.sample_args(name),
+                "run.rounds_unit": "rounds",
+                "run.rounds": 3,
+            }
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec and restored.fingerprint() == spec.fingerprint()
+        result = run(restored, keep=False)
+        assert result.metrics["rounds"] == 3
+
+    def test_unknown_spec_keys_are_rejected(self):
+        data = small_spec().to_dict()
+        data["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            ScenarioSpec.from_dict(data)
+        engine = small_spec().to_dict()
+        engine["engine"]["warp_drive"] = True
+        with pytest.raises(ValueError, match="warp_drive"):
+            ScenarioSpec.from_dict(engine)
+
+    def test_non_json_args_are_rejected(self):
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            TopologySpec("grid", {"rows": object()})
+
+    def test_overrides_apply_and_validate(self):
+        spec = small_spec()
+        varied = spec.with_overrides({"scheduler.args.probability": 0.25, "run.trials": 2})
+        assert varied.scheduler.args["probability"] == 0.25
+        assert varied.run.trials == 2
+        assert varied.fingerprint() != spec.fingerprint()
+        with pytest.raises(KeyError, match="does not resolve"):
+            spec.with_overrides({"scheduler.args.probability.deep": 1})
+
+    def test_variants_follow_canonical_grid_order(self):
+        spec = small_spec()
+        variants = spec.variants({"scheduler.args.probability": [0.1, 0.9]})
+        assert [v.scheduler.args["probability"] for v in variants] == [0.1, 0.9]
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_across_processes_and_hash_seeds(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "spec.json"
+        spec.save(str(path))
+        script = (
+            "import sys; from repro.scenarios import ScenarioSpec; "
+            "print(ScenarioSpec.load(sys.argv[1]).fingerprint())"
+        )
+        prints = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+            env["PYTHONHASHSEED"] = hash_seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(path)],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            assert proc.returncode == 0, proc.stderr
+            prints.append(proc.stdout.strip())
+        assert prints[0] == prints[1] == spec.fingerprint()
+
+    def test_fingerprint_changes_with_content(self):
+        spec = small_spec()
+        assert spec.fingerprint() != spec.with_overrides({"run.master_seed": 6}).fingerprint()
+        assert (
+            spec.fingerprint()
+            != spec.with_overrides({"topology.args.n": 15}).fingerprint()
+        )
+
+
+class TestRegistries:
+    def test_duplicate_registration_raises(self):
+        registry = Registry("widget")
+
+        @registry.register("thing")
+        def _build_thing():
+            return 1
+
+        with pytest.raises(ValueError, match="duplicate widget registration"):
+
+            @registry.register("thing")
+            def _build_thing_again():
+                return 2
+
+    def test_trial_seeded_metadata_is_recorded(self):
+        assert TOPOLOGIES.is_trial_seeded("random_geographic")
+        assert TOPOLOGIES.is_trial_seeded("target_degree")
+        assert not TOPOLOGIES.is_trial_seeded("grid")
+        assert SCHEDULERS.is_trial_seeded("iid")
+        assert not SCHEDULERS.is_trial_seeded("full")
+        with pytest.raises(KeyError):
+            TOPOLOGIES.is_trial_seeded("moebius_strip")
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="registered topology names"):
+            TOPOLOGIES.get("moebius_strip")
+        with pytest.raises(KeyError, match="registered algorithm names"):
+            ALGORITHMS.get("gossip")
+        spec = small_spec(**{"scheduler.name": "quantum"})
+        with pytest.raises(KeyError, match="unknown scheduler 'quantum'"):
+            build(spec)
+
+
+class TestTraceIdentity:
+    def test_spec_built_simulator_matches_hand_built(self):
+        """The acceptance contract: byte-identical traces for LBAlg + IID."""
+        spec = ScenarioSpec(
+            name="identity",
+            topology=TopologySpec(
+                "random_geographic",
+                {"n": 18, "side": 3.2, "seed": 41, "require_connected": True},
+            ),
+            algorithm=AlgorithmSpec("lbalg", {"epsilon": 0.2, "preset": "small"}),
+            scheduler=SchedulerSpec("iid", {"probability": 0.4, "seed": 13}),
+            environment=EnvironmentSpec(
+                "single_shot", {"senders": {"select": "first", "count": 3}}
+            ),
+            run=RunPolicy(rounds=2, rounds_unit="phases", master_seed=99, seed_policy="fixed"),
+        )
+        built = materialize(spec)
+        spec_trace = built.simulator.run(built.total_rounds)
+
+        graph, _ = random_geographic_network(18, side=3.2, r=2.0, rng=41, require_connected=True)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.small_for_testing(
+            delta=delta, delta_prime=delta_prime, epsilon=0.2, r=2.0
+        )
+        hand_sim = Simulator(
+            graph,
+            make_lb_processes(graph, params, random.Random(99)),
+            scheduler=IIDScheduler(graph, probability=0.4, seed=13),
+            environment=SingleShotEnvironment(senders=sorted(graph.vertices)[:3]),
+        )
+        hand_trace = hand_sim.run(2 * params.phase_length)
+
+        assert spec_trace.events == hand_trace.events
+        for round_number in range(1, built.total_rounds + 1):
+            assert spec_trace.transmissions_in_round(
+                round_number
+            ) == hand_trace.transmissions_in_round(round_number)
+            assert spec_trace.receptions_in_round(
+                round_number
+            ) == hand_trace.receptions_in_round(round_number)
+
+    def test_build_returns_configured_simulator(self):
+        spec = small_spec(**{"engine.vector_path": False, "engine.trace_mode": "events"})
+        simulator = build(spec)
+        assert simulator.uses_fast_path and not simulator.uses_vector_path
+        assert simulator.trace.mode is TraceMode.EVENTS
+
+
+class TestRunPolicy:
+    def test_rounds_units_resolve_through_algorithm(self):
+        spec = small_spec(**{"run.rounds_unit": "tack", "run.rounds": 1})
+        built = materialize(spec)
+        assert built.total_rounds == built.params.tack_rounds
+        spec = small_spec(**{"run.rounds_unit": "rounds", "run.rounds": 17})
+        assert materialize(spec).total_rounds == 17
+
+    def test_rounds_unit_without_structure_fails_loudly(self):
+        spec = small_spec(
+            **{
+                "algorithm.name": "uniform",
+                "algorithm.args": {},
+                "run.rounds_unit": "phases",
+            }
+        )
+        with pytest.raises(ValueError, match="rounds_unit='phases'"):
+            materialize(spec)
+
+    def test_seed_policies(self):
+        derived = RunPolicy(trials=3, master_seed=9, seed_policy="derived")
+        sequential = RunPolicy(trials=3, master_seed=9, seed_policy="sequential")
+        fixed = RunPolicy(trials=3, master_seed=9, seed_policy="fixed")
+        assert [sequential.trial_seed(i) for i in range(3)] == [9, 10, 11]
+        assert [fixed.trial_seed(i) for i in range(3)] == [9, 9, 9]
+        assert len({derived.trial_seed(i) for i in range(3)}) == 3
+        assert derived.trial_seed(0) != 9
+
+    def test_multi_trial_run_varies_unpinned_components(self):
+        spec = small_spec(
+            **{
+                "topology.args": {"n": 12, "side": 3.4, "require_connected": True},
+                "scheduler.args": {"probability": 0.5},
+                "run.trials": 2,
+                "run.seed_policy": "derived",
+            }
+        )
+        result = run(spec)
+        assert len(result.trials) == 2
+        assert result.trials[0].seed != result.trials[1].seed
+        assert result.metrics["trials"] == 2
+
+
+class TestRunMany:
+    GRID = {"scheduler.args.probability": [0.25, 0.75]}
+
+    @staticmethod
+    def _strip_timing(rows):
+        return [
+            {k: v for k, v in row.items() if k not in ("elapsed_s", "rounds_per_s")}
+            for row in rows
+        ]
+
+    def test_rows_independent_of_worker_count(self):
+        spec = small_spec()
+        serial = run_many(spec, self.GRID, jobs=1)
+        parallel = run_many(spec, self.GRID, jobs=2)
+        assert self._strip_timing(serial.rows) == self._strip_timing(parallel.rows)
+        assert [row["scheduler.args.probability"] for row in serial.rows] == [0.25, 0.75]
+
+    def test_workers_receive_serialized_specs_not_closures(self):
+        # The dispatch target is a picklable module-level function...
+        assert run_spec_point.__module__ == "repro.scenarios.runtime"
+        assert pickle.loads(pickle.dumps(run_spec_point)) is run_spec_point
+        # ... and reconstructs the run entirely from the spec's JSON text.
+        spec = small_spec()
+        row = run_spec_point(
+            spec_json=spec.to_json(), **{"scheduler.args.probability": 0.25}
+        )
+        expected = spec.with_overrides({"scheduler.args.probability": 0.25})
+        assert row["fingerprint"] == expected.fingerprint()
+        assert row["rounds"] > 0
+
+    def test_injected_base_seed_overrides_master_seed(self):
+        spec = small_spec(
+            **{
+                "topology.args": {"n": 12, "side": 3.4, "require_connected": True},
+                "scheduler.args": {"probability": 0.5},
+            }
+        )
+        with_seed = run_many(spec, self.GRID, jobs=1, base_seed=123)
+        again = run_many(spec, self.GRID, jobs=2, base_seed=123)
+        assert self._strip_timing(with_seed.rows) == self._strip_timing(again.rows)
+
+
+class TestDeltaTableDiskCache:
+    def _scheduler(self):
+        graph, _ = random_geographic_network(12, side=3.0, rng=3, require_connected=True)
+        return IIDScheduler(graph, probability=0.5, seed=9)
+
+    def test_second_invocation_skips_recomputation(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+        original = IIDScheduler._compute_unreliable_edge_ids
+
+        def counting(self, round_number, index):
+            calls["n"] += 1
+            return original(self, round_number, index)
+
+        monkeypatch.setattr(IIDScheduler, "_compute_unreliable_edge_ids", counting)
+
+        first = prebuild_scheduler_deltas(
+            self._scheduler(), 20, cache_dir=str(tmp_path), cache_key="spec-fp"
+        )
+        assert calls["n"] == 20 and len(first) == 20
+
+        second = prebuild_scheduler_deltas(
+            self._scheduler(), 20, cache_dir=str(tmp_path), cache_key="spec-fp"
+        )
+        assert calls["n"] == 20, "second invocation must load from disk, not recompute"
+        assert second == first
+
+        # A smaller budget is served by the stored superset table.
+        third = prebuild_scheduler_deltas(
+            self._scheduler(), 10, cache_dir=str(tmp_path), cache_key="spec-fp"
+        )
+        assert calls["n"] == 20
+        assert third == first
+
+        # A larger budget recomputes (and re-persists) the wider table.
+        fourth = prebuild_scheduler_deltas(
+            self._scheduler(), 25, cache_dir=str(tmp_path), cache_key="spec-fp"
+        )
+        assert calls["n"] == 45 and len(fourth) == 25
+
+    def test_corrupt_cache_file_is_recomputed(self, tmp_path):
+        scheduler = self._scheduler()
+        table = prebuild_scheduler_deltas(
+            scheduler, 5, cache_dir=str(tmp_path), cache_key="fp"
+        )
+        (path,) = tmp_path.iterdir()
+        path.write_bytes(b"not a pickle")
+        again = prebuild_scheduler_deltas(
+            self._scheduler(), 5, cache_dir=str(tmp_path), cache_key="fp"
+        )
+        assert again == table
+
+    def test_spec_level_prebuild_is_keyed_by_fingerprint(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+        original = IIDScheduler._compute_unreliable_edge_ids
+
+        def counting(self, round_number, index):
+            calls["n"] += 1
+            return original(self, round_number, index)
+
+        monkeypatch.setattr(IIDScheduler, "_compute_unreliable_edge_ids", counting)
+
+        spec = small_spec(**{"run.rounds_unit": "rounds", "run.rounds": 8})
+        table = prebuild_delta_table(spec, cache_dir=str(tmp_path))
+        assert table is not None and len(table) == 8
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1 and spec.fingerprint() in files[0].name
+
+        before = calls["n"]
+        again = prebuild_delta_table(spec, cache_dir=str(tmp_path))
+        assert calls["n"] == before and again == table
+
+    def test_adaptive_scheduler_yields_no_table(self):
+        spec = small_spec(**{"scheduler.name": "adaptive_collision", "scheduler.args": {}})
+        assert prebuild_delta_table(spec) is None
+
+
+class TestCLI:
+    QUICKSTART = os.path.join(REPO_ROOT, "examples", "scenarios", "quickstart.json")
+
+    def test_run_subcommand_produces_nonempty_result(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = cli_main(
+            [
+                "run",
+                self.QUICKSTART,
+                "--set",
+                "algorithm.args.preset=small",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["metrics"]["rounds"] > 0
+        assert payload["metrics"]["transmissions"] > 0
+        assert payload["scenario"]["name"] == "quickstart"
+        assert "fingerprint" in payload
+        stdout = capsys.readouterr().out
+        assert "per-trial results" in stdout
+
+    def test_sweep_subcommand_runs_grid(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = cli_main(
+            [
+                "sweep",
+                self.QUICKSTART,
+                "--set",
+                "algorithm.args.preset=small",
+                "--set",
+                "run.rounds_unit=phases",
+                "--set",
+                "run.rounds=2",
+                "--grid",
+                "scheduler.args.probability=0.25,0.75",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["rows"]) == 2
+        assert {row["scheduler.args.probability"] for row in payload["rows"]} == {0.25, 0.75}
+
+    def test_list_subcommand_reports_registries(self, capsys):
+        assert cli_main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "lbalg" in payload["algorithm"]
+        assert "iid" in payload["scheduler"]
+        assert "random_geographic" in payload["topology"]
+        assert "single_shot" in payload["environment"]
+
+
+class TestDeprecations:
+    def test_build_lb_simulator_record_frames_warns(self):
+        from benchmarks.common import build_lb_simulator
+
+        graph, _ = random_geographic_network(10, side=3.0, rng=2, require_connected=True)
+        delta, delta_prime = graph.degree_bounds()
+        params = LBParams.small_for_testing(delta=delta, delta_prime=delta_prime)
+        with pytest.warns(DeprecationWarning, match="record_frames"):
+            simulator = build_lb_simulator(
+                graph,
+                params,
+                SingleShotEnvironment(senders=[0]),
+                record_frames=False,
+            )
+        assert simulator.trace.mode is TraceMode.EVENTS
+
+    def test_execution_trace_record_frames_warns(self):
+        from repro.simulation.trace import ExecutionTrace
+
+        with pytest.warns(DeprecationWarning, match="record_frames"):
+            trace = ExecutionTrace(record_frames=False)
+        assert trace.mode is TraceMode.EVENTS
+
+
+class TestBenchJobsParsing:
+    def test_unparseable_bench_jobs_warns_and_falls_back(self, monkeypatch):
+        from benchmarks import common
+
+        monkeypatch.setenv(common.JOBS_ENV_VAR, "all")
+        with pytest.warns(RuntimeWarning, match="BENCH_JOBS"):
+            assert common.default_jobs() == 1
+        monkeypatch.setenv(common.JOBS_ENV_VAR, "4")
+        assert common.default_jobs() == 4

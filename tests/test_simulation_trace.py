@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.events import AckOutput, BcastInput, DecideOutput, RecvOutput
 from repro.core.messages import Message
-from repro.simulation.trace import ExecutionTrace
+from repro.simulation.trace import ExecutionTrace, TraceMode
 
 
 @pytest.fixture
@@ -115,8 +115,8 @@ class TestFrameRecording:
         assert trace.receptions_in_round(1) == {1: "frame-a"}
         assert trace.receptions_in_round(2) == {}
 
-    def test_record_frames_false_drops_frames(self, message, other_message):
-        trace = ExecutionTrace(record_frames=False)
+    def test_events_mode_drops_frames(self, message, other_message):
+        trace = ExecutionTrace(mode=TraceMode.EVENTS)
         trace.note_round(1)
         trace.record_transmissions(1, {0: "frame"})
         trace.record_receptions(1, {1: "frame"})
