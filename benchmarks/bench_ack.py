@@ -9,83 +9,119 @@ Reproduced claims:
 * with probability at least 1 − ε, every reliable neighbor of the sender
   receives the message before the ack (reliability).
 
-The harness uses single-shot senders under contention (several simultaneous
-broadcasters) on random geographic networks, measures the ack delay and the
-fraction of reliable neighbors reached before the ack, and reports the
-derived ``t_ack`` next to the theoretical shape.
+The harness is a **scenario suite**: one entry per (Δ, trial) with the
+``params`` / ``ack_delay`` / ``delivery`` metrics declared on the spec, one
+group per Δ.  The checked-in manifest at ``examples/suites/bench_ack.json``
+is this suite as data (``python -m repro suite examples/suites/bench_ack.json``
+reproduces the table; pinned by ``tests/test_suites.py``); the old
+hand-written trace→metric plumbing is gone -- the group aggregates *are* the
+table, pooled exactly as the pre-suite harness pooled its per-trial lists.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+from typing import Dict, List, Optional
 
 from repro.analysis import theory
-from repro.analysis.stats import mean
-from repro.analysis.sweep import SweepResult, sweep
-from repro.scenarios import run as run_scenario
-from repro.simulation.metrics import ack_delays, delivery_report
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import MetricSpec, SuiteEntry, SuiteReport, SuiteSpec, run_suite
 
-from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, lb_point_spec, print_and_save, run_once_benchmark
 
 TARGET_DELTAS = (8, 16)
 EPSILON = 0.2
 TRIALS = 3
 SIMULTANEOUS_SENDERS = 3
 
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_ack.json"
+)
 
-def _run_point(target_delta: int) -> Dict[str, float]:
-    delays = []
-    delivery_fractions = []
-    full_deliveries = 0
-    broadcasts = 0
-    measured_delta = None
-    tack_bounds = []
-
-    for trial in range(TRIALS):
-        spec = lb_point_spec(
-            "bench-ack",
-            target_delta=target_delta,
-            graph_seed=9100 + 13 * target_delta + trial,
-            trial_seed=trial,
-            epsilon=EPSILON,
-            environment="single_shot",
-            senders={"select": "first", "count": SIMULTANEOUS_SENDERS},
-            rounds=1,
-            rounds_unit="tack",
-            trace_mode="events",
-        )
-        result = run_scenario(spec)
-        (point,) = result.trials
-        graph, params, trace = point.graph, point.params, point.trace
-        measured_delta = params.delta
-        tack_bounds.append(params.tack_rounds)
-        for record in ack_delays(trace):
-            assert record.delay is not None, "timely acknowledgment must always hold"
-            assert record.delay <= params.tack_rounds
-            delays.append(record.delay)
-        for record in delivery_report(trace, graph):
-            broadcasts += 1
-            delivery_fractions.append(record.delivery_fraction)
-            if record.fully_delivered:
-                full_deliveries += 1
-
-    return {
-        "measured_delta": measured_delta,
-        "tack_rounds_bound": max(tack_bounds),
-        "theory_tack_shape": theory.tack_bound(measured_delta, EPSILON, r=2.0),
-        "theory_ack_lower_bound": theory.ack_lower_bound(measured_delta),
-        "mean_ack_delay": mean(delays),
-        "max_ack_delay": max(delays),
-        "broadcasts": broadcasts,
-        "reliability_success_rate": full_deliveries / max(broadcasts, 1),
-        "mean_delivery_fraction": mean(delivery_fractions),
-        "target_epsilon": EPSILON,
-    }
+#: The metrics every entry declares; ``trace_mode="auto"`` then records the
+#: cheapest sufficient mode (EVENTS -- none of these needs frames).
+ACK_METRICS = (MetricSpec("params"), MetricSpec("ack_delay"), MetricSpec("delivery"))
 
 
-def run_ack_experiment() -> SweepResult:
-    """Run the E4 sweep and return its table."""
-    return sweep({"target_delta": TARGET_DELTAS}, run=_run_point)
+def build_ack_suite() -> SuiteSpec:
+    """The E4 experiment as a :class:`~repro.scenarios.suite.SuiteSpec`.
+
+    Seeds match the pre-suite harness exactly (``graph_seed = 9100 + 13Δ + trial``,
+    process RNGs rooted at the trial index), so the suite's pooled group
+    aggregates equal the historical table values.
+    """
+    entries: List[SuiteEntry] = []
+    for target_delta in TARGET_DELTAS:
+        for trial in range(TRIALS):
+            spec = lb_point_spec(
+                f"bench-ack-d{target_delta}-t{trial}",
+                target_delta=target_delta,
+                graph_seed=9100 + 13 * target_delta + trial,
+                trial_seed=trial,
+                epsilon=EPSILON,
+                environment="single_shot",
+                senders={"select": "first", "count": SIMULTANEOUS_SENDERS},
+                rounds=1,
+                rounds_unit="tack",
+                trace_mode="auto",
+                metrics=ACK_METRICS,
+            )
+            entries.append(
+                SuiteEntry(id=spec.name, scenario=spec, group=f"delta-{target_delta}")
+            )
+    return SuiteSpec(
+        name="bench-ack",
+        description=(
+            "E4 -- acknowledgment latency and reliability vs Delta: single-shot "
+            "senders under contention, pooled per degree target"
+        ),
+        entries=tuple(entries),
+    )
+
+
+def ack_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's one-row-per-Δ table."""
+    result = SweepResult()
+    for target_delta in TARGET_DELTAS:
+        group = f"delta-{target_delta}"
+        summaries = report.group_summaries[group]
+        members = [e for e in report.entries if e.entry.group_label == group]
+        # The pre-suite harness reported the *last* trial's measured Δ.
+        measured_delta = int(members[-1].result.trials[-1].metric_row["params.delta"])
+        # Timely acknowledgment must always hold (the assertions that used to
+        # live inside the per-trial loop, now over pooled metric columns).
+        assert summaries["ack_delay.pending"]["sum"] == 0, "timely acknowledgment must always hold"
+        assert summaries["ack_delay.bound_violations"]["sum"] == 0
+        row: Dict[str, float] = {
+            "target_delta": target_delta,
+            "measured_delta": measured_delta,
+            "tack_rounds_bound": int(summaries["params.tack_rounds"]["max"]),
+            "theory_tack_shape": theory.tack_bound(measured_delta, EPSILON, r=2.0),
+            "theory_ack_lower_bound": theory.ack_lower_bound(measured_delta),
+            "mean_ack_delay": summaries["ack_delay.delay_mean"]["value"],
+            "max_ack_delay": int(summaries["ack_delay.delay_max"]["max"]),
+            "broadcasts": int(summaries["delivery.broadcasts"]["sum"]),
+            "reliability_success_rate": summaries["delivery.success_rate"]["value"],
+            "mean_delivery_fraction": summaries["delivery.fraction_mean"]["value"],
+            "target_epsilon": EPSILON,
+        }
+        result.append(row)
+    return result
+
+
+def run_ack_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E4 suite and return its table.
+
+    ``prebuild=False``: single-shot senders leave most of the t_ack-long run
+    idle, so lazily-computed scheduler deltas touch only a fraction of the
+    rounds an upfront full-table prebuild would pay for.
+    """
+    report = run_suite(
+        build_ack_suite(),
+        jobs=jobs if jobs is not None else default_jobs(),
+        prebuild=False,
+    )
+    return ack_rows_from_report(report)
 
 
 def test_bench_ack(benchmark):
@@ -115,3 +151,20 @@ def test_bench_ack(benchmark):
         assert row["tack_rounds_bound"] >= row["theory_ack_lower_bound"]
         # Reliability: most broadcasts reach their full reliable neighborhood.
         assert row["mean_delivery_fraction"] >= 0.7
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_ack_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_ack_experiment()
+        print_and_save("E4_acknowledgment", "E4 -- acknowledgment latency and reliability vs Δ", result)

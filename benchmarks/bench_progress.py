@@ -6,73 +6,120 @@ the probability of hearing nothing in the window is at most ε, with
 ``t_prog = O(r² log Δ · log(r⁴ log⁴Δ / ε))`` -- logarithmic in Δ, logarithmic
 in 1/ε, and independent of n.
 
-The harness drives saturating senders on random geographic networks for
-several phases under an i.i.d. link scheduler, evaluates the per-window
-progress outcome for every receiver, and reports the empirical failure rate
-next to the target ε and the derived window length next to the theoretical
-shape.
+The harness is a **scenario suite**: one entry per (Δ, ε, trial) with the
+``params`` / ``progress`` metrics declared on the spec, one group per
+(Δ, ε).  The checked-in manifest at ``examples/suites/bench_progress.json``
+is this suite as data (pinned by ``tests/test_suites.py``); the pooled group
+rates carry the same Wilson intervals the pre-suite harness computed by hand.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+from typing import Dict, List, Optional
 
 from repro.analysis import theory
-from repro.analysis.stats import wilson_interval
-from repro.analysis.sweep import SweepResult, sweep
-from repro.scenarios import run as run_scenario
-from repro.simulation.metrics import progress_report
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import MetricSpec, SuiteEntry, SuiteReport, SuiteSpec, run_suite
 
-from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, lb_point_spec, print_and_save, run_once_benchmark
 
 TARGET_DELTAS = (8, 16, 24)
 EPSILONS = (0.2, 0.1)
 TRIALS = 3
 PHASES_PER_TRIAL = 4
 
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_progress.json"
+)
 
-def _run_point(target_delta: int, epsilon: float) -> Dict[str, float]:
-    applicable = 0
-    failures = 0
-    params = None
-    measured_delta = None
-
-    for trial in range(TRIALS):
-        spec = lb_point_spec(
-            "bench-progress",
-            target_delta=target_delta,
-            graph_seed=7000 + 17 * target_delta + trial,
-            trial_seed=trial,
-            epsilon=epsilon,
-            environment="saturating",
-            senders={"select": "first", "divisor": 6, "min": 2},
-            rounds=PHASES_PER_TRIAL,
-            rounds_unit="phases",
-        )
-        result = run_scenario(spec)
-        (point,) = result.trials
-        graph, params, trace = point.graph, point.params, point.trace
-        measured_delta = params.delta
-        report = progress_report(trace, graph, window=params.tprog_rounds)
-        applicable += report.num_applicable
-        failures += len(report.failures)
-
-    low, high = wilson_interval(failures, max(applicable, 1))
-    return {
-        "measured_delta": measured_delta,
-        "tprog_rounds": params.tprog_rounds,
-        "theory_tprog_shape": theory.tprog_bound(measured_delta, epsilon, r=2.0),
-        "windows": applicable,
-        "failures": failures,
-        "failure_rate": failures / max(applicable, 1),
-        "failure_rate_ci95_high": high,
-        "target_epsilon": epsilon,
-    }
+#: ``progress`` needs per-round frames, so ``trace_mode="auto"`` records FULL.
+PROGRESS_METRICS = (MetricSpec("params"), MetricSpec("progress"))
 
 
-def run_progress_experiment() -> SweepResult:
-    """Run the E3 grid and return its table."""
-    return sweep({"target_delta": TARGET_DELTAS, "epsilon": EPSILONS}, run=_run_point)
+def _group(target_delta: int, epsilon: float) -> str:
+    return f"delta-{target_delta}-eps-{epsilon}"
+
+
+def build_progress_suite() -> SuiteSpec:
+    """The E3 grid as a :class:`~repro.scenarios.suite.SuiteSpec`.
+
+    Seeds match the pre-suite harness exactly
+    (``graph_seed = 7000 + 17Δ + trial``), so pooled group rates equal the
+    historical table values.
+    """
+    entries: List[SuiteEntry] = []
+    for target_delta in TARGET_DELTAS:
+        for epsilon in EPSILONS:
+            for trial in range(TRIALS):
+                spec = lb_point_spec(
+                    f"bench-progress-d{target_delta}-eps{epsilon}-t{trial}",
+                    target_delta=target_delta,
+                    graph_seed=7000 + 17 * target_delta + trial,
+                    trial_seed=trial,
+                    epsilon=epsilon,
+                    environment="saturating",
+                    senders={"select": "first", "divisor": 6, "min": 2},
+                    rounds=PHASES_PER_TRIAL,
+                    rounds_unit="phases",
+                    trace_mode="auto",
+                    metrics=PROGRESS_METRICS,
+                )
+                entries.append(
+                    SuiteEntry(
+                        id=spec.name,
+                        scenario=spec,
+                        group=_group(target_delta, epsilon),
+                    )
+                )
+    return SuiteSpec(
+        name="bench-progress",
+        description=(
+            "E3 -- progress: per-window failure rate vs target epsilon under "
+            "saturating senders, pooled per (Delta, epsilon)"
+        ),
+        entries=tuple(entries),
+    )
+
+
+def progress_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's one-row-per-(Δ, ε) table."""
+    result = SweepResult()
+    for target_delta in TARGET_DELTAS:
+        for epsilon in EPSILONS:
+            group = _group(target_delta, epsilon)
+            summaries = report.group_summaries[group]
+            members = [e for e in report.entries if e.entry.group_label == group]
+            last_row = members[-1].result.trials[-1].metric_row
+            rate = summaries["progress.failure_rate"]
+            row: Dict[str, float] = {
+                "target_delta": target_delta,
+                "epsilon": epsilon,
+                "measured_delta": int(last_row["params.delta"]),
+                "tprog_rounds": int(last_row["params.tprog_rounds"]),
+                "theory_tprog_shape": theory.tprog_bound(
+                    int(last_row["params.delta"]), epsilon, r=2.0
+                ),
+                "windows": int(summaries["progress.windows"]["sum"]),
+                "failures": int(summaries["progress.failures"]["sum"]),
+                "failure_rate": rate["value"],
+                "failure_rate_ci95_high": rate["wilson_high"],
+                "target_epsilon": epsilon,
+            }
+            result.append(row)
+    return result
+
+
+def run_progress_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E3 suite and return its table."""
+    report = run_suite(
+        build_progress_suite(),
+        jobs=jobs if jobs is not None else default_jobs(),
+        # Saturating runs are short (a few phases); lazy per-round deltas beat
+        # an upfront full-table prebuild here too.
+        prebuild=False,
+    )
+    return progress_rows_from_report(report)
 
 
 def test_bench_progress(benchmark):
@@ -102,3 +149,24 @@ def test_bench_progress(benchmark):
         rows = {r["target_delta"]: r for r in result.where(epsilon=epsilon)}
         assert rows[24]["tprog_rounds"] >= rows[8]["tprog_rounds"]
         assert rows[24]["tprog_rounds"] <= rows[8]["tprog_rounds"] * (24 / 8)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_progress_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_progress_experiment()
+        print_and_save(
+            "E3_progress",
+            "E3 -- progress: empirical window failure rate vs target ε, and t_prog scaling",
+            result,
+        )

@@ -33,6 +33,7 @@ from repro.scenarios.spec import (
     AlgorithmSpec,
     EngineConfig,
     EnvironmentSpec,
+    MetricSpec,
     RunPolicy,
     ScenarioSpec,
     SchedulerSpec,
@@ -115,6 +116,7 @@ def lb_point_spec(
     trace_mode: str = "full",
     scheduler: str = "iid",
     scheduler_args: Optional[Mapping[str, Any]] = None,
+    metrics: Sequence[MetricSpec] = (),
 ) -> ScenarioSpec:
     """The standard bench workload as a :class:`~repro.scenarios.spec.ScenarioSpec`.
 
@@ -123,7 +125,9 @@ def lb_point_spec(
     parameters derived from the measured bounds, an i.i.d. link scheduler
     seeded by the trial, and process RNGs rooted at ``trial_seed`` -- exactly
     the wiring :func:`build_lb_simulator` produced, so migrated harnesses
-    keep their historical traces byte-for-byte.
+    keep their historical traces byte-for-byte.  ``metrics`` declares the
+    :class:`~repro.scenarios.spec.MetricSpec` entries the harness reads back
+    (``trace_mode="auto"`` then records exactly what they need).
     """
     if scheduler_args is None:
         # Only the i.i.d. scheduler takes these; parameter-free schedulers
@@ -147,6 +151,7 @@ def lb_point_spec(
             master_seed=trial_seed,
             seed_policy="fixed",
         ),
+        metrics=tuple(metrics),
     )
 
 

@@ -9,7 +9,10 @@ at ``examples/scenarios/quickstart.json`` is the same experiment as data):
    possibly-unreliable links in the grey zone up to distance r = 2),
 2. LBAlg parameters derived from the local degree bounds and a target ε,
 3. an i.i.d. oblivious link scheduler with one node broadcasting a message,
-4. a check of the execution against the LB(t_ack, t_prog, ε) specification.
+4. a check of the execution against the LB(t_ack, t_prog, ε) specification --
+   declared on the spec itself as metrics (``counters`` / ``ack_delay`` /
+   ``delivery`` / ``lb_spec``), so the verdicts come back on the
+   :class:`~repro.scenarios.runtime.RunResult` instead of being hand-wired.
 
 Run it with:
 
@@ -24,9 +27,7 @@ from __future__ import annotations
 
 import os
 
-from repro import check_lb_execution
 from repro.scenarios import ScenarioSpec, run
-from repro.simulation.metrics import ack_delays, delivery_report
 
 SCENARIO_PATH = os.path.join(os.path.dirname(__file__), "scenarios", "quickstart.json")
 
@@ -34,10 +35,12 @@ SCENARIO_PATH = os.path.join(os.path.dirname(__file__), "scenarios", "quickstart
 def main() -> None:
     # 1. + 2. + 3. The whole experiment is data: a 20-node network in a
     #    3.5 x 3.5 area, derived parameters for a 20% per-event error budget
-    #    (local quantities only -- the network size n never appears), and an
-    #    oblivious i.i.d. schedule over the grey-zone links.
+    #    (local quantities only -- the network size n never appears), an
+    #    oblivious i.i.d. schedule over the grey-zone links -- and the metrics
+    #    to reduce the execution with, declared right on the spec.
     spec = ScenarioSpec.load(SCENARIO_PATH)
     print(f"scenario: {spec.name}  (fingerprint {spec.fingerprint()})")
+    print(f"metrics : {', '.join(metric.name for metric in spec.metrics)}")
 
     result = run(spec)
     trial = result.trials[0]
@@ -52,26 +55,23 @@ def main() -> None:
     )
     print(f"t_prog = {params.tprog_rounds} rounds, t_ack = {params.tack_rounds} rounds")
 
-    # 4. What happened?
-    report = check_lb_execution(trace, graph, params.tack_rounds, params.tprog_rounds)
+    # 4. What happened?  Every declared metric produced namespaced columns on
+    #    the trial's metric row (and stats-backed aggregates on the result).
+    row = trial.metric_row
     print()
-    print("specification check:")
-    print(f"  timely acknowledgment ok: {report.timely_ack_ok}")
-    print(f"  validity ok:              {report.validity_ok}")
-    print(f"  reliability failures:     {len(report.reliability_failures)}")
-
-    for record in ack_delays(trace):
-        print(
-            f"  message {record.message.payload!r} acknowledged after {record.delay} rounds "
-            f"(bound: {params.tack_rounds})"
-        )
-    for record in delivery_report(trace, graph):
-        reached = len(record.delivered_before_ack)
-        total = len(record.reliable_neighbors)
-        print(
-            f"  reliable neighbors of vertex {record.sender} reached before the ack: "
-            f"{reached}/{total}"
-        )
+    print("specification check (the lb_spec metric):")
+    print(f"  timely acknowledgment ok: {row['lb_spec.timely_ack_violations'] == 0}")
+    print(f"  validity ok:              {row['lb_spec.validity_violations'] == 0}")
+    print(f"  reliability failures:     {row['lb_spec.reliability_failures']}")
+    print(
+        f"  acknowledged {row['ack_delay.acked']}/{row['ack_delay.broadcasts']} broadcasts, "
+        f"worst delay {row['ack_delay.delay_max']} rounds (bound: {row['ack_delay.bound']}, "
+        f"violations: {row['ack_delay.bound_violations']})"
+    )
+    print(
+        f"  full reliable-neighborhood deliveries before the ack: "
+        f"{row['delivery.full_deliveries']}/{row['delivery.broadcasts']}"
+    )
 
     recvs_by_vertex = {}
     for recv in trace.recv_outputs:

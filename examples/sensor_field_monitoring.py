@@ -26,15 +26,15 @@ Run it with:
 
 from __future__ import annotations
 
-from repro.analysis.stats import summarize
 from repro.scenarios import (
     AlgorithmSpec,
     EnvironmentSpec,
+    MetricSpec,
     RunPolicy,
     ScenarioSpec,
     SchedulerSpec,
     TopologySpec,
-    materialize,
+    resolve_params,
     run,
 )
 from repro.simulation.metrics import ack_delays, delivery_report
@@ -67,18 +67,21 @@ def main() -> None:
             {"senders": {"select": "degree_top", "count": NUM_AGGREGATORS}},
         ),
         run=RunPolicy(rounds=3, rounds_unit="tack", master_seed=11, seed_policy="fixed"),
+        metrics=(MetricSpec("ack_delay"), MetricSpec("delivery")),
     )
 
     # The burst period depends on the derived phase length, which depends on
-    # the sampled graph; resolve it from a probe materialization, then run
-    # the finished spec.
-    probe = materialize(spec)
-    params = probe.params
+    # the sampled graph.  The params-only resolution mode derives it without
+    # materializing a throwaway process population, then the finished spec
+    # runs once.
+    params = resolve_params(spec).params
     spec = spec.with_overrides(
         {"environment.args.period": REPORT_PERIOD_PHASES * params.phase_length}
     )
 
-    graph = probe.graph
+    result = run(spec)
+    trial = result.trials[0]
+    graph, trace = trial.graph, trial.trace
     print(f"sensor field: {graph}")
     print(
         f"service parameters: phase length {params.phase_length} rounds, "
@@ -90,35 +93,33 @@ def main() -> None:
     print(f"aggregation points: {sorted(by_degree[:NUM_AGGREGATORS])}")
     print(f"simulating {3 * params.tack_rounds} rounds ...")
 
-    result = run(spec)
-    trial = result.trials[0]
-    trace = trial.trace
-
     print()
     print("per-summary outcomes:")
-    delays = []
-    fractions = []
     for ack, delivery in zip(ack_delays(trace), delivery_report(trace, graph)):
         if ack.delay is None:
             status = "still in flight"
         else:
-            delays.append(ack.delay)
             status = f"acked after {ack.delay} rounds"
-        fractions.append(delivery.delivery_fraction)
         print(
             f"  aggregator {ack.vertex}: {ack.message.payload!r} -> {status}, "
             f"{len(delivery.delivered_before_ack)}/{len(delivery.reliable_neighbors)} "
             "reliable neighbors reached before the ack"
         )
 
-    if delays:
+    # The declared metrics already aggregated this: stats-backed summaries of
+    # the ack_delay / delivery columns live on the RunResult.
+    delay = result.metric_summaries.get("ack_delay.delay_mean", {})
+    fraction = result.metric_summaries.get("delivery.fraction_mean", {})
+    if delay.get("value") is not None:
         print()
-        print("acknowledgment latency summary (rounds):")
-        for key, value in summarize(delays).items():
-            print(f"  {key:>6}: {value:.1f}")
-    if fractions:
-        mean_fraction = sum(fractions) / len(fractions)
-        print(f"mean delivery fraction before ack: {mean_fraction:.2%} (target >= {1 - EPSILON:.0%})")
+        print("acknowledgment latency (from the ack_delay metric):")
+        print(f"  mean: {delay['value']:.1f} rounds over {int(delay['denominator'])} acked summaries")
+        print(f"  max : {result.metrics['ack_delay.delay_max']:.0f} rounds")
+    if fraction.get("value") is not None:
+        print(
+            f"mean delivery fraction before ack: {fraction['value']:.2%} "
+            f"(target >= {1 - EPSILON:.0%})"
+        )
 
 
 if __name__ == "__main__":

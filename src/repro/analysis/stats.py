@@ -29,7 +29,11 @@ def std(values: Sequence[float]) -> float:
 
 
 def quantile(values: Sequence[float], q: float) -> float:
-    """The q-quantile (0 <= q <= 1) by linear interpolation."""
+    """The q-quantile (0 <= q <= 1) by linear interpolation.
+
+    Raises a clear :class:`ValueError` on empty input (rather than an
+    ``IndexError`` from the sort/indexing below) and on q outside [0, 1].
+    """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0, 1], got {q}")
     ordered = sorted(values)
@@ -47,8 +51,14 @@ def quantile(values: Sequence[float], q: float) -> float:
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """Mean / std / min / median / p90 / max in one dictionary."""
+    """Mean / std / min / median / p90 / max in one dictionary.
+
+    Raises a clear :class:`ValueError` on empty input instead of letting the
+    first inner helper fail with its own (less specific) message.
+    """
     values = list(values)
+    if not values:
+        raise ValueError("cannot summarize no values")
     return {
         "count": float(len(values)),
         "mean": mean(values),
@@ -75,9 +85,16 @@ def wilson_interval(failures: int, trials: int, z: float = 1.96) -> Tuple[float,
     Far better behaved than the normal approximation when the observed count
     is 0 or small -- which is the common case here, since the experiments are
     designed so failures are rare.
+
+    ``trials`` must be at least 1 and ``z`` strictly positive; both are
+    validated up front so callers get a :class:`ValueError` instead of a
+    ``ZeroDivisionError`` (``trials == 0``) or a silently inverted interval
+    (``z <= 0``).
     """
     if trials < 1:
-        raise ValueError("need at least one trial")
+        raise ValueError(f"need at least one trial, got trials={trials}")
+    if z <= 0:
+        raise ValueError(f"z must be positive, got z={z}")
     if not 0 <= failures <= trials:
         raise ValueError("failures must be between 0 and trials")
     p_hat = failures / trials

@@ -16,10 +16,14 @@ of Theorem 4.1.
 from __future__ import annotations
 
 from abc import ABC
-from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Protocol
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Protocol
 
 from repro.core.params import LBParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.dualgraph.graph import DualGraph
+    from repro.simulation.trace import ExecutionTrace
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,111 @@ class MacLayerGuarantees:
             f_prog=params.tprog_rounds,
             epsilon=params.epsilon,
         )
+
+
+@dataclass
+class MacGuaranteeReport:
+    """One execution checked against a :class:`MacLayerGuarantees` promise.
+
+    The deterministic half of the promise (every accepted payload is
+    acknowledged within ``f_ack`` rounds) yields hard *violations*; the
+    probabilistic half (delivery to the reliable neighborhood before the ack,
+    progress within ``f_prog`` windows) yields per-event outcomes that a
+    multi-trial driver pools into empirical failure rates to compare against
+    ``epsilon``.  The scenario metric ``mac_guarantees`` (see
+    :mod:`repro.scenarios.metrics`) is exactly this report as a flat row.
+    """
+
+    guarantees: MacLayerGuarantees
+    ack_deadline_violations: List[str] = field(default_factory=list)
+    acked_broadcasts: int = 0
+    pending_broadcasts: int = 0
+    reliability_failures: int = 0
+    progress_windows: int = 0
+    progress_failures: int = 0
+
+    @property
+    def ack_ok(self) -> bool:
+        """No acknowledged-too-late / never-acknowledged violations observed."""
+        return not self.ack_deadline_violations
+
+    @property
+    def reliability_failure_rate(self) -> float:
+        if not self.acked_broadcasts:
+            return 0.0
+        return self.reliability_failures / self.acked_broadcasts
+
+    @property
+    def progress_failure_rate(self) -> float:
+        if not self.progress_windows:
+            return 0.0
+        return self.progress_failures / self.progress_windows
+
+    @property
+    def within_epsilon(self) -> bool:
+        """Both empirical failure rates sit within the promised ``epsilon``."""
+        return (
+            self.reliability_failure_rate <= self.guarantees.epsilon
+            and self.progress_failure_rate <= self.guarantees.epsilon
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """The flat record benchmark tables and metric rows consume."""
+        return {
+            "ack_deadline_violations": len(self.ack_deadline_violations),
+            "acked_broadcasts": self.acked_broadcasts,
+            "pending_broadcasts": self.pending_broadcasts,
+            "reliability_failures": self.reliability_failures,
+            "reliability_failure_rate": self.reliability_failure_rate,
+            "progress_windows": self.progress_windows,
+            "progress_failures": self.progress_failures,
+            "progress_failure_rate": self.progress_failure_rate,
+        }
+
+
+def check_mac_guarantees(
+    trace: "ExecutionTrace",
+    graph: "DualGraph",
+    guarantees: MacLayerGuarantees,
+    check_progress: bool = True,
+) -> MacGuaranteeReport:
+    """Check one execution trace against a MAC layer's advertised guarantees.
+
+    This is the abstract-layer counterpart of
+    :func:`repro.core.lb_spec.check_lb_execution`: it knows nothing about
+    LBAlg's internals, only the ``f_ack`` / ``f_prog`` / ``epsilon`` the layer
+    promised.  ``check_progress=True`` evaluates the progress windows through
+    :func:`repro.simulation.metrics.progress_report`, which needs a
+    ``TraceMode.FULL`` trace; pass ``False`` for events-only traces.
+    """
+    from repro.simulation.metrics import ack_delays, delivery_report, progress_report
+
+    report = MacGuaranteeReport(guarantees=guarantees)
+    for record in ack_delays(trace):
+        if record.delay is None:
+            report.pending_broadcasts += 1
+            deadline = record.bcast_round + guarantees.f_ack
+            if trace.num_rounds >= deadline:
+                report.ack_deadline_violations.append(
+                    f"payload {record.message.payload!r} (bcast at round "
+                    f"{record.bcast_round}) missed its ack deadline (round {deadline})"
+                )
+        elif record.delay > guarantees.f_ack:
+            report.ack_deadline_violations.append(
+                f"payload {record.message.payload!r} acknowledged after "
+                f"{record.delay} rounds (bound {guarantees.f_ack})"
+            )
+    for record in delivery_report(trace, graph):
+        if record.ack_round is None:
+            continue
+        report.acked_broadcasts += 1
+        if not record.fully_delivered:
+            report.reliability_failures += 1
+    if check_progress:
+        progress = progress_report(trace, graph, window=guarantees.f_prog)
+        report.progress_windows = progress.num_applicable
+        report.progress_failures = len(progress.failures)
+    return report
 
 
 class MacApi(Protocol):

@@ -14,14 +14,33 @@ policy, round-trips through JSON, and carries a stable
   dispatched to :class:`~repro.analysis.sweep.ParallelSweepRunner` workers as
   serialized specs (never pickled closures), with scheduler-delta tables
   prebuilt and shared by spec fingerprint;
-* ``python -m repro`` -- the ``run`` / ``sweep`` / ``list`` CLI over scenario
-  JSON files (:mod:`repro.scenarios.cli`).
+* :mod:`repro.scenarios.metrics` -- the declarative metrics pipeline:
+  registered trace reducers (``register_metric``) with minimum-trace-mode
+  metadata and :mod:`repro.analysis.stats`-backed aggregation, named by
+  :class:`~repro.scenarios.spec.MetricSpec` entries on a scenario;
+* :mod:`repro.scenarios.suite` -- scenario suites: a JSON
+  :class:`~repro.scenarios.suite.SuiteSpec` manifest of many specs run (with
+  per-spec and per-trial parallelism) into one
+  :class:`~repro.scenarios.suite.SuiteReport`;
+* ``python -m repro`` -- the ``run`` / ``sweep`` / ``suite`` / ``list`` CLI
+  over scenario and suite JSON files (:mod:`repro.scenarios.cli`).
 
-See ``docs/scenarios.md`` for the spec schema and the registry catalogue.
+See ``docs/scenarios.md`` for the spec schema and the registry catalogue, and
+``docs/suites.md`` for the metrics pipeline and suite manifests.
 """
 
 from repro.scenarios import components  # noqa: F401  (registers built-ins)
 from repro.scenarios.components import AlgorithmBuild, resolve_senders
+from repro.scenarios.metrics import (
+    METRICS,
+    MetricContext,
+    MetricRegistry,
+    aggregate_metric_rows,
+    evaluate_metrics,
+    flatten_aggregates,
+    register_metric,
+    required_trace_mode,
+)
 from repro.scenarios.registry import (
     ALGORITHMS,
     ENVIRONMENTS,
@@ -40,18 +59,29 @@ from repro.scenarios.runtime import (
     build,
     materialize,
     prebuild_delta_table,
+    resolve_params,
+    resolve_trace_mode,
     run,
     run_many,
     run_spec_point,
+    run_trial,
 )
 from repro.scenarios.spec import (
     AlgorithmSpec,
     EngineConfig,
     EnvironmentSpec,
+    MetricSpec,
     RunPolicy,
     ScenarioSpec,
     SchedulerSpec,
     TopologySpec,
+)
+from repro.scenarios.suite import (
+    SuiteEntry,
+    SuiteEntryResult,
+    SuiteReport,
+    SuiteSpec,
+    run_suite,
 )
 
 __all__ = [
@@ -61,18 +91,28 @@ __all__ = [
     "SchedulerSpec",
     "AlgorithmSpec",
     "EnvironmentSpec",
+    "MetricSpec",
     "EngineConfig",
     "RunPolicy",
     # registries
     "Registry",
+    "MetricRegistry",
     "TOPOLOGIES",
     "SCHEDULERS",
     "ALGORITHMS",
     "ENVIRONMENTS",
+    "METRICS",
     "register_topology",
     "register_scheduler",
     "register_algorithm",
     "register_environment",
+    "register_metric",
+    # metrics pipeline
+    "MetricContext",
+    "evaluate_metrics",
+    "aggregate_metric_rows",
+    "flatten_aggregates",
+    "required_trace_mode",
     # runtime
     "AlgorithmBuild",
     "BuiltScenario",
@@ -80,9 +120,18 @@ __all__ = [
     "TrialRunResult",
     "build",
     "materialize",
+    "resolve_params",
+    "resolve_trace_mode",
     "run",
+    "run_trial",
     "run_many",
     "run_spec_point",
     "prebuild_delta_table",
     "resolve_senders",
+    # suites
+    "SuiteSpec",
+    "SuiteEntry",
+    "SuiteEntryResult",
+    "SuiteReport",
+    "run_suite",
 ]

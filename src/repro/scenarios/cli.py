@@ -8,7 +8,11 @@ Subcommands:
   which is what the CI smoke job asserts against.
 * ``sweep SCENARIO.json --grid path=v1,v2,...`` -- fan an override grid out
   over the parallel sweep runner (``--jobs``) and print the result table.
-* ``list`` -- the registered components, with their sample arguments.
+* ``suite SUITE.json`` -- run a scenario-suite manifest (every entry, every
+  trial, optionally on a worker pool) and print its pooled per-group report;
+  ``--json`` / ``--markdown`` write the full :class:`~repro.scenarios.suite.SuiteReport`.
+* ``list`` -- the registered components (including metrics), with their
+  sample arguments.
 
 Values on ``--set`` / ``--grid`` are parsed as JSON when possible and fall
 back to strings, so ``--set scheduler.args.probability=0.25`` and
@@ -23,9 +27,11 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.sweep import format_table
+from repro.scenarios.metrics import METRICS
 from repro.scenarios.registry import ALGORITHMS, ENVIRONMENTS, SCHEDULERS, TOPOLOGIES
 from repro.scenarios.runtime import run, run_many
 from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.suite import SuiteSpec, run_suite
 
 
 def _parse_value(text: str) -> Any:
@@ -152,12 +158,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = SuiteSpec.load(args.suite)
+    report = run_suite(
+        suite, jobs=args.jobs, cache_dir=args.cache_dir, prebuild=not args.no_prebuild
+    )
+    if not args.quiet:
+        print(
+            f"suite      : {suite.name}  (fingerprint {report.fingerprint}, "
+            f"{len(suite.entries)} entries, {report.elapsed_s:.2f}s)"
+        )
+        if suite.description:
+            print(f"description: {suite.description}")
+        print()
+        print(report.format_table(by="entry", columns=args.columns))
+        print()
+        print(report.format_table(by="group", columns=args.columns))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True, default=str)
+        print(f"wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown())
+        print(f"wrote {args.markdown}")
+    # Mirror `run`/`sweep`: a suite that completes without a single
+    # transmission anywhere is a degenerate configuration, not a result.
+    if not report or not any(
+        e.result.metrics.get("transmissions", 0) > 0 for e in report.entries
+    ):
+        print("ERROR: suite produced an empty report", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     registries = {
         "topology": TOPOLOGIES,
         "scheduler": SCHEDULERS,
         "algorithm": ALGORITHMS,
         "environment": ENVIRONMENTS,
+        "metric": METRICS,
     }
     if args.kind:
         registries = {args.kind: registries[args.kind]}
@@ -223,10 +264,40 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", help="also write the sweep rows JSON here")
     sweep_parser.set_defaults(func=_cmd_sweep)
 
+    suite_parser = sub.add_parser(
+        "suite", help="run a scenario-suite manifest end to end (see docs/suites.md)"
+    )
+    suite_parser.add_argument("suite", help="path of the suite manifest JSON file")
+    suite_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the flattened (entry, trial) task list "
+        "(default 1 = serial; values above 1 use a process pool)",
+    )
+    suite_parser.add_argument(
+        "--cache-dir", default=None, help="directory for on-disk scheduler-delta tables"
+    )
+    suite_parser.add_argument(
+        "--no-prebuild",
+        action="store_true",
+        help="skip the upfront scheduler-delta prebuild pass",
+    )
+    suite_parser.add_argument(
+        "--columns",
+        nargs="+",
+        default=None,
+        help="restrict the printed tables to these columns",
+    )
+    suite_parser.add_argument("--json", help="also write the full SuiteReport JSON here")
+    suite_parser.add_argument("--markdown", help="also write the group table as markdown here")
+    suite_parser.add_argument("--quiet", "-q", action="store_true", help="suppress the tables")
+    suite_parser.set_defaults(func=_cmd_suite)
+
     list_parser = sub.add_parser("list", help="list registered scenario components")
     list_parser.add_argument(
         "--kind",
-        choices=["topology", "scheduler", "algorithm", "environment"],
+        choices=["topology", "scheduler", "algorithm", "environment", "metric"],
         help="restrict to one registry",
     )
     list_parser.add_argument("--json", action="store_true", help="machine-readable output")

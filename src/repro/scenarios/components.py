@@ -315,12 +315,16 @@ def _algorithm_lbalg(
     tprog_override: Optional[int] = None,
     tack_phases_override: Optional[int] = None,
     seed_phase_length_override: Optional[int] = None,
+    params_only: bool = False,
 ) -> AlgorithmBuild:
     """LBAlg at every vertex, with parameters derived from the measured Δ, Δ'.
 
     ``preset="derived"`` is the full Appendix C.1 calculus;
     ``preset="small"`` is :meth:`~repro.core.params.LBParams.small_for_testing`
     (compact but structurally faithful -- what the engine benchmarks use).
+    ``params_only=True`` resolves the derived parameters and round lengths
+    without constructing the process population (the params-only resolution
+    mode; see :meth:`repro.scenarios.registry.Registry.supports_params_only`).
     """
     delta, delta_prime = graph.degree_bounds()
     if preset == "derived":
@@ -339,9 +343,12 @@ def _algorithm_lbalg(
         )
     else:
         raise ValueError(f"unknown lbalg preset {preset!r}; expected 'derived' or 'small'")
-    processes = make_lb_processes(
-        graph, params, rng, seed_reuse_phases=seed_reuse_phases
-    )
+    if params_only:
+        processes: Dict[Hashable, Any] = {}
+    else:
+        processes = make_lb_processes(
+            graph, params, rng, seed_reuse_phases=seed_reuse_phases
+        )
     return AlgorithmBuild(
         processes=processes,
         params=params,
@@ -359,12 +366,24 @@ def _algorithm_seed_agreement(
     r: float = 2.0,
     phase_length_override: Optional[int] = None,
     emit_decides: bool = True,
+    params_only: bool = False,
 ) -> AlgorithmBuild:
-    """Standalone SeedAlg at every vertex (the Section 3 primitive)."""
+    """Standalone SeedAlg at every vertex (the Section 3 primitive).
+
+    ``params_only=True`` resolves the derived :class:`SeedParams` (and the
+    phase/total round lengths) without building any process.
+    """
     delta, delta_prime = graph.degree_bounds()
     params = SeedParams.derive(
         epsilon, delta=delta, r=r, phase_length_override=phase_length_override
     )
+    if params_only:
+        return AlgorithmBuild(
+            processes={},
+            params=params,
+            phase_length=params.phase_length,
+            natural_rounds=params.total_rounds,
+        )
     # Natural vertex order (falling back to repr for mixed types): this is the
     # order the pre-spec SeedAlg experiments assigned per-vertex RNGs in, so
     # migrating them onto specs keeps their published outputs.

@@ -24,11 +24,32 @@ Builder signatures by kind:
 :class:`~repro.scenarios.spec.RunPolicy`; builders use it as the default when
 their args carry no explicit seed, which is what makes multi-trial runs vary
 while fully-pinned specs stay byte-reproducible.
+
+Algorithm builders may additionally implement the **params-only resolution
+mode**: accepting a keyword-only ``params_only: bool = False`` and, when it is
+true, returning an ``AlgorithmBuild`` whose derived parameters and round
+lengths are resolved but whose process population is empty.  Support is
+auto-detected from the signature (:meth:`Registry.supports_params_only`), so
+downstream-registered algorithms opt in just by taking the keyword.
+
+A fifth registry -- metrics -- lives in :mod:`repro.scenarios.metrics`
+(:class:`~repro.scenarios.metrics.MetricRegistry` subclasses
+:class:`Registry` with trace-mode and pooled-aggregate metadata).
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Dict, List, Mapping, Optional
+
+
+def _accepts_params_only(builder: Callable[..., Any]) -> bool:
+    """True iff the builder's signature declares a ``params_only`` parameter."""
+    try:
+        signature = inspect.signature(builder)
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "params_only" in signature.parameters
 
 
 class Registry:
@@ -39,6 +60,7 @@ class Registry:
         self._builders: Dict[str, Callable[..., Any]] = {}
         self._sample_args: Dict[str, Dict[str, Any]] = {}
         self._trial_seeded: Dict[str, bool] = {}
+        self._params_only: Dict[str, bool] = {}
 
     def register(
         self,
@@ -70,6 +92,7 @@ class Registry:
             self._builders[name] = builder
             self._sample_args[name] = dict(sample_args) if sample_args else {}
             self._trial_seeded[name] = bool(trial_seeded)
+            self._params_only[name] = _accepts_params_only(builder)
             return builder
 
         return decorator
@@ -93,6 +116,22 @@ class Registry:
         """Whether the builder re-randomizes per trial when no ``seed`` arg is pinned."""
         self.get(name)  # raise uniformly on unknown names
         return self._trial_seeded[name]
+
+    def supports_params_only(self, name: str) -> bool:
+        """Whether the builder implements the params-only resolution mode.
+
+        Detected from the builder's signature at registration: a builder that
+        accepts a ``params_only`` keyword promises that
+        ``builder(..., params_only=True)`` returns its usual build object with
+        the derived parameters and round-structure lengths resolved but **no
+        process population constructed**.  The scenario runtime uses this
+        (``repro.scenarios.runtime.resolve_params``) wherever it needs only
+        derived quantities -- delta-table prebuilds, round budget resolution,
+        trace-mode selection -- so those paths stop materializing throwaway
+        processes.
+        """
+        self.get(name)  # raise uniformly on unknown names
+        return self._params_only[name]
 
     def names(self) -> List[str]:
         return sorted(self._builders)

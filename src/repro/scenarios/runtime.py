@@ -43,6 +43,14 @@ from repro.analysis.sweep import (
 )
 from repro.dualgraph.adversary import prebuild_scheduler_deltas
 from repro.scenarios import components as _components  # noqa: F401  (populates registries)
+from repro.scenarios.metrics import (
+    MetricContext,
+    aggregate_metric_rows,
+    evaluate_metrics,
+    flatten_aggregates,
+    is_metric_column,
+    required_trace_mode,
+)
 from repro.scenarios.registry import ALGORITHMS, ENVIRONMENTS, SCHEDULERS, TOPOLOGIES
 from repro.scenarios.spec import ScenarioSpec
 from repro.simulation.engine import Simulator
@@ -87,6 +95,42 @@ def _resolve_total_rounds(spec: ScenarioSpec, build) -> int:
     return policy.rounds * length
 
 
+def resolve_trace_mode(spec: ScenarioSpec) -> TraceMode:
+    """The :class:`TraceMode` a spec's trials record under.
+
+    Explicit engine modes are taken verbatim (and validated against the
+    declared metrics at evaluation time); ``engine.trace_mode="auto"``
+    resolves to the cheapest mode covering every metric in ``spec.metrics``
+    (``FULL`` when the spec declares none).
+    """
+    if spec.engine.is_auto_trace_mode:
+        return required_trace_mode(spec.metrics)
+    return spec.engine.trace_mode_enum
+
+
+def resolve_params(spec: ScenarioSpec, trial_index: int = 0, graph: Any = None):
+    """Resolve one trial's derived algorithm build **without processes**.
+
+    Uses the algorithm builder's params-only resolution mode when it declares
+    one (see :meth:`repro.scenarios.registry.Registry.supports_params_only`),
+    falling back to a full build otherwise.  ``graph`` lets callers that have
+    already sampled the trial's topology skip resampling it.
+
+    This is what lets a spec that needs a derived quantity to finish its own
+    configuration -- e.g. a burst period in phase-length units -- ask for the
+    params without materializing a throwaway process population
+    (``examples/sensor_field_monitoring.py`` does exactly that).
+    """
+    trial_seed = spec.run.trial_seed(trial_index)
+    if graph is None:
+        graph, _ = TOPOLOGIES.get(spec.topology.name)(trial_seed, **spec.topology.args)
+    builder = ALGORITHMS.get(spec.algorithm.name)
+    rng = random.Random(trial_seed)
+    if ALGORITHMS.supports_params_only(spec.algorithm.name):
+        return builder(graph, rng, params_only=True, **spec.algorithm.args)
+    return builder(graph, rng, **spec.algorithm.args)
+
+
 def materialize(spec: ScenarioSpec, trial_index: int = 0) -> BuiltScenario:
     """Resolve one trial of a spec into live objects (without running it).
 
@@ -117,7 +161,7 @@ def materialize(spec: ScenarioSpec, trial_index: int = 0) -> BuiltScenario:
         build.processes,
         scheduler=scheduler,
         environment=environment,
-        trace_mode=engine.trace_mode_enum,
+        trace_mode=resolve_trace_mode(spec),
         fast_path=engine.fast_path,
         vector_path=engine.vector_path,
         batch_path=engine.batch_path,
@@ -158,6 +202,16 @@ class TrialRunResult:
     params: Any = None
     environment: Any = None
 
+    @property
+    def metric_row(self) -> Dict[str, Any]:
+        """Only the declared-metric columns (``"<metric>.<key>"``).
+
+        These are deterministic -- no wall-clock timing -- so the row is
+        byte-identical whether the trial ran serially, on a ``run(jobs=...)``
+        pool, or inside a suite worker.
+        """
+        return {k: v for k, v in self.metrics.items() if is_metric_column(k)}
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "trial_index": self.trial_index,
@@ -169,27 +223,46 @@ class TrialRunResult:
 
 @dataclass
 class RunResult:
-    """The outcome of :func:`run`: per-trial records plus aggregate metrics."""
+    """The outcome of :func:`run`: per-trial records plus aggregate metrics.
+
+    ``metrics`` carries the flat aggregate row (legacy counter totals plus
+    one representative value per declared-metric column);
+    ``metric_summaries`` carries the full per-column statistics from
+    :func:`repro.scenarios.metrics.aggregate_metric_rows` -- mean / std /
+    quantiles for plain columns, pooled values with Wilson intervals for
+    declared ratio / rate columns.
+    """
 
     spec: ScenarioSpec
     fingerprint: str
     trials: List[TrialRunResult] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    metric_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
     perf_stats: Dict[str, float] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         """Non-empty iff at least one trial ran at least one round."""
         return any(t.rounds > 0 for t in self.trials)
 
+    @property
+    def metric_rows(self) -> List[Dict[str, Any]]:
+        """The per-trial declared-metric rows, in trial order."""
+        return [t.metric_row for t in self.trials]
+
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serializable summary (no traces / simulators)."""
-        return {
+        data = {
             "scenario": self.spec.to_dict(),
             "fingerprint": self.fingerprint,
             "trials": [t.to_dict() for t in self.trials],
             "metrics": dict(self.metrics),
             "perf_stats": dict(self.perf_stats),
         }
+        if self.metric_summaries:
+            data["metric_summaries"] = {
+                key: dict(entry) for key, entry in self.metric_summaries.items()
+            }
+        return data
 
     def to_row(self) -> Dict[str, Any]:
         """A flat record for sweep tables (aggregate metrics only)."""
@@ -219,44 +292,104 @@ def _trial_metrics(trace: ExecutionTrace, rounds: int, elapsed: float) -> Dict[s
     return metrics
 
 
-def run(spec: ScenarioSpec, keep: bool = True) -> RunResult:
-    """Execute every trial of the spec and aggregate the results.
+def run_trial(spec: ScenarioSpec, trial_index: int, keep: bool = True) -> TrialRunResult:
+    """Execute exactly one trial of a spec.
 
-    ``keep=True`` (default) retains each trial's trace, simulator, graph and
-    derived params on the :class:`TrialRunResult` -- what the examples and
-    benchmark harnesses consume.  ``keep=False`` drops the live objects
-    (sweep workers and the CLI JSON output need only the metrics).
+    Builds the trial (:func:`materialize`), runs it, computes the built-in
+    counter metrics plus every declared metric
+    (:func:`repro.scenarios.metrics.evaluate_metrics`, namespaced columns
+    merged into ``metrics``).  This single code path backs the serial
+    :func:`run` loop, the per-trial worker pool (``run(jobs=...)``), and the
+    suite runner -- which is why their metric rows are identical.
     """
-    result = RunResult(spec=spec, fingerprint=spec.fingerprint())
-    totals: Dict[str, float] = {}
-    for trial_index in range(spec.run.trials):
-        built = materialize(spec, trial_index)
-        start = time.perf_counter()
-        trace = built.simulator.run(built.total_rounds)
-        elapsed = time.perf_counter() - start
-        metrics = _trial_metrics(trace, built.total_rounds, elapsed)
-        result.trials.append(
-            TrialRunResult(
-                trial_index=trial_index,
-                seed=built.trial_seed,
-                rounds=built.total_rounds,
-                metrics=metrics,
-                trace=trace if keep else None,
-                simulator=built.simulator if keep else None,
-                graph=built.graph if keep else None,
-                params=built.params if keep else None,
-                environment=built.environment if keep else None,
-            )
+    built = materialize(spec, trial_index)
+    start = time.perf_counter()
+    trace = built.simulator.run(built.total_rounds)
+    elapsed = time.perf_counter() - start
+    metrics = _trial_metrics(trace, built.total_rounds, elapsed)
+    if spec.metrics:
+        ctx = MetricContext(
+            trace=trace,
+            graph=built.graph,
+            params=built.params,
+            spec=spec,
+            trial_index=trial_index,
+            seed=built.trial_seed,
+            rounds=built.total_rounds,
+            environment=built.environment,
+            algorithm_build=built.algorithm_build,
         )
-        for key, value in metrics.items():
+        metrics.update(evaluate_metrics(spec.metrics, ctx))
+    return TrialRunResult(
+        trial_index=trial_index,
+        seed=built.trial_seed,
+        rounds=built.total_rounds,
+        metrics=metrics,
+        trace=trace if keep else None,
+        # Profiling runs keep the simulator even under keep=False: its
+        # perf_stats sections are the whole point of profile=True.
+        simulator=built.simulator if keep or spec.engine.profile else None,
+        graph=built.graph if keep else None,
+        params=built.params if keep else None,
+        environment=built.environment if keep else None,
+    )
+
+
+def trial_record(spec: ScenarioSpec, trial_index: int) -> Dict[str, Any]:
+    """Execute one trial and return its plain-data (picklable) record.
+
+    :meth:`TrialRunResult.to_dict` plus the simulator's perf sections when
+    profiling -- the wire format every per-trial worker returns
+    (:func:`run_spec_trial` here, ``run_suite_task`` in the suite runner) and
+    :func:`absorb_trial_record` consumes.
+    """
+    trial = run_trial(spec, trial_index, keep=False)
+    record = trial.to_dict()
+    if spec.engine.profile and trial.simulator is not None:
+        record["perf_stats"] = dict(trial.simulator.perf_stats)
+    return record
+
+
+def absorb_trial_record(result: RunResult, record: Mapping[str, Any]) -> None:
+    """Append one :func:`trial_record` to a :class:`RunResult` (the pool-side
+    counterpart: reconstructs the :class:`TrialRunResult` and accumulates the
+    perf sections)."""
+    result.trials.append(
+        TrialRunResult(
+            trial_index=record["trial_index"],
+            seed=record["seed"],
+            rounds=record["rounds"],
+            metrics=dict(record["metrics"]),
+        )
+    )
+    for section, seconds in record.get("perf_stats", {}).items():
+        result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
+
+
+def run_spec_trial(
+    spec_json: Optional[str] = None, trial_index: int = 0
+) -> Dict[str, Any]:
+    """Worker target for per-trial parallelism (module-level, hence picklable).
+
+    Like :func:`run_spec_point`, workers receive the serialized spec -- never
+    live objects or closures -- plus one trial index, and return the trial's
+    :func:`trial_record`.
+    """
+    if spec_json is None:
+        raise ValueError("run_spec_trial needs the serialized spec (spec_json)")
+    return trial_record(ScenarioSpec.from_json(spec_json), trial_index)
+
+
+def _aggregate(result: RunResult) -> None:
+    """Fill ``result.metrics`` / ``result.metric_summaries`` from its trials."""
+    totals: Dict[str, float] = {}
+    for trial in result.trials:
+        for key, value in trial.metrics.items():
+            if is_metric_column(key):
+                continue
             if isinstance(value, (int, float)):
                 totals[key] = totals.get(key, 0.0) + value
-        if spec.engine.profile:
-            for section, seconds in built.simulator.perf_stats.items():
-                result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
-
-    trials = len(result.trials)
-    aggregate: Dict[str, Any] = {"trials": trials}
+    aggregate: Dict[str, Any] = {"trials": len(result.trials)}
     for key in ("rounds", "transmissions", "receptions", "bcasts", "acks", "recvs", "decides"):
         aggregate[key] = int(totals.get(key, 0))
     aggregate["elapsed_s"] = totals.get("elapsed_s", 0.0)
@@ -271,7 +404,67 @@ def run(spec: ScenarioSpec, keep: bool = True) -> RunResult:
         aggregate["ack_delay_max"] = max(
             t.metrics["ack_delay_max"] for t in result.trials if "ack_delay_max" in t.metrics
         )
+    if result.spec.metrics:
+        result.metric_summaries = aggregate_metric_rows(
+            result.spec.metrics, [t.metric_row for t in result.trials]
+        )
+        aggregate.update(flatten_aggregates(result.metric_summaries))
     result.metrics = aggregate
+
+
+def run(
+    spec: ScenarioSpec,
+    keep: bool = True,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    prebuild: bool = True,
+) -> RunResult:
+    """Execute every trial of the spec and aggregate the results.
+
+    ``keep=True`` (default) retains each trial's trace, simulator, graph and
+    derived params on the :class:`TrialRunResult` -- what the examples and
+    benchmark harnesses consume.  ``keep=False`` drops the live objects
+    (sweep workers and the CLI JSON output need only the metrics).
+
+    ``jobs`` above 1 fans the spec's trials out over a
+    :class:`~repro.analysis.sweep.ParallelSweepRunner` process pool (workers
+    receive the serialized spec through :func:`run_spec_trial`); this forces
+    ``keep=False`` -- live traces do not cross process boundaries -- and
+    produces metric rows byte-identical to the serial path, in trial order.
+    As in :func:`run_many`, the spec's scheduler-delta table is then prebuilt
+    once in the parent (when cacheable and shared across trials; optionally
+    disk-backed under ``cache_dir``) and shipped to every worker instead of
+    being re-hashed per process; ``prebuild=False`` skips that for sparse
+    workloads.  Serial runs share the process-wide delta cache already.
+    """
+    result = RunResult(spec=spec, fingerprint=spec.fingerprint())
+    if jobs is not None and jobs > 1 and spec.run.trials > 1:
+        common: Dict[str, Any] = {"spec_json": spec.to_json(indent=None)}
+        if prebuild:
+            try:
+                table = prebuild_delta_table(spec, cache_dir=cache_dir)
+            except (KeyError, TypeError, ValueError):
+                table = None  # a broken spec fails loudly in the workers
+            if table:
+                common[SCHEDULER_DELTA_TABLE_KWARG] = table
+        runner = ParallelSweepRunner(jobs=jobs)
+        rows = runner.run(
+            {"trial_index": list(range(spec.run.trials))},
+            run_spec_trial,
+            common=common,
+        )
+        for record in rows:
+            absorb_trial_record(result, record)
+        _aggregate(result)
+        return result
+
+    for trial_index in range(spec.run.trials):
+        trial = run_trial(spec, trial_index, keep=keep)
+        result.trials.append(trial)
+        if spec.engine.profile and trial.simulator is not None:
+            for section, seconds in trial.simulator.perf_stats.items():
+                result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
+    _aggregate(result)
     return result
 
 
@@ -334,12 +527,11 @@ def prebuild_delta_table(
     (their per-trial delta streams have distinct cache keys, so a trial-0
     table would mostly miss).
 
-    The process population is only constructed when the run policy's round
-    unit requires the algorithm's structure to resolve the round count
-    (``"phases"`` / ``"tack"`` / ``"algorithm"``); literal round budgets skip
-    it entirely, and even then the already-sampled topology is reused (one
-    topology sample and one algorithm build per call, never a throwaway
-    simulator).
+    No process population is constructed: literal round budgets never touch
+    the algorithm, and derived budgets (``"phases"`` / ``"tack"`` /
+    ``"algorithm"``) resolve through :func:`resolve_params` -- the builder's
+    params-only mode -- against the already-sampled topology (one topology
+    sample per call, never a throwaway simulator).
     """
     if not (spec.engine.fast_path and spec.engine.vector_path):
         return None
@@ -357,9 +549,10 @@ def prebuild_delta_table(
         if spec.run.rounds_unit == "rounds":
             rounds = spec.run.rounds
         else:
-            algorithm_build = ALGORITHMS.get(spec.algorithm.name)(
-                graph, random.Random(trial_seed), **spec.algorithm.args
-            )
+            # Params-only resolution: derived round lengths without a
+            # throwaway process population (falls back to a full build only
+            # for algorithms that never declared the mode).
+            algorithm_build = resolve_params(spec, graph=graph)
             rounds = _resolve_total_rounds(spec, algorithm_build)
     return prebuild_scheduler_deltas(
         scheduler,

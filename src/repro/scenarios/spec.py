@@ -35,7 +35,11 @@ SPEC_VERSION = 1
 
 _ROUNDS_UNITS = ("rounds", "phases", "tack", "algorithm")
 _SEED_POLICIES = ("fixed", "sequential", "derived")
-_TRACE_MODES = tuple(mode.value for mode in TraceMode)
+#: "auto" defers the choice to the metric registry: the runtime picks the
+#: cheapest :class:`TraceMode` covering every declared metric's minimum (see
+#: :func:`repro.scenarios.metrics.required_trace_mode`).
+AUTO_TRACE_MODE = "auto"
+_TRACE_MODES = tuple(mode.value for mode in TraceMode) + (AUTO_TRACE_MODE,)
 
 
 def _json_canonical(data: Any) -> str:
@@ -115,13 +119,29 @@ class EnvironmentSpec(_ComponentSpec):
     kind = "environment"
 
 
+class MetricSpec(_ComponentSpec):
+    """Names a registered metric reducer (``repro.scenarios.metrics.METRICS``).
+
+    A scenario carries any number of these in :attr:`ScenarioSpec.metrics`;
+    each one is evaluated per trial against the trial's trace/graph/params and
+    contributes namespaced columns (``"<name>.<key>"``) to the trial's metric
+    row, then :mod:`repro.analysis.stats`-backed aggregates to the
+    :class:`~repro.scenarios.runtime.RunResult`.
+    """
+
+    kind = "metric"
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Engine-path selection, declaratively (mirrors the ``Simulator`` kwargs).
 
     ``trace_mode`` is the :class:`~repro.simulation.trace.TraceMode` value as
     its string form (``"full"`` / ``"events"`` / ``"counters"``) so the spec
-    stays plain JSON.
+    stays plain JSON -- or :data:`AUTO_TRACE_MODE` (``"auto"``), in which case
+    the runtime selects the cheapest mode that covers every metric the
+    scenario declares (``"full"`` when it declares none, the safe historical
+    default).
     """
 
     fast_path: bool = True
@@ -137,7 +157,17 @@ class EngineConfig:
             )
 
     @property
+    def is_auto_trace_mode(self) -> bool:
+        return self.trace_mode == AUTO_TRACE_MODE
+
+    @property
     def trace_mode_enum(self) -> TraceMode:
+        """The explicit :class:`TraceMode` (``"auto"`` has none until resolved)."""
+        if self.is_auto_trace_mode:
+            raise ValueError(
+                "trace_mode='auto' is resolved against the scenario's metrics; "
+                "use repro.scenarios.runtime.resolve_trace_mode(spec)"
+            )
         return TraceMode(self.trace_mode)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -251,6 +281,7 @@ class ScenarioSpec:
     environment: EnvironmentSpec = field(default_factory=lambda: EnvironmentSpec("null"))
     engine: EngineConfig = field(default_factory=EngineConfig)
     run: RunPolicy = field(default_factory=RunPolicy)
+    metrics: Tuple[MetricSpec, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -266,13 +297,26 @@ class ScenarioSpec:
         ):
             if not isinstance(getattr(self, attr), klass):
                 raise TypeError(f"{attr} must be a {klass.__name__}")
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        for metric in self.metrics:
+            if not isinstance(metric, MetricSpec):
+                raise TypeError("metrics entries must be MetricSpec instances")
+        names = [metric.name for metric in self.metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate metric names in scenario: {sorted(names)}")
 
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A plain-JSON dict that :meth:`from_dict` restores losslessly."""
-        return {
+        """A plain-JSON dict that :meth:`from_dict` restores losslessly.
+
+        The ``metrics`` key is emitted only when the scenario declares
+        metrics, so metric-free specs keep the serialized form (and hence the
+        :meth:`fingerprint` that keys on-disk delta caches) they had before
+        the metrics pipeline existed.
+        """
+        data = {
             "version": SPEC_VERSION,
             "name": self.name,
             "description": self.description,
@@ -283,6 +327,9 @@ class ScenarioSpec:
             "engine": self.engine.to_dict(),
             "run": self.run.to_dict(),
         }
+        if self.metrics:
+            data["metrics"] = [metric.to_dict() for metric in self.metrics]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -296,6 +343,7 @@ class ScenarioSpec:
             "environment",
             "engine",
             "run",
+            "metrics",
         )
         _reject_unknown_keys(data, allowed, "scenario spec")
         version = data.get("version", SPEC_VERSION)
@@ -319,6 +367,10 @@ class ScenarioSpec:
             kwargs["engine"] = EngineConfig.from_dict(data["engine"])
         if "run" in data:
             kwargs["run"] = RunPolicy.from_dict(data["run"])
+        if "metrics" in data:
+            kwargs["metrics"] = tuple(
+                MetricSpec.from_dict(entry) for entry in data["metrics"]
+            )
         return cls(**kwargs)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -383,6 +435,11 @@ class ScenarioSpec:
                 cursor = nxt
             cursor[parts[-1]] = _check_json_value(value, f"override {path!r}")
         return type(self).from_dict(data)
+
+    def with_metrics(self, *metrics: MetricSpec) -> "ScenarioSpec":
+        """A copy declaring exactly these metrics (dotted paths cannot address
+        list entries, so metric lists are replaced wholesale)."""
+        return replace(self, metrics=tuple(metrics))
 
     def variants(self, grid: Mapping[str, Any]) -> Tuple["ScenarioSpec", ...]:
         """One spec per point of a dotted-path override grid (canonical order)."""

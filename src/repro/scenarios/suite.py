@@ -1,0 +1,463 @@
+"""Scenario suites: many specs, one report.
+
+A :class:`SuiteSpec` is a JSON manifest of scenario entries that run as one
+unit and reduce -- through the declarative metrics pipeline
+(:mod:`repro.scenarios.metrics`) -- into one :class:`SuiteReport`.  It is the
+layer the benchmark harnesses were hand-rolling: "run these N configurations,
+pool their per-trial metric rows by experimental condition, print one table".
+
+Like :class:`~repro.scenarios.spec.ScenarioSpec`, a suite round-trips
+losslessly through JSON and carries a stable content fingerprint.  The
+manifest *file* format additionally accepts load-time sugar that disappears
+on resolution (see :meth:`SuiteSpec.from_dict`):
+
+* ``"path"`` entries referencing scenario JSON files relative to the
+  manifest;
+* suite-level ``"defaults"`` (dotted-path overrides applied to every entry)
+  and per-entry ``"overrides"``;
+* suite-level ``"metrics"`` applied to entries whose scenarios declare none.
+
+Execution (:func:`run_suite`) flattens every entry's trials into one task
+list and fans it out over the
+:class:`~repro.analysis.sweep.ParallelSweepRunner` -- per-spec *and*
+per-trial parallelism in one pool, workers receiving serialized specs only --
+with scheduler-delta tables prebuilt (and optionally disk-cached) under each
+entry's fingerprint exactly as :func:`repro.scenarios.runtime.run_many` does.
+Trial metric rows are byte-identical to serial :func:`repro.scenarios.runtime.run`
+execution; entries sharing a ``group`` label pool their rows into group
+aggregates, which is how a suite reproduces a benchmark's
+several-specs-per-table-row arithmetic exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import (
+    SCHEDULER_DELTA_TABLE_KWARG,
+    ParallelSweepRunner,
+    format_table,
+)
+from repro.scenarios.metrics import aggregate_metric_rows, flatten_aggregates
+from repro.scenarios.runtime import (
+    RunResult,
+    _aggregate,
+    absorb_trial_record,
+    prebuild_delta_table,
+    trial_record,
+)
+from repro.scenarios.spec import (
+    MetricSpec,
+    ScenarioSpec,
+    _json_canonical,
+    _reject_unknown_keys,
+)
+
+#: Suite manifest schema version (independent of the scenario spec version).
+SUITE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One scenario inside a suite, with its pooling group label.
+
+    Entries with the same ``group`` pool their per-trial metric rows in the
+    report's group aggregates; ``group`` defaults to the entry ``id`` (one
+    group per entry).
+    """
+
+    id: str
+    scenario: ScenarioSpec
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id or not isinstance(self.id, str):
+            raise ValueError("suite entry needs a non-empty id string")
+        if not isinstance(self.scenario, ScenarioSpec):
+            raise TypeError("suite entry scenario must be a ScenarioSpec")
+
+    @property
+    def group_label(self) -> str:
+        return self.group or self.id
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"id": self.id, "scenario": self.scenario.to_dict()}
+        if self.group:
+            data["group"] = self.group
+        return data
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A serializable manifest of scenarios run (and reported) as one unit."""
+
+    name: str
+    entries: Tuple[SuiteEntry, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("suite needs a non-empty name string")
+        object.__setattr__(self, "entries", tuple(self.entries))
+        if not self.entries:
+            raise ValueError("suite needs at least one entry")
+        ids = [entry.id for entry in self.entries]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate suite entry ids: {sorted(ids)}")
+        # Pooled group aggregates assume every member declares the same
+        # metrics (ratio/rate definitions are taken once per group); a mixed
+        # group would silently lose pooled columns, so reject it up front.
+        metric_names_by_group: Dict[str, Tuple[str, ...]] = {}
+        for entry in self.entries:
+            names = tuple(metric.name for metric in entry.scenario.metrics)
+            previous = metric_names_by_group.setdefault(entry.group_label, names)
+            if previous != names:
+                raise ValueError(
+                    f"suite group {entry.group_label!r} mixes metric declarations "
+                    f"({list(previous)} vs {list(names)} on entry {entry.id!r}); "
+                    "entries pooled into one group must declare the same metrics"
+                )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The fully-resolved canonical form (all scenarios inline)."""
+        return {
+            "version": SUITE_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], base_dir: Optional[str] = None
+    ) -> "SuiteSpec":
+        """Parse a manifest, resolving the load-time sugar.
+
+        Each entry carries either an inline ``"scenario"`` dict or a
+        ``"path"`` to a scenario JSON file (resolved against ``base_dir``,
+        which :meth:`load` sets to the manifest's directory; ``"path"``
+        entries are rejected without one).  Suite-level ``"defaults"`` are
+        dotted-path overrides applied to every entry, then per-entry
+        ``"overrides"`` on top; suite-level ``"metrics"`` are attached to any
+        entry whose scenario declares none.  The resulting suite is fully
+        inline -- :meth:`to_dict` never re-emits the sugar.
+        """
+        _reject_unknown_keys(
+            data,
+            ("version", "name", "description", "defaults", "metrics", "entries"),
+            "suite spec",
+        )
+        version = data.get("version", SUITE_VERSION)
+        if version != SUITE_VERSION:
+            raise ValueError(
+                f"unsupported suite spec version {version!r} (expected {SUITE_VERSION})"
+            )
+        defaults = dict(data.get("defaults", {}))
+        suite_metrics = tuple(
+            MetricSpec.from_dict(entry) for entry in data.get("metrics", [])
+        )
+        raw_entries = data.get("entries")
+        if not raw_entries:
+            raise ValueError("suite spec needs a non-empty 'entries' list")
+        entries: List[SuiteEntry] = []
+        for index, raw in enumerate(raw_entries):
+            where = f"suite entry #{index}"
+            _reject_unknown_keys(
+                raw, ("id", "group", "scenario", "path", "overrides"), where
+            )
+            if ("scenario" in raw) == ("path" in raw):
+                raise ValueError(f"{where} needs exactly one of 'scenario' or 'path'")
+            if "scenario" in raw:
+                scenario = ScenarioSpec.from_dict(raw["scenario"])
+            else:
+                if base_dir is None:
+                    raise ValueError(
+                        f"{where} references a path but the manifest was parsed "
+                        "without a base directory (use SuiteSpec.load)"
+                    )
+                scenario = ScenarioSpec.load(os.path.join(base_dir, raw["path"]))
+            overrides = {**defaults, **dict(raw.get("overrides", {}))}
+            if overrides:
+                scenario = scenario.with_overrides(overrides)
+            if suite_metrics and not scenario.metrics:
+                scenario = scenario.with_metrics(*suite_metrics)
+            entries.append(
+                SuiteEntry(
+                    id=raw.get("id", scenario.name),
+                    scenario=scenario,
+                    group=raw.get("group", ""),
+                )
+            )
+        return cls(
+            name=data.get("name", "suite"),
+            description=data.get("description", ""),
+            entries=tuple(entries),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, base_dir: Optional[str] = None) -> "SuiteSpec":
+        return cls.from_dict(json.loads(text), base_dir=base_dir)
+
+    @classmethod
+    def load(cls, path: str) -> "SuiteSpec":
+        """Read a suite manifest (the ``python -m repro suite`` input)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read(), base_dir=os.path.dirname(path) or ".")
+
+    def save(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    def fingerprint(self) -> str:
+        """SHA-256 content hash of the canonical (resolved) form, truncated.
+
+        Entry scenarios are already fingerprint-stable
+        (:meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`); the suite
+        fingerprint extends the same identity over the manifest, so CI can
+        pin "this checked-in manifest is exactly the programmatic suite".
+        """
+        import hashlib
+
+        payload = _json_canonical(self.to_dict()).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    @property
+    def groups(self) -> Tuple[str, ...]:
+        """Group labels in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.group_label)
+        return tuple(seen)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_suite_task(
+    task: int = 0,
+    suite_specs: Optional[Sequence[str]] = None,
+    suite_tasks: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Dict[str, Any]:
+    """Worker target for :func:`run_suite` (module-level, hence picklable).
+
+    ``suite_specs`` holds every entry's serialized scenario and
+    ``suite_tasks`` the flattened ``(entry_index, trial_index)`` list, both
+    shipped through the sweep's ``common`` mapping; ``task`` indexes one
+    trial.  Executes through :func:`repro.scenarios.runtime.trial_record`
+    (hence :func:`repro.scenarios.runtime.run_trial`, the same code path as
+    serial runs), so metric rows match byte for byte.
+    """
+    if suite_specs is None or suite_tasks is None:
+        raise ValueError("run_suite_task needs suite_specs and suite_tasks")
+    entry_index, trial_index = suite_tasks[task]
+    spec = ScenarioSpec.from_json(suite_specs[entry_index])
+    return {"entry_index": entry_index, "trial": trial_record(spec, trial_index)}
+
+
+@dataclass
+class SuiteEntryResult:
+    """One suite entry's executed outcome (a :class:`RunResult` plus identity)."""
+
+    entry: SuiteEntry
+    result: RunResult
+
+    @property
+    def row(self) -> Dict[str, Any]:
+        """A flat table record for this entry."""
+        record = {
+            "id": self.entry.id,
+            "group": self.entry.group_label,
+            "fingerprint": self.result.fingerprint,
+        }
+        record.update(self.result.metrics)
+        return record
+
+
+@dataclass
+class SuiteReport:
+    """The outcome of :func:`run_suite`: per-entry results + group aggregates.
+
+    ``group_summaries`` maps each group label to the
+    :func:`repro.scenarios.metrics.aggregate_metric_rows` statistics over the
+    *pooled* per-trial metric rows of every entry in the group -- pooled
+    ratios and rates (with Wilson intervals), not means of means.
+    """
+
+    suite: SuiteSpec
+    fingerprint: str
+    entries: List[SuiteEntryResult] = field(default_factory=list)
+    group_summaries: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def __bool__(self) -> bool:
+        return any(result.result for result in self.entries)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def entry_rows(self) -> List[Dict[str, Any]]:
+        return [entry.row for entry in self.entries]
+
+    def group_metrics(self, group: str) -> Dict[str, Any]:
+        """The flat pooled-aggregate record of one group."""
+        return flatten_aggregates(self.group_summaries.get(group, {}))
+
+    def group_rows(self) -> List[Dict[str, Any]]:
+        """One flat record per group: counts plus pooled metric aggregates."""
+        rows = []
+        for group in self.suite.groups:
+            members = [e for e in self.entries if e.entry.group_label == group]
+            record: Dict[str, Any] = {
+                "group": group,
+                "entries": len(members),
+                "trials": sum(len(e.result.trials) for e in members),
+                "rounds": sum(e.result.metrics.get("rounds", 0) for e in members),
+            }
+            record.update(self.group_metrics(group))
+            rows.append(record)
+        return rows
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def format_table(
+        self, columns: Optional[Sequence[str]] = None, by: str = "group"
+    ) -> str:
+        """An aligned text table (``by="group"`` pooled or ``by="entry"``)."""
+        rows = self.group_rows() if by == "group" else self.entry_rows()
+        return format_table(
+            rows, columns=columns, title=f"suite {self.suite.name} (by {by}):"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable report (what ``python -m repro suite --json`` writes)."""
+        return {
+            "suite": self.suite.to_dict(),
+            "fingerprint": self.fingerprint,
+            "elapsed_s": self.elapsed_s,
+            "entries": [
+                {
+                    "id": e.entry.id,
+                    "group": e.entry.group_label,
+                    "result": e.result.to_dict(),
+                }
+                for e in self.entries
+            ],
+            "groups": {
+                group: {key: dict(entry) for key, entry in summaries.items()}
+                for group, summaries in self.group_summaries.items()
+            },
+        }
+
+    def to_markdown(self, by: str = "group") -> str:
+        """The report as a GitHub-flavored markdown table."""
+        rows = self.group_rows() if by == "group" else self.entry_rows()
+        if not rows:
+            return f"## Suite `{self.suite.name}`\n\n(no results)\n"
+        columns = list(rows[0])
+
+        def render(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.6g}"
+            return str(value)
+
+        lines = [
+            f"## Suite `{self.suite.name}` (fingerprint `{self.fingerprint}`)",
+            "",
+        ]
+        if self.suite.description:
+            lines.extend([self.suite.description, ""])
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+        for row in rows:
+            lines.append(
+                "| " + " | ".join(render(row.get(col, "")) for col in columns) + " |"
+            )
+        lines.append("")
+        return "\n".join(lines)
+
+
+def run_suite(
+    suite: SuiteSpec,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    prebuild: bool = True,
+) -> SuiteReport:
+    """Execute every trial of every entry and aggregate into a :class:`SuiteReport`.
+
+    Parameters mirror :func:`repro.scenarios.runtime.run_many`: ``jobs``
+    above 1 runs the flattened (entry, trial) task list on a process pool
+    (``None`` = all cores, <2 = serial); ``prebuild`` computes each cacheable
+    entry's scheduler-delta table once in the parent -- keyed by the entry
+    spec's fingerprint, optionally persisted under ``cache_dir`` -- and ships
+    the merged table to workers through the pool initializer.
+    """
+    start = time.perf_counter()
+    tasks: List[Tuple[int, int]] = []
+    for entry_index, entry in enumerate(suite.entries):
+        for trial_index in range(entry.scenario.run.trials):
+            tasks.append((entry_index, trial_index))
+
+    common: Dict[str, Any] = {
+        "suite_specs": [entry.scenario.to_json(indent=None) for entry in suite.entries],
+        "suite_tasks": tasks,
+    }
+    if prebuild:
+        merged: Dict[Tuple[Hashable, int], Tuple[int, ...]] = {}
+        seen_fingerprints = set()
+        for entry in suite.entries:
+            fingerprint = entry.scenario.fingerprint()
+            if fingerprint in seen_fingerprints:
+                continue
+            seen_fingerprints.add(fingerprint)
+            try:
+                table = prebuild_delta_table(entry.scenario, cache_dir=cache_dir)
+            except (KeyError, TypeError, ValueError):
+                # A broken entry fails loudly when it actually runs; the
+                # prebuild pass is best-effort, exactly as in run_many.
+                continue
+            if table:
+                merged.update(table)
+        if merged:
+            common[SCHEDULER_DELTA_TABLE_KWARG] = merged
+
+    runner = ParallelSweepRunner(jobs=jobs)
+    rows = runner.run({"task": list(range(len(tasks)))}, run_suite_task, common=common)
+
+    results = [
+        RunResult(spec=entry.scenario, fingerprint=entry.scenario.fingerprint())
+        for entry in suite.entries
+    ]
+    for record in rows:
+        absorb_trial_record(results[record["entry_index"]], record["trial"])
+    for result in results:
+        _aggregate(result)
+
+    report = SuiteReport(suite=suite, fingerprint=suite.fingerprint())
+    report.entries = [
+        SuiteEntryResult(entry=entry, result=result)
+        for entry, result in zip(suite.entries, results)
+    ]
+    for group in suite.groups:
+        members = [e for e in report.entries if e.entry.group_label == group]
+        pooled_rows: List[Dict[str, Any]] = []
+        for member in members:
+            pooled_rows.extend(member.result.metric_rows)
+        # Ratio/rate definitions come from the group's first entry -- safe
+        # because SuiteSpec rejects groups whose members declare different
+        # metrics at construction time.
+        metric_specs = members[0].entry.scenario.metrics if members else ()
+        report.group_summaries[group] = aggregate_metric_rows(metric_specs, pooled_rows)
+    report.elapsed_s = time.perf_counter() - start
+    return report

@@ -327,3 +327,22 @@ def receive_rate_per_round(
         if vertex in trace.receptions_in_round(rnd):
             hits += 1
     return hits / total
+
+
+def receive_rates(
+    trace: ExecutionTrace, start_round: int, end_round: int
+) -> Dict[Vertex, int]:
+    """Per-vertex counts of rounds in [start_round, end_round] with a reception.
+
+    One pass over the recorded rounds -- the bulk form of
+    :func:`receive_rate_per_round` (which the ``receive_rate`` scenario metric
+    uses so evaluating every vertex is linear in the trace, not quadratic).
+    Vertices that never received anything are absent from the result.
+    """
+    if end_round < start_round:
+        raise ValueError("end_round must be at least start_round")
+    counts: Dict[Vertex, int] = {}
+    for rnd in range(start_round, end_round + 1):
+        for vertex in trace.receptions_in_round(rnd):
+            counts[vertex] = counts.get(vertex, 0) + 1
+    return counts

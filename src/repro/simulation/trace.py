@@ -41,6 +41,25 @@ class TraceMode(enum.Enum):
     EVENTS = "events"
     COUNTERS = "counters"
 
+    @property
+    def richness(self) -> int:
+        """Total order on retention: ``COUNTERS < EVENTS < FULL``.
+
+        Consumers that need events work under any mode whose richness is at
+        least ``EVENTS``'s, and so on -- this is what lets the metric registry
+        declare each reducer's *minimum* mode and the scenario runtime pick
+        the cheapest mode that satisfies all of them (see
+        :func:`repro.scenarios.metrics.required_trace_mode`).
+        """
+        return _TRACE_MODE_RICHNESS[self.value]
+
+    def covers(self, other: "TraceMode") -> bool:
+        """True iff a trace recorded in this mode retains everything ``other`` needs."""
+        return self.richness >= other.richness
+
+
+_TRACE_MODE_RICHNESS = {"counters": 0, "events": 1, "full": 2}
+
 
 class ExecutionTrace:
     """A recorded execution of the simulator.

@@ -52,6 +52,19 @@ class TestBasicStatistics:
         assert summary["median"] == 3
         assert summary["min"] <= summary["p90"] <= summary["max"]
 
+    def test_summarize_empty_raises_clear_value_error(self):
+        with pytest.raises(ValueError, match="summarize"):
+            summarize([])
+        # generators drain too: the empty check happens after materializing
+        with pytest.raises(ValueError, match="summarize"):
+            summarize(v for v in ())
+
+    def test_quantile_empty_raises_clear_value_error(self):
+        with pytest.raises(ValueError, match="quantile of no values"):
+            quantile([], 0.0)
+        with pytest.raises(ValueError, match="quantile of no values"):
+            quantile((), 1.0)
+
 
 class TestErrorRates:
     def test_empirical_error_rate(self):
@@ -82,6 +95,16 @@ class TestErrorRates:
     def test_wilson_validation(self):
         with pytest.raises(ValueError):
             wilson_interval(1, 0)
+
+    def test_wilson_zero_trials_raises_value_error_not_zero_division(self):
+        with pytest.raises(ValueError, match="at least one trial"):
+            wilson_interval(0, 0)
+
+    def test_wilson_non_positive_z_rejected(self):
+        with pytest.raises(ValueError, match="z must be positive"):
+            wilson_interval(1, 10, z=0.0)
+        with pytest.raises(ValueError, match="z must be positive"):
+            wilson_interval(1, 10, z=-1.96)
 
     def test_ratio_of_means(self):
         assert ratio_of_means([10, 20], [5, 5]) == 3.0

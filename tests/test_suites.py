@@ -1,0 +1,318 @@
+"""Tests for scenario suites (repro.scenarios.suite) and the migrated benches.
+
+Covers manifest round-trips and load-time sugar (paths, defaults, suite
+metrics), serial-vs-parallel identity of suite execution, group pooling, the
+``python -m repro suite`` CLI, and the headline acceptance: the checked-in
+``examples/suites/bench_{ack,progress}.json`` manifests reproduce the
+pre-suite benchmark harnesses' numbers exactly (same seeds, identical metric
+values).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.bench_ack import SUITE_PATH as ACK_SUITE_PATH
+from benchmarks.bench_ack import ack_rows_from_report, build_ack_suite
+from benchmarks.bench_progress import SUITE_PATH as PROGRESS_SUITE_PATH
+from benchmarks.bench_progress import build_progress_suite, progress_rows_from_report
+from repro.scenarios import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    MetricSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    SuiteEntry,
+    SuiteSpec,
+    TopologySpec,
+    run,
+    run_suite,
+)
+from repro.scenarios.cli import main as cli_main
+
+
+def small_scenario(name="small", seed=3, trials=1, metrics=("counters", "ack_delay")):
+    return ScenarioSpec(
+        name=name,
+        topology=TopologySpec("line", {"n": 5}),
+        algorithm=AlgorithmSpec("lbalg", {"preset": "small"}),
+        scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": seed}),
+        environment=EnvironmentSpec("single_shot", {"senders": [0]}),
+        engine=EngineConfig(trace_mode="auto"),
+        run=RunPolicy(
+            rounds=1, rounds_unit="tack", trials=trials, master_seed=seed, seed_policy="fixed"
+        ),
+        metrics=tuple(MetricSpec(m) for m in metrics),
+    )
+
+
+def small_suite(trials=1):
+    return SuiteSpec(
+        name="small-suite",
+        description="two entries, one group",
+        entries=(
+            SuiteEntry(id="a", scenario=small_scenario("a", seed=3, trials=trials), group="g"),
+            SuiteEntry(id="b", scenario=small_scenario("b", seed=4, trials=trials), group="g"),
+        ),
+    )
+
+
+class TestSuiteSpec:
+    def test_round_trip_preserves_suite_and_fingerprint(self):
+        suite = small_suite()
+        restored = SuiteSpec.from_json(suite.to_json())
+        assert restored == suite
+        assert restored.fingerprint() == suite.fingerprint()
+
+    def test_duplicate_entry_ids_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SuiteSpec(
+                name="dup",
+                entries=(
+                    SuiteEntry(id="x", scenario=small_scenario("a")),
+                    SuiteEntry(id="x", scenario=small_scenario("b")),
+                ),
+            )
+
+    def test_unknown_manifest_keys_rejected(self):
+        data = small_suite().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            SuiteSpec.from_dict(data)
+
+    def test_load_resolves_paths_defaults_and_suite_metrics(self, tmp_path):
+        scenario = small_scenario("from-file", metrics=())
+        scenario_path = tmp_path / "scenario.json"
+        scenario.save(str(scenario_path))
+        manifest = {
+            "version": 1,
+            "name": "sugar",
+            "defaults": {"run.rounds": 2},
+            "metrics": [{"name": "counters", "args": {}}],
+            "entries": [
+                {"id": "file-entry", "path": "scenario.json"},
+                {
+                    "id": "inline-entry",
+                    "scenario": small_scenario("inline", seed=5).to_dict(),
+                    "overrides": {"run.master_seed": 17},
+                },
+            ],
+        }
+        manifest_path = tmp_path / "suite.json"
+        manifest_path.write_text(json.dumps(manifest))
+        suite = SuiteSpec.load(str(manifest_path))
+        by_id = {entry.id: entry for entry in suite.entries}
+        # defaults applied everywhere
+        assert by_id["file-entry"].scenario.run.rounds == 2
+        assert by_id["inline-entry"].scenario.run.rounds == 2
+        # per-entry overrides stack on defaults
+        assert by_id["inline-entry"].scenario.run.master_seed == 17
+        # suite metrics only fill metric-free scenarios
+        assert [m.name for m in by_id["file-entry"].scenario.metrics] == ["counters"]
+        assert [m.name for m in by_id["inline-entry"].scenario.metrics] == [
+            "counters",
+            "ack_delay",
+        ]
+        # the resolved form is fully inline: it round-trips without base_dir
+        assert SuiteSpec.from_json(suite.to_json()) == suite
+
+    def test_mixed_metric_groups_rejected(self):
+        with pytest.raises(ValueError, match="mixes metric declarations"):
+            SuiteSpec(
+                name="mixed",
+                entries=(
+                    SuiteEntry(
+                        id="a", scenario=small_scenario("a", metrics=("counters",)), group="g"
+                    ),
+                    SuiteEntry(
+                        id="b", scenario=small_scenario("b", metrics=("ack_delay",)), group="g"
+                    ),
+                ),
+            )
+        # distinct groups may declare whatever they like
+        SuiteSpec(
+            name="ok",
+            entries=(
+                SuiteEntry(id="a", scenario=small_scenario("a", metrics=("counters",))),
+                SuiteEntry(id="b", scenario=small_scenario("b", metrics=("ack_delay",))),
+            ),
+        )
+
+    def test_path_entries_require_base_dir(self):
+        manifest = {"name": "x", "entries": [{"id": "a", "path": "missing.json"}]}
+        with pytest.raises(ValueError, match="base directory"):
+            SuiteSpec.from_dict(manifest)
+
+
+class TestRunSuite:
+    def test_serial_and_parallel_rows_identical(self):
+        suite = small_suite(trials=2)
+        serial = run_suite(suite, jobs=1)
+        parallel = run_suite(suite, jobs=2)
+        rows_serial = [t.metric_row for e in serial.entries for t in e.result.trials]
+        rows_parallel = [t.metric_row for e in parallel.entries for t in e.result.trials]
+        assert rows_serial == rows_parallel
+        assert serial.group_summaries == parallel.group_summaries
+
+    def test_suite_rows_match_serial_run(self):
+        """A suite trial's metric row is byte-identical to run()'s."""
+        suite = small_suite(trials=2)
+        report = run_suite(suite, jobs=1)
+        for entry_result in report.entries:
+            direct = run(entry_result.entry.scenario, keep=False)
+            assert direct.metric_rows == entry_result.result.metric_rows
+
+    def test_group_pooling_is_pooled_not_mean_of_means(self):
+        suite = small_suite(trials=2)
+        report = run_suite(suite, jobs=1)
+        rows = [
+            t.metric_row
+            for e in report.entries
+            for t in e.result.trials
+        ]
+        pooled_sum = sum(r["ack_delay.delay_sum"] for r in rows)
+        pooled_count = sum(r["ack_delay.acked"] for r in rows)
+        entry = report.group_summaries["g"]["ack_delay.delay_mean"]
+        assert entry["value"] == pooled_sum / pooled_count
+        flat = report.group_rows()[0]
+        assert flat["group"] == "g"
+        assert flat["trials"] == 4
+        assert flat["ack_delay.delay_mean"] == entry["value"]
+
+    def test_profile_perf_stats_survive_suite_workers(self):
+        suite = SuiteSpec(
+            name="profiled",
+            entries=(
+                SuiteEntry(
+                    id="p",
+                    scenario=small_scenario("p").with_overrides({"engine.profile": True}),
+                ),
+            ),
+        )
+        report = run_suite(suite, jobs=1)
+        assert report.entries[0].result.perf_stats  # sections accumulated
+
+    def test_report_renders_table_markdown_and_json(self):
+        report = run_suite(small_suite(), jobs=1)
+        table = report.format_table(columns=["group", "trials", "ack_delay.delay_mean"])
+        assert "ack_delay.delay_mean" in table
+        markdown = report.to_markdown()
+        assert markdown.startswith("## Suite `small-suite`")
+        assert "| group |" in markdown
+        payload = json.dumps(report.to_dict(), sort_keys=True, default=str)
+        assert "group_summaries" not in payload  # serialized under "groups"
+        assert json.loads(payload)["groups"]["g"]
+
+
+class TestSuiteCLI:
+    def test_suite_subcommand_runs_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "suite.json"
+        small_suite().save(str(manifest_path))
+        json_path = tmp_path / "report.json"
+        markdown_path = tmp_path / "report.md"
+        code = cli_main(
+            [
+                "suite",
+                str(manifest_path),
+                "--json",
+                str(json_path),
+                "--markdown",
+                str(markdown_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suite      : small-suite" in out
+        report = json.loads(json_path.read_text())
+        assert report["suite"]["name"] == "small-suite"
+        assert report["groups"]["g"]
+        assert markdown_path.read_text().startswith("## Suite")
+
+    def test_list_includes_metric_registry(self, capsys):
+        assert cli_main(["list", "--kind", "metric"]) == 0
+        out = capsys.readouterr().out
+        assert "ack_delay" in out and "lb_spec" in out
+
+
+class TestBenchmarkReproduction:
+    """The acceptance pin: checked-in manifests reproduce the pre-suite
+    benchmark numbers (same seeds -> identical metric values)."""
+
+    #: The E4 table as produced by the pre-metrics-pipeline bench_ack.py
+    #: (hand-wired ack_delays/delivery_report plumbing), pinned verbatim.
+    ACK_ROWS = [
+        {
+            "target_delta": 8,
+            "measured_delta": 7,
+            "tack_rounds_bound": 7752,
+            "mean_ack_delay": 6763.0,
+            "max_ack_delay": 7523,
+            "broadcasts": 9,
+            "reliability_success_rate": 1.0,
+            "mean_delivery_fraction": 1.0,
+            "target_epsilon": 0.2,
+        },
+        {
+            "target_delta": 16,
+            "measured_delta": 14,
+            "tack_rounds_bound": 29562,
+            "mean_ack_delay": 23866.666666666668,
+            "max_ack_delay": 29182,
+            "broadcasts": 9,
+            "reliability_success_rate": 1.0,
+            "mean_delivery_fraction": 1.0,
+            "target_epsilon": 0.2,
+        },
+    ]
+
+    #: The E3 table from the pre-metrics-pipeline bench_progress.py.
+    PROGRESS_ROWS = [
+        {"target_delta": 8, "epsilon": 0.2, "measured_delta": 7, "tprog_rounds": 228,
+         "windows": 60, "failures": 0, "failure_rate": 0.0,
+         "failure_rate_ci95_high": 0.06017393047793289},
+        {"target_delta": 8, "epsilon": 0.1, "measured_delta": 7, "tprog_rounds": 467,
+         "windows": 60, "failures": 0, "failure_rate": 0.0,
+         "failure_rate_ci95_high": 0.06017393047793289},
+        {"target_delta": 16, "epsilon": 0.2, "measured_delta": 14, "tprog_rounds": 303,
+         "windows": 276, "failures": 0, "failure_rate": 0.0,
+         "failure_rate_ci95_high": 0.013727765993333372},
+        {"target_delta": 16, "epsilon": 0.1, "measured_delta": 14, "tprog_rounds": 622,
+         "windows": 276, "failures": 0, "failure_rate": 0.0,
+         "failure_rate_ci95_high": 0.013727765993333372},
+        {"target_delta": 24, "epsilon": 0.2, "measured_delta": 21, "tprog_rounds": 379,
+         "windows": 452, "failures": 0, "failure_rate": 0.0,
+         "failure_rate_ci95_high": 0.008427488847002994},
+        {"target_delta": 24, "epsilon": 0.1, "measured_delta": 21, "tprog_rounds": 778,
+         "windows": 452, "failures": 0, "failure_rate": 0.0,
+         "failure_rate_ci95_high": 0.008427488847002994},
+    ]
+
+    def test_checked_in_manifests_match_programmatic_suites(self):
+        assert os.path.exists(ACK_SUITE_PATH)
+        assert os.path.exists(PROGRESS_SUITE_PATH)
+        assert SuiteSpec.load(ACK_SUITE_PATH).fingerprint() == build_ack_suite().fingerprint()
+        assert (
+            SuiteSpec.load(PROGRESS_SUITE_PATH).fingerprint()
+            == build_progress_suite().fingerprint()
+        )
+
+    def test_ack_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(ACK_SUITE_PATH), jobs=1, prebuild=False)
+        rows = ack_rows_from_report(report).rows
+        assert len(rows) == len(self.ACK_ROWS)
+        for expected, actual in zip(self.ACK_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_progress_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(PROGRESS_SUITE_PATH), jobs=1, prebuild=False)
+        rows = progress_rows_from_report(report).rows
+        assert len(rows) == len(self.PROGRESS_ROWS)
+        for expected, actual in zip(self.PROGRESS_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
