@@ -13,16 +13,24 @@ through four engine configurations:
 * the **batched** engine (point-query resolution plus batch group drivers
   that share each body round's seed-cohort decision and skip dormant
   automata entirely -- the PR-2 engine), and
-* the **vector** engine (the default: batched stepping plus the vectorized
-  reception resolver over flat per-round structures, with per-round
-  scheduler deltas shared across runs by the ``SchedulerDeltaCache``),
-  under each :class:`TraceMode`,
+* the **vector** engine (batched stepping plus the vectorized reception
+  resolver over flat per-round structures, with per-round scheduler deltas
+  shared across runs by the ``SchedulerDeltaCache``), under each
+  :class:`TraceMode`, and
+* the **kernel** engine (the PR-6 array-kernel lane: bulk cohort RNG
+  decode, round-scoped reusable buffers, and the python/numpy resolver
+  backends selected by ``kernel="auto"``), run both under ``FULL`` traces
+  for the identity check and under ``COUNTERS`` where the counters-only
+  lane engages and event materialization is skipped entirely,
 
-verifies that all four produce *identical* event traces and per-round
-frames, and writes ``BENCH_engine.json`` at the repo root with rounds/sec,
-speedups, a ``resolve`` section comparing the resolvers' share of a round,
-and per-section time breakdowns (from separate profiled runs so the headline
-numbers carry no timer overhead).
+verifies that all five produce *identical* event traces and per-round
+frames (the kernel counters run is checked against the legacy aggregate
+counters instead, which is all that mode retains), and writes
+``BENCH_engine.json`` at the repo root with rounds/sec, speedups, a
+``resolve`` section comparing the resolvers' share of a round, a ``kernel``
+section with the counters-lane headline and the kernel transmit-share cut
+over the vector path, and per-section time breakdowns (from separate
+profiled runs so the headline numbers carry no timer overhead).
 
 Run it directly::
 
@@ -73,14 +81,22 @@ TARGET_BATCHED_OVER_FAST = 2.0
 #: The PR-3 acceptance bar: the vectorized resolver must cut the resolve
 #: share of a batched round at the largest n by at least this factor.
 TARGET_RESOLVE_SHARE_CUT = 1.5
+#: The PR-6 acceptance bar: the kernel counters lane over the seed engine
+#: at the largest n (this is the report's ``headline_speedup``).
+TARGET_KERNEL_SPEEDUP = 150.0
+#: The PR-6 transmit bar: bulk cohort decode must cut the transmit share of
+#: a round at the largest n by at least this factor vs the vector path.
+TARGET_KERNEL_TRANSMIT_SHARE_CUT = 1.5
 
-#: name -> (fast_path, vector_path, batch_path); "vector" is the production
-#: default engine, the other three are the regression baselines it stacks on.
+#: name -> (fast_path, vector_path, batch_path, kernel); "kernel" is the
+#: production default engine, the other four are the regression baselines it
+#: stacks on.
 ENGINES = {
-    "legacy": (False, False, False),
-    "fast": (True, False, False),
-    "batched": (True, False, True),
-    "vector": (True, True, True),
+    "legacy": (False, False, False, "off"),
+    "fast": (True, False, False, "off"),
+    "batched": (True, False, True, "off"),
+    "vector": (True, True, True, "off"),
+    "kernel": (True, True, True, "auto"),
 }
 
 DEFAULT_OUTPUT = os.path.join(
@@ -97,7 +113,7 @@ def build_workload(
     """One fixed-seed LBAlg workload; identical construction for every config."""
     import random
 
-    fast_path, vector_path, batch_path = ENGINES[engine]
+    fast_path, vector_path, batch_path, kernel = ENGINES[engine]
     side = math.sqrt(n / DENSITY)
     graph, _ = random_geographic_network(n, side=side, r=2.0, rng=MASTER_SEED + n)
     delta, delta_prime = graph.degree_bounds()
@@ -112,6 +128,7 @@ def build_workload(
         fast_path=fast_path,
         vector_path=vector_path,
         batch_path=batch_path,
+        kernel=kernel,
         profile=profile,
     )
     return simulator, params
@@ -122,10 +139,18 @@ def build_workload(
 #: single GC pause or scheduler hiccup skews one sample by double digits --
 #: best-of-N keeps the committed numbers and the CI regression gate stable.
 TIMING_REPEATS = 3
+#: Keep sampling (beyond ``TIMING_REPEATS``) until this much wall-clock has
+#: been spent inside timed runs, up to ``TIMING_MAX_REPEATS``.  Slow configs
+#: (legacy spends seconds per sample) stay at the minimum; the kernel lanes
+#: finish a sample in tens of milliseconds and get best-of-~20, which is
+#: what makes a microsecond-scale per-round headline reproducible on a
+#: machine with double-digit run-to-run noise.
+TIMING_MIN_SECONDS = 1.0
+TIMING_MAX_REPEATS = 20
 
 
 def _timed_run(n: int, rounds: int, engine: str, trace_mode: TraceMode):
-    """Build and run the workload ``TIMING_REPEATS`` times; report the best.
+    """Build and run the workload repeatedly; report the best rounds/sec.
 
     Every repeat constructs an identical fixed-seed simulator, so the traces
     are interchangeable; the first run's simulator and trace are returned for
@@ -133,19 +158,25 @@ def _timed_run(n: int, rounds: int, engine: str, trace_mode: TraceMode):
     """
     simulator = trace = None
     best_rps = 0.0
-    for _ in range(TIMING_REPEATS):
+    spent = 0.0
+    for repeat in range(TIMING_MAX_REPEATS):
+        if repeat >= TIMING_REPEATS and spent >= TIMING_MIN_SECONDS:
+            break
         sim, _ = build_workload(n, engine, trace_mode)
         start = time.perf_counter()
         this_trace = sim.run(rounds)
         elapsed = time.perf_counter() - start
+        spent += elapsed
         best_rps = max(best_rps, rounds / elapsed)
         if simulator is None:
             simulator, trace = sim, this_trace
     return simulator, trace, best_rps
 
 
-def _profiled_breakdown(n: int, rounds: int, engine: str) -> Dict[str, float]:
-    simulator, _ = build_workload(n, engine, TraceMode.FULL, profile=True)
+def _profiled_breakdown(
+    n: int, rounds: int, engine: str, trace_mode: TraceMode = TraceMode.FULL
+) -> Dict[str, float]:
+    simulator, _ = build_workload(n, engine, trace_mode, profile=True)
     simulator.run(rounds)
     total = sum(simulator.perf_stats.values()) or 1.0
     return {section: t / total for section, t in sorted(simulator.perf_stats.items())}
@@ -166,6 +197,16 @@ def _traces_identical(trace_a, trace_b, rounds: int) -> bool:
     return True
 
 
+def _counters_match(full_trace, counters_trace) -> bool:
+    """Aggregate-counter parity: all a COUNTERS-mode trace retains."""
+    return (
+        counters_trace.num_rounds == full_trace.num_rounds
+        and counters_trace.event_counts == full_trace.event_counts
+        and counters_trace.num_transmissions == full_trace.num_transmissions
+        and counters_trace.num_receptions == full_trace.num_receptions
+    )
+
+
 def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
     """Benchmark one network size across engine paths and trace modes."""
     rounds = rounds_by_n[n]
@@ -178,6 +219,10 @@ def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
     vector_sim, vector_trace, vector_rps = _timed_run(n, rounds, "vector", TraceMode.FULL)
     _, _, vector_events_rps = _timed_run(n, rounds, "vector", TraceMode.EVENTS)
     _, _, vector_counters_rps = _timed_run(n, rounds, "vector", TraceMode.COUNTERS)
+    kernel_sim, kernel_trace, kernel_rps = _timed_run(n, rounds, "kernel", TraceMode.FULL)
+    kc_sim, kc_trace, kernel_counters_rps = _timed_run(
+        n, rounds, "kernel", TraceMode.COUNTERS
+    )
 
     assert not legacy_sim.uses_fast_path and not legacy_sim.uses_batch_stepping
     assert fast_sim.uses_fast_path and not fast_sim.uses_vector_path
@@ -185,15 +230,26 @@ def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
     assert batched_sim.uses_fast_path and batched_sim.uses_batch_stepping
     assert not batched_sim.uses_vector_path
     assert vector_sim.uses_vector_path and vector_sim.uses_batch_stepping
+    assert not vector_sim.uses_kernel
+    assert kernel_sim.uses_kernel and kernel_sim.kernel_backend in ("python", "numpy")
+    assert kc_sim.uses_counters_lane, (
+        "the benchmark workload must engage the counters-only kernel lane"
+    )
     identical = (
         _traces_identical(legacy_trace, fast_trace, rounds)
         and _traces_identical(legacy_trace, batched_trace, rounds)
         and _traces_identical(legacy_trace, vector_trace, rounds)
+        and _traces_identical(legacy_trace, kernel_trace, rounds)
+        and _counters_match(legacy_trace, kc_trace)
     )
 
     profile_rounds = max(rounds // 4, 20)
     breakdown_batched = _profiled_breakdown(n, profile_rounds, "batched")
     breakdown_vector = _profiled_breakdown(n, profile_rounds, "vector")
+    breakdown_kernel = _profiled_breakdown(n, profile_rounds, "kernel")
+    breakdown_kernel_counters = _profiled_breakdown(
+        n, profile_rounds, "kernel", TraceMode.COUNTERS
+    )
     return {
         "delta": graph.max_reliable_degree,
         "delta_prime": graph.max_potential_degree,
@@ -206,16 +262,26 @@ def run_workload_point(n: int, rounds_by_n: Dict[int, int]) -> Dict[str, Any]:
         "vector_rps": vector_rps,
         "vector_events_rps": vector_events_rps,
         "vector_counters_rps": vector_counters_rps,
+        "kernel_rps": kernel_rps,
+        "kernel_counters_rps": kernel_counters_rps,
+        "kernel_backend": kernel_sim.kernel_backend,
         "speedup_fast": fast_rps / legacy_rps,
         "speedup_batched": batched_rps / legacy_rps,
         "speedup": vector_rps / legacy_rps,
         "speedup_counters": vector_counters_rps / legacy_rps,
+        "speedup_kernel": kernel_rps / legacy_rps,
+        "speedup_kernel_counters": kernel_counters_rps / legacy_rps,
         "batched_over_fast": batched_rps / fast_rps,
         "vector_over_batched": vector_rps / batched_rps,
+        "kernel_over_vector": kernel_rps / vector_rps,
         "resolve_share_batched": breakdown_batched.get("resolve", 0.0),
         "resolve_share_vector": breakdown_vector.get("resolve", 0.0),
+        "transmit_share_vector": breakdown_vector.get("transmit", 0.0),
+        "transmit_share_kernel": breakdown_kernel.get("transmit", 0.0),
         "trace_identical": identical,
         "events": len(vector_trace.events),
+        "breakdown_kernel": breakdown_kernel,
+        "breakdown_kernel_counters": breakdown_kernel_counters,
         "breakdown_vector": breakdown_vector,
         "breakdown_batched": breakdown_batched,
         "breakdown_fast": _profiled_breakdown(n, profile_rounds, "fast"),
@@ -246,25 +312,25 @@ def main(argv=None) -> int:
     columns = [
         "n",
         "delta",
-        "unreliable_edges",
         "rounds",
         "legacy_rps",
         "fast_rps",
         "batched_rps",
         "vector_rps",
-        "speedup_fast",
+        "kernel_rps",
+        "kernel_counters_rps",
         "speedup_batched",
         "speedup",
-        "vector_over_batched",
-        "resolve_share_batched",
-        "resolve_share_vector",
+        "speedup_kernel",
+        "speedup_kernel_counters",
+        "kernel_backend",
         "trace_identical",
     ]
     table = format_table(
         result.rows,
         columns=columns,
         title=(
-            "Engine throughput: legacy vs fast vs batched vs vector "
+            "Engine throughput: legacy vs fast vs batched vs vector vs kernel "
             "(rounds/sec), IID scheduler"
         ),
     )
@@ -301,6 +367,36 @@ def main(argv=None) -> int:
     headline_cut_text = (
         f"{headline_cut:.1f}x" if headline_cut is not None else "n/a (zero vector share)"
     )
+    kernel_section = {
+        "description": (
+            "the PR-6 array-kernel lane: 'full_rps' runs kernel stepping and "
+            "the backend resolver under FULL traces (identity-checked), "
+            "'counters_rps' is the counters-only lane that skips event "
+            "materialization; 'transmit_share_cut' is the vector path's "
+            "transmit share of a round over the kernel path's at the same n "
+            "(bulk cohort decode shrinks the transmit section)"
+        ),
+        "target_speedup": TARGET_KERNEL_SPEEDUP,
+        "target_transmit_share_cut": TARGET_KERNEL_TRANSMIT_SHARE_CUT,
+        "backend": headline["kernel_backend"],
+        "by_n": {
+            str(row["n"]): {
+                "full_rps": row["kernel_rps"],
+                "counters_rps": row["kernel_counters_rps"],
+                "speedup_full": row["speedup_kernel"],
+                "speedup_counters": row["speedup_kernel_counters"],
+                "transmit_share_vector": row["transmit_share_vector"],
+                "transmit_share_kernel": row["transmit_share_kernel"],
+                "transmit_share_cut": (
+                    row["transmit_share_vector"] / row["transmit_share_kernel"]
+                    if row["transmit_share_kernel"]
+                    else None
+                ),
+            }
+            for row in result
+        },
+    }
+    headline_tx_cut = kernel_section["by_n"][str(largest)]["transmit_share_cut"]
     report = {
         "benchmark": "bench_engine",
         "workload": "LBAlg, saturating senders, IIDScheduler(p=0.5), fixed seeds",
@@ -308,33 +404,60 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "target_speedup": TARGET_SPEEDUP,
         "target_batched_over_fast": TARGET_BATCHED_OVER_FAST,
+        "target_kernel_speedup": TARGET_KERNEL_SPEEDUP,
         "headline_n": largest,
-        "headline_speedup": headline["speedup"],
+        # The headline is the full PR-6 stack: the counters-only kernel lane
+        # over the seed engine's FULL-trace rounds/sec.
+        "headline_speedup": headline["speedup_kernel_counters"],
         "headline_speedup_fast": headline["speedup_fast"],
         "headline_speedup_batched": headline["speedup_batched"],
+        "headline_speedup_vector": headline["speedup"],
+        "headline_speedup_kernel": headline["speedup_kernel"],
         "headline_batched_over_fast": headline["batched_over_fast"],
         "headline_vector_over_batched": headline["vector_over_batched"],
+        "headline_kernel_over_vector": headline["kernel_over_vector"],
         "headline_speedup_counters": headline["speedup_counters"],
         "headline_resolve_share_cut": headline_cut,
+        "headline_transmit_share_cut": headline_tx_cut,
+        "kernel_backend": headline["kernel_backend"],
         "resolve": resolve_section,
+        "kernel": kernel_section,
         "all_traces_identical": all(row["trace_identical"] for row in result),
         "workloads": result.rows,
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"\nwrote {args.output}")
+    headline_tx_cut_text = (
+        f"{headline_tx_cut:.1f}x" if headline_tx_cut is not None else "n/a"
+    )
     print(
-        f"n={largest}: {headline['speedup']:.1f}x rounds/sec vs seed engine "
-        f"({headline['vector_over_batched']:.2f}x over the PR-2 batched engine); "
+        f"n={largest}: kernel counters lane {headline['speedup_kernel_counters']:.1f}x "
+        f"rounds/sec vs seed engine (target {TARGET_KERNEL_SPEEDUP:.0f}x; "
+        f"backend {headline['kernel_backend']}; "
+        f"kernel FULL {headline['speedup_kernel']:.1f}x, "
+        f"vector {headline['speedup']:.1f}x); "
         f"resolve share {headline['resolve_share_batched']:.0%} -> "
         f"{headline['resolve_share_vector']:.0%} "
         f"({headline_cut_text} cut, target {TARGET_RESOLVE_SHARE_CUT:.1f}x); "
+        f"transmit share {headline['transmit_share_vector']:.0%} -> "
+        f"{headline['transmit_share_kernel']:.0%} "
+        f"({headline_tx_cut_text} cut, target "
+        f"{TARGET_KERNEL_TRANSMIT_SHARE_CUT:.1f}x); "
         f"traces identical: {report['all_traces_identical']}"
     )
 
     if not report["all_traces_identical"]:
         print("ERROR: an engine path diverged from the legacy engine", file=sys.stderr)
         return 1
+    if not args.quick and report["headline_speedup"] < TARGET_KERNEL_SPEEDUP:
+        # Full-grid runs evidence the committed headline; warn loudly (but do
+        # not fail -- machine variance is not a correctness problem).
+        print(
+            f"WARNING: headline speedup {report['headline_speedup']:.1f}x is below "
+            f"the {TARGET_KERNEL_SPEEDUP:.0f}x target",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -13,22 +13,35 @@ and reports the receiver-side reception rate and how many receptions traveled
 over unreliable edges.  Under the adaptive adversary that last number is zero
 by construction -- the adversary only ever includes an unreliable edge to
 destroy a reception -- which is the mechanism behind the impossibility result.
+
+The harness is a **scenario suite**: one entry per (scheduler kind, trial)
+declaring the ``reception_provenance`` metric, one group per kind; the pooled
+group ratios are exactly the totals-over-totals arithmetic the pre-suite
+harness used.  The checked-in manifest at
+``examples/suites/bench_scheduler_models.json`` is this suite as data
+(``python -m repro suite ...`` reproduces the table; pinned by
+``tests/test_suites.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+from typing import List, Optional
 
-from repro.analysis.sweep import SweepResult, sweep
-from repro.scenarios import run as run_scenario
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import MetricSpec, SuiteEntry, SuiteReport, SuiteSpec, run_suite
 
-from benchmarks.common import lb_point_spec, print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, lb_point_spec, print_and_save, run_once_benchmark
 
 SCHEDULER_KINDS = ("none", "iid", "full", "adaptive")
 TARGET_DELTA = 16
 EPSILON = 0.2
 TRIALS = 3
 PHASES_PER_TRIAL = 4
+
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_scheduler_models.json"
+)
 
 #: Experiment kind -> (registered scheduler name, args template); the i.i.d.
 #: entry takes the per-trial seed, the rest are parameter-free.
@@ -39,58 +52,79 @@ _SCHEDULER_SPECS = {
     "adaptive": ("adaptive_collision", {}),
 }
 
+#: ``trace_mode="auto"`` resolves to FULL -- provenance needs the frames to
+#: match receptions back to their transmitters.
+SCHEDULER_MODEL_METRICS = (MetricSpec("reception_provenance"),)
 
-def _run_point(scheduler: str) -> Dict[str, float]:
-    total_rounds = 0
-    total_receptions = 0
-    unreliable_receptions = 0
 
-    for trial in range(TRIALS):
-        scheduler_name, scheduler_args = _SCHEDULER_SPECS[scheduler]
-        if scheduler_name == "iid":
-            scheduler_args = dict(scheduler_args, seed=trial)
-        spec = lb_point_spec(
-            "bench-scheduler-models",
-            target_delta=TARGET_DELTA,
-            graph_seed=6100 + trial,
-            trial_seed=trial,
-            epsilon=EPSILON,
-            environment="saturating",
-            senders={"select": "first", "divisor": 6, "min": 2},
-            rounds=PHASES_PER_TRIAL,
-            rounds_unit="phases",
-            scheduler=scheduler_name,
-            scheduler_args=scheduler_args,
+def build_scheduler_models_suite() -> SuiteSpec:
+    """The E12 experiment as a :class:`~repro.scenarios.suite.SuiteSpec`.
+
+    Seeds match the pre-suite harness exactly (``graph_seed = 6100 + trial``,
+    process RNGs rooted at the trial index, the i.i.d. scheduler seeded by the
+    trial), so the suite's pooled group aggregates equal the historical table.
+    """
+    entries: List[SuiteEntry] = []
+    for kind in SCHEDULER_KINDS:
+        scheduler_name, scheduler_template = _SCHEDULER_SPECS[kind]
+        for trial in range(TRIALS):
+            scheduler_args = dict(scheduler_template)
+            if scheduler_name == "iid":
+                scheduler_args["seed"] = trial
+            spec = lb_point_spec(
+                f"bench-scheduler-models-{kind}-t{trial}",
+                target_delta=TARGET_DELTA,
+                graph_seed=6100 + trial,
+                trial_seed=trial,
+                epsilon=EPSILON,
+                environment="saturating",
+                senders={"select": "first", "divisor": 6, "min": 2},
+                rounds=PHASES_PER_TRIAL,
+                rounds_unit="phases",
+                scheduler=scheduler_name,
+                scheduler_args=scheduler_args,
+                trace_mode="auto",
+                metrics=SCHEDULER_MODEL_METRICS,
+            )
+            entries.append(SuiteEntry(id=spec.name, scenario=spec, group=kind))
+    return SuiteSpec(
+        name="bench-scheduler-models",
+        description=(
+            "E12 -- LBAlg under the oblivious scheduler family vs an adaptive "
+            "adversary: reception provenance pooled per scheduler kind"
+        ),
+        entries=tuple(entries),
+    )
+
+
+def scheduler_models_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's one-row-per-kind table."""
+    result = SweepResult()
+    for kind in SCHEDULER_KINDS:
+        summaries = report.group_summaries[kind]
+        data_receptions = int(summaries["reception_provenance.data_receptions"]["sum"])
+        unreliable = int(summaries["reception_provenance.unreliable_receptions"]["sum"])
+        result.append(
+            {
+                "scheduler": kind,
+                "data_receptions": data_receptions,
+                "receptions_per_round": summaries["reception_provenance.per_round"]["value"],
+                "unreliable_edge_receptions": unreliable,
+                "unreliable_fraction": (
+                    summaries["reception_provenance.unreliable_fraction"]["value"]
+                ),
+            }
         )
-        result = run_scenario(spec)
-        (point,) = result.trials
-        graph, trace = point.graph, point.trace
-        rounds = point.rounds
-        total_rounds += rounds
-
-        for round_number in range(1, rounds + 1):
-            transmissions = trace.transmissions_in_round(round_number)
-            for receiver, frame in trace.receptions_in_round(round_number).items():
-                if getattr(frame, "message", None) is None:
-                    continue
-                total_receptions += 1
-                senders_of_frame = [v for v, f in transmissions.items() if f is frame]
-                if senders_of_frame and not any(
-                    v in graph.reliable_neighbors(receiver) for v in senders_of_frame
-                ):
-                    unreliable_receptions += 1
-
-    return {
-        "data_receptions": total_receptions,
-        "receptions_per_round": total_receptions / max(total_rounds, 1),
-        "unreliable_edge_receptions": unreliable_receptions,
-        "unreliable_fraction": unreliable_receptions / max(total_receptions, 1),
-    }
+    return result
 
 
-def run_scheduler_models_experiment() -> SweepResult:
-    """Run the E12 sweep and return its table."""
-    return sweep({"scheduler": SCHEDULER_KINDS}, run=_run_point)
+def run_scheduler_models_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E12 suite and return its table."""
+    report = run_suite(
+        build_scheduler_models_suite(),
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
+    return scheduler_models_rows_from_report(report)
 
 
 def test_bench_scheduler_models(benchmark):
@@ -116,3 +150,24 @@ def test_bench_scheduler_models(benchmark):
     # that do include helpful edges.
     assert rows["adaptive"]["unreliable_edge_receptions"] == 0
     assert rows["iid"]["unreliable_edge_receptions"] >= 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_scheduler_models_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_scheduler_models_experiment()
+        print_and_save(
+            "E12_scheduler_models",
+            "E12 -- LBAlg under the oblivious scheduler family vs an adaptive adversary",
+            result,
+        )

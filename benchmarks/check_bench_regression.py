@@ -13,11 +13,13 @@ factor and regresses only when the engine got slower *relative to the same
 code's legacy path*.  Pass ``--absolute`` for raw rounds/sec comparisons
 between runs on one machine.
 
-Both the PR-2 ``batched`` engine and the PR-3 ``vector`` engine are gated by
-default (``--engines``).  A report that lacks an engine's column or the
-requested network size -- e.g. a baseline committed before that engine
-existed -- is *skipped* for that engine with a warning instead of failing
-with a ``KeyError``, so the gate stays usable across baseline generations.
+The PR-2 ``batched`` engine, the PR-3 ``vector`` engine, and the PR-6
+``kernel`` lanes (``kernel`` = FULL traces, ``kernel_counters`` = the
+counters-only lane) are gated by default (``--engines``).  A report that
+lacks an engine's column or the requested network size -- e.g. a baseline
+committed before that engine existed -- is *skipped* for that engine with a
+warning instead of failing with a ``KeyError``, so the gate stays usable
+across baseline generations.
 
 Usage (the CI smoke step)::
 
@@ -115,7 +117,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--engines",
-        default="batched,vector",
+        default="batched,vector,kernel,kernel_counters",
         help="comma-separated engine names to gate (each needs an <engine>_rps "
         "column; engines missing from either report are skipped with a warning)",
     )

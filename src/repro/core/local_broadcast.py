@@ -87,6 +87,7 @@ class LocalBroadcastProcess(Process):
         "_sending_phases_remaining",
         "_received_ids",
         "_seed_subroutine",
+        "_sub_pool",
         "_seed_stream",
         "_phase_seed",
         "stats_participant_rounds",
@@ -109,6 +110,7 @@ class LocalBroadcastProcess(Process):
         self._sending_phases_remaining = 0
         self._received_ids: Set[Tuple[Hashable, int]] = set()
         self._seed_subroutine: Optional[SeedAgreementProcess] = None
+        self._sub_pool: Optional[SeedAgreementProcess] = None
         self._seed_stream: Optional[SeedBitStream] = None
         self._phase_seed: Optional[Tuple[Hashable, int]] = None
         # Statistics exposed for experiments (E5, E10).
@@ -262,10 +264,20 @@ class LocalBroadcastProcess(Process):
             self._seed_subroutine = None
             return
 
-        # Fresh SeedAlg subroutine for this phase, silent in the LB trace.
-        self._seed_subroutine = SeedAgreementProcess(
-            self.ctx.child(), self.params.seed_params, emit_decides=False
-        )
+        # Fresh SeedAlg subroutine state for this phase, silent in the LB
+        # trace.  The instance itself is pooled across phases: reinit() makes
+        # exactly the RNG draws of a fresh construction (the child context
+        # shares this member's RNG and draws nothing itself), so reuse is
+        # byte-identical while skipping an allocation + full __init__ per
+        # member per phase.
+        sub = self._sub_pool
+        if sub is None:
+            sub = self._sub_pool = SeedAgreementProcess(
+                self.ctx.child(), self.params.seed_params, emit_decides=False
+            )
+        else:
+            sub.reinit()
+        self._seed_subroutine = sub
         self._seed_stream = None
         self._phase_seed = None
 

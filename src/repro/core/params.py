@@ -25,6 +25,7 @@ formulas through :meth:`SeedParams.derive` / :meth:`LBParams.derive`.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
@@ -41,6 +42,21 @@ from repro.core.constants import (
 def _clamp_probability(p: float) -> float:
     """Clamp a derived probability into (0, 1]."""
     return max(min(p, 1.0), 1e-12)
+
+
+@functools.lru_cache(maxsize=None)
+def _election_probability_table(num_phases: int) -> Tuple[float, ...]:
+    """Per-phase leader election probabilities, 1-indexed by ``phase - 1``.
+
+    Pure function of ``num_phases`` (the probabilities depend on nothing
+    else), memoized process-wide: every member of every seed-agreement cohort
+    asks for its phase's probability at each phase start, which makes the
+    ``2 ** -k`` recomputation measurable on the batched engine's hot path.
+    """
+    return tuple(
+        _clamp_probability(2.0 ** (-(num_phases - phase + 1)))
+        for phase in range(1, num_phases + 1)
+    )
 
 
 @dataclass(frozen=True)
@@ -114,7 +130,7 @@ class SeedParams:
         """
         if not 1 <= phase <= self.num_phases:
             raise ValueError(f"phase must be in [1, {self.num_phases}], got {phase}")
-        return _clamp_probability(2.0 ** (-(self.num_phases - phase + 1)))
+        return _election_probability_table(self.num_phases)[phase - 1]
 
     def phase_of_round(self, local_round: int) -> Tuple[int, int]:
         """Map a 1-based local round to ``(phase, round_within_phase)``.

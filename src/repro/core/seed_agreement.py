@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Tuple
 
 from repro.core.events import DecideOutput
-from repro.core.params import SeedParams
+from repro.core.params import SeedParams, _election_probability_table
 from repro.simulation.process import Process, ProcessContext
 
 STATUS_ACTIVE = "active"
@@ -74,6 +74,8 @@ class SeedAgreementProcess(Process):
         "_local_round",
         "_current_phase",
         "_leader_this_phase",
+        "_election_probs",
+        "_own_frame",
     )
 
     def __init__(
@@ -94,6 +96,33 @@ class SeedAgreementProcess(Process):
         self._local_round = 0
         self._current_phase = 0
         self._leader_this_phase = False
+        # Hot-path caches: the per-phase election probabilities are a pure
+        # function of the params, and the broadcast frame is a frozen
+        # value-equal pair fixed for this subroutine's lifetime -- reusing
+        # one instance is observationally identical to fresh construction.
+        self._election_probs = _election_probability_table(params.num_phases)
+        self._own_frame: Optional[SeedFrame] = None
+
+    def reinit(self) -> None:
+        """Reset to a freshly-constructed state for a new preamble.
+
+        Performs exactly the per-construction work of ``__init__`` that is
+        not a pure function of the (unchanged) context and params: one
+        ``getrandbits`` draw for the new initial seed, plus clearing all
+        phase state.  ``LBAlg`` pools one subroutine instance per member and
+        reinitializes it at each non-reuse phase boundary; because the child
+        context shares the member's RNG and never draws at construction,
+        reinit-in-place makes the same RNG draws and reaches the same state
+        as building a new instance, at a fraction of the allocation cost.
+        """
+        self._initial_seed = self.ctx.rng.getrandbits(self.params.seed_domain_bits)
+        self._status = STATUS_ACTIVE
+        self._committed = None
+        self._local_round = 0
+        self._current_phase = 0
+        self._leader_this_phase = False
+        self._own_frame = None
+        del self._pending_outputs[:]
 
     # ------------------------------------------------------------------
     # public state
@@ -145,7 +174,7 @@ class SeedAgreementProcess(Process):
 
         if self._status == STATUS_LEADER and self._leader_this_phase:
             if self.rng.random() < self.params.leader_broadcast_probability:
-                return SeedFrame(owner=self.process_id, seed=self._initial_seed)
+                return self._broadcast_frame()
         return None
 
     def step_receive(self, global_round: int, frame: Optional[Any]) -> None:
@@ -187,9 +216,18 @@ class SeedAgreementProcess(Process):
 
     def batch_broadcast_frame(self) -> Optional[SeedFrame]:
         """The per-round leader broadcast draw (call only for current leaders)."""
-        if self.rng.random() < self.params.leader_broadcast_probability:
-            return SeedFrame(owner=self.process_id, seed=self._initial_seed)
+        if self.ctx.rng.random() < self.params.leader_broadcast_probability:
+            return self._broadcast_frame()
         return None
+
+    def _broadcast_frame(self) -> SeedFrame:
+        """This subroutine's ``(id, seed)`` frame (cached; frozen and value-equal)."""
+        frame = self._own_frame
+        if frame is None:
+            frame = self._own_frame = SeedFrame(
+                owner=self.process_id, seed=self._initial_seed
+            )
+        return frame
 
     def batch_commit_reception(self, frame: SeedFrame, global_round: int) -> None:
         """Adopt a received ``(id, seed)`` pair (call only while active)."""
@@ -221,8 +259,8 @@ class SeedAgreementProcess(Process):
         self._leader_this_phase = False
         if self._status != STATUS_ACTIVE:
             return
-        probability = self.params.leader_election_probability(phase)
-        if self.rng.random() < probability:
+        probability = self._election_probs[phase - 1]
+        if self.ctx.rng.random() < probability:
             self._status = STATUS_LEADER
             self._leader_this_phase = True
             self._commit(self.process_id, self._initial_seed, global_round)

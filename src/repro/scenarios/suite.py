@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
@@ -402,6 +403,13 @@ def run_suite(
     entry's scheduler-delta table once in the parent -- keyed by the entry
     spec's fingerprint, optionally persisted under ``cache_dir`` -- and ships
     the merged table to workers through the pool initializer.
+
+    Sparse workloads are auto-skipped by the prebuild pass: a ``single_shot``
+    environment leaves most of its (typically t_ack-long) run idle, so the
+    lazily computed per-round deltas touch only a fraction of the rounds a
+    full-table prebuild would pay for upfront.  Such entries run with lazy
+    deltas and a :class:`RuntimeWarning` notes the skip; pass
+    ``prebuild=False`` to silence it when the whole suite is sparse.
     """
     start = time.perf_counter()
     tasks: List[Tuple[int, int]] = []
@@ -414,9 +422,27 @@ def run_suite(
         "suite_tasks": tasks,
     }
     if prebuild:
+        sparse = [
+            entry.id
+            for entry in suite.entries
+            if entry.scenario.environment.name == "single_shot"
+        ]
+        if sparse:
+            shown = ", ".join(sparse[:3]) + (", ..." if len(sparse) > 3 else "")
+            warnings.warn(
+                f"run_suite(prebuild=True): skipping the scheduler-delta prebuild "
+                f"for {len(sparse)} single-shot entr{'y' if len(sparse) == 1 else 'ies'} "
+                f"({shown}) -- a single-shot workload leaves most of its run idle, so "
+                "lazy per-round deltas beat a full-table prebuild; pass "
+                "prebuild=False to silence this when the whole suite is sparse",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         merged: Dict[Tuple[Hashable, int], Tuple[int, ...]] = {}
         seen_fingerprints = set()
         for entry in suite.entries:
+            if entry.scenario.environment.name == "single_shot":
+                continue
             fingerprint = entry.scenario.fingerprint()
             if fingerprint in seen_fingerprints:
                 continue

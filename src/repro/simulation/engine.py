@@ -12,8 +12,18 @@
 * the environment delivers inputs before transmissions and consumes outputs
   after receptions.
 
-Reception resolution has three implementations that produce identical
+Reception resolution has several implementations that produce identical
 results:
+
+* the **kernel lanes** (default when the vector path engages; ``kernel=``)
+  re-express the vectorized resolver as flat array kernels over buffers
+  allocated once per Simulator: with numpy, candidate collection is one
+  ``concatenate`` / ``repeat`` / ``bincount`` pipeline; without numpy, the
+  vector algorithm runs over reusable candidate/sender buffers.  Cohort
+  drivers that opt in additionally bulk-decode each seed cohort's shared
+  decisions into array buffers and advance member streams with one bulk
+  ``skip`` per flush, and a counters-only lane skips event materialization
+  when the trace provably keeps nothing but counters.
 
 * the **vectorized path** (default for oblivious schedulers) works on flat
   per-round structures over the graph's integer-indexed
@@ -78,6 +88,15 @@ from repro.simulation.trace import ExecutionTrace, TraceMode
 
 Vertex = Hashable
 
+#: Process-wide memo of per-round scheduled-edge bitmasks, keyed by
+#: ``(scheduler delta-cache key, round)``.  The delta cache key's contract
+#: (equal keys => identical deltas for every round, across instances and
+#: processes) is exactly the license needed to share the masks the same way
+#: the :class:`~repro.dualgraph.adversary.SchedulerDeltaCache` shares the id
+#: sets.  Bounded FIFO: inserts past the cap evict the oldest entry.
+_SCHED_MASK_CACHE: Dict[Any, int] = {}
+_SCHED_MASK_CACHE_MAXSIZE = 8192
+
 
 class Simulator:
     """Drive a set of processes over a dual graph for a number of rounds.
@@ -118,6 +137,20 @@ class Simulator:
         docstring).  Disable to force per-process stepping for every process
         (used by regression tests and as the "PR-1 fast engine" benchmark
         baseline); both produce identical traces.
+    kernel:
+        The array-kernel lanes riding on the vector path: ``"auto"``
+        (default) engages them with numpy when importable and the pure-python
+        ``array`` kernels otherwise; ``"numpy"`` requests numpy but falls
+        back to python when absent; ``"python"`` forces the python kernels;
+        ``"off"`` disables both kernel lanes (the configuration every
+        pre-kernel lane is benchmarked and regression-tested under).  When
+        engaged, reception resolution uses flat array kernels over reusable
+        round buffers, batch drivers that opt in (``enable_kernel``) step
+        seed cohorts through bulk-decoded decision buffers, and -- when the
+        trace mode is ``COUNTERS`` and no consumer can observe event objects
+        -- rounds run through a counters-only lane that skips event
+        materialization entirely.  Every lane produces byte-identical traces
+        (identical aggregate counters in ``COUNTERS`` mode).
     profile:
         Collect per-section wall-clock totals in :attr:`perf_stats`
         (``inputs`` / ``transmit`` / ``resolve`` / ``deliver`` / ``outputs``).
@@ -135,6 +168,7 @@ class Simulator:
         fast_path: bool = True,
         vector_path: bool = True,
         batch_path: bool = True,
+        kernel: str = "auto",
         profile: bool = False,
     ) -> None:
         missing = graph.vertices - set(processes)
@@ -165,6 +199,39 @@ class Simulator:
 
         self._fast = bool(fast_path) and self._supports_fast_path()
         self._vector = self._fast and bool(vector_path)
+
+        # Kernel backend resolution.  The kernel lanes ride on the vector
+        # path's flat structures and the scheduler delta interface, so they
+        # engage only when the vector path does; "auto" prefers numpy and
+        # falls back to the pure-python array kernels, exactly like an
+        # explicit "numpy" request on an interpreter without numpy.
+        if kernel not in ("auto", "python", "numpy", "off"):
+            raise ValueError(
+                f"kernel must be one of 'auto', 'python', 'numpy', 'off', got {kernel!r}"
+            )
+        self._np = None
+        backend: Optional[str] = None
+        if kernel != "off" and self._vector:
+            if kernel == "python":
+                backend = "python"
+            else:
+                try:
+                    import numpy
+
+                    self._np = numpy
+                    backend = "numpy"
+                except ImportError:
+                    backend = "python"
+        self._kernel_backend = backend
+
+        # Round-scoped reusable buffers (kernel lanes only; the vector path
+        # keeps its per-round allocations as the pinned reference): allocated
+        # once per Simulator, reset at the start of each use.
+        self._kr_masks: List[int] = []
+        self._kr_receptions: Dict[Vertex, Any] = {}
+        self._kr_transmissions: Dict[Vertex, Any] = {}
+        self._kr_outputs: List[Any] = []
+
         if self._fast:
             self._bind_index()
 
@@ -177,6 +244,16 @@ class Simulator:
         self._ungrouped: Dict[Vertex, Process] = self._processes
         if batch_path:
             self._build_batch_groups()
+
+        # Kernel stepping: drivers that opt in (duck-typed enable_kernel)
+        # defer member stream advancement and stats to bulk flushes; the
+        # engine settles them at every run() boundary.
+        self._kernel_drivers: List[Any] = []
+        if backend is not None:
+            for driver in self._batch_drivers:
+                enable = getattr(driver, "enable_kernel", None)
+                if enable is not None and enable():
+                    self._kernel_drivers.append(driver)
 
         # Hook-override detection: the on_round_start/on_round_end loops are
         # pure overhead for populations that never override them (two full
@@ -191,6 +268,29 @@ class Simulator:
             for p in self._ordered_processes
             if type(p).on_round_end is not Process.on_round_end
         ]
+
+        # Counters-only kernel lane: engages when it is provable that no
+        # consumer will ever read event objects -- the trace keeps counters
+        # only, every process is stepped by a kernel driver that can count
+        # receptions without materializing RecvOutputs, there are no round
+        # hooks, and the environment uses the base-class observation methods
+        # (a subclass hook could inspect recv events the lane never builds).
+        env_type = type(self._environment)
+        self._counters_lane = (
+            self._trace.mode is TraceMode.COUNTERS
+            and backend is not None
+            and bool(self._batch_drivers)
+            and not self._ungrouped
+            and len(self._kernel_drivers) == len(self._batch_drivers)
+            and all(
+                hasattr(driver, "receive_round_counters")
+                for driver in self._batch_drivers
+            )
+            and not self._round_start_hooks
+            and not self._round_end_hooks
+            and env_type.observe_outputs is Environment.observe_outputs
+            and env_type._on_recv is Environment._on_recv
+        )
 
     def _build_batch_groups(self) -> None:
         groups: Dict[Any, Any] = {}
@@ -241,6 +341,44 @@ class Simulator:
         self._u_incident = index.unreliable_incident_ids
         self._u_neighbor_of = index.unreliable_neighbor_by_eid
         self._has_unreliable = index.num_unreliable_edges > 0
+        # Kernel-resolver views (built only when a kernel backend is
+        # engaged): the python kernel resolver runs the whole collision rule
+        # as big-integer bitmask algebra, so it needs per-vertex reliable
+        # neighborhoods and incident unreliable edge ids as bit masks, plus
+        # the single-bit table for assembling per-round masks.  A round's
+        # working set is then a few hundred bytes of ints instead of the
+        # ~64KB frozenset hash tables the per-round delta sets occupy, which
+        # is what makes the mask ops cache-resident.
+        if self._kernel_backend is not None:
+            bit = self._v_bit = [1 << i for i in range(n)]
+            self._g_vmasks = [
+                sum(bit[j] for j in row) for row in index.g_neighbors
+            ]
+            self._u_mask_bytes = max(1, (index.num_unreliable_edges + 7) >> 3)
+            self._u_inc_masks = [
+                sum(1 << eid for eid in eids) for eids in self._u_incident
+            ]
+            # The scheduled-edge bitmask is memoized process-wide under the
+            # scheduler's delta cache key (same sharing license as the delta
+            # sets themselves); None disables the mask path.
+            self._sched_mask_key = (
+                self._scheduler.delta_cache_key() if self._has_unreliable else None
+            )
+        # Numpy-kernel views: per-vertex neighbor rows as index arrays (for
+        # one concatenate per round instead of per-transmitter extends), row
+        # lengths (for the matching repeat of sender ids), and a sender
+        # scratch buffer.  Rebuilt with the rest of the index on topology
+        # changes so the arrays stay in sync with the vertex numbering.
+        np = self._np
+        if np is not None:
+            self._np_rows = [
+                np.array(row, dtype=np.intp) for row in index.g_neighbors
+            ]
+            self._np_row_lens = np.array(
+                [len(row) for row in index.g_neighbors], dtype=np.intp
+            )
+            self._np_sender = np.zeros(n, dtype=np.intp)
+            self._np_n = n
 
     # ------------------------------------------------------------------
     # accessors
@@ -282,6 +420,22 @@ class Simulator:
         return bool(self._batch_drivers)
 
     @property
+    def uses_kernel(self) -> bool:
+        """Whether the array-kernel lanes (resolver and, when batched, cohort
+        stepping) are engaged."""
+        return self._kernel_backend is not None
+
+    @property
+    def kernel_backend(self) -> Optional[str]:
+        """``"numpy"`` or ``"python"`` when the kernel is engaged, else None."""
+        return self._kernel_backend
+
+    @property
+    def uses_counters_lane(self) -> bool:
+        """Whether rounds run through the counters-only kernel lane."""
+        return self._counters_lane
+
+    @property
     def batch_drivers(self) -> List[Any]:
         """The registered batch group drivers (empty when none apply)."""
         return list(self._batch_drivers)
@@ -301,7 +455,13 @@ class Simulator:
             for process in self._processes.values():
                 process.on_start()
             self._started = True
-        if self._batch_drivers:
+        if self._counters_lane:
+            step = (
+                self._run_one_round_kernel_counters_profiled
+                if self._profile
+                else self._run_one_round_kernel_counters
+            )
+        elif self._batch_drivers:
             step = (
                 self._run_one_round_batched_profiled
                 if self._profile
@@ -312,6 +472,11 @@ class Simulator:
         for _ in range(rounds):
             self._current_round += 1
             step(self._current_round)
+        # Settle any deferred kernel-driver state (member streams, stats) so
+        # callers observe exactly the per-process state at every run boundary;
+        # drivers rebuild their cohorts lazily if the run resumes mid-body.
+        for driver in self._kernel_drivers:
+            driver.flush_kernel_state()
         return self._trace
 
     def run_until(self, predicate, max_rounds: int, check_every: int = 1) -> ExecutionTrace:
@@ -546,6 +711,106 @@ class Simulator:
         t5 = clock()
         perf["outputs"] = perf.get("outputs", 0.0) + (t5 - t4)
 
+    def _run_one_round_kernel_counters(self, round_number: int) -> None:
+        """One round of the counters-only kernel lane.
+
+        `_run_one_round_batched` specialized for the configuration the
+        constructor proved safe: every process is driven by a kernel batch
+        driver, the trace keeps only counters, and the environment observes
+        through the base-class methods.  Receptions are therefore counted by
+        the drivers (no ``RecvOutput`` objects, no per-process drain scan --
+        drivers hand back the round's materialized outputs, which are acks
+        only) and the transmission/output containers are the Simulator's
+        round-scoped reusable buffers.  Aggregate counters match the other
+        lanes exactly; event *lists* are empty in ``COUNTERS`` mode in every
+        lane, so nothing observable is lost.
+        """
+        trace = self._trace
+        trace.note_round(round_number)
+        environment = self._environment
+
+        inputs = environment.inputs_for_round(round_number)
+        if inputs:
+            processes = self._processes
+            for vertex, vertex_inputs in inputs.items():
+                process = processes[vertex]
+                for inp in vertex_inputs:
+                    process.on_input(round_number, inp)
+                    trace.record_event(_as_bcast_event(vertex, inp, round_number))
+
+        transmissions = self._kr_transmissions
+        transmissions.clear()
+        for driver in self._batch_drivers:
+            driver.transmit_round(round_number, transmissions)
+        trace.record_transmissions(round_number, transmissions)
+
+        receptions = self._resolve_receptions(round_number, transmissions)
+        if receptions:
+            trace.count_receptions(len(receptions))
+
+        emitted = self._kr_outputs
+        del emitted[:]
+        recvs = 0
+        for driver in self._batch_drivers:
+            recvs += driver.receive_round_counters(round_number, receptions, emitted)
+        if recvs:
+            trace.count_recv_outputs(recvs)
+        if emitted:
+            for event in emitted:
+                trace.record_event(event)
+        environment.observe_outputs(round_number, emitted)
+
+    def _run_one_round_kernel_counters_profiled(self, round_number: int) -> None:
+        """`_run_one_round_kernel_counters` with per-section accounting."""
+        perf = self.perf_stats
+        clock = time.perf_counter
+        trace = self._trace
+        trace.note_round(round_number)
+        environment = self._environment
+
+        t0 = clock()
+        inputs = environment.inputs_for_round(round_number)
+        if inputs:
+            processes = self._processes
+            for vertex, vertex_inputs in inputs.items():
+                process = processes[vertex]
+                for inp in vertex_inputs:
+                    process.on_input(round_number, inp)
+                    trace.record_event(_as_bcast_event(vertex, inp, round_number))
+        t1 = clock()
+        perf["inputs"] = perf.get("inputs", 0.0) + (t1 - t0)
+
+        transmissions = self._kr_transmissions
+        transmissions.clear()
+        for driver in self._batch_drivers:
+            driver.transmit_round(round_number, transmissions)
+        trace.record_transmissions(round_number, transmissions)
+        t2 = clock()
+        perf["transmit"] = perf.get("transmit", 0.0) + (t2 - t1)
+
+        receptions = self._resolve_receptions(round_number, transmissions)
+        if receptions:
+            trace.count_receptions(len(receptions))
+        t3 = clock()
+        perf["resolve"] = perf.get("resolve", 0.0) + (t3 - t2)
+
+        emitted = self._kr_outputs
+        del emitted[:]
+        recvs = 0
+        for driver in self._batch_drivers:
+            recvs += driver.receive_round_counters(round_number, receptions, emitted)
+        if recvs:
+            trace.count_recv_outputs(recvs)
+        t4 = clock()
+        perf["deliver"] = perf.get("deliver", 0.0) + (t4 - t3)
+
+        if emitted:
+            for event in emitted:
+                trace.record_event(event)
+        environment.observe_outputs(round_number, emitted)
+        t5 = clock()
+        perf["outputs"] = perf.get("outputs", 0.0) + (t5 - t4)
+
     # ------------------------------------------------------------------
     # reception resolution
     # ------------------------------------------------------------------
@@ -566,9 +831,231 @@ class Simulator:
                 # schedulers, which key their own caches on the same version.
                 self._bind_index()
             if self._vector:
-                return self._resolve_receptions_vector(round_number, transmissions)
+                backend = self._kernel_backend
+                if backend is None:
+                    return self._resolve_receptions_vector(round_number, transmissions)
+                if backend == "numpy":
+                    return self._resolve_receptions_kernel_numpy(
+                        round_number, transmissions
+                    )
+                return self._resolve_receptions_kernel_python(
+                    round_number, transmissions
+                )
             return self._resolve_receptions_fast(round_number, transmissions)
         return self._resolve_receptions_generic(round_number, transmissions)
+
+    def _resolve_receptions_kernel_python(
+        self, round_number: int, transmissions: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Any]:
+        """The collision rule as big-integer bitmask algebra.
+
+        Computes exactly the receptions of :meth:`_resolve_receptions_vector`
+        with every per-candidate container replaced by arbitrary-precision
+        ints: each transmitter's reach this round is one mask over vertex
+        indices (precomputed reliable neighborhood ORed with the decoded
+        scheduled-unreliable bits), candidates reached twice are
+        ``collided |= seen & mask``, and the winners are one expression,
+        ``seen & ~(collided | transmitters)``.  A single transmitter never
+        collides with itself (reliable rows have no duplicates, scheduled
+        unreliable edges are disjoint from G's edges, and there are no
+        self-loops), so the two-touch collision threshold is exact.  The
+        masks live in a few hundred bytes regardless of degree, where the
+        per-round frozenset delta views occupy ~64KB hash tables each -- the
+        bitmask pass stays cache-resident where set intersection thrashes.
+
+        Winner attribution needs no sender map: a winner was reached by
+        exactly one transmitter, so intersecting each transmitter's mask with
+        the winner mask partitions the winners.  The receptions dict's
+        *insertion order* differs from the vector path (ascending index per
+        transmitter rather than first-touch), which is observationally
+        irrelevant for the same reasons as the numpy resolver: frame maps
+        compare as dicts and events are drained in process-registration
+        order.  The returned dict is reused across rounds -- every
+        trace-recording path copies what it keeps.
+        """
+        idx_of = self._idx_of
+        vertex_of = self._vertex_of
+
+        tx_indices = [idx_of[vertex] for vertex in transmissions]
+        if len(tx_indices) == 1:
+            # Lone transmitter: every candidate wins (one transmitter's
+            # candidates are duplicate-free, see above).
+            i = tx_indices[0]
+            frame = transmissions[vertex_of[i]]
+            receptions = self._kr_receptions
+            receptions.clear()
+            for j in self._g_neighbors[i]:
+                receptions[vertex_of[j]] = frame
+            if self._has_unreliable:
+                scheduled = self._scheduler.unreliable_edge_id_set_for_round(
+                    round_number
+                )
+                if scheduled:
+                    hit = scheduled & self._u_incident[i]
+                    if hit:
+                        nbs = self._u_neighbor_of[i]
+                        for eid in hit:
+                            receptions[vertex_of[nbs[eid]]] = frame
+            return receptions
+
+        if self._has_unreliable:
+            if self._sched_mask_key is None:
+                # No cross-instance delta identity (exotic scheduler): the
+                # mask decode would rebuild per round, so the pinned vector
+                # resolver is the better kernel here.
+                return self._resolve_receptions_vector(round_number, transmissions)
+            scheduled_mask = self._scheduled_edge_mask(round_number)
+        else:
+            scheduled_mask = 0
+
+        bit = self._v_bit
+        gmasks = self._g_vmasks
+        seen = 0
+        collided = 0
+        txmask = 0
+        masks = self._kr_masks
+        del masks[:]
+        if scheduled_mask:
+            inc_masks = self._u_inc_masks
+            neighbor_of = self._u_neighbor_of
+            for i in tx_indices:
+                m = gmasks[i]
+                u_hit = scheduled_mask & inc_masks[i]
+                if u_hit:
+                    nbs = neighbor_of[i]
+                    while u_hit:
+                        low = u_hit & -u_hit
+                        u_hit ^= low
+                        m |= bit[nbs[low.bit_length() - 1]]
+                collided |= seen & m
+                seen |= m
+                txmask |= bit[i]
+                masks.append(m)
+        else:
+            for i in tx_indices:
+                m = gmasks[i]
+                collided |= seen & m
+                seen |= m
+                txmask |= bit[i]
+                masks.append(m)
+
+        receptions = self._kr_receptions
+        receptions.clear()
+        win = seen & ~(collided | txmask)
+        if win:
+            for i, m in zip(tx_indices, masks):
+                wm = m & win
+                if wm:
+                    win ^= wm
+                    frame = transmissions[vertex_of[i]]
+                    while wm:
+                        low = wm & -wm
+                        wm ^= low
+                        receptions[vertex_of[low.bit_length() - 1]] = frame
+                    if not win:
+                        break
+        return receptions
+
+    def _scheduled_edge_mask(self, round_number: int) -> int:
+        """The round's scheduled unreliable edges as one edge-id bitmask.
+
+        Decoded once per ``(delta identity, round)`` process-wide (see
+        :data:`_SCHED_MASK_CACHE`); bit ``eid`` is set iff edge ``eid`` is
+        scheduled this round, so ``mask & incident_mask[i]`` is transmitter
+        ``i``'s scheduled unreliable edges in one C-level AND.
+        """
+        key = (self._sched_mask_key, round_number)
+        mask = _SCHED_MASK_CACHE.get(key)
+        if mask is None:
+            buf = bytearray(self._u_mask_bytes)
+            for eid in self._scheduler.unreliable_edge_ids_for_round(round_number):
+                buf[eid >> 3] |= 1 << (eid & 7)
+            mask = int.from_bytes(buf, "little")
+            if len(_SCHED_MASK_CACHE) >= _SCHED_MASK_CACHE_MAXSIZE:
+                del _SCHED_MASK_CACHE[next(iter(_SCHED_MASK_CACHE))]
+            _SCHED_MASK_CACHE[key] = mask
+        return mask
+
+    #: Transmitter count below which the numpy backend routes a round through
+    #: the pure-python kernel resolver instead: with only a handful of
+    #: transmitters the candidate arrays hold a few dozen elements and the
+    #: fixed per-call cost of the numpy ops (array construction, concatenate,
+    #: bincount) exceeds the whole python pass.  Both resolvers are
+    #: byte-identical, so the routing is invisible in traces.
+    _NUMPY_MIN_TX = 16
+
+    def _resolve_receptions_kernel_numpy(
+        self, round_number: int, transmissions: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Any]:
+        """The collision rule as flat numpy kernels.
+
+        Candidate receivers are one ``concatenate`` over the transmitters'
+        precomputed neighbor-index arrays, matching sender ids one ``repeat``
+        of the transmitter ids by row length, collision counts one
+        ``bincount``, and the winners one boolean reduction -- no per-edge
+        Python work for reliable edges.  Unreliable edges keep the vector
+        path's per-transmitter frozenset intersection with the round's
+        scheduled delta (the sets are tiny and already precomputed; crossing
+        them into numpy per round costs more than it saves).
+
+        The receptions *dict insertion order* differs from the vector path
+        (ascending vertex index rather than first-touch), which is
+        observationally irrelevant: frame maps compare as dicts, events are
+        drained in process-registration order, and each member handles at
+        most one reception per round.  The sender scratch buffer carries
+        stale values between rounds by design -- it is only ever read at
+        indices whose collision count is exactly 1 this round, and those were
+        all just written.  Like the python kernel, the returned dict is
+        reused across rounds.
+        """
+        if len(transmissions) < self._NUMPY_MIN_TX:
+            return self._resolve_receptions_kernel_python(round_number, transmissions)
+        np = self._np
+        idx_of = self._idx_of
+        vertex_of = self._vertex_of
+        rows = self._np_rows
+
+        tx_indices = [idx_of[vertex] for vertex in transmissions]
+        tx_arr = np.array(tx_indices, dtype=np.intp)
+        cand = np.concatenate([rows[i] for i in tx_indices])
+        senders = np.repeat(tx_arr, self._np_row_lens[tx_arr])
+
+        if self._has_unreliable:
+            scheduled = self._scheduler.unreliable_edge_id_set_for_round(round_number)
+            if scheduled:
+                incident = self._u_incident
+                neighbor_of = self._u_neighbor_of
+                js_list: List[int] = []
+                ks_list: List[int] = []
+                for i in tx_indices:
+                    hit = scheduled & incident[i]
+                    if hit:
+                        nbs = neighbor_of[i]
+                        for eid in hit:
+                            js_list.append(nbs[eid])
+                            ks_list.append(i)
+                if js_list:
+                    cand = np.concatenate(
+                        [cand, np.array(js_list, dtype=np.intp)]
+                    )
+                    senders = np.concatenate(
+                        [senders, np.array(ks_list, dtype=np.intp)]
+                    )
+
+        receptions = self._kr_receptions
+        receptions.clear()
+        if cand.size:
+            counts = np.bincount(cand, minlength=self._np_n)
+            sender_buf = self._np_sender
+            sender_buf[cand] = senders
+            ok = np.equal(counts, 1)
+            ok[tx_arr] = False
+            singles = np.flatnonzero(ok)
+            if singles.size:
+                single_senders = sender_buf[singles].tolist()
+                for j, s in zip(singles.tolist(), single_senders):
+                    receptions[vertex_of[j]] = transmissions[vertex_of[s]]
+        return receptions
 
     def _resolve_receptions_vector(
         self, round_number: int, transmissions: Dict[Vertex, Any]

@@ -152,11 +152,16 @@ class SaturatingEnvironment(Environment):
     def _wanted_submissions(self, round_number: int) -> Iterable[tuple]:
         if round_number < self._start_round:
             return ()
-        wanted = []
-        for vertex in self._senders:
-            if not self.is_busy(vertex):
-                wanted.append((vertex, f"sat-{vertex}-r{round_number}"))
-        return wanted
+        busy = self._busy
+        if len(busy) == len(self._senders):
+            # Steady state: every sender has an outstanding message (only
+            # senders ever submit, so the busy map holds nothing else).
+            return ()
+        return [
+            (vertex, f"sat-{vertex}-r{round_number}")
+            for vertex in self._senders
+            if vertex not in busy
+        ]
 
 
 class ScriptedEnvironment(Environment):

@@ -239,6 +239,16 @@ def data_reception_rounds(trace: ExecutionTrace, vertex: Vertex) -> List[int]:
     return sorted(_data_reception_rounds_all(trace).get(vertex, set()))
 
 
+def data_reception_round_sets(trace: ExecutionTrace) -> Dict[Vertex, set]:
+    """Bulk form of :func:`data_reception_rounds`: vertex -> round-number set.
+
+    One pass over the recorded receptions, so rating many receivers is linear
+    in the trace rather than quadratic.  Vertices that never received a data
+    frame are absent from the result.
+    """
+    return _data_reception_rounds_all(trace)
+
+
 def _data_reception_rounds_all(trace: ExecutionTrace) -> Dict[Vertex, set]:
     """One pass over the recorded receptions: vertex -> rounds with a data frame."""
     result: Dict[Vertex, set] = {}

@@ -81,6 +81,19 @@ class ProcessContext:
         sequence (this is what LBAlg's embedded SeedAlg preambles need).
         Pass field overrides (e.g. ``rng=...``) to deviate.
         """
+        if not overrides:
+            # Plain field copy: ``replace`` re-runs ``__init__`` and
+            # ``__post_init__`` validation, which is pure overhead for an
+            # already-validated context.  LBAlg creates one child per member
+            # per phase, so this sits on the round engine's hot path.
+            new = object.__new__(ProcessContext)
+            new.vertex = self.vertex
+            new.delta = self.delta
+            new.delta_prime = self.delta_prime
+            new.r = self.r
+            new.process_id = self.process_id
+            new.rng = self.rng
+            return new
         return replace(self, **overrides)
 
 

@@ -666,6 +666,161 @@ class TestBatchedStepping:
         assert batched.num_receptions == reference.num_receptions
 
 
+def _have_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+KERNEL_BACKENDS = [
+    "python",
+    pytest.param(
+        "numpy", marks=pytest.mark.skipif(not _have_numpy(), reason="numpy not installed")
+    ),
+]
+
+
+class TestKernelLane:
+    """PR-6 array-kernel lanes: byte-identity, backend selection, fallback,
+    and the counters-only fast lane."""
+
+    def _build(
+        self,
+        graph,
+        kernel,
+        reuse=1,
+        trace_mode=TraceMode.FULL,
+        fast_path=True,
+        vector_path=True,
+        scheduler=None,
+    ):
+        params = LBParams.small_for_testing(
+            delta=graph.max_reliable_degree, delta_prime=graph.max_potential_degree
+        )
+        simulator = Simulator(
+            graph,
+            make_lb_processes(
+                graph, params, random.Random(71), seed_reuse_phases=reuse
+            ),
+            scheduler=(
+                IIDScheduler(graph, probability=0.5, seed=7)
+                if scheduler is None
+                else scheduler
+            ),
+            environment=SaturatingEnvironment(senders=sorted(graph.vertices)[:5]),
+            trace_mode=trace_mode,
+            fast_path=fast_path,
+            vector_path=vector_path,
+            batch_path=fast_path,
+            kernel=kernel,
+        )
+        return simulator, params
+
+    @pytest.mark.parametrize("graph_kind", sorted(GRAPH_FACTORIES))
+    @pytest.mark.parametrize("reuse", [1, 2, 3])
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_kernel_identical_to_vector_path(self, graph_kind, reuse, backend):
+        """Each kernel backend vs the pinned vector path, geometric and
+        region topologies, every seed reuse factor."""
+        graph = GRAPH_FACTORIES[graph_kind]()
+        kernel_sim, params = self._build(graph, backend, reuse=reuse)
+        vector_sim, _ = self._build(graph, "off", reuse=reuse)
+        assert kernel_sim.uses_kernel and kernel_sim.kernel_backend == backend
+        assert vector_sim.uses_vector_path and not vector_sim.uses_kernel
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(kernel_sim.run(rounds), vector_sim.run(rounds), rounds)
+
+    @pytest.mark.parametrize("graph_kind", sorted(GRAPH_FACTORIES))
+    def test_kernel_identical_to_generic_seed_engine(self, graph_kind):
+        """kernel="auto" (the production default) vs the seed engine."""
+        graph = GRAPH_FACTORIES[graph_kind]()
+        kernel_sim, params = self._build(graph, "auto")
+        generic_sim, _ = self._build(
+            graph, "off", fast_path=False, vector_path=False
+        )
+        assert kernel_sim.uses_kernel
+        assert kernel_sim.kernel_backend in ("python", "numpy")
+        assert not generic_sim.uses_fast_path
+
+        rounds = 3 * params.phase_length
+        _assert_identical_traces(
+            kernel_sim.run(rounds), generic_sim.run(rounds), rounds
+        )
+
+    def test_auto_backend_matches_availability(self):
+        graph = GRAPH_FACTORIES["geometric"]()
+        simulator, _ = self._build(graph, "auto")
+        expected = "numpy" if _have_numpy() else "python"
+        assert simulator.kernel_backend == expected
+
+    def test_adaptive_scheduler_disengages_kernel(self):
+        """An adaptive adversary disables the fast path and with it every
+        kernel lane; the requested backend must be silently ignored and the
+        execution must equal the generic engine's."""
+        graph = GRAPH_FACTORIES["geometric"]()
+        kernel_sim, params = self._build(
+            graph, "auto", scheduler=CollisionAdaptiveAdversary(graph)
+        )
+        generic_sim, _ = self._build(
+            graph,
+            "off",
+            fast_path=False,
+            vector_path=False,
+            scheduler=CollisionAdaptiveAdversary(graph),
+        )
+        assert not kernel_sim.uses_kernel
+        assert kernel_sim.kernel_backend is None
+        assert not kernel_sim.uses_counters_lane
+
+        rounds = 2 * params.phase_length
+        _assert_identical_traces(
+            kernel_sim.run(rounds), generic_sim.run(rounds), rounds
+        )
+
+    def test_counters_lane_engages_and_matches_full_reduction(self):
+        """The counters-only lane must produce exactly the counters a full
+        event trace reduces to (same event kinds, transmissions, receptions)."""
+        graph = GRAPH_FACTORIES["geometric"]()
+        counters_sim, params = self._build(
+            graph, "auto", trace_mode=TraceMode.COUNTERS
+        )
+        full_sim, _ = self._build(graph, "off", trace_mode=TraceMode.FULL)
+        assert counters_sim.uses_counters_lane
+
+        rounds = 3 * params.phase_length
+        counters_trace = counters_sim.run(rounds)
+        full_trace = full_sim.run(rounds)
+        assert counters_trace.num_rounds == full_trace.num_rounds
+        assert counters_trace.event_counts == full_trace.event_counts
+        assert counters_trace.num_transmissions == full_trace.num_transmissions
+        assert counters_trace.num_receptions == full_trace.num_receptions
+
+    def test_full_trace_mode_keeps_counters_lane_off(self):
+        graph = GRAPH_FACTORIES["geometric"]()
+        simulator, _ = self._build(graph, "auto", trace_mode=TraceMode.FULL)
+        assert simulator.uses_kernel
+        assert not simulator.uses_counters_lane
+
+    def test_chunked_runs_resume_identically(self):
+        """Kernel state (cohort buffers, deferred skips) must flush at run()
+        boundaries so split runs equal one continuous run."""
+        graph = GRAPH_FACTORIES["geometric"]()
+        whole_sim, params = self._build(graph, "auto")
+        split_sim, _ = self._build(graph, "auto")
+        rounds = 3 * params.phase_length
+        whole_trace = whole_sim.run(rounds)
+        chunk = params.phase_length // 2
+        done = 0
+        while done < rounds:
+            step = min(chunk, rounds - done)
+            split_trace = split_sim.run(step)
+            done += step
+        _assert_identical_traces(whole_trace, split_trace, rounds)
+
+
 class TestRoundHookSkipping:
     class HookCountingProcess(SilentProcess):
         def __init__(self, ctx):

@@ -43,6 +43,7 @@ from repro.scenarios import (
     SCHEDULERS,
     TOPOLOGIES,
     AlgorithmSpec,
+    EngineConfig,
     EnvironmentSpec,
     Registry,
     RunPolicy,
@@ -202,6 +203,32 @@ class TestFingerprint:
             spec.fingerprint()
             != spec.with_overrides({"topology.args.n": 15}).fingerprint()
         )
+
+    def test_kernel_field_round_trips_and_default_stays_out_of_identity(self):
+        """PR-6: ``engine.kernel`` serializes only when pinned away from
+        "auto", so every pre-kernel spec keeps its fingerprint; a pinned
+        backend round-trips through JSON like any other field."""
+        base = small_spec()
+        assert base.engine.kernel == "auto"
+        assert "kernel" not in base.engine.to_dict()
+        explicit_auto = base.with_overrides({"engine.kernel": "auto"})
+        assert explicit_auto == base
+        assert explicit_auto.fingerprint() == base.fingerprint()
+
+        pinned = base.with_overrides({"engine.kernel": "python"})
+        restored = ScenarioSpec.from_json(pinned.to_json())
+        assert restored == pinned and restored.engine.kernel == "python"
+        assert restored.fingerprint() == pinned.fingerprint()
+        assert pinned.fingerprint() != base.fingerprint()
+
+        with pytest.raises(ValueError, match="kernel"):
+            EngineConfig(kernel="cuda")
+
+    def test_kernel_field_reaches_the_simulator(self):
+        off = materialize(small_spec(**{"engine.kernel": "off"})).simulator
+        assert not off.uses_kernel and off.kernel_backend is None
+        python = materialize(small_spec(**{"engine.kernel": "python"})).simulator
+        assert python.uses_kernel and python.kernel_backend == "python"
 
 
 class TestRegistries:

@@ -3,15 +3,17 @@
 Covers manifest round-trips and load-time sugar (paths, defaults, suite
 metrics), serial-vs-parallel identity of suite execution, group pooling, the
 ``python -m repro suite`` CLI, and the headline acceptance: the checked-in
-``examples/suites/bench_{ack,progress}.json`` manifests reproduce the
-pre-suite benchmark harnesses' numbers exactly (same seeds, identical metric
-values).
+``examples/suites/bench_{ack,progress,round_probability,scheduler_models}.json``
+manifests reproduce the pre-suite benchmark harnesses' numbers (same seeds;
+identical metric values, modulo one-ulp float summation-order differences
+noted on the pinned tables).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 
 import pytest
 
@@ -19,6 +21,16 @@ from benchmarks.bench_ack import SUITE_PATH as ACK_SUITE_PATH
 from benchmarks.bench_ack import ack_rows_from_report, build_ack_suite
 from benchmarks.bench_progress import SUITE_PATH as PROGRESS_SUITE_PATH
 from benchmarks.bench_progress import build_progress_suite, progress_rows_from_report
+from benchmarks.bench_round_probability import SUITE_PATH as ROUND_PROBABILITY_SUITE_PATH
+from benchmarks.bench_round_probability import (
+    build_round_probability_suite,
+    round_probability_rows_from_report,
+)
+from benchmarks.bench_scheduler_models import SUITE_PATH as SCHEDULER_MODELS_SUITE_PATH
+from benchmarks.bench_scheduler_models import (
+    build_scheduler_models_suite,
+    scheduler_models_rows_from_report,
+)
 from repro.scenarios import (
     AlgorithmSpec,
     EngineConfig,
@@ -184,6 +196,20 @@ class TestRunSuite:
         assert flat["trials"] == 4
         assert flat["ack_delay.delay_mean"] == entry["value"]
 
+    def test_prebuild_auto_skips_sparse_single_shot_entries(self):
+        """prebuild=True warns on single-shot entries and skips their tables,
+        without changing any result row."""
+        suite = small_suite(trials=1)  # single_shot environment throughout
+        with pytest.warns(RuntimeWarning, match="single-shot"):
+            warned = run_suite(suite, jobs=1, prebuild=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # prebuild=False stays silent
+            silent = run_suite(suite, jobs=1, prebuild=False)
+        rows_warned = [t.metric_row for e in warned.entries for t in e.result.trials]
+        rows_silent = [t.metric_row for e in silent.entries for t in e.result.trials]
+        assert rows_warned == rows_silent
+        assert warned.group_summaries == silent.group_summaries
+
     def test_profile_perf_stats_survive_suite_workers(self):
         suite = SuiteSpec(
             name="profiled",
@@ -292,14 +318,62 @@ class TestBenchmarkReproduction:
          "failure_rate_ci95_high": 0.008427488847002994},
     ]
 
+    #: The E5 table from the pre-suite bench_round_probability.py.  The float
+    #: columns are pinned to the suite pipeline's values, which agree with the
+    #: historical hand-wired harness to within one ulp (the pooled rate_mean
+    #: sums per-receiver rates per trial before pooling, so the float
+    #: summation order differs; every integer column is exact).
+    ROUND_PROBABILITY_ROWS = [
+        {
+            "target_delta": 8,
+            "measured_delta": 5,
+            "measured_delta_prime": 9,
+            "receivers_sampled": 19,
+            "measured_pu": 0.02869995501574449,
+            "theory_pu_bound": 0.04637057441848618,
+            "measured_over_theory": 0.6189260188310911,
+            "theory_puv_bound": 0.005152286046498465,
+        },
+        {
+            "target_delta": 16,
+            "measured_delta": 15,
+            "measured_delta_prime": 30,
+            "receivers_sampled": 68,
+            "measured_pu": 0.02864459931453395,
+            "theory_pu_bound": 0.027558780284088872,
+            "measured_over_theory": 1.0394001120242604,
+            "theory_puv_bound": 0.000918626009469629,
+        },
+    ]
+
+    #: The E12 table as produced by the pre-suite bench_scheduler_models.py,
+    #: pinned verbatim (totals over totals -- exact under pooling).
+    SCHEDULER_MODELS_ROWS = [
+        {"scheduler": "none", "data_receptions": 1594,
+         "receptions_per_round": 0.4383938393839384,
+         "unreliable_edge_receptions": 0, "unreliable_fraction": 0.0},
+        {"scheduler": "iid", "data_receptions": 2428,
+         "receptions_per_round": 0.6677667766776678,
+         "unreliable_edge_receptions": 1058,
+         "unreliable_fraction": 0.4357495881383855},
+        {"scheduler": "full", "data_receptions": 2318,
+         "receptions_per_round": 0.6375137513751375,
+         "unreliable_edge_receptions": 1458,
+         "unreliable_fraction": 0.6289905090595341},
+        {"scheduler": "adaptive", "data_receptions": 1484,
+         "receptions_per_round": 0.4081408140814081,
+         "unreliable_edge_receptions": 0, "unreliable_fraction": 0.0},
+    ]
+
     def test_checked_in_manifests_match_programmatic_suites(self):
-        assert os.path.exists(ACK_SUITE_PATH)
-        assert os.path.exists(PROGRESS_SUITE_PATH)
-        assert SuiteSpec.load(ACK_SUITE_PATH).fingerprint() == build_ack_suite().fingerprint()
-        assert (
-            SuiteSpec.load(PROGRESS_SUITE_PATH).fingerprint()
-            == build_progress_suite().fingerprint()
-        )
+        for path, build in (
+            (ACK_SUITE_PATH, build_ack_suite),
+            (PROGRESS_SUITE_PATH, build_progress_suite),
+            (ROUND_PROBABILITY_SUITE_PATH, build_round_probability_suite),
+            (SCHEDULER_MODELS_SUITE_PATH, build_scheduler_models_suite),
+        ):
+            assert os.path.exists(path)
+            assert SuiteSpec.load(path).fingerprint() == build().fingerprint()
 
     def test_ack_manifest_reproduces_pre_suite_numbers(self):
         report = run_suite(SuiteSpec.load(ACK_SUITE_PATH), jobs=1, prebuild=False)
@@ -314,5 +388,21 @@ class TestBenchmarkReproduction:
         rows = progress_rows_from_report(report).rows
         assert len(rows) == len(self.PROGRESS_ROWS)
         for expected, actual in zip(self.PROGRESS_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_round_probability_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(ROUND_PROBABILITY_SUITE_PATH), jobs=1)
+        rows = round_probability_rows_from_report(report).rows
+        assert len(rows) == len(self.ROUND_PROBABILITY_ROWS)
+        for expected, actual in zip(self.ROUND_PROBABILITY_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_scheduler_models_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(SCHEDULER_MODELS_SUITE_PATH), jobs=1)
+        rows = scheduler_models_rows_from_report(report).rows
+        assert len(rows) == len(self.SCHEDULER_MODELS_ROWS)
+        for expected, actual in zip(self.SCHEDULER_MODELS_ROWS, rows):
             for key, value in expected.items():
                 assert actual[key] == value, (key, value, actual[key])
