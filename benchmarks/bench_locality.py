@@ -7,25 +7,43 @@ local density fixed must therefore leave both the derived schedule lengths
 and the observed local behavior (per-window progress failure rate, per-round
 reception rate at a contended receiver) essentially unchanged.
 
-The harness samples networks of increasing n at constant density, derives the
-parameters from a *fixed* (Δ, Δ') budget (the processes only know the bounds,
-not the sampled maxima), and measures local delivery behavior around a probe
-sender placed in the middle of the area.
+The harness is a **scenario suite**: one entry per (size, trial), grouped by
+n, with the ``params`` / ``graph_stats`` / ``probe_progress`` /
+``probe_reception`` metrics declared on the spec.  The fixed (Δ, Δ') budget
+becomes the ``lbalg`` builder's ``delta_budget`` / ``delta_prime_budget``
+args (the processes only know the bounds, not the sampled maxima), and the
+probe placement -- the vertex nearest the center of the deployment area, its
+first two reliable neighbors saturating -- is the declarative
+``center_probe_neighbors`` sender selection plus the probe metrics' default
+center vertex.  The checked-in manifest at
+``examples/suites/bench_locality.json`` is this suite as data (pinned by
+``tests/test_suites.py``); seeds match the pre-suite harness exactly, so the
+table values are unchanged.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict
+import os
+from typing import List, Optional
 
-from repro import LBParams, Simulator, make_lb_processes, random_geographic_network
 from repro.analysis.stats import mean
-from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import IIDScheduler
-from repro.simulation.environment import SaturatingEnvironment
-from repro.simulation.metrics import data_reception_rounds, progress_report
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    MetricSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    SuiteEntry,
+    SuiteReport,
+    SuiteSpec,
+    TopologySpec,
+    run_suite,
+)
 
-from benchmarks.common import print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, print_and_save, run_once_benchmark
 
 #: (n, side) pairs with constant density (~1.9 vertices per unit square).
 SIZES = ((18, 3.0), (32, 4.0), (50, 5.0), (72, 6.0))
@@ -35,61 +53,120 @@ PHASES_PER_TRIAL = 3
 DELTA_BUDGET = 16
 DELTA_PRIME_BUDGET = 40
 
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_locality.json"
+)
 
-def _probe_vertex(graph, embedding):
-    """The vertex closest to the center of the deployment area."""
-    min_x, min_y, max_x, max_y = embedding.bounding_box()
-    cx, cy = (min_x + max_x) / 2.0, (min_y + max_y) / 2.0
-    return min(
-        graph.vertices,
-        key=lambda v: (embedding.position(v)[0] - cx) ** 2 + (embedding.position(v)[1] - cy) ** 2,
+#: ``trace_mode="auto"`` resolves to FULL -- the probe metrics read frames.
+LOCALITY_METRICS = (
+    MetricSpec("params"),
+    MetricSpec("graph_stats"),
+    MetricSpec("probe_progress"),
+    MetricSpec("probe_reception"),
+)
+
+
+def build_locality_suite() -> SuiteSpec:
+    """The E9 experiment as a :class:`~repro.scenarios.suite.SuiteSpec`.
+
+    Seeds match the pre-suite harness exactly (``graph_seed = 300 + 7*size_index
+    + trial``, scheduler and process RNGs rooted at the trial index), so the
+    suite reproduces the historical table values.
+    """
+    entries: List[SuiteEntry] = []
+    for size_index, (n, side) in enumerate(SIZES):
+        for trial in range(TRIALS):
+            spec = ScenarioSpec(
+                name=f"bench-locality-n{n}-t{trial}",
+                topology=TopologySpec(
+                    "random_geographic",
+                    {
+                        "n": n,
+                        "side": side,
+                        "r": 2.0,
+                        "seed": 300 + 7 * size_index + trial,
+                        "require_connected": True,
+                        "max_attempts": 80,
+                    },
+                ),
+                algorithm=AlgorithmSpec(
+                    "lbalg",
+                    {
+                        "epsilon": EPSILON,
+                        "preset": "derived",
+                        "delta_budget": DELTA_BUDGET,
+                        "delta_prime_budget": DELTA_PRIME_BUDGET,
+                    },
+                ),
+                scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": trial}),
+                environment=EnvironmentSpec(
+                    "saturating",
+                    {"senders": {"select": "center_probe_neighbors", "count": 2}},
+                ),
+                engine=EngineConfig(trace_mode="auto"),
+                run=RunPolicy(
+                    rounds=PHASES_PER_TRIAL,
+                    rounds_unit="phases",
+                    trials=1,
+                    master_seed=trial,
+                    seed_policy="fixed",
+                ),
+                metrics=LOCALITY_METRICS,
+            )
+            entries.append(SuiteEntry(id=spec.name, scenario=spec, group=f"n{n}"))
+    return SuiteSpec(
+        name="bench-locality",
+        description=(
+            "E9 -- true locality: networks of growing n at fixed local density, "
+            "parameters derived from a fixed (Delta, Delta') budget, local "
+            "behavior probed at the center vertex"
+        ),
+        entries=tuple(entries),
     )
 
 
-def _run_point(size_index: int) -> Dict[str, float]:
-    n, side = SIZES[size_index]
-    params = LBParams.derive(EPSILON, delta=DELTA_BUDGET, delta_prime=DELTA_PRIME_BUDGET, r=2.0)
-    failure_rates = []
-    probe_rates = []
-    measured_deltas = []
-
-    for trial in range(TRIALS):
-        graph, embedding = random_geographic_network(
-            n, side=side, r=2.0, rng=300 + 7 * size_index + trial, require_connected=True,
-            max_attempts=80,
+def locality_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's one-row-per-n table."""
+    result = SweepResult()
+    for size_index, (n, side) in enumerate(SIZES):
+        members = [e for e in report.entries if e.entry.group_label == f"n{n}"]
+        trial_rows = [m.result.trials[0].metric_row for m in members]
+        # The pre-suite harness averaged failure rates only over trials where
+        # at least one progress window was applicable.
+        failure_rates = [
+            row["probe_progress.failure_rate"]
+            for row in trial_rows
+            if row["probe_progress.windows"] > 0
+        ]
+        result.append(
+            {
+                "size_index": size_index,
+                "n": n,
+                "side": side,
+                "mean_measured_delta": mean(
+                    [row["graph_stats.delta"] for row in trial_rows]
+                ),
+                # The derived schedule only sees the fixed budget, so these
+                # are identical across trials (and across n -- the claim).
+                "tprog_rounds": int(trial_rows[-1]["params.tprog_rounds"]),
+                "tack_rounds": int(trial_rows[-1]["params.tack_rounds"]),
+                "probe_progress_failure_rate": (
+                    mean(failure_rates) if failure_rates else 0.0
+                ),
+                "probe_reception_rate": mean(
+                    [row["probe_reception.rate"] for row in trial_rows]
+                ),
+            }
         )
-        measured_deltas.append(graph.max_reliable_degree)
-        probe = _probe_vertex(graph, embedding)
-        probe_neighbors = sorted(graph.reliable_neighbors(probe))
-        senders = probe_neighbors[:2] if probe_neighbors else [probe]
-        simulator = Simulator(
-            graph,
-            make_lb_processes(graph, params, random.Random(trial)),
-            scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
-            environment=SaturatingEnvironment(senders=senders),
-        )
-        rounds = PHASES_PER_TRIAL * params.phase_length
-        trace = simulator.run(rounds)
-
-        report = progress_report(trace, graph, window=params.tprog_rounds, receivers=[probe])
-        if report.num_applicable:
-            failure_rates.append(report.failure_rate)
-        probe_rates.append(len(data_reception_rounds(trace, probe)) / rounds)
-
-    return {
-        "n": n,
-        "side": side,
-        "mean_measured_delta": mean(measured_deltas),
-        "tprog_rounds": params.tprog_rounds,
-        "tack_rounds": params.tack_rounds,
-        "probe_progress_failure_rate": mean(failure_rates) if failure_rates else 0.0,
-        "probe_reception_rate": mean(probe_rates),
-    }
+    return result
 
 
-def run_locality_experiment() -> SweepResult:
-    """Run the E9 sweep and return its table."""
-    return sweep({"size_index": list(range(len(SIZES)))}, run=_run_point)
+def run_locality_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E9 suite and return its table."""
+    report = run_suite(
+        build_locality_suite(), jobs=jobs if jobs is not None else default_jobs()
+    )
+    return locality_rows_from_report(report)
 
 
 def test_bench_locality(benchmark):
@@ -119,3 +196,24 @@ def test_bench_locality(benchmark):
     assert largest["probe_reception_rate"] > 0.0
     if smallest["probe_reception_rate"] > 0:
         assert largest["probe_reception_rate"] >= 0.2 * smallest["probe_reception_rate"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_locality_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_locality_experiment()
+        print_and_save(
+            "E9_true_locality",
+            "E9 -- growing n at fixed local density: schedule lengths and local behavior stay flat",
+            result,
+        )

@@ -1,0 +1,248 @@
+"""Suite throughput benchmark: cold vs warm (result store) vs sharded runs.
+
+This is the PR-7 performance yardstick for the content-addressed
+:class:`~repro.scenarios.store.ResultStore` and the sharded suite executor.
+It builds a synthetic seed-agreement suite (every trial is a standalone
+``SeedAlg`` run to completion -- cheap enough to benchmark, expensive enough
+that recomputation dominates store I/O) and times three executions:
+
+* **cold** -- a fresh store: every trial executes and is written back;
+* **warm** -- the same store again: every trial must be a cache hit
+  (``store.misses == 0``) and the assembled metric rows must be
+  *byte-identical* to the cold run's;
+* **sharded** -- the suite split ``1/2`` + ``2/2`` over a second fresh
+  store, merged via :func:`~repro.scenarios.suite.merge_reports`, whose
+  deterministic content must equal the unsharded report's.
+
+The headline is ``warm_speedup = cold_s / warm_s``: how much faster a rerun
+is when every record is served from the store.  The committed baseline at
+the repo root is ``BENCH_suite.json``; CI regenerates a ``--quick`` report
+and gates ``warm_speedup`` (and the two identity booleans) through
+``check_bench_regression.py --suite-fresh``.  The speedup is a ratio of two
+runs on the same host, so it is comparable across machines.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_suite_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_suite_throughput.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.analysis.sweep import format_table
+from repro.scenarios import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    MetricSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    SuiteEntry,
+    SuiteReport,
+    SuiteSpec,
+    TopologySpec,
+    deterministic_report_dict,
+    merge_reports,
+    run_suite,
+    run_suite_shard,
+)
+
+from benchmarks.common import add_jobs_argument, default_jobs, save_table
+
+#: The PR-7 acceptance bar: a fully warm rerun over cold execution.
+TARGET_WARM_SPEEDUP = 20.0
+
+FULL_GRID = {"deltas": (8, 16), "epsilons": (0.2, 0.1), "trials": 6}
+QUICK_GRID = {"deltas": (8,), "epsilons": (0.2,), "trials": 6}
+
+OUTPUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_suite.json"
+)
+
+THROUGHPUT_METRICS = (
+    MetricSpec("params"),
+    MetricSpec("seed_owners"),
+    MetricSpec("commit_latency"),
+)
+
+
+def build_throughput_suite(quick: bool = False) -> SuiteSpec:
+    """A deterministic seed-agreement grid sized for benchmarking the store."""
+    grid = QUICK_GRID if quick else FULL_GRID
+    entries: List[SuiteEntry] = []
+    for target_delta in grid["deltas"]:
+        for epsilon in grid["epsilons"]:
+            for trial in range(grid["trials"]):
+                spec = ScenarioSpec(
+                    name=f"store-bench-d{target_delta}-e{epsilon}-t{trial}",
+                    topology=TopologySpec(
+                        "target_degree",
+                        {"target_delta": target_delta, "seed": 500 * target_delta + trial},
+                    ),
+                    algorithm=AlgorithmSpec("seed_agreement", {"epsilon": epsilon}),
+                    scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": trial}),
+                    environment=EnvironmentSpec("null", {}),
+                    engine=EngineConfig(trace_mode="auto"),
+                    run=RunPolicy(
+                        rounds=1,
+                        rounds_unit="algorithm",
+                        trials=1,
+                        master_seed=trial,
+                        seed_policy="fixed",
+                    ),
+                    metrics=THROUGHPUT_METRICS,
+                )
+                entries.append(
+                    SuiteEntry(
+                        id=spec.name,
+                        scenario=spec,
+                        group=f"d{target_delta}-e{epsilon}",
+                    )
+                )
+    return SuiteSpec(
+        name="bench-suite-throughput",
+        description="synthetic grid exercising the result store and sharding",
+        entries=tuple(entries),
+    )
+
+
+def _metric_rows_blob(report: SuiteReport) -> str:
+    """Canonical serialization of every trial's metric row, for byte equality."""
+    rows = [t.metric_row for e in report.entries for t in e.result.trials]
+    return json.dumps(rows, sort_keys=True)
+
+
+def _timed(fn) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def run_benchmark(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, Any]:
+    if jobs is None:
+        jobs = default_jobs()
+    suite = build_throughput_suite(quick=quick)
+    task_count = sum(entry.scenario.run.trials for entry in suite.entries)
+
+    workdir = tempfile.mkdtemp(prefix="bench-suite-store-")
+    try:
+        store_dir = os.path.join(workdir, "store")
+        cold, cold_s = _timed(lambda: run_suite(suite, jobs=jobs, store=store_dir))
+        warm, warm_s = _timed(lambda: run_suite(suite, jobs=jobs, store=store_dir))
+
+        # Sharded run over a second fresh store: two shards, then merge.
+        shard_dir = os.path.join(workdir, "shard-store")
+        shard1, shard1_s = _timed(
+            lambda: run_suite_shard(suite, 1, 2, jobs=jobs, store=shard_dir)
+        )
+        shard2, shard2_s = _timed(
+            lambda: run_suite_shard(suite, 2, 2, jobs=jobs, store=shard_dir)
+        )
+        merged, merge_s = _timed(lambda: merge_reports(suite, [shard1, shard2]))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    warm_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    cold_det = deterministic_report_dict(cold.to_dict())
+    report: Dict[str, Any] = {
+        "benchmark": "bench_suite_throughput",
+        "quick": quick,
+        "jobs": jobs,
+        "suite_fingerprint": suite.fingerprint(),
+        "entries": len(suite.entries),
+        "tasks": task_count,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": warm_speedup,
+        "warm_hits": int(warm.store_stats["hits"]),
+        "warm_misses": int(warm.store_stats["misses"]),
+        "rows_identical": _metric_rows_blob(cold) == _metric_rows_blob(warm),
+        "shard1_s": shard1_s,
+        "shard2_s": shard2_s,
+        "sharded_s": shard1_s + shard2_s,
+        "merge_s": merge_s,
+        "merge_identical": deterministic_report_dict(merged.to_dict()) == cold_det,
+        "target_warm_speedup": TARGET_WARM_SPEEDUP,
+    }
+    return report
+
+
+def render_table(report: Dict[str, Any]) -> str:
+    rows = [
+        {
+            "mode": "cold (fresh store)",
+            "elapsed_s": round(report["cold_s"], 4),
+            "speedup_vs_cold": 1.0,
+        },
+        {
+            "mode": "warm (all hits)",
+            "elapsed_s": round(report["warm_s"], 4),
+            "speedup_vs_cold": round(report["warm_speedup"], 1),
+        },
+        {
+            "mode": "sharded 2x (fresh store)",
+            "elapsed_s": round(report["sharded_s"], 4),
+            "speedup_vs_cold": round(
+                report["cold_s"] / report["sharded_s"] if report["sharded_s"] else 0.0, 2
+            ),
+        },
+    ]
+    title = (
+        f"Suite throughput ({report['tasks']} tasks, jobs={report['jobs']}): "
+        f"warm rerun {report['warm_speedup']:.0f}x over cold "
+        f"(target >= {report['target_warm_speedup']:.0f}x); "
+        f"warm misses={report['warm_misses']}, "
+        f"rows identical={report['rows_identical']}, "
+        f"merged == unsharded: {report['merge_identical']}"
+    )
+    return format_table(rows, columns=["mode", "elapsed_s", "speedup_vs_cold"], title=title)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=OUTPUT_PATH,
+        help="where to write the JSON report (default: repo-root BENCH_suite.json)",
+    )
+    add_jobs_argument(parser)
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick, jobs=args.jobs)
+    table = render_table(report)
+    print(table)
+    save_table("BENCH_suite", table)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+
+    failures = []
+    if not report["rows_identical"]:
+        failures.append("warm rerun's metric rows differ from the cold run's")
+    if report["warm_misses"] != 0:
+        failures.append(f"warm rerun recomputed {report['warm_misses']} trial(s)")
+    if not report["merge_identical"]:
+        failures.append("merged shard report differs from the unsharded report")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

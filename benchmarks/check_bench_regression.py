@@ -21,12 +21,25 @@ committed before that engine existed -- is *skipped* for that engine with a
 warning instead of failing with a ``KeyError``, so the gate stays usable
 across baseline generations.
 
-Usage (the CI smoke step)::
+The PR-7 suite-throughput report (``bench_suite_throughput.py`` writing
+``BENCH_suite.json``) is gated separately via ``--suite-fresh``: its headline
+``warm_speedup`` (warm store-served rerun over cold execution) is a
+same-host ratio, so it is compared against an absolute floor
+(``--min-warm-speedup``) rather than a committed baseline, and the report's
+correctness booleans (byte-identical warm rows, zero warm misses, merged
+shards == unsharded) must all hold.
+
+Usage (the CI smoke steps)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py --quick --output /tmp/smoke.json
     PYTHONPATH=src python benchmarks/check_bench_regression.py \
         --baseline BENCH_engine.json --fresh /tmp/smoke.json \
         --at-n 100 --max-regression 0.30
+
+    PYTHONPATH=src:. python benchmarks/bench_suite_throughput.py \
+        --quick --output /tmp/suite.json
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        --suite-fresh /tmp/suite.json --min-warm-speedup 20
 """
 
 from __future__ import annotations
@@ -104,10 +117,58 @@ def check_engine(
     return True
 
 
+def check_suite(fresh: dict, min_warm_speedup: float) -> bool:
+    """Gate a bench_suite_throughput report; True=pass, False=fail.
+
+    The warm-over-cold speedup divides two timings from the same run on the
+    same host, so (unlike raw rounds/sec) an absolute floor is meaningful on
+    any machine.  The identity booleans are hard correctness claims -- a
+    fast warm rerun that recomputed trials or changed a row is a cache bug,
+    not a perf regression -- so they fail the gate regardless of timing.
+    """
+    ok = True
+    for key, meaning in (
+        ("rows_identical", "warm rerun reproduced the cold run's metric rows"),
+        ("merge_identical", "merged shard report equals the unsharded report"),
+    ):
+        if not fresh.get(key, False):
+            print(f"FAIL [suite]: report says not {key} ({meaning})", file=sys.stderr)
+            ok = False
+    warm_misses = fresh.get("warm_misses")
+    if warm_misses != 0:
+        print(
+            f"FAIL [suite]: warm rerun recomputed {warm_misses} trial(s) "
+            "(expected every record served from the store)",
+            file=sys.stderr,
+        )
+        ok = False
+    speedup = fresh.get("warm_speedup")
+    if speedup is None:
+        print("FAIL [suite]: report lacks a 'warm_speedup' column", file=sys.stderr)
+        return False
+    print(
+        f"suite: warm/cold speedup {speedup:.1f}, floor {min_warm_speedup:.1f} "
+        f"(cold {fresh.get('cold_s', float('nan')):.4f}s, "
+        f"warm {fresh.get('warm_s', float('nan')):.4f}s, "
+        f"{fresh.get('tasks', '?')} tasks)"
+    )
+    if speedup < min_warm_speedup:
+        print(
+            f"FAIL [suite]: warm rerun is only {speedup:.1f}x faster than cold, "
+            f"below the required {min_warm_speedup:.1f}x -- the result store's "
+            "warm path regressed",
+            file=sys.stderr,
+        )
+        ok = False
+    elif ok:
+        print(f"OK [suite]: speedup {speedup:.1f} >= floor {min_warm_speedup:.1f}")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="committed BENCH_engine.json")
-    parser.add_argument("--fresh", required=True, help="freshly produced report to check")
+    parser.add_argument("--baseline", help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", help="freshly produced engine report to check")
     parser.add_argument("--at-n", type=int, default=100, help="network size to compare")
     parser.add_argument(
         "--max-regression",
@@ -127,35 +188,66 @@ def main(argv=None) -> int:
         help="compare raw rounds/sec (same-machine runs only) instead of the "
         "hardware-independent engine/legacy speedup",
     )
+    parser.add_argument(
+        "--suite-fresh",
+        help="freshly produced bench_suite_throughput report (BENCH_suite.json "
+        "format) to gate on warm-over-cold speedup and cache correctness",
+    )
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=20.0,
+        help="minimum required warm/cold speedup in the --suite-fresh report",
+    )
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.fresh) as handle:
-        fresh = json.load(handle)
+    if args.suite_fresh is None and (args.baseline is None or args.fresh is None):
+        parser.error("nothing to gate: pass --baseline/--fresh and/or --suite-fresh")
+    if (args.baseline is None) != (args.fresh is None):
+        parser.error("--baseline and --fresh must be given together")
 
-    if not fresh.get("all_traces_identical", False):
-        print("FAIL: fresh report says engine traces diverged", file=sys.stderr)
-        return 1
+    failed = False
 
-    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
-    if not engines:
-        print("FAIL: --engines selected nothing to gate", file=sys.stderr)
-        return 1
+    if args.suite_fresh is not None:
+        with open(args.suite_fresh) as handle:
+            suite_fresh = json.load(handle)
+        if not check_suite(suite_fresh, args.min_warm_speedup):
+            failed = True
 
-    verdicts = [
-        check_engine(engine, baseline, fresh, args.at_n, args.max_regression, args.absolute)
-        for engine in engines
-    ]
-    if any(verdict is False for verdict in verdicts):
-        return 1
-    if all(verdict is None for verdict in verdicts):
-        # Nothing was comparable at all -- almost certainly a misconfiguration
-        # (wrong --at-n, or a report from a different benchmark entirely).
-        print(
-            "FAIL: no engine could be compared between the two reports",
-            file=sys.stderr,
-        )
+    if args.baseline is not None:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.fresh) as handle:
+            fresh = json.load(handle)
+
+        if not fresh.get("all_traces_identical", False):
+            print("FAIL: fresh report says engine traces diverged", file=sys.stderr)
+            return 1
+
+        engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+        if not engines:
+            print("FAIL: --engines selected nothing to gate", file=sys.stderr)
+            return 1
+
+        verdicts = [
+            check_engine(
+                engine, baseline, fresh, args.at_n, args.max_regression, args.absolute
+            )
+            for engine in engines
+        ]
+        if any(verdict is False for verdict in verdicts):
+            failed = True
+        if all(verdict is None for verdict in verdicts):
+            # Nothing was comparable at all -- almost certainly a
+            # misconfiguration (wrong --at-n, or a report from a different
+            # benchmark entirely).
+            print(
+                "FAIL: no engine could be compared between the two reports",
+                file=sys.stderr,
+            )
+            return 1
+
+    if failed:
         return 1
     print("OK: no throughput regression beyond the allowed margin")
     return 0

@@ -81,6 +81,39 @@ def derive_point_seed(base_seed: int, point_index: int) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+#: The seed policies :func:`derive_trial_seed` implements (shared with
+#: ``repro.scenarios.spec.RunPolicy``, whose ``seed_policy`` field takes
+#: exactly these values).
+TRIAL_SEED_POLICIES = ("fixed", "sequential", "derived")
+
+
+def derive_trial_seed(master_seed: int, trial_index: int, seed_policy: str = "derived") -> int:
+    """THE per-trial seed derivation, shared by every execution path.
+
+    This is the single documented helper behind
+    :meth:`repro.scenarios.spec.RunPolicy.trial_seed`: serial ``run()``
+    loops, ``run(jobs=...)`` worker pools, suite workers, shard partitions
+    and the result store's cache keys all resolve trial ``i`` of a scenario
+    through this function, so they provably draw identical seeds.
+
+    Policies:
+
+    * ``"fixed"`` -- every trial uses ``master_seed`` verbatim;
+    * ``"sequential"`` -- trial ``i`` uses ``master_seed + i``;
+    * ``"derived"`` -- trial ``i`` uses :func:`derive_point_seed`
+      (SHA-derived, so nearby master seeds never share trial seeds).
+    """
+    if seed_policy == "fixed":
+        return master_seed
+    if seed_policy == "sequential":
+        return master_seed + trial_index
+    if seed_policy == "derived":
+        return derive_point_seed(master_seed, trial_index)
+    raise ValueError(
+        f"seed_policy must be one of {TRIAL_SEED_POLICIES}, got {seed_policy!r}"
+    )
+
+
 #: Reserved ``common`` kwarg: a prebuilt ``{(delta_cache_key, round): ids}``
 #: table (see :func:`repro.dualgraph.adversary.prebuild_scheduler_deltas`).
 #: It is *not* passed to ``run``; instead each worker preloads its process-wide
@@ -170,6 +203,7 @@ class ParallelSweepRunner:
         grid: Mapping[str, Sequence[Any]],
         run: Callable[..., Mapping[str, Any]],
         common: Optional[Mapping[str, Any]] = None,
+        on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> SweepResult:
         """Execute the sweep and return its rows in canonical grid order.
 
@@ -188,6 +222,13 @@ class ParallelSweepRunner:
         worker's process-wide scheduler delta cache, so trials on every
         worker share the parent's precomputed schedules instead of re-hashing
         them per process.
+
+        ``on_result``, when given, is called in the parent process with each
+        completed row *in canonical grid order* (serial and pooled runs
+        alike) before the row is appended to the result -- the hook suite
+        checkpointing uses to persist progress incrementally: when the
+        process dies mid-sweep, every row already handed to ``on_result``
+        is a canonical-order prefix of the full sweep.
         """
         points = list(iter_grid_points(grid))
         seeds: List[Optional[int]] = [
@@ -203,7 +244,10 @@ class ParallelSweepRunner:
             if delta_table:
                 _preload_worker_deltas(delta_table)
             for point, seed in zip(points, seeds):
-                result.append(_run_grid_point(run, point, seed_arg, seed, common))
+                row = _run_grid_point(run, point, seed_arg, seed, common)
+                if on_result is not None:
+                    on_result(row)
+                result.append(row)
             return result
 
         workers = min(self.jobs, len(points))
@@ -219,7 +263,10 @@ class ParallelSweepRunner:
                 for point, seed in zip(points, seeds)
             ]
             for future in futures:
-                result.append(future.result())
+                row = future.result()
+                if on_result is not None:
+                    on_result(row)
+                result.append(row)
         return result
 
 

@@ -80,6 +80,23 @@ class Embedding:
         return f"Embedding(vertices={len(self._positions)})"
 
 
+def central_vertex(graph: DualGraph, embedding: Embedding) -> Vertex:
+    """The vertex embedded closest to the center of the deployment area.
+
+    Center means the midpoint of the embedding's :meth:`Embedding.bounding_box`;
+    ties break by the graph's vertex iteration order.  This is the probe
+    placement the locality experiment (E9) uses: a vertex in the middle of the
+    area sees representative contention regardless of the network size.
+    """
+    min_x, min_y, max_x, max_y = embedding.bounding_box()
+    cx, cy = (min_x + max_x) / 2.0, (min_y + max_y) / 2.0
+    return min(
+        graph.vertices,
+        key=lambda v: (embedding.position(v)[0] - cx) ** 2
+        + (embedding.position(v)[1] - cy) ** 2,
+    )
+
+
 def is_r_geographic(graph: DualGraph, embedding: Embedding, r: float) -> bool:
     """Check whether ``(G, G')`` is r-geographic with respect to ``embedding``.
 

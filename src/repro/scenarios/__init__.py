@@ -20,13 +20,18 @@ policy, round-trips through JSON, and carries a stable
   :class:`~repro.scenarios.spec.MetricSpec` entries on a scenario;
 * :mod:`repro.scenarios.suite` -- scenario suites: a JSON
   :class:`~repro.scenarios.suite.SuiteSpec` manifest of many specs run (with
-  per-spec and per-trial parallelism) into one
-  :class:`~repro.scenarios.suite.SuiteReport`;
-* ``python -m repro`` -- the ``run`` / ``sweep`` / ``suite`` / ``list`` CLI
-  over scenario and suite JSON files (:mod:`repro.scenarios.cli`).
+  per-spec and per-trial parallelism, deterministic ``k/N`` sharding, and
+  checkpoint/resume) into one :class:`~repro.scenarios.suite.SuiteReport`;
+* :mod:`repro.scenarios.store` -- the content-addressed
+  :class:`~repro.scenarios.store.ResultStore`: per-trial records keyed by
+  (scenario content identity, trial seed, metrics signature), consulted by
+  every execution path before re-running a trial;
+* ``python -m repro`` -- the ``run`` / ``sweep`` / ``suite`` / ``store`` /
+  ``list`` CLI over scenario and suite JSON files (:mod:`repro.scenarios.cli`).
 
-See ``docs/scenarios.md`` for the spec schema and the registry catalogue, and
-``docs/suites.md`` for the metrics pipeline and suite manifests.
+See ``docs/scenarios.md`` for the spec schema and the registry catalogue,
+``docs/suites.md`` for the metrics pipeline and suite manifests, and
+``docs/store.md`` for the result-store layout and keying.
 """
 
 from repro.scenarios import components  # noqa: F401  (registers built-ins)
@@ -76,12 +81,24 @@ from repro.scenarios.spec import (
     SchedulerSpec,
     TopologySpec,
 )
+from repro.scenarios.store import (
+    ResultStore,
+    metrics_signature,
+    scenario_trial_identity,
+    trial_key,
+)
 from repro.scenarios.suite import (
     SuiteEntry,
     SuiteEntryResult,
     SuiteReport,
+    SuiteShard,
     SuiteSpec,
+    deterministic_report_dict,
+    merge_reports,
+    parse_shard,
     run_suite,
+    run_suite_shard,
+    shard_tasks,
 )
 
 __all__ = [
@@ -128,10 +145,21 @@ __all__ = [
     "run_spec_point",
     "prebuild_delta_table",
     "resolve_senders",
+    # result store
+    "ResultStore",
+    "metrics_signature",
+    "scenario_trial_identity",
+    "trial_key",
     # suites
     "SuiteSpec",
     "SuiteEntry",
     "SuiteEntryResult",
     "SuiteReport",
+    "SuiteShard",
     "run_suite",
+    "run_suite_shard",
+    "merge_reports",
+    "shard_tasks",
+    "parse_shard",
+    "deterministic_report_dict",
 ]

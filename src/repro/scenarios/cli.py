@@ -11,6 +11,12 @@ Subcommands:
 * ``suite SUITE.json`` -- run a scenario-suite manifest (every entry, every
   trial, optionally on a worker pool) and print its pooled per-group report;
   ``--json`` / ``--markdown`` write the full :class:`~repro.scenarios.suite.SuiteReport`.
+  ``--store DIR`` serves/persists trials through the content-addressed
+  result store; ``--shard k/N`` executes one deterministic slice of the task
+  list (writing a shard file under the store), ``--merge`` reassembles the
+  saved shards into the full report, and ``--resume`` journals finished
+  tasks to a checkpoint so a killed run restarts where it stopped.
+* ``store stats|gc DIR`` -- inspect or compact a result store.
 * ``list`` -- the registered components (including metrics), with their
   sample arguments.
 
@@ -22,7 +28,9 @@ back to strings, so ``--set scheduler.args.probability=0.25`` and
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -31,7 +39,15 @@ from repro.scenarios.metrics import METRICS
 from repro.scenarios.registry import ALGORITHMS, ENVIRONMENTS, SCHEDULERS, TOPOLOGIES
 from repro.scenarios.runtime import run, run_many
 from repro.scenarios.spec import ScenarioSpec
-from repro.scenarios.suite import SuiteSpec, run_suite
+from repro.scenarios.store import ResultStore
+from repro.scenarios.suite import (
+    SuiteShard,
+    SuiteSpec,
+    merge_reports,
+    parse_shard,
+    run_suite,
+    run_suite_shard,
+)
 
 
 def _parse_value(text: str) -> Any:
@@ -158,11 +174,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_run_dir(store_dir: str, fingerprint: str) -> str:
+    """Where one suite's shard files and checkpoints live inside a store."""
+    return os.path.join(store_dir, "suite", fingerprint)
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     suite = SuiteSpec.load(args.suite)
-    report = run_suite(
-        suite, jobs=args.jobs, cache_dir=args.cache_dir, prebuild=not args.no_prebuild
-    )
+    fingerprint = suite.fingerprint()
+    if (args.shard or args.merge or args.resume) and not args.store:
+        raise SystemExit("--shard/--merge/--resume need --store DIR for their on-disk state")
+    run_dir = _suite_run_dir(args.store, fingerprint) if args.store else None
+
+    if args.merge:
+        paths = sorted(glob.glob(os.path.join(run_dir, "shard-*-of-*.json")))
+        if not paths:
+            raise SystemExit(f"--merge found no shard files under {run_dir}")
+        try:
+            report = merge_reports(suite, [SuiteShard.load(path) for path in paths])
+        except ValueError as error:
+            raise SystemExit(f"merge failed: {error}")
+        if not args.quiet:
+            print(f"merged     : {len(paths)} shard file(s) from {run_dir}")
+    elif args.shard:
+        shard_index, shard_count = parse_shard(args.shard)
+        name = f"shard-{shard_index}-of-{shard_count}"
+        checkpoint = (
+            os.path.join(run_dir, name + ".checkpoint.jsonl") if args.resume else None
+        )
+        shard = run_suite_shard(
+            suite,
+            shard_index,
+            shard_count,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            prebuild=not args.no_prebuild,
+            store=args.store,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        )
+        path = shard.save(os.path.join(run_dir, name + ".json"))
+        if checkpoint is not None and os.path.exists(checkpoint):
+            os.remove(checkpoint)
+        stats = shard.stats
+        print(
+            f"shard {shard_index}/{shard_count}: {stats['tasks']} task(s) "
+            f"({stats['hits']} from store, {stats['resumed']} resumed, "
+            f"{stats['misses']} executed) in {shard.elapsed_s:.2f}s"
+        )
+        print(f"wrote {path}")
+        return 0
+    else:
+        checkpoint = (
+            os.path.join(run_dir, "run.checkpoint.jsonl")
+            if run_dir is not None and args.resume
+            else None
+        )
+        report = run_suite(
+            suite,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            prebuild=not args.no_prebuild,
+            store=args.store,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        )
     if not args.quiet:
         print(
             f"suite      : {suite.name}  (fingerprint {report.fingerprint}, "
@@ -170,6 +246,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
         if suite.description:
             print(f"description: {suite.description}")
+        if report.store_stats is not None:
+            stats = report.store_stats
+            print(
+                f"store      : {stats['hits']} of {stats['tasks']} task(s) from the "
+                f"store, {stats['resumed']} resumed, {stats['misses']} executed"
+            )
         print()
         print(report.format_table(by="entry", columns=args.columns))
         print()
@@ -189,6 +271,36 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     ):
         print("ERROR: suite produced an empty report", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.dir)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"store      : {stats['root']}")
+        print(f"buckets    : {stats['files']} file(s), {stats['bytes']} bytes")
+        print(f"entries    : {stats['entries']} distinct key(s) over {stats['lines']} line(s)")
+        if stats["lines"] > stats["entries"]:
+            print(
+                f"             ({stats['lines'] - stats['entries']} superseded/duplicate "
+                "line(s); `store gc` compacts them)"
+            )
+        return 0
+    # args.action == "gc"
+    outcome = store.gc(
+        drop_fingerprints=tuple(args.drop_fingerprint or ()), dry_run=args.dry_run
+    )
+    verb = "would drop" if args.dry_run else "dropped"
+    print(
+        f"gc {store.root}: kept {outcome['kept']}, {verb} "
+        f"{outcome['dropped_superseded']} superseded, "
+        f"{outcome['dropped_corrupt']} corrupt, "
+        f"{outcome['dropped_evicted']} evicted by fingerprint"
+    )
     return 0
 
 
@@ -292,7 +404,56 @@ def make_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--json", help="also write the full SuiteReport JSON here")
     suite_parser.add_argument("--markdown", help="also write the group table as markdown here")
     suite_parser.add_argument("--quiet", "-q", action="store_true", help="suppress the tables")
+    suite_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store: completed trials are served from "
+        "here instead of re-executing, fresh ones are persisted (see docs/store.md)",
+    )
+    suite_parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="execute only shard K of N (1-based, deterministic partition) and "
+        "write the shard file under --store instead of a report",
+    )
+    suite_parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge the shard files saved under --store into the full report "
+        "(fails if any shard is missing)",
+    )
+    suite_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal finished tasks to a checkpoint under --store and, when "
+        "one exists from a killed run, trust its records instead of re-executing",
+    )
     suite_parser.set_defaults(func=_cmd_suite)
+
+    store_parser = sub.add_parser(
+        "store", help="inspect or compact a content-addressed result store"
+    )
+    store_sub = store_parser.add_subparsers(dest="action", required=True)
+    stats_parser = store_sub.add_parser("stats", help="entry/size/hit counters")
+    stats_parser.add_argument("dir", help="store root directory")
+    stats_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    stats_parser.set_defaults(func=_cmd_store)
+    gc_parser = store_sub.add_parser(
+        "gc", help="compact buckets: drop corrupt/superseded lines (run offline)"
+    )
+    gc_parser.add_argument("dir", help="store root directory")
+    gc_parser.add_argument(
+        "--drop-fingerprint",
+        action="append",
+        metavar="FP",
+        help="also evict every record produced by this spec fingerprint (repeatable)",
+    )
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="report what would change, touch nothing"
+    )
+    gc_parser.set_defaults(func=_cmd_store)
 
     list_parser = sub.add_parser("list", help="list registered scenario components")
     list_parser.add_argument(

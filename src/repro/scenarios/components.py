@@ -312,6 +312,8 @@ def _algorithm_lbalg(
     preset: str = "derived",
     r: float = 2.0,
     seed_reuse_phases: int = 1,
+    delta_budget: Optional[int] = None,
+    delta_prime_budget: Optional[int] = None,
     tprog_override: Optional[int] = None,
     tack_phases_override: Optional[int] = None,
     seed_phase_length_override: Optional[int] = None,
@@ -322,11 +324,19 @@ def _algorithm_lbalg(
     ``preset="derived"`` is the full Appendix C.1 calculus;
     ``preset="small"`` is :meth:`~repro.core.params.LBParams.small_for_testing`
     (compact but structurally faithful -- what the engine benchmarks use).
-    ``params_only=True`` resolves the derived parameters and round lengths
-    without constructing the process population (the params-only resolution
-    mode; see :meth:`repro.scenarios.registry.Registry.supports_params_only`).
+    ``delta_budget`` / ``delta_prime_budget`` replace the measured degree
+    bounds in the derivation -- the "processes only know the budgets, not the
+    sampled maxima" configuration of the locality experiment (the schedule is
+    then identical for every sampled network).  ``params_only=True`` resolves
+    the derived parameters and round lengths without constructing the process
+    population (the params-only resolution mode; see
+    :meth:`repro.scenarios.registry.Registry.supports_params_only`).
     """
     delta, delta_prime = graph.degree_bounds()
+    if delta_budget is not None:
+        delta = delta_budget
+    if delta_prime_budget is not None:
+        delta_prime = delta_prime_budget
     if preset == "derived":
         params = LBParams.derive(
             epsilon,
@@ -429,7 +439,7 @@ _register_baseline("round_robin", {})
 # ----------------------------------------------------------------------
 # environments
 # ----------------------------------------------------------------------
-def resolve_senders(graph, senders: Any) -> List[Hashable]:
+def resolve_senders(graph, senders: Any, embedding: Any = None) -> List[Hashable]:
     """Resolve a declarative sender selection against a materialized graph.
 
     Accepted forms:
@@ -441,7 +451,16 @@ def resolve_senders(graph, senders: Any) -> List[Hashable]:
     * ``{"select": "first", "divisor": d, "min": m}`` -- the first
       ``max(m, n // d)`` vertices (the benchmark suite's contention recipe);
     * ``{"select": "degree_top", "count": k}`` -- the ``k`` highest reliable
-      degree vertices (ties broken by sort order).
+      degree vertices (ties broken by sort order);
+    * ``{"select": "center_probe_neighbors", "count": k}`` -- the first ``k``
+      sorted reliable neighbors of the vertex embedded nearest the center of
+      the deployment area (:func:`repro.dualgraph.geometric.central_vertex`);
+      the probe itself when it has no reliable neighbor.  Needs the trial's
+      ``embedding`` (environment builders declare an ``embedding`` keyword to
+      receive it; see
+      :meth:`repro.scenarios.registry.Registry.supports_embedding`).  The E9
+      locality experiment's contention recipe: saturate the probe's immediate
+      neighborhood, wherever the sample put it.
     """
     if isinstance(senders, (list, tuple)):
         return list(senders)
@@ -467,8 +486,21 @@ def resolve_senders(graph, senders: Any) -> List[Hashable]:
             ordered, key=lambda v: len(graph.reliable_neighbors(v)), reverse=True
         )
         return by_degree[:count]
+    if select == "center_probe_neighbors":
+        if embedding is None:
+            raise ValueError(
+                "senders select='center_probe_neighbors' needs the trial's "
+                "embedding (only embedding-aware environments can resolve it)"
+            )
+        from repro.dualgraph.geometric import central_vertex
+
+        probe = central_vertex(graph, embedding)
+        count = int(senders.get("count", 1))
+        neighbors = sorted(graph.reliable_neighbors(probe))
+        return neighbors[:count] if neighbors else [probe]
     raise ValueError(
-        f"unknown senders selection {select!r}; expected 'all', 'first' or 'degree_top'"
+        f"unknown senders selection {select!r}; expected 'all', 'first', "
+        "'degree_top' or 'center_probe_neighbors'"
     )
 
 
@@ -481,10 +513,14 @@ def _environment_null(graph):
     "single_shot", sample_args={"senders": {"select": "first", "count": 1}}
 )
 def _environment_single_shot(
-    graph, senders: Any, start_round: int = 1, payload_prefix: str = "msg-"
+    graph,
+    senders: Any,
+    start_round: int = 1,
+    payload_prefix: str = "msg-",
+    embedding: Any = None,
 ):
     return SingleShotEnvironment(
-        senders=resolve_senders(graph, senders),
+        senders=resolve_senders(graph, senders, embedding=embedding),
         start_round=start_round,
         payload_prefix=payload_prefix,
     )
@@ -493,18 +529,23 @@ def _environment_single_shot(
 @register_environment(
     "saturating", sample_args={"senders": {"select": "first", "count": 2}}
 )
-def _environment_saturating(graph, senders: Any, start_round: int = 1):
+def _environment_saturating(graph, senders: Any, start_round: int = 1, embedding: Any = None):
     return SaturatingEnvironment(
-        senders=resolve_senders(graph, senders), start_round=start_round
+        senders=resolve_senders(graph, senders, embedding=embedding),
+        start_round=start_round,
     )
 
 
 @register_environment(
     "bursty", sample_args={"senders": {"select": "first", "count": 2}, "period": 25}
 )
-def _environment_bursty(graph, senders: Any, period: int = 50, start_round: int = 1):
+def _environment_bursty(
+    graph, senders: Any, period: int = 50, start_round: int = 1, embedding: Any = None
+):
     return BurstyEnvironment(
-        senders=resolve_senders(graph, senders), period=period, start_round=start_round
+        senders=resolve_senders(graph, senders, embedding=embedding),
+        period=period,
+        start_round=start_round,
     )
 
 

@@ -39,7 +39,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.stats import summarize, wilson_interval
 from repro.core.lb_spec import check_lb_execution
-from repro.core.seed_spec import check_seed_execution
+from repro.core.seed_spec import check_seed_execution, decide_latency_rounds
+from repro.dualgraph.geometric import central_vertex
 from repro.mac.spec import MacLayerGuarantees, check_mac_guarantees
 from repro.scenarios.components import resolve_senders
 from repro.scenarios.registry import Registry
@@ -47,6 +48,7 @@ from repro.scenarios.spec import MetricSpec
 from repro.simulation.metrics import (
     ack_delays,
     data_reception_round_sets,
+    data_reception_rounds,
     delivery_report,
     progress_report,
     receive_rates,
@@ -78,6 +80,10 @@ class MetricContext:
     rounds: int = 0
     environment: Any = None
     algorithm_build: Any = None
+    #: The topology builder's :class:`~repro.dualgraph.geometric.Embedding`
+    #: (geometry-aware metrics such as ``probe_progress`` need it; ``None``
+    #: for topologies without one).
+    embedding: Any = None
 
 
 class MetricRegistry(Registry):
@@ -331,6 +337,19 @@ def _metric_params(ctx: MetricContext) -> Dict[str, Any]:
     return row
 
 
+@register_metric("graph_stats", sample_args={}, trace_mode=TraceMode.COUNTERS)
+def _metric_graph_stats(ctx: MetricContext) -> Dict[str, Any]:
+    """The sampled network's measured local quantities (n, Δ, Δ').
+
+    What the benchmark harnesses report as "measured" degrees next to the
+    budgets the parameters were derived from: ``delta``/``delta_prime`` are
+    the graph's :meth:`~repro.dualgraph.graph.DualGraph.degree_bounds` --
+    the maximum reliable and potential degrees of the trial's sample.
+    """
+    delta, delta_prime = ctx.graph.degree_bounds()
+    return {"n": ctx.graph.n, "delta": delta, "delta_prime": delta_prime}
+
+
 @register_metric(
     "ack_delay",
     sample_args={},
@@ -413,6 +432,91 @@ def _metric_progress(
         "total_windows": len(report.windows),
         "windows": report.num_applicable,
         "failures": len(report.failures),
+    }
+
+
+def _resolve_probe(ctx: MetricContext, metric: str, vertex: Optional[Any]) -> Any:
+    """The probe vertex of a geometry-aware metric.
+
+    An explicit ``vertex`` arg wins; otherwise the vertex embedded nearest
+    the center of the deployment area
+    (:func:`repro.dualgraph.geometric.central_vertex`), which needs the
+    trial's embedding.
+    """
+    if vertex is not None:
+        return vertex
+    if ctx.embedding is None:
+        raise ValueError(
+            f"metric {metric!r} needs the trial's embedding to place the center "
+            "probe; pass an explicit vertex= arg for topologies without one"
+        )
+    return central_vertex(ctx.graph, ctx.embedding)
+
+
+@register_metric(
+    "probe_progress",
+    sample_args={},
+    trace_mode=TraceMode.FULL,
+    rates={"pooled_failure_rate": ("failures", "windows")},
+)
+def _metric_probe_progress(
+    ctx: MetricContext, window: Optional[int] = None, vertex: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Progress-window outcomes at a single probe receiver (the E9 measurement).
+
+    Like ``progress``, but restricted to one receiver -- by default the vertex
+    embedded nearest the center of the deployment area.  ``failure_rate`` is
+    the per-trial rate (0.0 when no window was applicable), so a mean over
+    trials with ``windows > 0`` reproduces the pre-migration harness's
+    arithmetic exactly; the pooled ``pooled_failure_rate`` rate is the
+    cross-trial aggregate with a Wilson interval.
+    """
+    probe = _resolve_probe(ctx, "probe_progress", vertex)
+    if window is None:
+        window = getattr(
+            _require_params(ctx, "probe_progress", "a window length (t_prog)"),
+            "tprog_rounds",
+            None,
+        )
+        if window is None:
+            raise ValueError(
+                "metric 'probe_progress' needs an explicit window: the trial's "
+                "params do not define tprog_rounds"
+            )
+    report = progress_report(ctx.trace, ctx.graph, window=window, receivers=[probe])
+    return {
+        "probe": probe,
+        "window": window,
+        "total_windows": len(report.windows),
+        "windows": report.num_applicable,
+        "failures": len(report.failures),
+        "failure_rate": report.failure_rate,
+    }
+
+
+@register_metric(
+    "probe_reception",
+    sample_args={},
+    trace_mode=TraceMode.FULL,
+    ratios={"pooled_rate": ("receptions", "rounds")},
+)
+def _metric_probe_reception(
+    ctx: MetricContext, vertex: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Per-round data-reception rate at a single probe receiver (E9).
+
+    Counts the rounds in which the probe -- by default the center vertex --
+    physically received a data frame
+    (:func:`repro.simulation.metrics.data_reception_rounds`) and divides by
+    the trial's round budget.
+    """
+    probe = _resolve_probe(ctx, "probe_reception", vertex)
+    receptions = len(data_reception_rounds(ctx.trace, probe))
+    return {
+        "probe": probe,
+        "rounds": ctx.rounds,
+        "receptions": receptions,
+        "rate": receptions / ctx.rounds if ctx.rounds else 0.0,
     }
 
 
@@ -562,6 +666,28 @@ def _metric_seed_owners(
         row["delta_bound"] = delta_bound
         row["agreement_violations"] = sum(1 for c in counts.values() if c > delta_bound)
     return row
+
+
+@register_metric(
+    "commit_latency",
+    sample_args={},
+    trace_mode=TraceMode.EVENTS,
+    ratios={"latency_mean": ("latency_sum", "decided")},
+)
+def _metric_commit_latency(ctx: MetricContext) -> Dict[str, Any]:
+    """Commit (decide) latencies in rounds (wraps
+    :func:`repro.core.seed_spec.decide_latency_rounds`).
+
+    The pooled ``latency_mean`` ratio equals the flat mean over every
+    vertex's earliest decide round across all trials -- the E2 runtime
+    measurement.
+    """
+    latencies = decide_latency_rounds(ctx.trace)
+    return {
+        "decided": len(latencies),
+        "latency_sum": sum(latencies.values()),
+        "latency_max": max(latencies.values()) if latencies else 0,
+    }
 
 
 @register_metric(

@@ -43,13 +43,18 @@ import inspect
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 
-def _accepts_params_only(builder: Callable[..., Any]) -> bool:
-    """True iff the builder's signature declares a ``params_only`` parameter."""
+def _accepts_keyword(builder: Callable[..., Any], keyword: str) -> bool:
+    """True iff the builder's signature declares the named parameter."""
     try:
         signature = inspect.signature(builder)
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
-    return "params_only" in signature.parameters
+    return keyword in signature.parameters
+
+
+def _accepts_params_only(builder: Callable[..., Any]) -> bool:
+    """True iff the builder's signature declares a ``params_only`` parameter."""
+    return _accepts_keyword(builder, "params_only")
 
 
 class Registry:
@@ -61,6 +66,7 @@ class Registry:
         self._sample_args: Dict[str, Dict[str, Any]] = {}
         self._trial_seeded: Dict[str, bool] = {}
         self._params_only: Dict[str, bool] = {}
+        self._embedding_aware: Dict[str, bool] = {}
 
     def register(
         self,
@@ -93,6 +99,7 @@ class Registry:
             self._sample_args[name] = dict(sample_args) if sample_args else {}
             self._trial_seeded[name] = bool(trial_seeded)
             self._params_only[name] = _accepts_params_only(builder)
+            self._embedding_aware[name] = _accepts_keyword(builder, "embedding")
             return builder
 
         return decorator
@@ -132,6 +139,19 @@ class Registry:
         """
         self.get(name)  # raise uniformly on unknown names
         return self._params_only[name]
+
+    def supports_embedding(self, name: str) -> bool:
+        """Whether the builder accepts the trial topology's ``embedding``.
+
+        Detected from the signature at registration (like
+        :meth:`supports_params_only`): a builder declaring an ``embedding``
+        keyword receives the topology builder's
+        :class:`~repro.dualgraph.geometric.Embedding` from the scenario
+        runtime, which is what lets environment sender selections place
+        themselves geometrically (e.g. ``center_probe_neighbors``).
+        """
+        self.get(name)  # raise uniformly on unknown names
+        return self._embedding_aware[name]
 
     def names(self) -> List[str]:
         return sorted(self._builders)

@@ -153,7 +153,13 @@ def materialize(spec: ScenarioSpec, trial_index: int = 0) -> BuiltScenario:
     scheduler = scheduler_builder(graph, trial_seed, **spec.scheduler.args)
 
     environment_builder = ENVIRONMENTS.get(spec.environment.name)
-    environment = environment_builder(graph, **spec.environment.args)
+    if ENVIRONMENTS.supports_embedding(spec.environment.name):
+        # Embedding-aware environments (declared via an `embedding` keyword;
+        # see Registry.supports_embedding) get the topology's embedding so
+        # sender selections can place themselves geometrically.
+        environment = environment_builder(graph, embedding=embedding, **spec.environment.args)
+    else:
+        environment = environment_builder(graph, **spec.environment.args)
 
     engine = spec.engine
     simulator = Simulator(
@@ -319,6 +325,7 @@ def run_trial(spec: ScenarioSpec, trial_index: int, keep: bool = True) -> TrialR
             rounds=built.total_rounds,
             environment=built.environment,
             algorithm_build=built.algorithm_build,
+            embedding=built.embedding,
         )
         metrics.update(evaluate_metrics(spec.metrics, ctx))
     return TrialRunResult(
@@ -419,6 +426,7 @@ def run(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     prebuild: bool = True,
+    store: Any = None,
 ) -> RunResult:
     """Execute every trial of the spec and aggregate the results.
 
@@ -437,9 +445,40 @@ def run(
     disk-backed under ``cache_dir``) and shipped to every worker instead of
     being re-hashed per process; ``prebuild=False`` skips that for sparse
     workloads.  Serial runs share the process-wide delta cache already.
+
+    ``store`` (a :class:`~repro.scenarios.store.ResultStore` or its root
+    path) consults the content-addressed result store before dispatching each
+    trial and writes every computed trial record back on completion: a trial
+    whose key (content identity + seed + metrics signature; see
+    :func:`repro.scenarios.store.trial_key`) is already stored is absorbed
+    from the cached record instead of re-executing, with metric rows
+    byte-identical to a fresh run.  Like ``jobs``, a store runs in record
+    mode -- live traces are not retained regardless of ``keep``.
     """
+    from repro.scenarios.store import ResultStore
+
+    store = ResultStore.coerce(store)
     result = RunResult(spec=spec, fingerprint=spec.fingerprint())
-    if jobs is not None and jobs > 1 and spec.run.trials > 1:
+    pooled = jobs is not None and jobs > 1 and spec.run.trials > 1
+    if store is None and not pooled:
+        for trial_index in range(spec.run.trials):
+            trial = run_trial(spec, trial_index, keep=keep)
+            result.trials.append(trial)
+            if spec.engine.profile and trial.simulator is not None:
+                for section, seconds in trial.simulator.perf_stats.items():
+                    result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
+        _aggregate(result)
+        return result
+
+    records: Dict[int, Mapping[str, Any]] = {}
+    if store is not None:
+        for trial_index in range(spec.run.trials):
+            hit = store.get(spec, trial_index)
+            if hit is not None:
+                records[trial_index] = hit
+    pending = [i for i in range(spec.run.trials) if i not in records]
+
+    if pooled and len(pending) > 1:
         common: Dict[str, Any] = {"spec_json": spec.to_json(indent=None)}
         if prebuild:
             try:
@@ -449,22 +488,18 @@ def run(
             if table:
                 common[SCHEDULER_DELTA_TABLE_KWARG] = table
         runner = ParallelSweepRunner(jobs=jobs)
-        rows = runner.run(
-            {"trial_index": list(range(spec.run.trials))},
-            run_spec_trial,
-            common=common,
-        )
-        for record in rows:
-            absorb_trial_record(result, record)
-        _aggregate(result)
-        return result
+        rows = runner.run({"trial_index": pending}, run_spec_trial, common=common)
+        for row in rows:
+            records[row["trial_index"]] = row
+    else:
+        for trial_index in pending:
+            records[trial_index] = trial_record(spec, trial_index)
 
+    if store is not None:
+        for trial_index in pending:
+            store.put(spec, trial_index, records[trial_index])
     for trial_index in range(spec.run.trials):
-        trial = run_trial(spec, trial_index, keep=keep)
-        result.trials.append(trial)
-        if spec.engine.profile and trial.simulator is not None:
-            for section, seconds in trial.simulator.perf_stats.items():
-                result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
+        absorb_trial_record(result, records[trial_index])
     _aggregate(result)
     return result
 
@@ -567,15 +602,22 @@ def prebuild_delta_table(
 # sweep dispatch: serialized specs, never closures
 # ----------------------------------------------------------------------
 def run_spec_point(
-    spec_json: Optional[str] = None, seed: Optional[int] = None, **overrides: Any
+    spec_json: Optional[str] = None,
+    seed: Optional[int] = None,
+    store: Optional[str] = None,
+    **overrides: Any,
 ) -> Dict[str, Any]:
     """Worker target for :func:`run_many` (module-level, hence picklable).
 
     ``spec_json`` is the base spec's serialized form (shipped once per worker
     through the sweep's ``common`` mapping); ``overrides`` are one grid
     point's dotted-path values; ``seed``, when the runner injects one,
-    replaces the run policy's master seed.  The worker never receives live
-    objects or closures -- reconstruction happens entirely from data.
+    replaces the run policy's master seed.  ``store``, when set, is the root
+    path of a content-addressed :class:`~repro.scenarios.store.ResultStore`
+    consulted per trial (workers share one handle per process via
+    :meth:`~repro.scenarios.store.ResultStore.shared`).  The worker never
+    receives live objects or closures -- reconstruction happens entirely from
+    data.
     """
     if spec_json is None:
         raise ValueError("run_spec_point needs the serialized spec (spec_json)")
@@ -584,7 +626,12 @@ def run_spec_point(
         spec = spec.with_overrides(overrides)
     if seed is not None:
         spec = spec.with_overrides({"run.master_seed": seed})
-    return run(spec, keep=False).to_row()
+    handle = None
+    if store is not None:
+        from repro.scenarios.store import ResultStore
+
+        handle = ResultStore.shared(store)
+    return run(spec, keep=False, store=handle).to_row()
 
 
 def run_many(
@@ -594,6 +641,7 @@ def run_many(
     base_seed: Optional[int] = None,
     cache_dir: Optional[str] = None,
     prebuild: bool = True,
+    store: Any = None,
 ) -> SweepResult:
     """Run a grid of spec variants, serially or on a process pool.
 
@@ -618,9 +666,21 @@ def run_many(
         the merged table to workers through the sweep runner's reserved
         ``scheduler_delta_table`` kwarg (set ``False`` to skip the upfront
         cost for short exploratory sweeps).
+    store:
+        A content-addressed :class:`~repro.scenarios.store.ResultStore` (or
+        its root path): each variant's trials are looked up before executing
+        and written back after, so re-running a sweep -- or a sweep that
+        shares grid points with an earlier one -- recomputes only unseen
+        trials.  Workers receive the store's root path and reattach via
+        :meth:`~repro.scenarios.store.ResultStore.shared`.
     """
+    from repro.scenarios.store import ResultStore
+
+    store = ResultStore.coerce(store)
     grid = dict(overrides_grid or {})
     common: Dict[str, Any] = {"spec_json": spec.to_json(indent=None)}
+    if store is not None:
+        common["store"] = str(store.root)
 
     if prebuild:
         # Prebuild against the exact spec each worker will run: the runner

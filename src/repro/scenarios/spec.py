@@ -26,7 +26,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.analysis.sweep import derive_point_seed
+from repro.analysis.sweep import TRIAL_SEED_POLICIES, derive_trial_seed
 from repro.simulation.trace import TraceMode
 
 #: Spec schema version, embedded in serialized form so future layouts can
@@ -34,7 +34,7 @@ from repro.simulation.trace import TraceMode
 SPEC_VERSION = 1
 
 _ROUNDS_UNITS = ("rounds", "phases", "tack", "algorithm")
-_SEED_POLICIES = ("fixed", "sequential", "derived")
+_SEED_POLICIES = TRIAL_SEED_POLICIES
 #: "auto" defers the choice to the metric registry: the runtime picks the
 #: cheapest :class:`TraceMode` covering every declared metric's minimum (see
 #: :func:`repro.scenarios.metrics.required_trace_mode`).
@@ -255,14 +255,15 @@ class RunPolicy:
             )
 
     def trial_seed(self, trial_index: int) -> int:
-        """The deterministic seed for one trial (see ``seed_policy``)."""
+        """The deterministic seed for one trial (see ``seed_policy``).
+
+        Delegates to :func:`repro.analysis.sweep.derive_trial_seed` -- the
+        single helper every execution path (serial runs, worker pools, suite
+        shards, the result store's keys) resolves trial seeds through.
+        """
         if not 0 <= trial_index < self.trials:
             raise ValueError(f"trial_index must be in [0, {self.trials}), got {trial_index}")
-        if self.seed_policy == "fixed":
-            return self.master_seed
-        if self.seed_policy == "sequential":
-            return self.master_seed + trial_index
-        return derive_point_seed(self.master_seed, trial_index)
+        return derive_trial_seed(self.master_seed, trial_index, self.seed_policy)
 
     def to_dict(self) -> Dict[str, Any]:
         return {

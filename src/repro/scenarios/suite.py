@@ -27,6 +27,16 @@ Trial metric rows are byte-identical to serial :func:`repro.scenarios.runtime.ru
 execution; entries sharing a ``group`` label pool their rows into group
 aggregates, which is how a suite reproduces a benchmark's
 several-specs-per-table-row arithmetic exactly.
+
+The flattened task list is also the unit of *distribution* and *durability*:
+
+* a content-addressed :class:`~repro.scenarios.store.ResultStore` consulted
+  per task skips every trial whose record is already stored;
+* :func:`run_suite_shard` executes one deterministic ``k/N`` partition of the
+  task list and :func:`merge_reports` reassembles complete shard sets into
+  the same :class:`SuiteReport` an unsharded run produces;
+* a JSONL checkpoint (``checkpoint=``/``resume=``) persists each finished
+  task record as it lands, so a killed run resumes without recomputing.
 """
 
 from __future__ import annotations
@@ -57,6 +67,7 @@ from repro.scenarios.spec import (
     _json_canonical,
     _reject_unknown_keys,
 )
+from repro.scenarios.store import ResultStore
 
 #: Suite manifest schema version (independent of the scenario spec version).
 SUITE_VERSION = 1
@@ -300,6 +311,10 @@ class SuiteReport:
     entries: List[SuiteEntryResult] = field(default_factory=list)
     group_summaries: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: Cache accounting when the run used a result store, checkpoint, or
+    #: merge: ``tasks`` total, ``resumed`` from a checkpoint, ``hits`` served
+    #: by the store, ``misses`` actually executed.  ``None`` on plain runs.
+    store_stats: Optional[Dict[str, int]] = None
 
     def __bool__(self) -> bool:
         return any(result.result for result in self.entries)
@@ -342,8 +357,14 @@ class SuiteReport:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-serializable report (what ``python -m repro suite --json`` writes)."""
-        return {
+        """A JSON-serializable report (what ``python -m repro suite --json`` writes).
+
+        The ``store`` key (cache accounting) appears only when the run used a
+        result store, checkpoint, or shard merge; strip wall-clock keys with
+        :func:`deterministic_report_dict` before comparing reports across
+        runs.
+        """
+        data: Dict[str, Any] = {
             "suite": self.suite.to_dict(),
             "fingerprint": self.fingerprint,
             "elapsed_s": self.elapsed_s,
@@ -360,6 +381,9 @@ class SuiteReport:
                 for group, summaries in self.group_summaries.items()
             },
         }
+        if self.store_stats is not None:
+            data["store"] = dict(self.store_stats)
+        return data
 
     def to_markdown(self, by: str = "group") -> str:
         """The report as a GitHub-flavored markdown table."""
@@ -389,84 +413,319 @@ class SuiteReport:
         return "\n".join(lines)
 
 
-def run_suite(
-    suite: SuiteSpec,
-    jobs: Optional[int] = None,
-    cache_dir: Optional[str] = None,
-    prebuild: bool = True,
-) -> SuiteReport:
-    """Execute every trial of every entry and aggregate into a :class:`SuiteReport`.
+def _flatten_tasks(suite: SuiteSpec) -> List[Tuple[int, int]]:
+    """The suite's canonical task list: ``(entry_index, trial_index)`` pairs.
 
-    Parameters mirror :func:`repro.scenarios.runtime.run_many`: ``jobs``
-    above 1 runs the flattened (entry, trial) task list on a process pool
-    (``None`` = all cores, <2 = serial); ``prebuild`` computes each cacheable
-    entry's scheduler-delta table once in the parent -- keyed by the entry
-    spec's fingerprint, optionally persisted under ``cache_dir`` -- and ships
-    the merged table to workers through the pool initializer.
-
-    Sparse workloads are auto-skipped by the prebuild pass: a ``single_shot``
-    environment leaves most of its (typically t_ack-long) run idle, so the
-    lazily computed per-round deltas touch only a fraction of the rounds a
-    full-table prebuild would pay for upfront.  Such entries run with lazy
-    deltas and a :class:`RuntimeWarning` notes the skip; pass
-    ``prebuild=False`` to silence it when the whole suite is sparse.
+    Entries in manifest order, trials in index order.  Every execution mode
+    (serial, pooled, sharded, resumed) works over this one ordering, which is
+    what makes shard partitions and checkpoint files stable across processes
+    and worker counts.
     """
-    start = time.perf_counter()
     tasks: List[Tuple[int, int]] = []
     for entry_index, entry in enumerate(suite.entries):
         for trial_index in range(entry.scenario.run.trials):
             tasks.append((entry_index, trial_index))
+    return tasks
 
-    common: Dict[str, Any] = {
-        "suite_specs": [entry.scenario.to_json(indent=None) for entry in suite.entries],
-        "suite_tasks": tasks,
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``"k/N"`` shard selector (1-based) into ``(k, N)``."""
+    parts = str(text).split("/")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"shard selector must look like 'k/N' (e.g. '1/4'), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard selector {text!r} out of range: need 1 <= k <= N with N >= 1"
+        )
+    return index, count
+
+
+def shard_tasks(task_count: int, shard_index: int, shard_count: int) -> List[int]:
+    """Task indices belonging to shard ``k`` of ``N`` (1-based).
+
+    Task ``i`` goes to shard ``(i % N) + 1``: round-robin over the canonical
+    task order, so a suite whose entries differ wildly in cost still spreads
+    each entry's trials across all shards.
+    """
+    if shard_count < 1 or not 1 <= shard_index <= shard_count:
+        raise ValueError(
+            f"shard {shard_index}/{shard_count} out of range: need 1 <= k <= N"
+        )
+    return [i for i in range(task_count) if i % shard_count == shard_index - 1]
+
+
+@dataclass
+class SuiteShard:
+    """One shard's executed slice of a suite.
+
+    Holds the trial records (:func:`repro.scenarios.runtime.trial_record`
+    wire format) of every task index in the shard's deterministic partition,
+    plus enough identity -- suite fingerprint, ``k/N`` position, total task
+    count -- for :func:`merge_reports` to validate that a shard set is
+    complete and belongs together before assembling the report.
+    """
+
+    suite_fingerprint: str
+    shard_index: int
+    shard_count: int
+    task_count: int
+    records: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite_fingerprint,
+            "shard": [self.shard_index, self.shard_count],
+            "tasks": self.task_count,
+            "elapsed_s": self.elapsed_s,
+            "stats": dict(self.stats),
+            "records": {str(index): record for index, record in self.records.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SuiteShard":
+        _reject_unknown_keys(
+            data, ("suite", "shard", "tasks", "elapsed_s", "stats", "records"),
+            "suite shard",
+        )
+        shard = data.get("shard")
+        if not isinstance(shard, (list, tuple)) or len(shard) != 2:
+            raise ValueError("suite shard needs a 2-element 'shard' [k, N] field")
+        return cls(
+            suite_fingerprint=data["suite"],
+            shard_index=int(shard[0]),
+            shard_count=int(shard[1]),
+            task_count=int(data["tasks"]),
+            records={int(index): record for index, record in data.get("records", {}).items()},
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            stats={key: int(value) for key, value in data.get("stats", {}).items()},
+        )
+
+    def save(self, path: str) -> str:
+        """Serialize atomically (temp file + rename), so a concurrent merge
+        never reads a half-written shard."""
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "SuiteShard":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def _checkpoint_header(suite: SuiteSpec, shard_index: int, shard_count: int) -> Dict[str, Any]:
+    return {
+        "checkpoint": 1,
+        "suite": suite.fingerprint(),
+        "shard": [shard_index, shard_count],
+        "tasks": len(_flatten_tasks(suite)),
     }
-    if prebuild:
-        sparse = [
-            entry.id
-            for entry in suite.entries
-            if entry.scenario.environment.name == "single_shot"
-        ]
-        if sparse:
-            shown = ", ".join(sparse[:3]) + (", ..." if len(sparse) > 3 else "")
+
+
+def _checkpoint_line(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _load_checkpoint(path: str, header: Mapping[str, Any]) -> Dict[int, Dict[str, Any]]:
+    """Read a checkpoint's finished-task records, validating its identity.
+
+    The first line must match the expected header exactly -- resuming under
+    the wrong suite or shard position fails loudly instead of silently mixing
+    records.  Later lines that fail to parse (typically one partial trailing
+    line from a kill mid-append) are skipped with a :class:`RuntimeWarning`.
+    """
+    records: Dict[int, Dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        try:
+            found = json.loads(first)
+        except json.JSONDecodeError:
+            raise ValueError(f"checkpoint {path!r} has an unreadable header line") from None
+        if found != dict(header):
+            raise ValueError(
+                f"checkpoint {path!r} belongs to a different run "
+                f"(header {found!r}, expected {dict(header)!r}); delete it or "
+                "point --resume at the matching suite and shard"
+            )
+        skipped = 0
+        for line in handle:
+            try:
+                payload = json.loads(line)
+                records[int(payload["task"])] = payload["record"]
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                skipped += 1
+        if skipped:
             warnings.warn(
-                f"run_suite(prebuild=True): skipping the scheduler-delta prebuild "
-                f"for {len(sparse)} single-shot entr{'y' if len(sparse) == 1 else 'ies'} "
-                f"({shown}) -- a single-shot workload leaves most of its run idle, so "
-                "lazy per-round deltas beat a full-table prebuild; pass "
-                "prebuild=False to silence this when the whole suite is sparse",
+                f"checkpoint {path!r}: skipped {skipped} unreadable line(s) "
+                "(expected after a kill mid-append); the affected task(s) will "
+                "be re-executed",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        merged: Dict[Tuple[Hashable, int], Tuple[int, ...]] = {}
-        seen_fingerprints = set()
-        for entry in suite.entries:
-            if entry.scenario.environment.name == "single_shot":
-                continue
-            fingerprint = entry.scenario.fingerprint()
-            if fingerprint in seen_fingerprints:
-                continue
-            seen_fingerprints.add(fingerprint)
-            try:
-                table = prebuild_delta_table(entry.scenario, cache_dir=cache_dir)
-            except (KeyError, TypeError, ValueError):
-                # A broken entry fails loudly when it actually runs; the
-                # prebuild pass is best-effort, exactly as in run_many.
-                continue
-            if table:
-                merged.update(table)
-        if merged:
-            common[SCHEDULER_DELTA_TABLE_KWARG] = merged
+    return records
 
-    runner = ParallelSweepRunner(jobs=jobs)
-    rows = runner.run({"task": list(range(len(tasks)))}, run_suite_task, common=common)
 
+def _execute_tasks(
+    suite: SuiteSpec,
+    task_indices: Sequence[int],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    prebuild: bool = True,
+    store: Any = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    shard_index: int = 1,
+    shard_count: int = 1,
+) -> Tuple[Dict[int, Dict[str, Any]], Dict[str, int]]:
+    """Produce the trial record of every requested task index.
+
+    The shared execution core behind :func:`run_suite` and
+    :func:`run_suite_shard`.  Records come, in priority order, from the
+    resume checkpoint, then the result store, and only then from actual
+    execution (serial or pooled); computed records are written back to the
+    store and appended -- fsynced, in canonical task order -- to the
+    checkpoint as they finish, so a killed run loses at most the in-flight
+    trials.  Returns the records plus accounting
+    (``tasks``/``resumed``/``hits``/``misses``).
+    """
+    store = ResultStore.coerce(store)
+    tasks = _flatten_tasks(suite)
+    specs = [entry.scenario for entry in suite.entries]
+    header = _checkpoint_header(suite, shard_index, shard_count)
+    records: Dict[int, Dict[str, Any]] = {}
+    stats = {"tasks": len(task_indices), "resumed": 0, "hits": 0, "misses": 0}
+
+    if checkpoint is not None and resume and os.path.exists(checkpoint):
+        loaded = _load_checkpoint(checkpoint, header)
+        for index in task_indices:
+            if index in loaded:
+                records[index] = loaded[index]
+        stats["resumed"] = len(records)
+    for index in task_indices:
+        if store is None:
+            break
+        if index in records:
+            continue
+        entry_index, trial_index = tasks[index]
+        hit = store.get(specs[entry_index], trial_index)
+        if hit is not None:
+            records[index] = hit
+            stats["hits"] += 1
+    pending = [index for index in task_indices if index not in records]
+    stats["misses"] = len(pending)
+
+    checkpoint_handle = None
+    if checkpoint is not None:
+        resuming = resume and os.path.exists(checkpoint)
+        directory = os.path.dirname(checkpoint)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        checkpoint_handle = open(checkpoint, "a" if resuming else "w", encoding="utf-8")
+        if not resuming:
+            checkpoint_handle.write(_checkpoint_line(header))
+            checkpoint_handle.flush()
+            os.fsync(checkpoint_handle.fileno())
+    try:
+        if pending:
+            common: Dict[str, Any] = {
+                "suite_specs": [spec.to_json(indent=None) for spec in specs],
+                "suite_tasks": tasks,
+            }
+            if prebuild:
+                # Only entries that still have work pending pay the prebuild;
+                # a warm store or checkpoint skips it entirely.
+                pending_entries = {tasks[index][0] for index in pending}
+                sparse = [
+                    suite.entries[entry_index].id
+                    for entry_index in sorted(pending_entries)
+                    if specs[entry_index].environment.name == "single_shot"
+                ]
+                if sparse:
+                    shown = ", ".join(sparse[:3]) + (", ..." if len(sparse) > 3 else "")
+                    warnings.warn(
+                        f"run_suite(prebuild=True): skipping the scheduler-delta prebuild "
+                        f"for {len(sparse)} single-shot entr{'y' if len(sparse) == 1 else 'ies'} "
+                        f"({shown}) -- a single-shot workload leaves most of its run idle, so "
+                        "lazy per-round deltas beat a full-table prebuild; pass "
+                        "prebuild=False to silence this when the whole suite is sparse",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                merged: Dict[Tuple[Hashable, int], Tuple[int, ...]] = {}
+                seen_fingerprints = set()
+                for entry_index in sorted(pending_entries):
+                    spec = specs[entry_index]
+                    if spec.environment.name == "single_shot":
+                        continue
+                    fingerprint = spec.fingerprint()
+                    if fingerprint in seen_fingerprints:
+                        continue
+                    seen_fingerprints.add(fingerprint)
+                    try:
+                        table = prebuild_delta_table(spec, cache_dir=cache_dir)
+                    except (KeyError, TypeError, ValueError):
+                        # A broken entry fails loudly when it actually runs;
+                        # the prebuild pass is best-effort, as in run_many.
+                        continue
+                    if table:
+                        merged.update(table)
+                if merged:
+                    common[SCHEDULER_DELTA_TABLE_KWARG] = merged
+
+            def on_result(row: Dict[str, Any]) -> None:
+                index = row["task"]
+                trial = row["trial"]
+                records[index] = trial
+                entry_index, trial_index = tasks[index]
+                if store is not None:
+                    store.put(specs[entry_index], trial_index, trial)
+                if checkpoint_handle is not None:
+                    checkpoint_handle.write(
+                        _checkpoint_line({"task": index, "record": trial})
+                    )
+                    checkpoint_handle.flush()
+                    os.fsync(checkpoint_handle.fileno())
+
+            runner = ParallelSweepRunner(jobs=jobs)
+            runner.run(
+                {"task": list(pending)}, run_suite_task, common=common,
+                on_result=on_result,
+            )
+    finally:
+        if checkpoint_handle is not None:
+            checkpoint_handle.close()
+    return records, stats
+
+
+def _assemble_report(
+    suite: SuiteSpec, records: Mapping[int, Mapping[str, Any]]
+) -> SuiteReport:
+    """Build the :class:`SuiteReport` from a complete task-index -> record map.
+
+    The single assembly path shared by unsharded runs and shard merges:
+    records absorb in canonical task order, so the report is identical no
+    matter which processes executed which tasks.
+    """
+    tasks = _flatten_tasks(suite)
     results = [
         RunResult(spec=entry.scenario, fingerprint=entry.scenario.fingerprint())
         for entry in suite.entries
     ]
-    for record in rows:
-        absorb_trial_record(results[record["entry_index"]], record["trial"])
+    for index, (entry_index, _trial_index) in enumerate(tasks):
+        absorb_trial_record(results[entry_index], records[index])
     for result in results:
         _aggregate(result)
 
@@ -485,5 +744,189 @@ def run_suite(
         # metrics at construction time.
         metric_specs = members[0].entry.scenario.metrics if members else ()
         report.group_summaries[group] = aggregate_metric_rows(metric_specs, pooled_rows)
+    return report
+
+
+def run_suite(
+    suite: SuiteSpec,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    prebuild: bool = True,
+    store: Any = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> SuiteReport:
+    """Execute every trial of every entry and aggregate into a :class:`SuiteReport`.
+
+    Parameters mirror :func:`repro.scenarios.runtime.run_many`: ``jobs``
+    above 1 runs the flattened (entry, trial) task list on a process pool
+    (``None`` = all cores, <2 = serial); ``prebuild`` computes each cacheable
+    entry's scheduler-delta table once in the parent -- keyed by the entry
+    spec's fingerprint, optionally persisted under ``cache_dir`` -- and ships
+    the merged table to workers through the pool initializer.
+
+    Sparse workloads are auto-skipped by the prebuild pass: a ``single_shot``
+    environment leaves most of its (typically t_ack-long) run idle, so the
+    lazily computed per-round deltas touch only a fraction of the rounds a
+    full-table prebuild would pay for upfront.  Such entries run with lazy
+    deltas and a :class:`RuntimeWarning` notes the skip; pass
+    ``prebuild=False`` to silence it when the whole suite is sparse.
+
+    ``store`` (a :class:`~repro.scenarios.store.ResultStore` or its root
+    path) serves already-computed trials from the content-addressed result
+    store and writes fresh ones back, making a warm rerun pure assembly --
+    cached records are absorbed verbatim, so the report matches the cold
+    run's byte for byte.  ``checkpoint`` names a JSONL file that accumulates
+    finished task records (fsynced per append); with ``resume=True`` an
+    existing checkpoint's records are trusted instead of re-executed, and the
+    file is deleted once the run completes.  Either facility sets the
+    report's ``store_stats``.
+    """
+    start = time.perf_counter()
+    task_count = len(_flatten_tasks(suite))
+    records, stats = _execute_tasks(
+        suite,
+        list(range(task_count)),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        prebuild=prebuild,
+        store=store,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    report = _assemble_report(suite, records)
+    if store is not None or checkpoint is not None:
+        report.store_stats = stats
+    if checkpoint is not None and os.path.exists(checkpoint):
+        os.remove(checkpoint)
     report.elapsed_s = time.perf_counter() - start
     return report
+
+
+def run_suite_shard(
+    suite: SuiteSpec,
+    shard_index: int,
+    shard_count: int,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    prebuild: bool = True,
+    store: Any = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> SuiteShard:
+    """Execute shard ``k`` of ``N`` of the suite's canonical task list.
+
+    The partition is deterministic (:func:`shard_tasks`), so ``N`` hosts each
+    running one shard -- sharing nothing but the manifest -- cover every task
+    exactly once; :func:`merge_reports` over the saved shards then equals the
+    unsharded :func:`run_suite` report (modulo wall-clock fields; compare via
+    :func:`deterministic_report_dict`).  ``store``/``checkpoint``/``resume``
+    behave as in :func:`run_suite`, except the checkpoint is *not* deleted
+    here -- callers delete it after :meth:`SuiteShard.save` lands, so a crash
+    between execution and save still resumes cheaply.
+    """
+    start = time.perf_counter()
+    tasks = _flatten_tasks(suite)
+    indices = shard_tasks(len(tasks), shard_index, shard_count)
+    records, stats = _execute_tasks(
+        suite,
+        indices,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        prebuild=prebuild,
+        store=store,
+        checkpoint=checkpoint,
+        resume=resume,
+        shard_index=shard_index,
+        shard_count=shard_count,
+    )
+    return SuiteShard(
+        suite_fingerprint=suite.fingerprint(),
+        shard_index=shard_index,
+        shard_count=shard_count,
+        task_count=len(tasks),
+        records=records,
+        elapsed_s=time.perf_counter() - start,
+        stats=stats,
+    )
+
+
+def merge_reports(suite: SuiteSpec, shards: Sequence[SuiteShard]) -> SuiteReport:
+    """Reassemble a complete shard set into one :class:`SuiteReport`.
+
+    Validates that every shard carries the suite's fingerprint, agrees on the
+    task count and shard count, and that together they cover every task index
+    exactly once; any gap or overlap raises instead of producing a silently
+    partial report.  Assembly runs through the same path as an unsharded
+    :func:`run_suite`, so the merged report's deterministic content
+    (:func:`deterministic_report_dict`) is identical to it.
+    """
+    if not shards:
+        raise ValueError("merge_reports needs at least one shard")
+    fingerprint = suite.fingerprint()
+    task_count = len(_flatten_tasks(suite))
+    shard_count = shards[0].shard_count
+    seen_positions: set = set()
+    records: Dict[int, Dict[str, Any]] = {}
+    for shard in shards:
+        if shard.suite_fingerprint != fingerprint:
+            raise ValueError(
+                f"shard {shard.shard_index}/{shard.shard_count} was produced from "
+                f"suite {shard.suite_fingerprint}, not this suite ({fingerprint})"
+            )
+        if shard.shard_count != shard_count:
+            raise ValueError(
+                f"mixed shard counts: {shard.shard_count} vs {shard_count}"
+            )
+        if shard.task_count != task_count:
+            raise ValueError(
+                f"shard {shard.shard_index}/{shard.shard_count} covers "
+                f"{shard.task_count} tasks but the suite flattens to {task_count}"
+            )
+        if shard.shard_index in seen_positions:
+            raise ValueError(f"duplicate shard {shard.shard_index}/{shard.shard_count}")
+        seen_positions.add(shard.shard_index)
+        for index, record in shard.records.items():
+            if index in records:
+                raise ValueError(f"task {index} appears in more than one shard")
+            records[index] = record
+    missing = [index for index in range(task_count) if index not in records]
+    if missing:
+        raise ValueError(
+            f"incomplete shard set: {len(shards)} of {shard_count} shard(s) "
+            f"present, {len(missing)} task(s) missing (first: {missing[:5]})"
+        )
+    report = _assemble_report(suite, records)
+    report.elapsed_s = sum(shard.elapsed_s for shard in shards)
+    stats: Dict[str, int] = {"tasks": task_count, "resumed": 0, "hits": 0, "misses": 0}
+    for shard in shards:
+        for key in ("resumed", "hits", "misses"):
+            stats[key] += int(shard.stats.get(key, 0))
+    report.store_stats = stats
+    return report
+
+
+#: Keys whose values derive from wall-clock time (or cache accounting), hence
+#: legitimately differ between two executions of identical work.
+_NONDETERMINISTIC_KEYS = frozenset({"elapsed_s", "rounds_per_s", "store"})
+
+
+def deterministic_report_dict(data: Any) -> Any:
+    """A deep copy of a report dict with the wall-clock-derived keys removed.
+
+    ``elapsed_s`` / ``rounds_per_s`` measure host timing and ``store``
+    records cache accounting; everything else in a
+    :meth:`SuiteReport.to_dict` is deterministic.  Two runs of the same suite
+    -- serial vs pooled, sharded-and-merged vs unsharded, cold vs a *fresh*
+    store -- must compare equal under this normalization; that equality is
+    what the shard-equivalence tests and the CI smoke assert.
+    """
+    if isinstance(data, Mapping):
+        return {
+            key: deterministic_report_dict(value)
+            for key, value in data.items()
+            if key not in _NONDETERMINISTIC_KEYS
+        }
+    if isinstance(data, (list, tuple)):
+        return [deterministic_report_dict(value) for value in data]
+    return data

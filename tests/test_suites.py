@@ -19,6 +19,13 @@ import pytest
 
 from benchmarks.bench_ack import SUITE_PATH as ACK_SUITE_PATH
 from benchmarks.bench_ack import ack_rows_from_report, build_ack_suite
+from benchmarks.bench_locality import SUITE_PATH as LOCALITY_SUITE_PATH
+from benchmarks.bench_locality import build_locality_suite, locality_rows_from_report
+from benchmarks.bench_seed_agreement import SUITE_PATH as SEED_AGREEMENT_SUITE_PATH
+from benchmarks.bench_seed_agreement import (
+    build_seed_agreement_suite,
+    seed_agreement_rows_from_report,
+)
 from benchmarks.bench_progress import SUITE_PATH as PROGRESS_SUITE_PATH
 from benchmarks.bench_progress import build_progress_suite, progress_rows_from_report
 from benchmarks.bench_round_probability import SUITE_PATH as ROUND_PROBABILITY_SUITE_PATH
@@ -36,14 +43,21 @@ from repro.scenarios import (
     EngineConfig,
     EnvironmentSpec,
     MetricSpec,
+    ResultStore,
     RunPolicy,
     ScenarioSpec,
     SchedulerSpec,
     SuiteEntry,
+    SuiteShard,
     SuiteSpec,
     TopologySpec,
+    deterministic_report_dict,
+    merge_reports,
+    parse_shard,
     run,
     run_suite,
+    run_suite_shard,
+    shard_tasks,
 )
 from repro.scenarios.cli import main as cli_main
 
@@ -235,6 +249,145 @@ class TestRunSuite:
         assert json.loads(payload)["groups"]["g"]
 
 
+def det(report) -> dict:
+    return deterministic_report_dict(report.to_dict())
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("2/4") == (2, 4)
+        assert parse_shard("1/1") == (1, 1)
+        for bad in ("0/2", "3/2", "2", "x/y", "1/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shard_tasks_partition_exactly(self):
+        indices = [shard_tasks(10, k, 3) for k in (1, 2, 3)]
+        assert sorted(i for part in indices for i in part) == list(range(10))
+        assert indices[0] == [0, 3, 6, 9]  # round-robin over canonical order
+        with pytest.raises(ValueError, match="out of range"):
+            shard_tasks(10, 4, 3)
+
+    def test_shard_merge_equals_unsharded(self):
+        suite = small_suite(trials=2)
+        full = run_suite(suite, jobs=1)
+        shards = [run_suite_shard(suite, k, 2, jobs=1) for k in (1, 2)]
+        merged = merge_reports(suite, shards)
+        assert det(merged) == det(full)
+        assert merged.store_stats["tasks"] == 4
+
+    def test_shard_save_load_round_trip(self, tmp_path):
+        suite = small_suite(trials=2)
+        shard = run_suite_shard(suite, 2, 2, jobs=1)
+        path = str(tmp_path / "shard-2-of-2.json")
+        shard.save(path)
+        assert SuiteShard.load(path) == shard
+
+    def test_merge_validates_the_shard_set(self, tmp_path):
+        suite = small_suite(trials=2)
+        shard1 = run_suite_shard(suite, 1, 2, jobs=1)
+        shard2 = run_suite_shard(suite, 2, 2, jobs=1)
+        with pytest.raises(ValueError, match="incomplete shard set"):
+            merge_reports(suite, [shard1])
+        with pytest.raises(ValueError, match="duplicate shard"):
+            merge_reports(suite, [shard1, shard1])
+        imposter = SuiteShard(
+            suite_fingerprint="0" * 16,
+            shard_index=2,
+            shard_count=2,
+            task_count=shard2.task_count,
+            records=shard2.records,
+        )
+        with pytest.raises(ValueError, match="was produced from"):
+            merge_reports(suite, [shard1, imposter])
+
+
+class TestSuiteStore:
+    def test_warm_rerun_serves_every_task_from_the_store(self, tmp_path):
+        suite = small_suite(trials=2)
+        root = str(tmp_path / "store")
+        cold = run_suite(suite, jobs=1, store=root)
+        assert cold.store_stats == {"tasks": 4, "resumed": 0, "hits": 0, "misses": 4}
+        warm = run_suite(suite, jobs=1, store=root)
+        assert warm.store_stats == {"tasks": 4, "resumed": 0, "hits": 4, "misses": 0}
+        assert det(warm) == det(cold)
+
+    def test_sharded_run_shares_the_store(self, tmp_path):
+        """Shard 2 re-runs nothing that shard 1 already stored -- and a
+        second pass over either shard is pure cache."""
+        suite = small_suite(trials=2)
+        root = str(tmp_path / "store")
+        run_suite_shard(suite, 1, 2, jobs=1, store=root)
+        again = run_suite_shard(suite, 1, 2, jobs=1, store=root)
+        assert again.stats == {"tasks": 2, "resumed": 0, "hits": 2, "misses": 0}
+
+    def test_store_path_and_instance_are_equivalent(self, tmp_path):
+        suite = small_suite()
+        root = str(tmp_path / "store")
+        run_suite(suite, jobs=1, store=root)
+        store = ResultStore(root)
+        warm = run_suite(suite, jobs=1, store=store)
+        assert warm.store_stats["misses"] == 0
+
+
+class TestCheckpointResume:
+    def _checkpoint_lines(self, suite, records, tasks=None):
+        header = {
+            "checkpoint": 1,
+            "suite": suite.fingerprint(),
+            "shard": [1, 1],
+            "tasks": 4,
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for index in tasks if tasks is not None else sorted(records):
+            payload = {"task": index, "record": records[index]}
+            lines.append(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + "\n"
+
+    def test_resume_trusts_the_checkpoint_and_finishes_the_rest(self, tmp_path):
+        suite = small_suite(trials=2)
+        full = run_suite(suite, jobs=1)
+        records = run_suite_shard(suite, 1, 1, jobs=1).records
+        checkpoint = str(tmp_path / "run.checkpoint.jsonl")
+        with open(checkpoint, "w") as handle:  # as if killed after 2 of 4 tasks
+            handle.write(self._checkpoint_lines(suite, records, tasks=[0, 1]))
+        resumed = run_suite(suite, jobs=1, checkpoint=checkpoint, resume=True)
+        assert resumed.store_stats == {"tasks": 4, "resumed": 2, "hits": 0, "misses": 2}
+        assert det(resumed) == det(full)
+        assert not os.path.exists(checkpoint)  # deleted once the run completes
+
+    def test_resume_skips_a_torn_trailing_line(self, tmp_path):
+        suite = small_suite(trials=2)
+        records = run_suite_shard(suite, 1, 1, jobs=1).records
+        checkpoint = str(tmp_path / "run.checkpoint.jsonl")
+        with open(checkpoint, "w") as handle:
+            handle.write(self._checkpoint_lines(suite, records, tasks=[0]))
+            handle.write('{"task": 1, "record"')  # the kill mid-append
+        with pytest.warns(RuntimeWarning, match="unreadable line"):
+            resumed = run_suite(suite, jobs=1, checkpoint=checkpoint, resume=True)
+        assert resumed.store_stats["resumed"] == 1
+        assert resumed.store_stats["misses"] == 3  # the torn task re-executed
+
+    def test_resume_rejects_a_foreign_checkpoint(self, tmp_path):
+        suite = small_suite(trials=2)
+        other = small_suite(trials=1)
+        records = run_suite_shard(other, 1, 1, jobs=1).records
+        checkpoint = str(tmp_path / "run.checkpoint.jsonl")
+        header = {
+            "checkpoint": 1,
+            "suite": other.fingerprint(),
+            "shard": [1, 1],
+            "tasks": 2,
+        }
+        with open(checkpoint, "w") as handle:
+            handle.write(json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n")
+            handle.write(
+                json.dumps({"task": 0, "record": records[0]}, sort_keys=True) + "\n"
+            )
+        with pytest.raises(ValueError, match="belongs to a different run"):
+            run_suite(suite, jobs=1, checkpoint=checkpoint, resume=True)
+
+
 class TestSuiteCLI:
     def test_suite_subcommand_runs_manifest(self, tmp_path, capsys):
         manifest_path = tmp_path / "suite.json"
@@ -263,6 +416,58 @@ class TestSuiteCLI:
         assert cli_main(["list", "--kind", "metric"]) == 0
         out = capsys.readouterr().out
         assert "ack_delay" in out and "lb_spec" in out
+
+    def test_shard_flags_require_store(self, tmp_path):
+        manifest_path = str(tmp_path / "suite.json")
+        small_suite().save(manifest_path)
+        with pytest.raises(SystemExit, match="--store"):
+            cli_main(["suite", manifest_path, "--shard", "1/2"])
+
+    def test_cli_shard_merge_matches_unsharded(self, tmp_path, capsys):
+        """The full CLI workflow: two shard invocations over a shared store,
+        then --merge; the merged report's deterministic content equals an
+        unsharded run_suite."""
+        suite = small_suite(trials=2)
+        manifest_path = str(tmp_path / "suite.json")
+        suite.save(manifest_path)
+        store_dir = str(tmp_path / "store")
+        for shard in ("1/2", "2/2"):
+            assert cli_main(
+                ["suite", manifest_path, "--store", store_dir, "--shard", shard, "-q"]
+            ) == 0
+        json_path = str(tmp_path / "merged.json")
+        assert cli_main(
+            ["suite", manifest_path, "--store", store_dir, "--merge",
+             "--json", json_path, "-q"]
+        ) == 0
+        capsys.readouterr()
+        merged = json.loads(open(json_path).read())
+        expected = run_suite(suite, jobs=1)
+        assert deterministic_report_dict(merged) == det(expected)
+
+    def test_cli_warm_rerun_reports_store_hits(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "suite.json")
+        small_suite().save(manifest_path)
+        store_dir = str(tmp_path / "store")
+        assert cli_main(["suite", manifest_path, "--store", store_dir, "-q"]) == 0
+        json_path = str(tmp_path / "warm.json")
+        assert cli_main(
+            ["suite", manifest_path, "--store", store_dir, "--json", json_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 of 2 task(s) from the store" in out
+        assert json.loads(open(json_path).read())["store"]["misses"] == 0
+
+    def test_cli_store_stats_and_gc(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "suite.json")
+        small_suite().save(manifest_path)
+        store_dir = str(tmp_path / "store")
+        assert cli_main(["suite", manifest_path, "--store", store_dir, "-q"]) == 0
+        assert cli_main(["store", "stats", store_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert cli_main(["store", "gc", store_dir]) == 0
+        assert "kept 2" in capsys.readouterr().out
 
 
 class TestBenchmarkReproduction:
@@ -365,12 +570,68 @@ class TestBenchmarkReproduction:
          "unreliable_edge_receptions": 0, "unreliable_fraction": 0.0},
     ]
 
+    #: The E9 table as produced by the pre-suite bench_locality.py
+    #: (hand-wired probe plumbing), pinned verbatim.
+    LOCALITY_ROWS = [
+        {"size_index": 0, "n": 18, "side": 3.0, "mean_measured_delta": 8.5,
+         "tprog_rounds": 303, "tack_rounds": 29997,
+         "probe_progress_failure_rate": 0.0,
+         "probe_reception_rate": 0.0176017601760176},
+        {"size_index": 1, "n": 32, "side": 4.0, "mean_measured_delta": 8.5,
+         "tprog_rounds": 303, "tack_rounds": 29997,
+         "probe_progress_failure_rate": 0.0,
+         "probe_reception_rate": 0.0242024202420242},
+        {"size_index": 2, "n": 50, "side": 5.0, "mean_measured_delta": 10.0,
+         "tprog_rounds": 303, "tack_rounds": 29997,
+         "probe_progress_failure_rate": 0.0,
+         "probe_reception_rate": 0.02035203520352035},
+        {"size_index": 3, "n": 72, "side": 6.0, "mean_measured_delta": 11.5,
+         "tprog_rounds": 303, "tack_rounds": 29997,
+         "probe_progress_failure_rate": 0.0,
+         "probe_reception_rate": 0.01595159515951595},
+    ]
+
+    #: The E1/E2 table as produced by the pre-suite bench_seed_agreement.py
+    #: (per-trial loop with inline spec assertions), pinned verbatim.
+    SEED_AGREEMENT_ROWS = [
+        {"target_delta": 8, "epsilon": 0.2, "measured_delta": 10, "delta_bound": 38,
+         "max_owners": 7, "mean_owners": 3.1015625, "violation_rate": 0.0,
+         "rounds_used": 44, "theory_rounds_shape": 17.909677292907524,
+         "theory_delta_shape": 9.287712379549449, "mean_commit_round": 6.15625},
+        {"target_delta": 8, "epsilon": 0.1, "measured_delta": 10, "delta_bound": 54,
+         "max_owners": 7, "mean_owners": 3.171875, "violation_rate": 0.0,
+         "rounds_used": 92, "theory_rounds_shape": 36.65816173322413,
+         "theory_delta_shape": 13.287712379549449, "mean_commit_round": 11.484375},
+        {"target_delta": 16, "epsilon": 0.2, "measured_delta": 15, "delta_bound": 38,
+         "max_owners": 10, "mean_owners": 3.6625000000000005, "violation_rate": 0.0,
+         "rounds_used": 44, "theory_rounds_shape": 21.06341491669656,
+         "theory_delta_shape": 9.287712379549449,
+         "mean_commit_round": 6.441666666666666},
+        {"target_delta": 16, "epsilon": 0.1, "measured_delta": 15, "delta_bound": 54,
+         "max_owners": 8, "mean_owners": 3.2916666666666665, "violation_rate": 0.0,
+         "rounds_used": 92, "theory_rounds_shape": 43.113343587494356,
+         "theory_delta_shape": 13.287712379549449,
+         "mean_commit_round": 9.970833333333333},
+        {"target_delta": 32, "epsilon": 0.2, "measured_delta": 34, "delta_bound": 38,
+         "max_owners": 7, "mean_owners": 3.642857142857143, "violation_rate": 0.0,
+         "rounds_used": 66, "theory_rounds_shape": 27.42829318511828,
+         "theory_delta_shape": 9.287712379549449,
+         "mean_commit_round": 9.127232142857142},
+        {"target_delta": 32, "epsilon": 0.1, "measured_delta": 34, "delta_bound": 54,
+         "max_owners": 6, "mean_owners": 3.263392857142857, "violation_rate": 0.0,
+         "rounds_used": 138, "theory_rounds_shape": 56.14120183195792,
+         "theory_delta_shape": 13.287712379549449,
+         "mean_commit_round": 14.444196428571429},
+    ]
+
     def test_checked_in_manifests_match_programmatic_suites(self):
         for path, build in (
             (ACK_SUITE_PATH, build_ack_suite),
             (PROGRESS_SUITE_PATH, build_progress_suite),
             (ROUND_PROBABILITY_SUITE_PATH, build_round_probability_suite),
             (SCHEDULER_MODELS_SUITE_PATH, build_scheduler_models_suite),
+            (LOCALITY_SUITE_PATH, build_locality_suite),
+            (SEED_AGREEMENT_SUITE_PATH, build_seed_agreement_suite),
         ):
             assert os.path.exists(path)
             assert SuiteSpec.load(path).fingerprint() == build().fingerprint()
@@ -404,5 +665,21 @@ class TestBenchmarkReproduction:
         rows = scheduler_models_rows_from_report(report).rows
         assert len(rows) == len(self.SCHEDULER_MODELS_ROWS)
         for expected, actual in zip(self.SCHEDULER_MODELS_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_locality_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(LOCALITY_SUITE_PATH), jobs=1)
+        rows = locality_rows_from_report(report).rows
+        assert len(rows) == len(self.LOCALITY_ROWS)
+        for expected, actual in zip(self.LOCALITY_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_seed_agreement_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(SEED_AGREEMENT_SUITE_PATH), jobs=1)
+        rows = seed_agreement_rows_from_report(report).rows
+        assert len(rows) == len(self.SEED_AGREEMENT_ROWS)
+        for expected, actual in zip(self.SEED_AGREEMENT_ROWS, rows):
             for key, value in expected.items():
                 assert actual[key] == value, (key, value, actual[key])
