@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Drive the scenario service end to end from a plain HTTP client.
+
+The service (``python -m repro serve``) turns suite execution into a
+shared, deduplicated resource: submissions with the same fingerprint are
+answered by one execution (or straight from the persisted report), and
+progress streams live over chunked NDJSON.  This example embeds the same
+server in-process (:class:`~repro.scenarios.service.ThreadedService`) so it
+is fully self-contained, then talks to it exactly the way ``curl`` would:
+
+1. submit a two-entry suite (``POST /v1/jobs``) and note the ``new``
+   disposition;
+2. follow the job's NDJSON progress stream (``GET /v1/jobs/<id>/events``)
+   until the terminal state event;
+3. fetch the persisted report (``GET /v1/jobs/<id>/report``);
+4. resubmit the identical suite and observe the ``cached`` disposition --
+   zero trials re-executed, byte-identical report.
+
+Run it with:
+
+    python examples/service_client.py
+
+Against a standalone server the same requests work unchanged; start one
+with ``python -m repro serve --store /tmp/repro-store --port 8653``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import urllib.request
+
+from repro.scenarios.service import ThreadedService
+
+
+def build_suite_payload() -> dict:
+    """Two small uniform-broadcast scenarios, two trials each (4 tasks)."""
+    def entry(index: int) -> dict:
+        return {
+            "id": f"demo-e{index}",
+            "scenario": {
+                "name": f"demo-e{index}",
+                "topology": {"name": "clique", "args": {"n": 5}},
+                "algorithm": {"name": "uniform"},
+                "run": {
+                    "rounds": 20,
+                    "rounds_unit": "rounds",
+                    "trials": 2,
+                    "master_seed": 40 + index,
+                },
+                "metrics": [{"name": "counters"}],
+            },
+        }
+
+    return {"name": "service-demo", "entries": [entry(0), entry(1)]}
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    payload = {"suite": build_suite_payload()}
+    with tempfile.TemporaryDirectory() as workdir:
+        service = ThreadedService({"store": f"{workdir}/store", "workers": 2})
+        url = service.start()
+        print(f"service up at {url}")
+        try:
+            submitted = post_json(f"{url}/v1/jobs", payload)
+            job = submitted["job"]
+            print(
+                f"submitted {job['id']} (disposition: {submitted['dedup']}, "
+                f"{job['suite']['tasks']} tasks)"
+            )
+
+            print("progress stream:")
+            with urllib.request.urlopen(f"{url}/v1/jobs/{job['id']}/events") as stream:
+                for line in stream:
+                    event = json.loads(line)
+                    kind = event["event"]
+                    if kind == "task":
+                        print(f"  task {event['done']}/{event['total']} done")
+                    elif kind == "state":
+                        print(f"  state -> {event['state']}")
+                    else:
+                        print(f"  {kind}")
+
+            with urllib.request.urlopen(f"{url}/v1/jobs/{job['id']}/report") as response:
+                report_bytes = response.read()
+            report = json.loads(report_bytes)
+            groups = ", ".join(sorted(report["groups"]))
+            print(f"report: {len(report_bytes)} bytes, groups: {groups}")
+
+            resubmitted = post_json(f"{url}/v1/jobs", payload)
+            with urllib.request.urlopen(
+                f"{url}/v1/jobs/{resubmitted['job']['id']}/report"
+            ) as response:
+                cached_bytes = response.read()
+            print(
+                f"resubmission disposition: {resubmitted['dedup']} "
+                f"(byte-identical report: {cached_bytes == report_bytes})"
+            )
+
+            with urllib.request.urlopen(f"{url}/stats") as response:
+                counters = json.load(response)["counters"]
+            print(
+                "service round trip complete: "
+                f"{counters['completed']} execution(s) served "
+                f"{counters['submitted']} submission(s) "
+                f"({counters['dedup_cached']} from the report cache)"
+            )
+        finally:
+            service.stop()
+
+
+if __name__ == "__main__":
+    main()

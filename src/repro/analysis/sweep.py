@@ -262,11 +262,20 @@ class ParallelSweepRunner:
                 pool.submit(_run_grid_point, run, point, seed_arg, seed, common)
                 for point, seed in zip(points, seeds)
             ]
-            for future in futures:
-                row = future.result()
-                if on_result is not None:
-                    on_result(row)
-                result.append(row)
+            try:
+                for future in futures:
+                    row = future.result()
+                    if on_result is not None:
+                        on_result(row)
+                    result.append(row)
+            except BaseException:
+                # An on_result hook aborting the sweep (e.g. suite
+                # cancellation) should not wait out the whole queue: drop
+                # every not-yet-started grid point before the pool shutdown
+                # joins the in-flight ones.
+                for future in futures:
+                    future.cancel()
+                raise
         return result
 
 

@@ -26,12 +26,19 @@ policy, round-trips through JSON, and carries a stable
   :class:`~repro.scenarios.store.ResultStore`: per-trial records keyed by
   (scenario content identity, trial seed, metrics signature), consulted by
   every execution path before re-running a trial;
-* ``python -m repro`` -- the ``run`` / ``sweep`` / ``suite`` / ``store`` /
-  ``list`` CLI over scenario and suite JSON files (:mod:`repro.scenarios.cli`).
+* :mod:`repro.scenarios.jobs` / :mod:`repro.scenarios.service` -- the async
+  scenario service (``python -m repro serve``): a durable, deduplicating
+  HTTP job queue over :func:`~repro.scenarios.suite.run_suite`, with NDJSON
+  progress streaming, retry with backoff, and checkpointed graceful
+  shutdown (:class:`~repro.scenarios.jobs.JobManager`);
+* ``python -m repro`` -- the ``run`` / ``sweep`` / ``suite`` / ``serve`` /
+  ``store`` / ``list`` CLI over scenario and suite JSON files
+  (:mod:`repro.scenarios.cli`).
 
 See ``docs/scenarios.md`` for the spec schema and the registry catalogue,
-``docs/suites.md`` for the metrics pipeline and suite manifests, and
-``docs/store.md`` for the result-store layout and keying.
+``docs/suites.md`` for the metrics pipeline and suite manifests,
+``docs/store.md`` for the result-store layout and keying, and
+``docs/service.md`` for the serving API.
 """
 
 from repro.scenarios import components  # noqa: F401  (registers built-ins)
@@ -88,6 +95,7 @@ from repro.scenarios.store import (
     trial_key,
 )
 from repro.scenarios.suite import (
+    SuiteCancelled,
     SuiteEntry,
     SuiteEntryResult,
     SuiteReport,
@@ -99,6 +107,13 @@ from repro.scenarios.suite import (
     run_suite,
     run_suite_shard,
     shard_tasks,
+)
+from repro.scenarios.jobs import (
+    FaultPlan,
+    Job,
+    JobManager,
+    JobRejected,
+    parse_submission,
 )
 
 __all__ = [
@@ -162,4 +177,11 @@ __all__ = [
     "shard_tasks",
     "parse_shard",
     "deterministic_report_dict",
+    "SuiteCancelled",
+    # service
+    "JobManager",
+    "Job",
+    "JobRejected",
+    "FaultPlan",
+    "parse_submission",
 ]

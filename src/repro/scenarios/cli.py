@@ -16,6 +16,10 @@ Subcommands:
   list (writing a shard file under the store), ``--merge`` reassembles the
   saved shards into the full report, and ``--resume`` journals finished
   tasks to a checkpoint so a killed run restarts where it stopped.
+* ``serve --store DIR`` -- run the async scenario service: an HTTP job
+  queue accepting suite/scenario submissions with in-flight + at-rest
+  dedup, NDJSON progress streaming, per-job retry, and checkpointed
+  graceful shutdown (see docs/service.md).
 * ``store stats|gc DIR`` -- inspect or compact a result store.
 * ``list`` -- the registered components (including metrics), with their
   sample arguments.
@@ -304,6 +308,23 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.scenarios.service import serve_main
+
+    return serve_main(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        workers=args.workers,
+        jobs=args.jobs,
+        prebuild=args.prebuild,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        timeout_s=args.timeout,
+        quiet=args.quiet,
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     registries = {
         "topology": TOPOLOGIES,
@@ -432,6 +453,64 @@ def make_parser() -> argparse.ArgumentParser:
     )
     suite_parser.set_defaults(func=_cmd_suite)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the async scenario service over HTTP (see docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="result-store root: at-rest dedup, the job journal, checkpoints "
+        "and persisted reports all live here",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8653,
+        help="TCP port (0 = let the OS pick; the ready line prints the result)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent suite executions"
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="default per-suite worker processes (submissions may override "
+        "via options.jobs)",
+    )
+    serve_parser.add_argument(
+        "--prebuild",
+        action="store_true",
+        help="default the scheduler-delta prebuild pass to on",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts after a crashed or timed-out execution",
+    )
+    serve_parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="first retry delay (doubles per attempt)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--quiet", "-q", action="store_true", help="only print the ready line"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
     store_parser = sub.add_parser(
         "store", help="inspect or compact a content-addressed result store"
     )
@@ -441,7 +520,9 @@ def make_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--json", action="store_true", help="machine-readable output")
     stats_parser.set_defaults(func=_cmd_store)
     gc_parser = store_sub.add_parser(
-        "gc", help="compact buckets: drop corrupt/superseded lines (run offline)"
+        "gc",
+        help="compact buckets: drop corrupt/superseded lines (safe alongside "
+        "live writers; buckets are file-locked)",
     )
     gc_parser.add_argument("dir", help="store root directory")
     gc_parser.add_argument(

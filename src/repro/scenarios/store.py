@@ -46,7 +46,12 @@ concurrent writers from separate processes interleave at line granularity and
 never lose each other's rows; duplicate keys are resolved last-write-wins.
 Corrupted or truncated lines (a writer killed mid-append) are skipped with a
 :class:`RuntimeWarning` and counted in :meth:`ResultStore.stats`;
-:meth:`ResultStore.gc` compacts them away.
+:meth:`ResultStore.gc` compacts them away.  Bucket access is additionally
+serialized by POSIX advisory ``flock`` locks (shared for scans, exclusive for
+appends and the ``gc`` rewrite), so :meth:`ResultStore.stats` and
+:meth:`ResultStore.gc` are safe to run while other processes append -- a
+concurrent writer queues behind the compaction and lands its row in the
+rewritten bucket instead of losing it.
 
 An in-process LRU front caches decoded buckets (validated against the file's
 size+mtime, so a concurrent writer's appends are picked up) and makes warm
@@ -60,7 +65,13 @@ import json
 import os
 import warnings
 from collections import OrderedDict
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, TextIO, Tuple
+
+try:  # POSIX advisory locks; absent on Windows (degrades to lock-free mode).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.scenarios.metrics import required_trace_mode
 from repro.scenarios.spec import ScenarioSpec, _json_canonical
@@ -68,6 +79,78 @@ from repro.scenarios.spec import ScenarioSpec, _json_canonical
 #: Version of the on-disk layout *and* of the record schema folded into every
 #: metrics signature -- bump it to invalidate all stored rows at once.
 STORE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# bucket-file locking
+# ----------------------------------------------------------------------
+# Appends under O_APPEND were always line-atomic in practice, but
+# ``stats()``/``gc()`` iterate whole bucket files and used to race concurrent
+# writers: a torn in-progress line was miscounted, a bucket deleted between
+# ``listdir`` and ``open`` crashed the scan, and a ``gc`` rewrite racing an
+# appender could drop the appender's row on ``os.replace``.  Every bucket
+# access now takes a POSIX advisory ``flock`` -- shared for readers, exclusive
+# for appenders and the gc rewrite -- with the classic reopen-on-stale-inode
+# dance so a writer that blocked on a bucket while ``gc`` replaced it lands in
+# the *new* file instead of the unlinked one.  On platforms without ``fcntl``
+# the helpers degrade to the old lock-free behavior.
+
+
+def _flock(handle: TextIO, exclusive: bool) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+
+
+def _same_inode(handle: TextIO, path: str) -> bool:
+    try:
+        return os.fstat(handle.fileno()).st_ino == os.stat(path).st_ino
+    except FileNotFoundError:
+        return False
+
+
+def _open_locked_append(path: str) -> TextIO:
+    """Open ``path`` for appending, holding an exclusive lock on the *live* file.
+
+    Loops until the locked handle's inode matches the path: if ``gc``
+    replaced the bucket while this writer was blocked on the lock, the stale
+    (unlinked) handle is discarded and the new file is locked instead, so no
+    append can land in a file nothing will ever read again.
+    """
+    while True:
+        handle = open(path, "a", encoding="utf-8")
+        if fcntl is None:
+            return handle
+        _flock(handle, exclusive=True)
+        if _same_inode(handle, path):
+            return handle
+        handle.close()
+
+
+@contextmanager
+def _locked_bucket_reader(path: str) -> Iterator[Optional[TextIO]]:
+    """A shared-locked read handle on a bucket, or ``None`` if it vanished.
+
+    Taking the shared lock means no flock-honoring appender is mid-write, so
+    the reader never sees a torn trailing line from a *live* writer (a line
+    torn by a kill remains visible, by design).  Reopens on a stale inode
+    exactly like :func:`_open_locked_append`.
+    """
+    while True:
+        try:
+            handle = open(path, "r", encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            yield None
+            return
+        if fcntl is None:
+            break
+        _flock(handle, exclusive=False)
+        if _same_inode(handle, path):
+            break
+        handle.close()
+    try:
+        yield handle
+    finally:
+        handle.close()
 
 
 def metrics_signature(spec: ScenarioSpec) -> str:
@@ -213,7 +296,9 @@ class ResultStore:
     def _parse_bucket(self, path: str) -> Dict[str, Dict[str, Any]]:
         index: Dict[str, Dict[str, Any]] = {}
         corrupt = 0
-        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        with _locked_bucket_reader(path) as handle:
+            if handle is None:
+                return index
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -310,13 +395,18 @@ class ResultStore:
         line = _json_canonical(entry) + "\n"
         bucket = self._bucket_name(key)
         path = self._bucket_path(bucket)
-        # One buffered write of the whole line under O_APPEND semantics:
-        # concurrent writers interleave at line granularity, never mid-line.
-        with open(path, "a", encoding="utf-8") as handle:
+        # One buffered write of the whole line under O_APPEND semantics plus
+        # an exclusive bucket lock: concurrent writers interleave at line
+        # granularity, and locked readers (stats/gc) never observe the line
+        # half-written.
+        handle = _open_locked_append(path)
+        try:
             handle.write(line)
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+        finally:
+            handle.close()
         cached = self._buckets.get(bucket)
         if cached is not None:
             cached[1][key] = entry
@@ -342,15 +432,26 @@ class ResultStore:
 
     def stats(self) -> Dict[str, Any]:
         """Store-wide counts: files/lines/entries/bytes on disk, plus this
-        process's hit/miss/corrupt counters."""
-        files = self._bucket_files()
+        process's hit/miss/corrupt counters.
+
+        Safe to call while other processes append or ``gc`` runs: each bucket
+        is scanned under a shared lock (so no live writer is mid-line), a
+        bucket deleted between the directory listing and the scan is skipped,
+        and unparseable lines are counted in ``corrupt_lines`` instead of
+        silently inflating ``lines``.
+        """
+        scanned = 0
         lines = 0
         entries = 0
+        corrupt = 0
         size_bytes = 0
-        for path in files:
-            size_bytes += os.path.getsize(path)
+        for path in self._bucket_files():
             index: Dict[str, Any] = {}
-            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            with _locked_bucket_reader(path) as handle:
+                if handle is None:
+                    continue  # deleted (e.g. by an rm/gc) since the listing
+                scanned += 1
+                size_bytes += os.fstat(handle.fileno()).st_size
                 for line in handle:
                     if not line.strip():
                         continue
@@ -359,13 +460,15 @@ class ResultStore:
                         entry = json.loads(line)
                         index[entry["key"]] = True
                     except (ValueError, TypeError, KeyError):
+                        corrupt += 1
                         continue
             entries += len(index)
         return {
             "root": self.root,
-            "files": len(files),
+            "files": scanned,
             "lines": lines,
             "entries": entries,
+            "corrupt_lines": corrupt,
             "bytes": size_bytes,
             "hits": self.hits,
             "misses": self.misses,
@@ -381,9 +484,11 @@ class ResultStore:
         keys, and (optionally) all records whose originating spec fingerprint
         is in ``drop_fingerprints``.
 
-        Rewrites each bucket atomically (tmp file + ``os.replace``).  Run it
-        offline: a writer appending concurrently with the rewrite can lose
-        its in-flight rows.
+        Rewrites each bucket atomically (tmp file + ``os.replace``) while
+        holding the bucket's exclusive lock, so concurrent writers queue
+        behind the rewrite instead of losing in-flight rows: an appender that
+        blocked on the old file detects the replaced inode when it acquires
+        the lock and reopens the new one (see :func:`_open_locked_append`).
         """
         dropped_corrupt = 0
         dropped_superseded = 0
@@ -393,7 +498,17 @@ class ResultStore:
         for path in self._bucket_files():
             raw_lines = 0
             index: "OrderedDict[str, str]" = OrderedDict()
-            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            try:
+                handle = open(path, "r", encoding="utf-8", errors="replace")
+            except FileNotFoundError:
+                continue  # deleted since the directory listing
+            with handle:
+                # Exclusive (not shared) lock: it is held across the rewrite
+                # below, guaranteeing no appender lands between our last read
+                # and the os.replace that would orphan its line.
+                _flock(handle, exclusive=True)
+                if not _same_inode(handle, path):
+                    continue  # another gc replaced it; nothing lost, skip
                 for line in handle:
                     line = line.strip()
                     if not line:
@@ -417,17 +532,17 @@ class ResultStore:
                         dropped_superseded += 1
                         index.pop(key)  # keep last-write-wins ordering
                     index[key] = _json_canonical(entry)
-            kept += len(index)
-            if dry_run or raw_lines == len(index):
-                continue
-            tmp_path = path + ".tmp"
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                for line in index.values():
-                    handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-            self._buckets.pop(os.path.basename(path)[:-len(".jsonl")], None)
+                kept += len(index)
+                if dry_run or raw_lines == len(index):
+                    continue
+                tmp_path = path + ".tmp"
+                with open(tmp_path, "w", encoding="utf-8") as tmp_handle:
+                    for line in index.values():
+                        tmp_handle.write(line + "\n")
+                    tmp_handle.flush()
+                    os.fsync(tmp_handle.fileno())
+                os.replace(tmp_path, path)
+                self._buckets.pop(os.path.basename(path)[:-len(".jsonl")], None)
         return {
             "kept": kept,
             "dropped_corrupt": dropped_corrupt,

@@ -73,6 +73,18 @@ from repro.scenarios.store import ResultStore
 SUITE_VERSION = 1
 
 
+class SuiteCancelled(RuntimeError):
+    """Raised when a ``should_stop`` hook halts suite execution.
+
+    Execution stops between tasks: every record already handed to the
+    checkpoint/store is durable, the in-flight trial (if any) is abandoned,
+    and the checkpoint file is *not* deleted -- a later run with
+    ``resume=True`` (or a warm store) picks up exactly where this one
+    stopped.  The scenario service maps job cancellation and graceful
+    shutdown onto this exception.
+    """
+
+
 @dataclass(frozen=True)
 class SuiteEntry:
     """One scenario inside a suite, with its pooling group label.
@@ -589,6 +601,8 @@ def _execute_tasks(
     resume: bool = False,
     shard_index: int = 1,
     shard_count: int = 1,
+    on_progress: Optional[Any] = None,
+    should_stop: Optional[Any] = None,
 ) -> Tuple[Dict[int, Dict[str, Any]], Dict[str, int]]:
     """Produce the trial record of every requested task index.
 
@@ -600,6 +614,14 @@ def _execute_tasks(
     checkpoint as they finish, so a killed run loses at most the in-flight
     trials.  Returns the records plus accounting
     (``tasks``/``resumed``/``hits``/``misses``).
+
+    ``on_progress`` (a callable taking one dict) receives a ``"plan"`` event
+    once the checkpoint/store have been consulted (with the
+    resumed/hit/miss split) and a ``"task"`` event after every executed
+    record lands (after it has been checkpointed and stored, so a consumer
+    that persists the event never gets ahead of durability).  ``should_stop``
+    (a zero-argument callable) is polled between tasks; returning true raises
+    :class:`SuiteCancelled` with everything completed so far already durable.
     """
     store = ResultStore.coerce(store)
     tasks = _flatten_tasks(suite)
@@ -626,6 +648,20 @@ def _execute_tasks(
             stats["hits"] += 1
     pending = [index for index in task_indices if index not in records]
     stats["misses"] = len(pending)
+
+    total = len(task_indices)
+    if on_progress is not None:
+        on_progress(
+            {
+                "event": "plan",
+                "tasks": total,
+                "resumed": stats["resumed"],
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+            }
+        )
+    if should_stop is not None and should_stop():
+        raise SuiteCancelled(f"cancelled before execution ({len(records)}/{total} tasks done)")
 
     checkpoint_handle = None
     if checkpoint is not None:
@@ -698,6 +734,22 @@ def _execute_tasks(
                     )
                     checkpoint_handle.flush()
                     os.fsync(checkpoint_handle.fileno())
+                if on_progress is not None:
+                    on_progress(
+                        {
+                            "event": "task",
+                            "task": index,
+                            "entry": entry_index,
+                            "trial": trial_index,
+                            "done": len(records),
+                            "total": total,
+                        }
+                    )
+                if should_stop is not None and should_stop():
+                    raise SuiteCancelled(
+                        f"cancelled after {len(records)}/{total} tasks "
+                        "(completed records are checkpointed)"
+                    )
 
             runner = ParallelSweepRunner(jobs=jobs)
             runner.run(
@@ -755,6 +807,8 @@ def run_suite(
     store: Any = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    on_progress: Optional[Any] = None,
+    should_stop: Optional[Any] = None,
 ) -> SuiteReport:
     """Execute every trial of every entry and aggregate into a :class:`SuiteReport`.
 
@@ -781,6 +835,11 @@ def run_suite(
     existing checkpoint's records are trusted instead of re-executed, and the
     file is deleted once the run completes.  Either facility sets the
     report's ``store_stats``.
+
+    ``on_progress`` / ``should_stop`` stream per-task progress events and
+    cooperatively cancel the run (see :func:`_execute_tasks` /
+    :class:`SuiteCancelled`); a cancelled run keeps its checkpoint, so the
+    next ``resume=True`` run continues instead of restarting.
     """
     start = time.perf_counter()
     task_count = len(_flatten_tasks(suite))
@@ -793,6 +852,8 @@ def run_suite(
         store=store,
         checkpoint=checkpoint,
         resume=resume,
+        on_progress=on_progress,
+        should_stop=should_stop,
     )
     report = _assemble_report(suite, records)
     if store is not None or checkpoint is not None:
@@ -813,6 +874,8 @@ def run_suite_shard(
     store: Any = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    on_progress: Optional[Any] = None,
+    should_stop: Optional[Any] = None,
 ) -> SuiteShard:
     """Execute shard ``k`` of ``N`` of the suite's canonical task list.
 
@@ -839,6 +902,8 @@ def run_suite_shard(
         resume=resume,
         shard_index=shard_index,
         shard_count=shard_count,
+        on_progress=on_progress,
+        should_stop=should_stop,
     )
     return SuiteShard(
         suite_fingerprint=suite.fingerprint(),

@@ -27,6 +27,18 @@ from repro.core.seed_agreement import SeedAgreementProcess
 from repro.simulation.process import ProcessContext
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "service: scenario-service (python -m repro serve) integration tests",
+    )
+    config.addinivalue_line(
+        "markers",
+        "fault_injection: service tests that crash/kill workers mid-suite "
+        "(run in CI via `-m fault_injection`)",
+    )
+
+
 # ----------------------------------------------------------------------
 # graphs
 # ----------------------------------------------------------------------

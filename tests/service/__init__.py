@@ -1,0 +1,1 @@
+"""Scenario-service test package (see harness.py for the shared helpers)."""

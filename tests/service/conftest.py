@@ -1,0 +1,265 @@
+"""Harness for the scenario-service tests (``tests/service/``).
+
+Two ways to stand a service up:
+
+* :func:`threaded_service` (fixture factory) -- in-process
+  :class:`~repro.scenarios.service.ThreadedService`; fast, shares the test's
+  interpreter, used by the HTTP/dedup/round-trip tests.
+* :class:`ServerProcess` -- a real ``python -m repro serve`` subprocess whose
+  ready line is parsed for the bound port; the only way to test signal-driven
+  shutdown, hard kills, and journal recovery across process lifetimes.
+
+Plus raw :mod:`http.client` helpers (``request_json``, ``stream_events``)
+that keep full control of status codes, error bodies and the chunked NDJSON
+stream -- deliberately not a fixture-heavy client abstraction, so the tests
+read like the protocol they assert.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+# ----------------------------------------------------------------------
+# payload builders (tiny, deterministic, fast)
+# ----------------------------------------------------------------------
+def tiny_scenario(name: str = "svc-tiny", seed: int = 7, trials: int = 2) -> Dict[str, Any]:
+    """A scenario payload that runs in well under a second."""
+    return {
+        "name": name,
+        "topology": {"name": "clique", "args": {"n": 4}},
+        "algorithm": {"name": "uniform"},
+        "run": {
+            "rounds": 5,
+            "rounds_unit": "rounds",
+            "trials": trials,
+            "master_seed": seed,
+        },
+        "metrics": [{"name": "counters"}],
+    }
+
+
+def tiny_suite(
+    name: str = "svc-suite", entry_count: int = 2, trials: int = 2, seed: int = 11
+) -> Dict[str, Any]:
+    """A multi-entry suite payload (``entry_count * trials`` tasks)."""
+    return {
+        "name": name,
+        "entries": [
+            {
+                "id": f"{name}-e{i}",
+                "scenario": tiny_scenario(f"{name}-e{i}", seed=seed + i, trials=trials),
+            }
+            for i in range(entry_count)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# raw HTTP helpers
+# ----------------------------------------------------------------------
+def request_json(
+    url: str,
+    method: str,
+    path: str,
+    body: Optional[Any] = None,
+    raw_body: Optional[bytes] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Any]:
+    """One request; returns ``(status, parsed_json_or_bytes)``."""
+    parsed = urllib.parse.urlparse(url)
+    conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=timeout)
+    try:
+        payload = raw_body
+        if payload is None and body is not None:
+            payload = json.dumps(body).encode()
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        data = response.read()
+        try:
+            return response.status, json.loads(data)
+        except ValueError:
+            return response.status, data
+    finally:
+        conn.close()
+
+
+def fetch_report_bytes(url: str, job_id: str, timeout: float = 60.0) -> bytes:
+    """The report endpoint's exact bytes (asserting 200)."""
+    parsed = urllib.parse.urlparse(url)
+    conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=timeout)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/report")
+        response = conn.getresponse()
+        data = response.read()
+        assert response.status == 200, f"report fetch failed: {response.status} {data!r}"
+        return data
+    finally:
+        conn.close()
+
+
+def stream_events(url: str, job_id: str, timeout: float = 120.0) -> Iterator[Dict[str, Any]]:
+    """Yield the NDJSON events of one job until the stream closes."""
+    parsed = urllib.parse.urlparse(url)
+    conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=timeout)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        # http.client decodes the chunked framing; readline gives NDJSON lines.
+        while True:
+            line = response.readline()
+            if not line:
+                return
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+    finally:
+        conn.close()
+
+
+def wait_terminal(url: str, job_id: str, timeout: float = 120.0) -> Dict[str, Any]:
+    """Poll the job descriptor until it reaches a terminal state."""
+    deadline = time.monotonic() + timeout
+    while True:
+        status, payload = request_json(url, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200, payload
+        job = payload["job"]
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {job_id} still {job['state']} after {timeout}s")
+        time.sleep(0.05)
+
+
+# ----------------------------------------------------------------------
+# in-process service
+# ----------------------------------------------------------------------
+@pytest.fixture
+def threaded_service(tmp_path):
+    """Factory: start in-process services; all stopped at teardown.
+
+    Returns ``start(**manager_kwargs) -> (url, service)``; ``store``
+    defaults to a per-test directory so tests can share (or isolate) stores
+    explicitly.
+    """
+    from repro.scenarios.service import ThreadedService
+
+    started: List[Any] = []
+
+    def start(**manager_kwargs: Any):
+        manager_kwargs.setdefault("store", str(tmp_path / "store"))
+        manager_kwargs.setdefault("workers", 2)
+        service = ThreadedService(manager_kwargs)
+        url = service.start()
+        started.append(service)
+        return url, service
+
+    yield start
+    for service in started:
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# subprocess server
+# ----------------------------------------------------------------------
+class ServerProcess:
+    """A real ``python -m repro serve`` child, addressed via its ready line."""
+
+    def __init__(
+        self,
+        store: str,
+        workers: int = 1,
+        retries: int = 2,
+        backoff: float = 0.05,
+        env_extra: Optional[Dict[str, str]] = None,
+    ) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(env_extra or {})
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro",
+                "serve",
+                "--store",
+                store,
+                "--port",
+                "0",
+                "--workers",
+                str(workers),
+                "--retries",
+                str(retries),
+                "--backoff",
+                str(backoff),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        self.url = self._await_ready()
+
+    def _await_ready(self, timeout: float = 30.0) -> str:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"server exited before its ready line (rc={self.proc.poll()})"
+                )
+            if line.startswith("repro service listening on "):
+                return line.split("listening on ", 1)[1].strip()
+        raise AssertionError("no ready line within timeout")
+
+    def sigterm(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=60)
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=60)
+
+    def wait(self, timeout: float = 120.0) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+
+
+@pytest.fixture
+def server_process(tmp_path):
+    """Factory: launch ``python -m repro serve`` children; all reaped at teardown."""
+    started: List[ServerProcess] = []
+
+    def start(store: Optional[str] = None, **kwargs: Any) -> ServerProcess:
+        server = ServerProcess(store or str(tmp_path / "store"), **kwargs)
+        started.append(server)
+        return server
+
+    yield start
+    for server in started:
+        server.stop()

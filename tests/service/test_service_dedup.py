@@ -1,0 +1,107 @@
+"""Dedup guarantees: one fingerprint never executes twice.
+
+Satellite 2 of the PR-8 issue: N clients submitting the same suite
+fingerprint simultaneously must trigger exactly one execution, and every
+client must receive byte-identical report bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from .conftest import fetch_report_bytes, request_json, tiny_suite, wait_terminal
+
+pytestmark = pytest.mark.service
+
+CLIENTS = 8
+
+
+def test_concurrent_identical_submissions_execute_once(threaded_service):
+    url, service = threaded_service(workers=2)
+    suite_payload = tiny_suite("dedup-storm", entry_count=2, trials=2)
+    body = {"suite": suite_payload}
+
+    results = [None] * CLIENTS
+    barrier = threading.Barrier(CLIENTS)
+
+    def client(index: int) -> None:
+        barrier.wait()
+        status, payload = request_json(url, "POST", "/v1/jobs", body=body)
+        assert status in (200, 201), payload
+        job = wait_terminal(url, payload["job"]["id"])
+        assert job["state"] == "done"
+        results[index] = (payload["dedup"], fetch_report_bytes(url, payload["job"]["id"]))
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+    dispositions = [disposition for disposition, _ in results]
+    reports = {report for _, report in results}
+
+    # Every client got the same bytes, and exactly one submission was "new".
+    assert len(reports) == 1
+    assert dispositions.count("new") == 1
+    assert all(d in ("new", "inflight", "cached") for d in dispositions)
+
+    status, stats = request_json(url, "GET", "/stats")
+    counters = stats["counters"]
+    assert counters["submitted"] == CLIENTS
+    assert counters["completed"] == 1
+    assert counters["dedup_inflight"] + counters["dedup_cached"] == CLIENTS - 1
+    # Exactly one execution: the store saw each of the 4 tasks miss once.
+    assert stats["store"]["misses"] == 4
+
+    # Late resubmission after completion: pure at-rest dedup, same bytes.
+    status, payload = request_json(url, "POST", "/v1/jobs", body=body)
+    assert status == 200
+    assert payload["dedup"] == "cached"
+    assert payload["job"]["state"] == "done"
+    assert fetch_report_bytes(url, payload["job"]["id"]) == next(iter(reports))
+
+
+def test_cached_submission_survives_restarted_manager(threaded_service, tmp_path):
+    """At-rest dedup is a property of the store, not the process."""
+    store = str(tmp_path / "shared-store")
+    body = {"suite": tiny_suite("dedup-persist", entry_count=1, trials=2)}
+
+    url1, service1 = threaded_service(store=store, workers=1)
+    status, payload = request_json(url1, "POST", "/v1/jobs", body=body)
+    assert payload["dedup"] == "new"
+    wait_terminal(url1, payload["job"]["id"])
+    original = fetch_report_bytes(url1, payload["job"]["id"])
+    service1.stop()
+
+    url2, service2 = threaded_service(store=store, workers=1)
+    status, payload = request_json(url2, "POST", "/v1/jobs", body=body)
+    assert status == 200
+    assert payload["dedup"] == "cached"
+    assert payload["job"]["origin"] == "cache"
+    assert fetch_report_bytes(url2, payload["job"]["id"]) == original
+    status, stats = request_json(url2, "GET", "/stats")
+    assert stats["counters"]["completed"] == 0  # nothing executed this life
+
+
+def test_distinct_fingerprints_do_not_dedup(threaded_service):
+    url, _ = threaded_service()
+    status, a = request_json(
+        url, "POST", "/v1/jobs", body={"suite": tiny_suite("fp-a", seed=1)}
+    )
+    status, b = request_json(
+        url, "POST", "/v1/jobs", body={"suite": tiny_suite("fp-b", seed=2)}
+    )
+    assert a["dedup"] == b["dedup"] == "new"
+    assert a["job"]["fingerprint"] != b["job"]["fingerprint"]
+    assert wait_terminal(url, a["job"]["id"])["state"] == "done"
+    assert wait_terminal(url, b["job"]["id"])["state"] == "done"
+    reports = {
+        fetch_report_bytes(url, a["job"]["id"]),
+        fetch_report_bytes(url, b["job"]["id"]),
+    }
+    assert len(reports) == 2

@@ -1,0 +1,203 @@
+"""JobManager unit tests: journal mechanics, recovery edges, cancellation.
+
+These run the manager directly on an asyncio loop (no HTTP) where the
+subprocess harness would be slow or could not reach the edge at all --
+torn journal lines, duplicate accepts, cancel-while-running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.scenarios.jobs import JobManager, JobRejected, parse_submission
+from repro.scenarios.suite import SuiteSpec
+
+from .conftest import tiny_scenario, tiny_suite
+
+pytestmark = pytest.mark.service
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def manager_for(tmp_path, **kwargs) -> JobManager:
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("backoff_s", 0.01)
+    return JobManager(store=str(tmp_path / "store"), **kwargs)
+
+
+async def drive(manager: JobManager, job) -> None:
+    """Wait for one job to reach a terminal state, then stop the workers."""
+    queue = manager.subscribe(job)
+    try:
+        while not job.terminal:
+            await asyncio.wait_for(queue.get(), timeout=60)
+    finally:
+        manager.unsubscribe(job, queue)
+        await manager.shutdown()
+
+
+# ----------------------------------------------------------------------
+# parse_submission
+# ----------------------------------------------------------------------
+def test_parse_submission_options_and_wrapping():
+    suite, options = parse_submission(
+        {"scenario": tiny_scenario("wrapme"), "options": {"jobs": 3, "prebuild": True}}
+    )
+    assert suite.name == "scenario:wrapme"
+    assert [entry.id for entry in suite.entries] == ["wrapme"]
+    assert options == {"jobs": 3, "prebuild": True}
+
+    suite, options = parse_submission({"suite": tiny_suite("plain")})
+    assert suite == SuiteSpec.from_dict(tiny_suite("plain"))
+    assert options == {}
+
+
+def test_parse_submission_rejects_non_integer_jobs():
+    with pytest.raises(JobRejected):
+        parse_submission({"scenario": tiny_scenario(), "options": {"jobs": "many"}})
+
+
+# ----------------------------------------------------------------------
+# journal + recovery
+# ----------------------------------------------------------------------
+def test_submit_journals_before_ack(tmp_path):
+    async def main():
+        manager = manager_for(tmp_path)
+        await manager.start()
+        job, disposition = manager.submit(*parse_submission({"suite": tiny_suite("durable")}))
+        assert disposition == "new"
+        # The accept line is on disk before submit() returned.
+        with open(manager.journal_path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        assert any(e["op"] == "accept" and e["job"] == job.id for e in entries)
+        await drive(manager, job)
+        # ...and the close line lands on completion.
+        with open(manager.journal_path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        assert {"op": "close", "job": job.id, "state": "done"} in entries
+
+    run_async(main())
+
+
+def test_recover_tolerates_torn_tail_and_compacts(tmp_path):
+    suite, _ = parse_submission({"suite": tiny_suite("torn")})
+    manager = manager_for(tmp_path)
+    manager._journal_append(
+        {
+            "op": "accept",
+            "job": "job-000001",
+            "fingerprint": suite.fingerprint(),
+            "options": {},
+            "suite": suite.to_dict(),
+        }
+    )
+    with open(manager.journal_path, "a", encoding="utf-8") as handle:
+        handle.write('{"op": "acc')  # a kill mid-append
+
+    fresh = JobManager(store=manager.store)
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        recovered = fresh.recover()
+    assert [job.id for job in recovered] == ["job-000001"]
+    assert recovered[0].origin == "recovered"
+    # Compaction rewrote the journal: the torn tail is gone for good.
+    with open(fresh.journal_path, encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    assert len(lines) == 1
+    assert json.loads(lines[0])["op"] == "accept"
+
+
+def test_recover_supersedes_duplicate_fingerprints(tmp_path):
+    suite, _ = parse_submission({"suite": tiny_suite("dup-fp")})
+    manager = manager_for(tmp_path)
+    for job_id in ("job-000001", "job-000002"):
+        manager._journal_append(
+            {
+                "op": "accept",
+                "job": job_id,
+                "fingerprint": suite.fingerprint(),
+                "options": {},
+                "suite": suite.to_dict(),
+            }
+        )
+    fresh = JobManager(store=manager.store)
+    recovered = fresh.recover()
+    assert [job.id for job in recovered] == ["job-000001"]
+    with open(fresh.journal_path, encoding="utf-8") as handle:
+        entries = [json.loads(line) for line in handle if line.strip()]
+    assert {"op": "close", "job": "job-000002", "state": "superseded"} in entries
+
+
+def test_recover_drops_unreadable_suites_with_warning(tmp_path):
+    manager = manager_for(tmp_path)
+    manager._journal_append(
+        {"op": "accept", "job": "job-000009", "fingerprint": "x", "options": {}, "suite": {"nonsense": 1}}
+    )
+    fresh = JobManager(store=manager.store)
+    with pytest.warns(RuntimeWarning, match="dropping unreadable"):
+        assert fresh.recover() == []
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+def test_cancel_running_job_keeps_checkpoint_for_resume(tmp_path):
+    payload = tiny_suite("cancel-run", entry_count=3, trials=2)  # 6 tasks
+
+    async def main():
+        manager = manager_for(tmp_path)
+        await manager.start()
+        job, _ = manager.submit(*parse_submission({"suite": payload}))
+        queue = manager.subscribe(job)
+        # Cancel as soon as the first task completes.
+        while True:
+            event = await asyncio.wait_for(queue.get(), timeout=60)
+            if event.get("event") == "task":
+                manager.cancel(job)
+            if event.get("event") == "state" and event["state"] in (
+                "done",
+                "failed",
+                "cancelled",
+            ):
+                break
+        manager.unsubscribe(job, queue)
+        await manager.shutdown()
+        return manager, job
+
+    manager, job = run_async(main())
+    if job.state == "done":  # the last task raced the cancel -- nothing to resume
+        return
+    assert job.state == "cancelled"
+    assert os.path.exists(manager.checkpoint_path(job.fingerprint))
+
+    async def resume():
+        fresh = JobManager(store=manager.store, workers=1, backoff_s=0.01)
+        await fresh.start()
+        resumed, disposition = fresh.submit(*parse_submission({"suite": payload}))
+        assert disposition == "new"
+        await drive(fresh, resumed)
+        return resumed
+
+    resumed = run_async(resume())
+    assert resumed.state == "done"
+    # The cancelled prefix was resumed from checkpoint/store, not re-run.
+    assert resumed.progress["resumed"] + resumed.progress["hits"] >= 1
+    assert resumed.progress["misses"] < 6
+
+
+def test_cancel_terminal_job_is_a_noop(tmp_path):
+    async def main():
+        manager = manager_for(tmp_path)
+        await manager.start()
+        job, _ = manager.submit(*parse_submission({"scenario": tiny_scenario("noop", trials=1)}))
+        await drive(manager, job)
+        assert job.state == "done"
+        assert manager.cancel(job) is False
+        assert job.state == "done"
+
+    run_async(main())

@@ -21,6 +21,7 @@ EXAMPLES = [
     ("sensor_field_monitoring.py", "per-summary outcomes"),
     ("emergency_alert_flood.py", "alert arrival by station"),
     ("neighbor_discovery_demo.py", "mean discovery fraction"),
+    ("service_client.py", "service round trip complete"),
 ]
 
 

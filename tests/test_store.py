@@ -204,6 +204,50 @@ class TestRobustness:
                 entry = store.get_entry(f"aa{worker:02d}{i:04d}")
                 assert entry["record"] == {"worker": worker, "i": i}
 
+    def test_stats_and_gc_race_concurrent_writer(self, tmp_path):
+        """Regression: ``stats()``/``gc()`` looping against a live appender.
+
+        Before the bucket file locks, ``gc``'s read-then-``os.replace`` could
+        drop a row appended between the read and the replace, and ``stats``
+        could observe (and miscount) a half-written line.  Now the writer
+        blocks on the exclusive bucket lock and re-opens when it finds its
+        handle pointing at a replaced inode, so every row survives an
+        arbitrary interleaving.
+        """
+        import threading
+
+        root = str(tmp_path / "store")
+        store = ResultStore(root)
+        total = 300
+        failures: list = []
+
+        def writer():
+            try:
+                for i in range(total):
+                    # One shared bucket (same 2-hex prefix) maximizes contention.
+                    store.put_entry(f"ab{i:06d}", {"i": i})
+            except Exception as exc:  # pragma: no cover - the regression itself
+                failures.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        scans = 0
+        while thread.is_alive():
+            reader = ResultStore(root)
+            stats = reader.stats()
+            assert stats["corrupt_lines"] == 0, "scan saw a torn line"
+            summary = reader.gc()
+            assert summary["dropped_corrupt"] == 0
+            scans += 1
+        thread.join(timeout=60)
+        assert not failures
+        assert scans > 0
+
+        final = ResultStore(root)
+        assert final.stats()["entries"] == total
+        for i in range(total):
+            assert final.get_entry(f"ab{i:06d}")["record"] == {"i": i}
+
 
 class TestWarmIdentity:
     @pytest.mark.parametrize("trace_mode", ["full", "events", "counters"])

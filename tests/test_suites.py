@@ -47,6 +47,7 @@ from repro.scenarios import (
     RunPolicy,
     ScenarioSpec,
     SchedulerSpec,
+    SuiteCancelled,
     SuiteEntry,
     SuiteShard,
     SuiteSpec,
@@ -386,6 +387,71 @@ class TestCheckpointResume:
             )
         with pytest.raises(ValueError, match="belongs to a different run"):
             run_suite(suite, jobs=1, checkpoint=checkpoint, resume=True)
+
+
+class TestProgressAndCancellation:
+    """The PR-8 service hooks: ``on_progress`` events and ``should_stop``."""
+
+    def test_on_progress_event_sequence(self):
+        suite = small_suite(trials=2)  # 4 tasks
+        events = []
+        run_suite(suite, on_progress=events.append)
+        assert events[0] == {"event": "plan", "tasks": 4, "resumed": 0, "hits": 0, "misses": 4}
+        task_events = events[1:]
+        assert [e["event"] for e in task_events] == ["task"] * 4
+        assert [e["done"] for e in task_events] == [1, 2, 3, 4]
+        assert all(e["total"] == 4 for e in task_events)
+        # Tasks complete in canonical (entry, trial) order, serial or pooled.
+        assert [(e["entry"], e["trial"]) for e in task_events] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+    def test_on_progress_counts_store_hits_in_the_plan(self, tmp_path):
+        suite = small_suite(trials=1)
+        store = str(tmp_path / "store")
+        run_suite(suite, store=store)
+        events = []
+        run_suite(suite, store=store, on_progress=events.append)
+        assert events == [
+            {"event": "plan", "tasks": 2, "resumed": 0, "hits": 2, "misses": 0}
+        ]
+
+    def test_should_stop_cancels_and_leaves_the_checkpoint(self, tmp_path):
+        suite = small_suite(trials=2)
+        checkpoint = str(tmp_path / "run.checkpoint.jsonl")
+        completed = []
+
+        def stop_after_first():
+            return len(completed) >= 1
+
+        with pytest.raises(SuiteCancelled, match="checkpointed"):
+            run_suite(
+                suite,
+                checkpoint=checkpoint,
+                resume=True,
+                on_progress=lambda e: completed.append(e) if e["event"] == "task" else None,
+                should_stop=stop_after_first,
+            )
+        assert len(completed) == 1
+        assert os.path.exists(checkpoint)  # cancellation preserves it
+
+        # A resumed run trusts the checkpointed prefix and matches a clean run.
+        resumed = run_suite(suite, checkpoint=checkpoint, resume=True)
+        assert resumed.store_stats["resumed"] == 1
+        assert resumed.store_stats["misses"] == 3
+        assert det(resumed) == det(run_suite(suite))
+        assert not os.path.exists(checkpoint)  # consumed by the completed run
+
+    def test_should_stop_before_any_task(self):
+        with pytest.raises(SuiteCancelled, match="cancelled before execution"):
+            run_suite(small_suite(), should_stop=lambda: True)
+
+    def test_hooks_thread_through_shards(self):
+        suite = small_suite(trials=2)
+        events = []
+        run_suite_shard(suite, 1, 2, on_progress=events.append)
+        assert events[0]["event"] == "plan" and events[0]["tasks"] == 2
+        assert [e["done"] for e in events[1:]] == [1, 2]
 
 
 class TestSuiteCLI:
