@@ -13,20 +13,32 @@ factors 1 (the paper's base algorithm), 2, and 4 it reports
 
 showing the preamble overhead drops with the reuse factor while the progress
 guarantee keeps holding.
+
+The harness is a **scenario suite**: one entry per (reuse factor, trial)
+declaring the ``progress`` metric (its window defaults to the trial's derived
+``t_prog``), one group per reuse factor; the pooled group rate is exactly the
+failures-over-windows arithmetic the pre-suite harness used, and the
+preamble-airtime fraction is recomputed from the derived params
+(:func:`repro.scenarios.runtime.resolve_params` -- no process population is
+materialized for it).  Seeds match the pre-suite harness exactly
+(``graph_seed = 4400 + trial``, process RNGs and the i.i.d. scheduler rooted
+at the trial index).  The checked-in manifest at
+``examples/suites/bench_ablation_seed_reuse.json`` is this suite as data
+(``python -m repro suite ...`` reproduces the table; pinned by
+``tests/test_suites.py``).
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict
+import os
+from dataclasses import replace
+from typing import List, Optional
 
-from repro import LBParams, Simulator, make_lb_processes
-from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import IIDScheduler
-from repro.simulation.environment import SaturatingEnvironment
-from repro.simulation.metrics import progress_report
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import MetricSpec, SuiteEntry, SuiteReport, SuiteSpec, run_suite
+from repro.scenarios.runtime import resolve_params
 
-from benchmarks.common import network_with_target_degree, print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, lb_point_spec, print_and_save, run_once_benchmark
 
 REUSE_FACTORS = (1, 2, 4)
 TARGET_DELTA = 16
@@ -34,49 +46,89 @@ EPSILON = 0.2
 TRIALS = 3
 PHASES_PER_TRIAL = 6
 
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_ablation_seed_reuse.json"
+)
 
-def _run_point(seed_reuse_phases: int) -> Dict[str, float]:
-    reuse = seed_reuse_phases
-    applicable = 0
-    failures = 0
-    params = None
+SEED_REUSE_METRICS = (MetricSpec("progress"),)
 
-    for trial in range(TRIALS):
-        graph, _ = network_with_target_degree(TARGET_DELTA, seed=4400 + trial)
-        delta, delta_prime = graph.degree_bounds()
-        params = LBParams.derive(EPSILON, delta=delta, delta_prime=delta_prime, r=2.0)
-        senders = sorted(graph.vertices)[: max(2, graph.n // 6)]
-        simulator = Simulator(
-            graph,
-            make_lb_processes(graph, params, random.Random(trial), seed_reuse_phases=reuse),
-            scheduler=IIDScheduler(graph, probability=0.5, seed=trial),
-            environment=SaturatingEnvironment(senders=senders),
+
+def _group(reuse: int) -> str:
+    return f"reuse-{reuse}"
+
+
+def build_seed_reuse_suite() -> SuiteSpec:
+    """The E11 ablation as a :class:`~repro.scenarios.suite.SuiteSpec`."""
+    entries: List[SuiteEntry] = []
+    for reuse in REUSE_FACTORS:
+        for trial in range(TRIALS):
+            spec = lb_point_spec(
+                f"bench-seed-reuse-{reuse}-t{trial}",
+                target_delta=TARGET_DELTA,
+                graph_seed=4400 + trial,
+                trial_seed=trial,
+                epsilon=EPSILON,
+                environment="saturating",
+                senders={"select": "first", "divisor": 6, "min": 2},
+                rounds=PHASES_PER_TRIAL,
+                rounds_unit="phases",
+                trace_mode="auto",
+                metrics=SEED_REUSE_METRICS,
+            )
+            spec = replace(
+                spec, algorithm=spec.algorithm.with_args(seed_reuse_phases=reuse)
+            )
+            entries.append(SuiteEntry(id=spec.name, scenario=spec, group=_group(reuse)))
+    return SuiteSpec(
+        name="bench-ablation-seed-reuse",
+        description=(
+            "E11 -- ablation: seed-agreement frequency (reuse factor) vs "
+            "preamble overhead and progress"
+        ),
+        entries=tuple(entries),
+    )
+
+
+def seed_reuse_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's one-row-per-factor table."""
+    result = SweepResult()
+    for reuse in REUSE_FACTORS:
+        group = _group(reuse)
+        members = [e for e in report.entries if e.entry.group_label == group]
+        # The derived params (ts, phase_length) are shared workload facts,
+        # not trace outputs: recompute them from the last member's spec, the
+        # same "params of the final trial" the pre-suite harness reported.
+        params = resolve_params(members[-1].entry.scenario).params
+        summaries = report.group_summaries[group]
+        windows = int(summaries["progress.windows"]["sum"])
+        failures = int(summaries["progress.failures"]["sum"])
+        # With reuse factor k only ceil(PHASES/k) of the phases pay Ts rounds.
+        phases_paying_preamble = -(-PHASES_PER_TRIAL // reuse)
+        result.append(
+            {
+                "seed_reuse_phases": reuse,
+                "ts": params.ts,
+                "phase_length": params.phase_length,
+                "preamble_airtime_fraction": (
+                    phases_paying_preamble * params.ts
+                )
+                / (PHASES_PER_TRIAL * params.phase_length),
+                "progress_windows": windows,
+                "progress_failures": failures,
+                "progress_failure_rate": failures / max(windows, 1),
+                "target_epsilon": EPSILON,
+            }
         )
-        trace = simulator.run(PHASES_PER_TRIAL * params.phase_length)
-        report = progress_report(trace, graph, window=params.tprog_rounds)
-        applicable += report.num_applicable
-        failures += len(report.failures)
-
-    # With reuse factor k only ceil(PHASES/k) of the phases pay the Ts rounds.
-    phases_paying_preamble = -(-PHASES_PER_TRIAL // reuse)
-    preamble_airtime_fraction = (
-        phases_paying_preamble * params.ts
-    ) / (PHASES_PER_TRIAL * params.phase_length)
-
-    return {
-        "ts": params.ts,
-        "phase_length": params.phase_length,
-        "preamble_airtime_fraction": preamble_airtime_fraction,
-        "progress_windows": applicable,
-        "progress_failures": failures,
-        "progress_failure_rate": failures / max(applicable, 1),
-        "target_epsilon": EPSILON,
-    }
+    return result
 
 
-def run_seed_reuse_ablation() -> SweepResult:
-    """Run the E11 ablation and return its table."""
-    return sweep({"seed_reuse_phases": REUSE_FACTORS}, run=_run_point)
+def run_seed_reuse_ablation(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E11 suite and return its table."""
+    report = run_suite(
+        build_seed_reuse_suite(),
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
+    return seed_reuse_rows_from_report(report)
 
 
 def test_bench_ablation_seed_reuse(benchmark):
@@ -105,3 +157,24 @@ def test_bench_ablation_seed_reuse(benchmark):
     # ... while the progress guarantee keeps holding.
     for row in result:
         assert row["progress_failure_rate"] <= EPSILON + 0.15
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_seed_reuse_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_seed_reuse_ablation()
+        print_and_save(
+            "E11_ablation_seed_reuse",
+            "E11 -- ablation: seed-agreement frequency (reuse factor) vs preamble overhead and progress",
+            result,
+        )

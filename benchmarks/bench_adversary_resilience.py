@@ -18,23 +18,36 @@ the per-round data-reception rate of a designated receiver under:
 The paper's qualitative prediction: the targeted adversary hurts the fixed
 schedules substantially while LBAlg's rate stays in the same ballpark under
 both schedulers.
+
+The harness is a **scenario suite**: one entry per (algorithm, scheduler,
+trial) declaring the ``probe_reception`` metric at the receiver, one group
+per (algorithm, scheduler); the sender recipe is the registered
+``receiver_trap`` selection.  Seeds match the pre-suite harness exactly
+(graph ``seed = 40 + trial``, process RNGs and the i.i.d. scheduler rooted
+at the trial index), so the suite reproduces the historical table.  The
+checked-in manifest at ``examples/suites/bench_adversary_resilience.json``
+is this suite as data (``python -m repro suite ...`` reproduces the table;
+pinned by ``tests/test_suites.py``).
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict
+import os
+from typing import List, Optional
 
-from repro import LBParams, Simulator, make_lb_processes
-from repro.analysis.sweep import SweepResult, sweep
-from repro.baselines import make_baseline_processes
-from repro.baselines.decay import decay_schedule
-from repro.dualgraph.adversary import AntiScheduleAdversary, IIDScheduler
-from repro.dualgraph.generators import two_clusters_network
-from repro.simulation.environment import SaturatingEnvironment
-from repro.simulation.metrics import data_reception_rounds
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import MetricSpec, SuiteEntry, SuiteReport, SuiteSpec, run_suite
+from repro.scenarios.spec import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+)
 
-from benchmarks.common import print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, print_and_save, run_once_benchmark
 
 ALGORITHMS = ("decay", "uniform", "lbalg")
 SCHEDULERS = ("iid", "anti_decay")
@@ -42,64 +55,104 @@ TRIALS = 5
 RECEIVER = 0
 CLUSTER_SIZE = 5
 
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_adversary_resilience.json"
+)
 
-def _make_scheduler(kind: str, graph, delta: int, seed: int):
-    if kind == "iid":
-        return IIDScheduler(graph, probability=0.5, seed=seed)
-    return AntiScheduleAdversary(graph, decay_schedule(delta))
+#: Experiment algorithm -> (registered name, args, (rounds, rounds_unit)).
+#: The uniform baseline's 1/Δ probability and 4Δ active window are its
+#: registered defaults, so its args stay empty (and trial-independent).
+_ALGORITHM_SPECS = {
+    "decay": ("decay", {"num_cycles": 8}, (1000, "rounds")),
+    "uniform": ("uniform", {}, (1000, "rounds")),
+    "lbalg": ("lbalg", {"epsilon": 0.2, "preset": "derived"}, (5, "phases")),
+}
+
+#: The E6 trap: the receiver's lone reliable in-cluster neighbor carries the
+#: probe while the whole far cluster (vertices >= CLUSTER_SIZE) contends over
+#: the unreliable bridge the adversary controls.
+_SENDERS = {"select": "receiver_trap", "receiver": RECEIVER, "cutoff": CLUSTER_SIZE}
+
+ADVERSARY_METRICS = (MetricSpec("probe_reception", {"vertex": RECEIVER}),)
 
 
-def _run_point(algorithm: str, scheduler: str) -> Dict[str, float]:
-    rates = []
-    rounds_per_trial = None
-    for trial in range(TRIALS):
-        graph, _ = two_clusters_network(cluster_size=CLUSTER_SIZE, gap=1.5, rng=40 + trial)
-        delta, delta_prime = graph.degree_bounds()
-        # The classic trap setup: the receiver has exactly one reliable
-        # broadcaster (an in-cluster neighbor), while every node of the far
-        # cluster also broadcasts.  The far cluster reaches the receiver only
-        # over unreliable edges, so the adversary alone decides how much
-        # contention the lone reliable broadcaster has to fight through.
-        in_cluster_sender = min(graph.reliable_neighbors(RECEIVER))
-        far_cluster = [v for v in sorted(graph.vertices) if v >= CLUSTER_SIZE]
-        senders = [in_cluster_sender] + far_cluster
-        link_scheduler = _make_scheduler(scheduler, graph, delta, seed=trial)
-        rng = random.Random(trial)
+def _group(algorithm: str, scheduler: str) -> str:
+    return f"{algorithm}/{scheduler}"
 
-        if algorithm == "lbalg":
-            params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime, r=2.0)
-            processes = make_lb_processes(graph, params, rng)
-            rounds = 5 * params.phase_length
-        elif algorithm == "decay":
-            processes = make_baseline_processes(graph, "decay", rng, num_cycles=8)
-            rounds = 1000
-        else:
-            processes = make_baseline_processes(
-                graph, "uniform", rng, probability=1.0 / delta, active_rounds=4 * delta
+
+def build_adversary_suite() -> SuiteSpec:
+    """The E6 experiment as a :class:`~repro.scenarios.suite.SuiteSpec`."""
+    entries: List[SuiteEntry] = []
+    for algorithm in ALGORITHMS:
+        algorithm_name, algorithm_args, (rounds, rounds_unit) = _ALGORITHM_SPECS[algorithm]
+        for scheduler in SCHEDULERS:
+            if scheduler == "iid":
+                scheduler_spec = ("iid", {"probability": 0.5})
+            else:
+                scheduler_spec = ("anti_schedule", {"victim": "decay"})
+            for trial in range(TRIALS):
+                scheduler_args = dict(scheduler_spec[1])
+                if scheduler == "iid":
+                    scheduler_args["seed"] = trial
+                spec = ScenarioSpec(
+                    name=f"bench-adversary-{algorithm}-{scheduler}-t{trial}",
+                    topology=TopologySpec(
+                        "two_clusters",
+                        {"cluster_size": CLUSTER_SIZE, "gap": 1.5, "seed": 40 + trial},
+                    ),
+                    algorithm=AlgorithmSpec(algorithm_name, dict(algorithm_args)),
+                    scheduler=SchedulerSpec(scheduler_spec[0], scheduler_args),
+                    environment=EnvironmentSpec("saturating", {"senders": _SENDERS}),
+                    engine=EngineConfig(trace_mode="auto"),
+                    run=RunPolicy(
+                        rounds=rounds,
+                        rounds_unit=rounds_unit,
+                        trials=1,
+                        master_seed=trial,
+                        seed_policy="fixed",
+                    ),
+                    metrics=ADVERSARY_METRICS,
+                )
+                entries.append(
+                    SuiteEntry(id=spec.name, scenario=spec, group=_group(algorithm, scheduler))
+                )
+    return SuiteSpec(
+        name="bench-adversary-resilience",
+        description=(
+            "E6 -- receiver data-reception rate: fixed schedules vs LBAlg, "
+            "benign vs targeted oblivious scheduler"
+        ),
+        entries=tuple(entries),
+    )
+
+
+def adversary_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's (algorithm, scheduler) table."""
+    result = SweepResult()
+    for algorithm in ALGORITHMS:
+        for scheduler in SCHEDULERS:
+            summaries = report.group_summaries[_group(algorithm, scheduler)]
+            rate = summaries["probe_reception.rate"]
+            rounds = summaries["probe_reception.rounds"]
+            result.append(
+                {
+                    "algorithm": algorithm,
+                    "scheduler": scheduler,
+                    "rounds_per_trial": int(rounds["max"]),
+                    "mean_reception_rate": rate["mean"],
+                    "min_reception_rate": rate["min"],
+                }
             )
-            rounds = 1000
-        rounds_per_trial = rounds
-
-        simulator = Simulator(
-            graph,
-            processes,
-            scheduler=link_scheduler,
-            environment=SaturatingEnvironment(senders=senders),
-        )
-        trace = simulator.run(rounds)
-        heard = data_reception_rounds(trace, RECEIVER)
-        rates.append(len(heard) / rounds)
-
-    return {
-        "rounds_per_trial": rounds_per_trial,
-        "mean_reception_rate": sum(rates) / len(rates),
-        "min_reception_rate": min(rates),
-    }
+    return result
 
 
-def run_adversary_experiment() -> SweepResult:
-    """Run the E6 grid and return its table."""
-    return sweep({"algorithm": ALGORITHMS, "scheduler": SCHEDULERS}, run=_run_point)
+def run_adversary_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E6 suite and return its table."""
+    report = run_suite(
+        build_adversary_suite(),
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
+    return adversary_rows_from_report(report)
 
 
 def degradation_ratio(result: SweepResult, algorithm: str) -> float:
@@ -147,3 +200,24 @@ def test_bench_adversary_resilience(benchmark):
     # And LBAlg keeps making progress under the adversary.
     adversarial_lbalg = result.where(algorithm="lbalg", scheduler="anti_decay").rows[0]
     assert adversarial_lbalg["mean_reception_rate"] > 0.0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_adversary_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_adversary_experiment()
+        print_and_save(
+            "E6_adversary_resilience",
+            "E6 -- receiver data-reception rate: fixed schedules vs LBAlg, benign vs targeted scheduler",
+            result,
+        )

@@ -64,6 +64,9 @@ from repro.simulation.environment import (
     SingleShotEnvironment,
 )
 from repro.simulation.process import ProcessContext
+from repro.traffic.arrivals import build_arrival_process
+from repro.traffic.environment import QueuedEnvironment
+from repro.traffic.schedulers import TrafficAwareScheduler
 
 #: Network "density profiles" for degree-targeted sampling: approximate
 #: reliable degree bound -> (n, side) for random geographic networks.  Degree
@@ -282,6 +285,64 @@ def _scheduler_trace(graph, trial_seed: int, schedule: List[List[List[Any]]], cy
     )
 
 
+def _traffic_forecast(graph, traffic, trial_seed: int):
+    """Per-vertex expected arrival rates (and sinks) from a ``TrafficSpec``.
+
+    Builds a throwaway arrival process purely for its a-priori
+    ``expected_rate`` view -- no stream bits are consumed, and every arrival
+    kind's forecast is seed-independent, so schedulers built in different
+    processes (materialize vs. delta prebuild) agree on the schedule.
+    Returns ``(None, ())`` when the scenario declares no traffic, which the
+    scheduler treats as a uniform unit forecast.
+    """
+    if traffic is None:
+        return None, ()
+    sources = resolve_senders(
+        graph, traffic.sources if traffic.sources is not None else {"select": "all"}
+    )
+    seed = traffic.seed if traffic.seed is not None else trial_seed
+    process = build_arrival_process(
+        traffic.arrival.name,
+        traffic.arrival.args,
+        sources=sources,
+        sinks=traffic.sinks,
+        seed=seed,
+    )
+    rates = {v: process.expected_rate(v) for v in graph.vertices}
+    return rates, tuple(traffic.sinks)
+
+
+def _register_traffic_scheduler(variant: str):
+    @register_scheduler(variant)
+    def _build(
+        graph,
+        trial_seed: int,
+        traffic=None,
+        frame: Optional[int] = None,
+        sinks: Optional[List[Any]] = None,
+    ):
+        rates, traffic_sinks = _traffic_forecast(graph, traffic, trial_seed)
+        return TrafficAwareScheduler(
+            graph,
+            rates=rates,
+            sinks=tuple(sinks) if sinks else traffic_sinks,
+            frame=frame,
+            variant=variant,
+        )
+
+    _build.__name__ = f"_scheduler_{variant}"
+    _build.__doc__ = (
+        f"The {variant!r} slot-frame scheduler of "
+        "repro.traffic.schedulers.TrafficAwareScheduler, forecast-driven by "
+        "the scenario's traffic spec (uniform forecast when none is declared)."
+    )
+    return _build
+
+
+_register_traffic_scheduler("tasa")
+_register_traffic_scheduler("longest_queue")
+
+
 # ----------------------------------------------------------------------
 # algorithms
 # ----------------------------------------------------------------------
@@ -498,9 +559,24 @@ def resolve_senders(graph, senders: Any, embedding: Any = None) -> List[Hashable
         count = int(senders.get("count", 1))
         neighbors = sorted(graph.reliable_neighbors(probe))
         return neighbors[:count] if neighbors else [probe]
+    if select == "receiver_trap":
+        # The E6 adversary-resilience recipe: one reliable neighbor of the
+        # silent receiver carries the probe, and everything from `cutoff`
+        # up (the far cluster of a two_clusters topology) saturates the
+        # unreliable bridge.  The receiver itself never sends.
+        receiver = senders.get("receiver", 0)
+        cutoff = int(senders["cutoff"])
+        neighbors = sorted(graph.reliable_neighbors(receiver))
+        if not neighbors:
+            raise ValueError(
+                f"senders select='receiver_trap': receiver {receiver!r} has no "
+                "reliable neighbor to carry the probe"
+            )
+        far = [v for v in ordered if isinstance(v, int) and v >= cutoff]
+        return [neighbors[0]] + far
     raise ValueError(
         f"unknown senders selection {select!r}; expected 'all', 'first', "
-        "'degree_top' or 'center_probe_neighbors'"
+        "'degree_top', 'center_probe_neighbors' or 'receiver_trap'"
     )
 
 
@@ -510,7 +586,9 @@ def _environment_null(graph):
 
 
 @register_environment(
-    "single_shot", sample_args={"senders": {"select": "first", "count": 1}}
+    "single_shot",
+    sample_args={"senders": {"select": "first", "count": 1}},
+    workload="sparse",
 )
 def _environment_single_shot(
     graph,
@@ -547,6 +625,74 @@ def _environment_bursty(
         period=period,
         start_round=start_round,
     )
+
+
+@register_environment(
+    "queued",
+    sample_args={"arrival": {"name": "periodic", "args": {"period": 5}}},
+    trial_seeded=True,
+)
+def _environment_queued(
+    graph,
+    traffic=None,
+    arrival: Optional[Mapping[str, Any]] = None,
+    capacity: Optional[int] = None,
+    sources: Any = None,
+    sinks: Optional[List[Any]] = None,
+    seed: Optional[int] = None,
+    trial_seed: int = 0,
+    embedding: Any = None,
+):
+    """The queue-backed environment of :mod:`repro.traffic`.
+
+    Configuration comes from the scenario's ``traffic`` node when one is
+    declared (the normal path); inline args of the same names override its
+    fields, and standalone use (no traffic node) configures entirely inline.
+    The arrival seed defaults to the trial seed, so multi-trial runs draw
+    independent realizations unless the spec pins one.
+    """
+    arrival_name: Optional[str] = None
+    arrival_args: Mapping[str, Any] = {}
+    resolved_capacity = 0
+    resolved_sources: Any = None
+    resolved_sinks: Tuple[Any, ...] = ()
+    resolved_seed: Optional[int] = None
+    if traffic is not None:
+        arrival_name = traffic.arrival.name
+        arrival_args = traffic.arrival.args
+        resolved_capacity = traffic.capacity
+        resolved_sources = traffic.sources
+        resolved_sinks = traffic.sinks
+        resolved_seed = traffic.seed
+    if arrival is not None:
+        arrival_name = arrival["name"]
+        arrival_args = arrival.get("args", {})
+    if capacity is not None:
+        resolved_capacity = capacity
+    if sources is not None:
+        resolved_sources = sources
+    if sinks is not None:
+        resolved_sinks = tuple(sinks)
+    if seed is not None:
+        resolved_seed = seed
+    if arrival_name is None:
+        raise ValueError(
+            "the 'queued' environment needs an arrival process: declare a "
+            "'traffic' node on the scenario or pass an inline 'arrival' arg"
+        )
+    source_vertices = resolve_senders(
+        graph,
+        resolved_sources if resolved_sources is not None else {"select": "all"},
+        embedding=embedding,
+    )
+    process = build_arrival_process(
+        arrival_name,
+        arrival_args,
+        sources=source_vertices,
+        sinks=resolved_sinks,
+        seed=resolved_seed if resolved_seed is not None else trial_seed,
+    )
+    return QueuedEnvironment(graph, process, capacity=resolved_capacity)
 
 
 @register_environment("scripted", sample_args={"script": {"1": {"0": "hello"}}})

@@ -707,14 +707,30 @@ class JobManager:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         states: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        backlog: Dict[str, Dict[str, Any]] = {}
         for job in self.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
+            if job.terminal:
+                continue
+            # Per-job backlog: total comes from the live progress snapshot
+            # once a "plan" event landed (resume may shrink it below the
+            # suite's task count), the flattened suite before that.
+            total = int(job.progress.get("total", job.task_count))
+            done = int(job.progress.get("done", 0))
+            backlog[job.id] = {
+                "state": job.state,
+                "tasks_total": total,
+                "tasks_done": done,
+                "tasks_pending": max(total - done, 0),
+            }
         return {
             "uptime_s": time.time() - self.started_at,
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),
             "inflight": len(self._inflight),
             "jobs": states,
+            "backlog": backlog,
+            "backlog_tasks": sum(b["tasks_pending"] for b in backlog.values()),
             "counters": dict(self.counters),
             "store": self.store.stats(),
         }

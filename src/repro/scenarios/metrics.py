@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.stats import summarize, wilson_interval
+from repro.analysis.stats import quantile, summarize, wilson_interval
 from repro.core.lb_spec import check_lb_execution
 from repro.core.seed_spec import check_seed_execution, decide_latency_rounds
 from repro.dualgraph.geometric import central_vertex
@@ -800,3 +800,70 @@ def _metric_mac_guarantees(
     row["ack_ok"] = int(report.ack_ok)
     row["within_epsilon"] = int(report.within_epsilon)
     return row
+
+
+def _q(values: Sequence[float], q: float) -> float:
+    """A quantile that reports 0.0 on no observations (empty queues are real)."""
+    return quantile(values, q) if values else 0.0
+
+
+@register_metric(
+    "queue",
+    sample_args={},
+    trace_mode=TraceMode.COUNTERS,
+    ratios={
+        "delivery_latency_mean": ("delivery_latency_sum", "delivered"),
+        "ack_latency_mean": ("ack_latency_sum", "acked"),
+        "wait_mean": ("wait_sum", "submitted"),
+        "throughput": ("acked", "rounds"),
+        "backlog_mean": ("backlog_sum", "rounds"),
+    },
+    rates={
+        "delivery_rate": ("delivered", "enqueued"),
+        "delivered_by_ack_rate": ("delivered_before_ack", "acked"),
+        "drop_rate": ("dropped", "offered"),
+    },
+)
+def _metric_queue(ctx: MetricContext) -> Dict[str, Any]:
+    """Backlog, waiting-time and delivery-latency statistics of a queued trial.
+
+    Reads the trial's :class:`repro.traffic.environment.QueuedEnvironment`
+    state (the environment records per-message enqueue/dequeue/delivery/ack
+    rounds itself), so any trace mode suffices.  *Delivery* means every
+    reliable neighbor of the origin produced a ``recv`` -- the abstract MAC
+    layer's delivery event; latencies count rounds from enqueue.  Percentile
+    columns are per-trial; the pooled ratio/rate columns (means, throughput,
+    delivery/drop rates with Wilson intervals) are exact across trials.
+    """
+    from repro.traffic.environment import QueuedEnvironment
+
+    environment = ctx.environment
+    if not isinstance(environment, QueuedEnvironment):
+        raise ValueError(
+            "metric 'queue' needs the 'queued' environment (a QueuedEnvironment); "
+            f"this trial ran {type(environment).__name__}"
+        )
+    return {
+        "rounds": ctx.rounds,
+        "offered": environment.offered,
+        "enqueued": environment.enqueued,
+        "dropped": environment.dropped,
+        "submitted": len(environment.wait_samples),
+        "acked": environment.acked,
+        "delivered": environment.delivered,
+        "delivered_before_ack": environment.delivered_before_ack,
+        "backlog_sum": sum(environment.backlog_samples),
+        "backlog_p50": _q(environment.backlog_samples, 0.5),
+        "backlog_p90": _q(environment.backlog_samples, 0.9),
+        "backlog_max": max(environment.backlog_samples, default=0),
+        "wait_sum": sum(environment.wait_samples),
+        "wait_p50": _q(environment.wait_samples, 0.5),
+        "wait_max": max(environment.wait_samples, default=0),
+        "delivery_latency_sum": sum(environment.delivery_latencies),
+        "delivery_latency_p50": _q(environment.delivery_latencies, 0.5),
+        "delivery_latency_p90": _q(environment.delivery_latencies, 0.9),
+        "delivery_latency_max": max(environment.delivery_latencies, default=0),
+        "ack_latency_sum": sum(environment.ack_latencies),
+        "ack_latency_p50": _q(environment.ack_latencies, 0.5),
+        "ack_latency_max": max(environment.ack_latencies, default=0),
+    }

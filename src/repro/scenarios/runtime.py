@@ -150,16 +150,30 @@ def materialize(spec: ScenarioSpec, trial_index: int = 0) -> BuiltScenario:
     build = algorithm_builder(graph, rng, **spec.algorithm.args)
 
     scheduler_builder = SCHEDULERS.get(spec.scheduler.name)
-    scheduler = scheduler_builder(graph, trial_seed, **spec.scheduler.args)
+    scheduler_kwargs: Dict[str, Any] = {}
+    if SCHEDULERS.supports_traffic(spec.scheduler.name):
+        # Traffic-aware schedulers (declared via a `traffic` keyword; see
+        # Registry.supports_traffic) get the scenario's TrafficSpec so their
+        # slot frames can be sized from the declared arrival forecast.
+        scheduler_kwargs["traffic"] = spec.traffic
+    scheduler = scheduler_builder(
+        graph, trial_seed, **scheduler_kwargs, **spec.scheduler.args
+    )
 
     environment_builder = ENVIRONMENTS.get(spec.environment.name)
+    environment_kwargs: Dict[str, Any] = {}
     if ENVIRONMENTS.supports_embedding(spec.environment.name):
         # Embedding-aware environments (declared via an `embedding` keyword;
         # see Registry.supports_embedding) get the topology's embedding so
         # sender selections can place themselves geometrically.
-        environment = environment_builder(graph, embedding=embedding, **spec.environment.args)
-    else:
-        environment = environment_builder(graph, **spec.environment.args)
+        environment_kwargs["embedding"] = embedding
+    if ENVIRONMENTS.supports_traffic(spec.environment.name):
+        environment_kwargs["traffic"] = spec.traffic
+    if ENVIRONMENTS.supports_trial_seed(spec.environment.name):
+        environment_kwargs["trial_seed"] = trial_seed
+    environment = environment_builder(
+        graph, **environment_kwargs, **spec.environment.args
+    )
 
     engine = spec.engine
     simulator = Simulator(
@@ -531,6 +545,11 @@ def _delta_identity(spec: ScenarioSpec) -> str:
     }
     if spec.run.rounds_unit != "rounds":
         payload["algorithm"] = spec.algorithm.to_dict()
+    if spec.traffic is not None and SCHEDULERS.supports_traffic(spec.scheduler.name):
+        # A traffic-aware scheduler's slot frame depends on the declared
+        # workload forecast; traffic-agnostic schedulers keep sharing tables
+        # across load grid points.
+        payload["traffic"] = spec.traffic.to_dict()
     return _json_canonical(payload)
 
 
@@ -578,7 +597,14 @@ def prebuild_delta_table(
             return None
     trial_seed = spec.run.trial_seed(0)
     graph, _ = TOPOLOGIES.get(spec.topology.name)(trial_seed, **spec.topology.args)
-    scheduler = SCHEDULERS.get(spec.scheduler.name)(graph, trial_seed, **spec.scheduler.args)
+    scheduler_kwargs: Dict[str, Any] = {}
+    if SCHEDULERS.supports_traffic(spec.scheduler.name):
+        # Must mirror materialize(): a traffic-aware scheduler built without
+        # the workload forecast would prebuild a different slot schedule.
+        scheduler_kwargs["traffic"] = spec.traffic
+    scheduler = SCHEDULERS.get(spec.scheduler.name)(
+        graph, trial_seed, **scheduler_kwargs, **spec.scheduler.args
+    )
     if scheduler.delta_cache_key() is None:
         return None
     if rounds is None:

@@ -133,6 +133,86 @@ class MetricSpec(_ComponentSpec):
     kind = "metric"
 
 
+class ArrivalSpec(_ComponentSpec):
+    """Names an arrival-process kind (``repro.traffic.arrivals.ARRIVAL_KINDS``)."""
+
+    kind = "arrival"
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Declarative workload for the traffic subsystem (``repro.traffic``).
+
+    Attributes
+    ----------
+    arrival:
+        The arrival process generating per-node traffic.
+    capacity:
+        Per-node FIFO bound for the ``queued`` environment; ``0`` means
+        unbounded (overflow beyond the bound is counted as drops).
+    sources:
+        Which vertices own queues -- any form
+        :func:`repro.scenarios.components.resolve_senders` accepts; ``None``
+        (default) means every vertex.
+    sinks:
+        Designated collection points: convergecast arrivals exclude them
+        from generation, and traffic-aware schedulers root their routing
+        tree at them.
+    seed:
+        Arrival-stream seed; ``None`` (default) inherits the trial seed, so
+        multi-trial runs draw independent arrival realizations.
+    """
+
+    arrival: ArrivalSpec
+    capacity: int = 0
+    sources: Any = None
+    sinks: Tuple[Any, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arrival, ArrivalSpec):
+            raise TypeError("traffic arrival must be an ArrivalSpec")
+        if self.capacity < 0:
+            raise ValueError("traffic capacity must be non-negative (0 = unbounded)")
+        if self.sources is not None:
+            object.__setattr__(
+                self, "sources", _check_json_value(self.sources, "traffic sources")
+            )
+        object.__setattr__(
+            self,
+            "sinks",
+            tuple(_check_json_value(list(self.sinks), "traffic sinks")),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "arrival": self.arrival.to_dict(),
+            "capacity": self.capacity,
+        }
+        if self.sources is not None:
+            data["sources"] = self.sources
+        if self.sinks:
+            data["sinks"] = list(self.sinks)
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficSpec":
+        _reject_unknown_keys(
+            data, ("arrival", "capacity", "sources", "sinks", "seed"), "traffic spec"
+        )
+        if "arrival" not in data:
+            raise ValueError("traffic spec needs an 'arrival' node")
+        return cls(
+            arrival=ArrivalSpec.from_dict(data["arrival"]),
+            capacity=int(data.get("capacity", 0)),
+            sources=data.get("sources"),
+            sinks=tuple(data.get("sinks", ())),
+            seed=data.get("seed"),
+        )
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Engine-path selection, declaratively (mirrors the ``Simulator`` kwargs).
@@ -301,11 +381,14 @@ class ScenarioSpec:
     engine: EngineConfig = field(default_factory=EngineConfig)
     run: RunPolicy = field(default_factory=RunPolicy)
     metrics: Tuple[MetricSpec, ...] = ()
+    traffic: Optional[TrafficSpec] = None
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError("scenario needs a non-empty name string")
+        if self.traffic is not None and not isinstance(self.traffic, TrafficSpec):
+            raise TypeError("traffic must be a TrafficSpec (or None)")
         for attr, klass in (
             ("topology", TopologySpec),
             ("algorithm", AlgorithmSpec),
@@ -333,7 +416,9 @@ class ScenarioSpec:
         The ``metrics`` key is emitted only when the scenario declares
         metrics, so metric-free specs keep the serialized form (and hence the
         :meth:`fingerprint` that keys on-disk delta caches) they had before
-        the metrics pipeline existed.
+        the metrics pipeline existed.  The ``traffic`` key is omitted the
+        same way when no workload is declared, so every pre-traffic spec
+        serializes byte-identically (result-store warm hits preserved).
         """
         data = {
             "version": SPEC_VERSION,
@@ -348,6 +433,8 @@ class ScenarioSpec:
         }
         if self.metrics:
             data["metrics"] = [metric.to_dict() for metric in self.metrics]
+        if self.traffic is not None:
+            data["traffic"] = self.traffic.to_dict()
         return data
 
     @classmethod
@@ -363,6 +450,7 @@ class ScenarioSpec:
             "engine",
             "run",
             "metrics",
+            "traffic",
         )
         _reject_unknown_keys(data, allowed, "scenario spec")
         version = data.get("version", SPEC_VERSION)
@@ -390,6 +478,8 @@ class ScenarioSpec:
             kwargs["metrics"] = tuple(
                 MetricSpec.from_dict(entry) for entry in data["metrics"]
             )
+        if "traffic" in data:
+            kwargs["traffic"] = TrafficSpec.from_dict(data["traffic"])
         return cls(**kwargs)
 
     def to_json(self, indent: Optional[int] = 2) -> str:

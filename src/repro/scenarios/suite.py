@@ -54,6 +54,7 @@ from repro.analysis.sweep import (
     format_table,
 )
 from repro.scenarios.metrics import aggregate_metric_rows, flatten_aggregates
+from repro.scenarios.registry import ENVIRONMENTS
 from repro.scenarios.runtime import (
     RunResult,
     _aggregate,
@@ -684,17 +685,23 @@ def _execute_tasks(
                 # Only entries that still have work pending pay the prebuild;
                 # a warm store or checkpoint skips it entirely.
                 pending_entries = {tasks[index][0] for index in pending}
+                # Sparse-workload classification comes from environment
+                # registration metadata (Registry.workload), not name
+                # matching, so downstream-registered environments -- and the
+                # queued/traffic family, which is dense -- classify correctly.
                 sparse = [
                     suite.entries[entry_index].id
                     for entry_index in sorted(pending_entries)
-                    if specs[entry_index].environment.name == "single_shot"
+                    if ENVIRONMENTS.workload(specs[entry_index].environment.name)
+                    == "sparse"
                 ]
                 if sparse:
                     shown = ", ".join(sparse[:3]) + (", ..." if len(sparse) > 3 else "")
                     warnings.warn(
                         f"run_suite(prebuild=True): skipping the scheduler-delta prebuild "
-                        f"for {len(sparse)} single-shot entr{'y' if len(sparse) == 1 else 'ies'} "
-                        f"({shown}) -- a single-shot workload leaves most of its run idle, so "
+                        f"for {len(sparse)} sparse-workload (e.g. single-shot) "
+                        f"entr{'y' if len(sparse) == 1 else 'ies'} "
+                        f"({shown}) -- a sparse workload leaves most of its run idle, so "
                         "lazy per-round deltas beat a full-table prebuild; pass "
                         "prebuild=False to silence this when the whole suite is sparse",
                         RuntimeWarning,
@@ -704,7 +711,7 @@ def _execute_tasks(
                 seen_fingerprints = set()
                 for entry_index in sorted(pending_entries):
                     spec = specs[entry_index]
-                    if spec.environment.name == "single_shot":
+                    if ENVIRONMENTS.workload(spec.environment.name) == "sparse":
                         continue
                     fingerprint = spec.fingerprint()
                     if fingerprint in seen_fingerprints:
@@ -819,12 +826,15 @@ def run_suite(
     spec's fingerprint, optionally persisted under ``cache_dir`` -- and ships
     the merged table to workers through the pool initializer.
 
-    Sparse workloads are auto-skipped by the prebuild pass: a ``single_shot``
-    environment leaves most of its (typically t_ack-long) run idle, so the
-    lazily computed per-round deltas touch only a fraction of the rounds a
-    full-table prebuild would pay for upfront.  Such entries run with lazy
-    deltas and a :class:`RuntimeWarning` notes the skip; pass
-    ``prebuild=False`` to silence it when the whole suite is sparse.
+    Sparse workloads are auto-skipped by the prebuild pass: environments
+    registered with ``workload="sparse"`` (the ``single_shot`` family; see
+    :meth:`repro.scenarios.registry.Registry.workload`) leave most of their
+    (typically t_ack-long) runs idle, so the lazily computed per-round deltas
+    touch only a fraction of the rounds a full-table prebuild would pay for
+    upfront.  Such entries run with lazy deltas and a :class:`RuntimeWarning`
+    notes the skip; pass ``prebuild=False`` to silence it when the whole
+    suite is sparse.  Dense environments -- including the queue-backed
+    ``queued`` workload -- keep the prebuild.
 
     ``store`` (a :class:`~repro.scenarios.store.ResultStore` or its root
     path) serves already-computed trials from the content-addressed result

@@ -201,3 +201,32 @@ def test_cancel_terminal_job_is_a_noop(tmp_path):
         assert job.state == "done"
 
     run_async(main())
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_stats_reports_queue_depth_and_per_job_backlog(tmp_path):
+    async def main():
+        manager = manager_for(tmp_path)
+        # Submitted but no worker started yet: the job sits in the queue
+        # with its whole task list pending.
+        job, _ = manager.submit(*parse_submission({"suite": tiny_suite("backlog")}))
+        stats = manager.stats()
+        assert stats["queue_depth"] == 1
+        entry = stats["backlog"][job.id]
+        assert entry["state"] == "queued"
+        assert entry["tasks_total"] == job.task_count
+        assert entry["tasks_done"] == 0
+        assert entry["tasks_pending"] == job.task_count
+        assert stats["backlog_tasks"] == job.task_count
+
+        await manager.start()
+        await drive(manager, job)
+        assert job.state == "done"
+        stats = manager.stats()
+        # Terminal jobs carry no backlog.
+        assert stats["backlog"] == {}
+        assert stats["backlog_tasks"] == 0
+
+    run_async(main())

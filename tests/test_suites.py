@@ -17,8 +17,18 @@ import warnings
 
 import pytest
 
+from benchmarks.bench_ablation_seed_reuse import SUITE_PATH as SEED_REUSE_SUITE_PATH
+from benchmarks.bench_ablation_seed_reuse import (
+    build_seed_reuse_suite,
+    seed_reuse_rows_from_report,
+)
 from benchmarks.bench_ack import SUITE_PATH as ACK_SUITE_PATH
 from benchmarks.bench_ack import ack_rows_from_report, build_ack_suite
+from benchmarks.bench_adversary_resilience import SUITE_PATH as ADVERSARY_SUITE_PATH
+from benchmarks.bench_adversary_resilience import (
+    adversary_rows_from_report,
+    build_adversary_suite,
+)
 from benchmarks.bench_locality import SUITE_PATH as LOCALITY_SUITE_PATH
 from benchmarks.bench_locality import build_locality_suite, locality_rows_from_report
 from benchmarks.bench_seed_agreement import SUITE_PATH as SEED_AGREEMENT_SUITE_PATH
@@ -38,6 +48,8 @@ from benchmarks.bench_scheduler_models import (
     build_scheduler_models_suite,
     scheduler_models_rows_from_report,
 )
+from benchmarks.bench_traffic import SUITE_PATH as TRAFFIC_SUITE_PATH
+from benchmarks.bench_traffic import build_traffic_suite, traffic_rows_from_report
 from repro.scenarios import (
     AlgorithmSpec,
     EngineConfig,
@@ -690,6 +702,83 @@ class TestBenchmarkReproduction:
          "mean_commit_round": 14.444196428571429},
     ]
 
+    #: The E6 table as produced by the pre-suite bench_adversary_resilience.py
+    #: (hand-wired two-cluster trap loop), pinned verbatim.
+    ADVERSARY_ROWS = [
+        {"algorithm": "decay", "scheduler": "iid", "rounds_per_trial": 1000,
+         "mean_reception_rate": 0.3398, "min_reception_rate": 0.316},
+        {"algorithm": "decay", "scheduler": "anti_decay", "rounds_per_trial": 1000,
+         "mean_reception_rate": 0.2142, "min_reception_rate": 0.189},
+        {"algorithm": "uniform", "scheduler": "iid", "rounds_per_trial": 1000,
+         "mean_reception_rate": 0.37220000000000003, "min_reception_rate": 0.335},
+        {"algorithm": "uniform", "scheduler": "anti_decay", "rounds_per_trial": 1000,
+         "mean_reception_rate": 0.3358, "min_reception_rate": 0.321},
+        {"algorithm": "lbalg", "scheduler": "iid", "rounds_per_trial": 1140,
+         "mean_reception_rate": 0.02526315789473684,
+         "min_reception_rate": 0.018421052631578946},
+        {"algorithm": "lbalg", "scheduler": "anti_decay", "rounds_per_trial": 1140,
+         "mean_reception_rate": 0.02, "min_reception_rate": 0.016666666666666666},
+    ]
+
+    #: The E11 table as produced by the pre-suite bench_ablation_seed_reuse.py
+    #: (inline Simulator loop), pinned verbatim.
+    SEED_REUSE_ROWS = [
+        {"seed_reuse_phases": 1, "ts": 55, "phase_length": 379,
+         "preamble_airtime_fraction": 0.14511873350923482,
+         "progress_windows": 438, "progress_failures": 0,
+         "progress_failure_rate": 0.0, "target_epsilon": 0.2},
+        {"seed_reuse_phases": 2, "ts": 55, "phase_length": 379,
+         "preamble_airtime_fraction": 0.07255936675461741,
+         "progress_windows": 438, "progress_failures": 6,
+         "progress_failure_rate": 0.0136986301369863, "target_epsilon": 0.2},
+        {"seed_reuse_phases": 4, "ts": 55, "phase_length": 379,
+         "preamble_airtime_fraction": 0.048372911169744945,
+         "progress_windows": 438, "progress_failures": 2,
+         "progress_failure_rate": 0.0045662100456621, "target_epsilon": 0.2},
+    ]
+
+    #: The E13 table (queue-backed traffic under rising load) pinned at its
+    #: introduction -- including the acceptance comparison: TASA beats i.i.d.
+    #: on pooled delivery latency at the high-load grid point (rate 0.05).
+    TRAFFIC_ROWS = [
+        {"rate": 0.005, "scheduler": "iid", "delivered": 54,
+         "delivery_latency": 140.77777777777777,
+         "delivery_rate": 0.2583732057416268, "backlog_p90": 7.8,
+         "throughput": 0.04895833333333333},
+        {"rate": 0.005, "scheduler": "tasa", "delivered": 74,
+         "delivery_latency": 131.54054054054055,
+         "delivery_rate": 0.35406698564593303, "backlog_p90": 7.8,
+         "throughput": 0.04895833333333333},
+        {"rate": 0.005, "scheduler": "longest_queue", "delivered": 88,
+         "delivery_latency": 138.27272727272728,
+         "delivery_rate": 0.42105263157894735, "backlog_p90": 7.8,
+         "throughput": 0.04895833333333333},
+        {"rate": 0.02, "scheduler": "iid", "delivered": 63,
+         "delivery_latency": 238.15873015873015,
+         "delivery_rate": 0.07142857142857142, "backlog_p90": 102.0,
+         "throughput": 0.08125},
+        {"rate": 0.02, "scheduler": "tasa", "delivered": 96,
+         "delivery_latency": 224.80208333333334,
+         "delivery_rate": 0.10884353741496598, "backlog_p90": 102.0,
+         "throughput": 0.08125},
+        {"rate": 0.02, "scheduler": "longest_queue", "delivered": 108,
+         "delivery_latency": 232.33333333333334,
+         "delivery_rate": 0.12244897959183673, "backlog_p90": 102.0,
+         "throughput": 0.08125},
+        {"rate": 0.05, "scheduler": "iid", "delivered": 77,
+         "delivery_latency": 276.68831168831167,
+         "delivery_rate": 0.0337275514673675, "backlog_p90": 349.5,
+         "throughput": 0.08472222222222223},
+        {"rate": 0.05, "scheduler": "tasa", "delivered": 102,
+         "delivery_latency": 270.77450980392155,
+         "delivery_rate": 0.04467805519053877, "backlog_p90": 349.5,
+         "throughput": 0.08472222222222223},
+        {"rate": 0.05, "scheduler": "longest_queue", "delivered": 89,
+         "delivery_latency": 251.13483146067415,
+         "delivery_rate": 0.03898379325448971, "backlog_p90": 349.5,
+         "throughput": 0.08472222222222223},
+    ]
+
     def test_checked_in_manifests_match_programmatic_suites(self):
         for path, build in (
             (ACK_SUITE_PATH, build_ack_suite),
@@ -698,6 +787,9 @@ class TestBenchmarkReproduction:
             (SCHEDULER_MODELS_SUITE_PATH, build_scheduler_models_suite),
             (LOCALITY_SUITE_PATH, build_locality_suite),
             (SEED_AGREEMENT_SUITE_PATH, build_seed_agreement_suite),
+            (ADVERSARY_SUITE_PATH, build_adversary_suite),
+            (SEED_REUSE_SUITE_PATH, build_seed_reuse_suite),
+            (TRAFFIC_SUITE_PATH, build_traffic_suite),
         ):
             assert os.path.exists(path)
             assert SuiteSpec.load(path).fingerprint() == build().fingerprint()
@@ -749,3 +841,37 @@ class TestBenchmarkReproduction:
         for expected, actual in zip(self.SEED_AGREEMENT_ROWS, rows):
             for key, value in expected.items():
                 assert actual[key] == value, (key, value, actual[key])
+
+    def test_adversary_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(ADVERSARY_SUITE_PATH), jobs=1)
+        rows = adversary_rows_from_report(report).rows
+        assert len(rows) == len(self.ADVERSARY_ROWS)
+        for expected, actual in zip(self.ADVERSARY_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_seed_reuse_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(SEED_REUSE_SUITE_PATH), jobs=1)
+        rows = seed_reuse_rows_from_report(report).rows
+        assert len(rows) == len(self.SEED_REUSE_ROWS)
+        for expected, actual in zip(self.SEED_REUSE_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_traffic_manifest_reproduces_pinned_numbers(self):
+        report = run_suite(SuiteSpec.load(TRAFFIC_SUITE_PATH), jobs=1)
+        rows = traffic_rows_from_report(report).rows
+        assert len(rows) == len(self.TRAFFIC_ROWS)
+        for expected, actual in zip(self.TRAFFIC_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+        # The acceptance comparison: the TASA-style traffic-aware schedule
+        # beats the i.i.d. baseline on pooled delivery latency (and delivers
+        # strictly more messages) at the high-load grid point.
+        by_key = {(r["rate"], r["scheduler"]): r for r in rows}
+        high = max(r["rate"] for r in rows)
+        assert (
+            by_key[(high, "tasa")]["delivery_latency"]
+            < by_key[(high, "iid")]["delivery_latency"]
+        )
+        assert by_key[(high, "tasa")]["delivered"] > by_key[(high, "iid")]["delivered"]
