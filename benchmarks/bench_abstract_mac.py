@@ -8,64 +8,135 @@ network of reliable diameter ``D``, a flood completes after about ``D``
 sequential acknowledgment periods; the measured completion round should grow
 roughly linearly with the hop distance and stay within a small multiple of
 ``D * t_ack``.
+
+The harness is a **scenario suite**: one entry per (line length, trial),
+grouped by length, running the registered ``flood`` algorithm (one
+:class:`~repro.mac.applications.flood.FloodClient` per vertex behind the
+LBAlg-backed MAC adapter; ``compact_tack=True`` is the harness's historical
+``tack_phases_override=max(2, delta_prime)``) with the ``params`` / ``flood``
+metrics declared on the spec.  The checked-in manifest at
+``examples/suites/bench_abstract_mac.json`` is this suite as data (pinned by
+``tests/test_suites.py``); seeds match the pre-suite harness exactly
+(scheduler seed and process RNG both rooted at the trial index), so the
+table values are unchanged.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict
+import os
+from typing import List, Optional
 
-from repro import LBParams
 from repro.analysis.stats import mean
-from repro.analysis.sweep import SweepResult, sweep
-from repro.dualgraph.adversary import IIDScheduler
-from repro.dualgraph.generators import line_network
-from repro.mac.applications.flood import run_flood
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    MetricSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    SuiteEntry,
+    SuiteReport,
+    SuiteSpec,
+    TopologySpec,
+    run_suite,
+)
 
-from benchmarks.common import print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, print_and_save, run_once_benchmark
 
 LINE_LENGTHS = (3, 5, 7)
 TRIALS = 2
 EPSILON = 0.2
 
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "suites", "bench_abstract_mac.json"
+)
 
-def _run_point(line_length: int) -> Dict[str, float]:
-    completion_rounds = []
-    coverages = []
-    params = None
-    for trial in range(TRIALS):
-        graph, _ = line_network(line_length, spacing=0.9)
-        delta, delta_prime = graph.degree_bounds()
-        params = LBParams.derive(
-            EPSILON, delta=delta, delta_prime=delta_prime, r=2.0,
-            # The flood only needs delivery to the next hop, so a compact
-            # sending period keeps the experiment fast while preserving the
-            # D * f_ack shape being measured.
-            tack_phases_override=max(2, delta_prime),
+MAC_METRICS = (MetricSpec("params"), MetricSpec("flood"))
+
+
+def build_abstract_mac_suite() -> SuiteSpec:
+    """The E8 experiment as a :class:`~repro.scenarios.suite.SuiteSpec`.
+
+    Seeds match the pre-suite harness exactly: per trial, the scheduler is
+    ``iid(probability=0.5, seed=trial)`` and the MAC node RNG is
+    ``random.Random(trial)`` (``master_seed=trial`` under the fixed seed
+    policy), so the suite reproduces the historical table values.
+    """
+    entries: List[SuiteEntry] = []
+    for line_length in LINE_LENGTHS:
+        for trial in range(TRIALS):
+            spec = ScenarioSpec(
+                name=f"bench-mac-l{line_length}-t{trial}",
+                topology=TopologySpec("line", {"n": line_length}),
+                algorithm=AlgorithmSpec(
+                    "flood",
+                    {"epsilon": EPSILON, "source": 0, "compact_tack": True},
+                ),
+                scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": trial}),
+                environment=EnvironmentSpec("null", {}),
+                engine=EngineConfig(trace_mode="auto"),
+                run=RunPolicy(
+                    rounds=1,
+                    rounds_unit="algorithm",
+                    trials=1,
+                    master_seed=trial,
+                    seed_policy="fixed",
+                ),
+                metrics=MAC_METRICS,
+            )
+            entries.append(
+                SuiteEntry(id=spec.name, scenario=spec, group=f"l{line_length}")
+            )
+    return SuiteSpec(
+        name="bench-abstract-mac",
+        description=(
+            "E8 -- flooding over the LBAlg-backed abstract MAC layer on line "
+            "networks: completion grows linearly with the hop distance and "
+            "stays within a small multiple of D * t_ack"
+        ),
+        entries=tuple(entries),
+    )
+
+
+def abstract_mac_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's one-row-per-length table."""
+    result = SweepResult()
+    for line_length in LINE_LENGTHS:
+        members = [
+            e for e in report.entries if e.entry.group_label == f"l{line_length}"
+        ]
+        trial_rows = [m.result.trials[0].metric_row for m in members]
+        diameter = line_length - 1
+        # The line is deterministic, so the derived schedule is identical
+        # across trials of one length.
+        phase_length = int(trial_rows[-1]["params.phase_length"])
+        tack_rounds = int(trial_rows[-1]["params.tack_rounds"])
+        mean_completion = mean(
+            [row["flood.completion_round"] for row in trial_rows]
         )
-        scheduler = IIDScheduler(graph, probability=0.5, seed=trial)
-        result = run_flood(
-            graph, params, source=0, scheduler=scheduler, rng=random.Random(trial)
+        result.append(
+            {
+                "line_length": line_length,
+                "diameter": diameter,
+                "phase_length": phase_length,
+                "tack_rounds": tack_rounds,
+                "mean_completion_round": mean_completion,
+                "mean_coverage": mean([row["flood.coverage"] for row in trial_rows]),
+                "completion_over_diameter_tack": mean_completion
+                / (diameter * tack_rounds),
+            }
         )
-        coverages.append(result.coverage)
-        completion_rounds.append(
-            result.completion_round if result.completion_round is not None else result.rounds_run
-        )
-
-    diameter = line_length - 1
-    return {
-        "diameter": diameter,
-        "phase_length": params.phase_length,
-        "tack_rounds": params.tack_rounds,
-        "mean_completion_round": mean(completion_rounds),
-        "mean_coverage": mean(coverages),
-        "completion_over_diameter_tack": mean(completion_rounds) / (diameter * params.tack_rounds),
-    }
+    return result
 
 
-def run_abstract_mac_experiment() -> SweepResult:
-    """Run the E8 sweep and return its table."""
-    return sweep({"line_length": LINE_LENGTHS}, run=_run_point)
+def run_abstract_mac_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E8 suite and return its table."""
+    report = run_suite(
+        build_abstract_mac_suite(), jobs=jobs if jobs is not None else default_jobs()
+    )
+    return abstract_mac_rows_from_report(report)
 
 
 def test_bench_abstract_mac(benchmark):
@@ -92,3 +163,24 @@ def test_bench_abstract_mac(benchmark):
         assert row["completion_over_diameter_tack"] <= 2.0
     # Longer lines take longer (linear-in-D shape).
     assert rows[7]["mean_completion_round"] > rows[3]["mean_completion_round"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_abstract_mac_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_abstract_mac_experiment()
+        print_and_save(
+            "E8_abstract_mac_flood",
+            "E8 -- flooding over the LBAlg-backed abstract MAC layer on line networks",
+            result,
+        )

@@ -9,7 +9,7 @@ links only:
   receiver adjacent to Δ broadcasters can absorb at most one message per
   round, so the last broadcaster to be heard waits at least Δ rounds.
 
-The harness measures, on clique / star networks *without* unreliable edges:
+The harness measures, on star networks *without* unreliable edges:
 
 * the round of the first successful reception at a contended receiver
   (progress-like quantity) as Δ grows -- it should sit above the log Δ floor
@@ -17,91 +17,174 @@ The harness measures, on clique / star networks *without* unreliable edges:
 * the round by which the receiver has heard *all* Δ broadcasters -- it can
   never beat Δ, and the measured values sit above that floor for both LBAlg
   and the Decay baseline.
+
+The harness is a **scenario suite**: one entry per (leaves, algorithm,
+trial), grouped by ``(algorithm, leaves)``, with the ``receiver_contention``
+metric (first physical data reception and the round by which every origin
+was heard at the hub) declared on the spec; the Ω floors are theory columns
+computed in the reduction.  The checked-in manifest at
+``examples/suites/bench_lower_bound_context.json`` is this suite as data
+(pinned by ``tests/test_suites.py``); seeds match the pre-suite harness
+exactly, so the table values are unchanged.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict
+import os
+from typing import List, Optional
 
-from repro import LBParams, Simulator, make_lb_processes
 from repro.analysis import theory
 from repro.analysis.stats import mean
-from repro.analysis.sweep import SweepResult, sweep
-from repro.baselines import make_baseline_processes
-from repro.dualgraph.adversary import NoUnreliableScheduler
-from repro.dualgraph.generators import star_network
-from repro.simulation.environment import SaturatingEnvironment
-from repro.simulation.metrics import data_reception_rounds
+from repro.analysis.sweep import SweepResult
+from repro.scenarios import (
+    AlgorithmSpec,
+    EngineConfig,
+    EnvironmentSpec,
+    MetricSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SchedulerSpec,
+    SuiteEntry,
+    SuiteReport,
+    SuiteSpec,
+    TopologySpec,
+    run_suite,
+)
 
-from benchmarks.common import print_and_save, run_once_benchmark
+from benchmarks.common import default_jobs, print_and_save, run_once_benchmark
 
 LEAF_COUNTS = (4, 8, 16)
 ALGORITHMS = ("lbalg", "decay")
 TRIALS = 3
 RECEIVER = 0
+EPSILON = 0.2
+DECAY_CYCLES = 10
+
+SUITE_PATH = os.path.join(
+    os.path.dirname(__file__),
+    "..",
+    "examples",
+    "suites",
+    "bench_lower_bound_context.json",
+)
 
 
-def _distinct_origin_completion_round(trace, receiver, expected_origins):
-    """Round by which the receiver has heard every expected origin (or None)."""
-    heard = {}
-    for recv in trace.recv_outputs:
-        if recv.vertex != receiver:
-            continue
-        origin = recv.message.origin
-        if origin not in heard:
-            heard[origin] = recv.round_number
-    if set(heard) >= set(expected_origins):
-        return max(heard[origin] for origin in expected_origins)
-    return None
-
-
-def _run_point(leaves: int, algorithm: str) -> Dict[str, float]:
-    first_reception_rounds = []
-    all_heard_rounds = []
-    incomplete = 0
-
-    for trial in range(TRIALS):
-        graph, _ = star_network(leaves)
-        delta, delta_prime = graph.degree_bounds()
-        senders = list(range(1, leaves + 1))
-        rng = random.Random(trial)
-        if algorithm == "lbalg":
-            params = LBParams.derive(0.2, delta=delta, delta_prime=delta_prime, r=2.0)
-            processes = make_lb_processes(graph, params, rng)
-            rounds = 2 * params.tack_rounds
-        else:
-            processes = make_baseline_processes(graph, "decay", rng, num_cycles=10)
-            rounds = 40 * leaves * 10
-        simulator = Simulator(
-            graph,
-            processes,
-            scheduler=NoUnreliableScheduler(graph),
-            environment=SaturatingEnvironment(senders=senders),
+def _entry_spec(leaves: int, algorithm: str, trial: int) -> ScenarioSpec:
+    if algorithm == "lbalg":
+        algorithm_spec = AlgorithmSpec("lbalg", {"epsilon": EPSILON, "preset": "derived"})
+        # The historical budget: two full acknowledgment periods.
+        run_policy = RunPolicy(
+            rounds=2,
+            rounds_unit="tack",
+            trials=1,
+            master_seed=trial,
+            seed_policy="fixed",
         )
-        trace = simulator.run(rounds)
+    else:
+        algorithm_spec = AlgorithmSpec("decay", {"num_cycles": DECAY_CYCLES})
+        # Decay has no derived schedule; the historical literal budget.
+        run_policy = RunPolicy(
+            rounds=40 * leaves * DECAY_CYCLES,
+            rounds_unit="rounds",
+            trials=1,
+            master_seed=trial,
+            seed_policy="fixed",
+        )
+    return ScenarioSpec(
+        name=f"bench-lbctx-{algorithm}-d{leaves}-t{trial}",
+        topology=TopologySpec("star", {"leaves": leaves}),
+        algorithm=algorithm_spec,
+        scheduler=SchedulerSpec("none", {}),
+        environment=EnvironmentSpec(
+            "saturating", {"senders": list(range(1, leaves + 1))}
+        ),
+        engine=EngineConfig(trace_mode="auto"),
+        run=run_policy,
+        metrics=(MetricSpec("receiver_contention", {"receiver": RECEIVER}),),
+    )
 
-        heard_rounds = data_reception_rounds(trace, RECEIVER)
-        first_reception_rounds.append(heard_rounds[0] if heard_rounds else rounds)
-        completion = _distinct_origin_completion_round(trace, RECEIVER, senders)
-        if completion is None:
-            incomplete += 1
-        else:
-            all_heard_rounds.append(completion)
 
-    return {
-        "delta": leaves + 1,
-        "first_reception_round": mean(first_reception_rounds),
-        "all_senders_heard_round": mean(all_heard_rounds) if all_heard_rounds else float("nan"),
-        "incomplete_trials": incomplete,
-        "progress_lower_bound": theory.progress_lower_bound(leaves + 1),
-        "ack_lower_bound": theory.ack_lower_bound(leaves),
-    }
+def build_lower_bound_suite() -> SuiteSpec:
+    """The E7 experiment as a :class:`~repro.scenarios.suite.SuiteSpec`.
+
+    Seeds match the pre-suite harness exactly (process RNGs rooted at the
+    trial index; the star and the no-unreliable-links scheduler are
+    deterministic), so the suite reproduces the historical table values.
+    """
+    entries: List[SuiteEntry] = []
+    for leaves in LEAF_COUNTS:
+        for algorithm in ALGORITHMS:
+            for trial in range(TRIALS):
+                spec = _entry_spec(leaves, algorithm, trial)
+                entries.append(
+                    SuiteEntry(
+                        id=spec.name,
+                        scenario=spec,
+                        group=f"{algorithm}-d{leaves}",
+                    )
+                )
+    return SuiteSpec(
+        name="bench-lower-bound-context",
+        description=(
+            "E7 -- contended star without unreliable links: measured first-"
+            "reception and all-heard latencies vs the Omega(log Delta) / "
+            "Omega(Delta) floors, LBAlg vs the Decay baseline"
+        ),
+        entries=tuple(entries),
+    )
 
 
-def run_lower_bound_experiment() -> SweepResult:
-    """Run the E7 grid and return its table."""
-    return sweep({"leaves": LEAF_COUNTS, "algorithm": ALGORITHMS}, run=_run_point)
+def lower_bound_rows_from_report(report: SuiteReport) -> SweepResult:
+    """Reduce the suite report to the benchmark's per-(leaves, algorithm) table."""
+    result = SweepResult()
+    for leaves in LEAF_COUNTS:
+        for algorithm in ALGORITHMS:
+            members = [
+                e
+                for e in report.entries
+                if e.entry.group_label == f"{algorithm}-d{leaves}"
+            ]
+            trial_rows = [m.result.trials[0].metric_row for m in members]
+            complete = [
+                row
+                for row in trial_rows
+                if row["receiver_contention.complete"]
+            ]
+            result.append(
+                {
+                    "leaves": leaves,
+                    "algorithm": algorithm,
+                    "delta": leaves + 1,
+                    "first_reception_round": mean(
+                        [
+                            row["receiver_contention.first_reception_round"]
+                            for row in trial_rows
+                        ]
+                    ),
+                    "all_senders_heard_round": (
+                        mean(
+                            [
+                                row["receiver_contention.all_heard_round"]
+                                for row in complete
+                            ]
+                        )
+                        if complete
+                        else float("nan")
+                    ),
+                    "incomplete_trials": len(trial_rows) - len(complete),
+                    "progress_lower_bound": theory.progress_lower_bound(leaves + 1),
+                    "ack_lower_bound": theory.ack_lower_bound(leaves),
+                }
+            )
+    return result
+
+
+def run_lower_bound_experiment(jobs: Optional[int] = None) -> SweepResult:
+    """Run the E7 suite and return its table."""
+    report = run_suite(
+        build_lower_bound_suite(), jobs=jobs if jobs is not None else default_jobs()
+    )
+    return lower_bound_rows_from_report(report)
 
 
 def test_bench_lower_bound_context(benchmark):
@@ -131,3 +214,24 @@ def test_bench_lower_bound_context(benchmark):
         rows = {r["leaves"]: r for r in result.where(algorithm=algorithm)}
         if rows[16]["incomplete_trials"] < TRIALS and rows[4]["incomplete_trials"] < TRIALS:
             assert rows[16]["all_senders_heard_round"] > rows[4]["all_senders_heard_round"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-suite",
+        action="store_true",
+        help=f"regenerate the checked-in manifest at {SUITE_PATH}",
+    )
+    args = parser.parse_args()
+    if args.write_suite:
+        print("wrote", build_lower_bound_suite().save(os.path.normpath(SUITE_PATH)))
+    else:
+        result = run_lower_bound_experiment()
+        print_and_save(
+            "E7_lower_bound_context",
+            "E7 -- contended star without unreliable links: measured latencies vs the Ω(log Δ) / Ω(Δ) floors",
+            result,
+        )

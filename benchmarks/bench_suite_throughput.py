@@ -21,6 +21,19 @@ and gates ``warm_speedup`` (and the two identity booleans) through
 ``check_bench_regression.py --suite-fresh``.  The speedup is a ratio of two
 runs on the same host, so it is comparable across machines.
 
+The PR-10 ``fleet`` section benchmarks the multi-process work-stealing
+executor (:func:`~repro.scenarios.fleet.run_suite_fleet`) on a *skewed*
+workload -- one task modeled an order of magnitude heavier than the rest, the
+case where a fixed ``1/N`` shard split would straggle behind its heavy shard.
+Per-task cost is modeled as blocking latency through the executor's
+``task_runner`` seam and **both arms run the same executor** (``workers=1``
+vs ``workers=4``), so the ratio measures dispatch overlap and steal balance
+-- properties of the lease protocol -- rather than CPU core count, and the
+``>= 2.5x`` gate (``--min-fleet-speedup``) holds even on single-core CI
+runners.  Merge identity is asserted separately on the *real* suite: a cold
+fleet-of-4 run must produce a report byte-identical (modulo timings) to the
+serial ``run_suite`` report.
+
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_suite_throughput.py          # full
@@ -56,13 +69,42 @@ from repro.scenarios import (
     deterministic_report_dict,
     merge_reports,
     run_suite,
+    run_suite_fleet,
     run_suite_shard,
 )
+from repro.scenarios.fleet import default_task_runner
 
 from benchmarks.common import add_jobs_argument, default_jobs, save_table
 
 #: The PR-7 acceptance bar: a fully warm rerun over cold execution.
 TARGET_WARM_SPEEDUP = 20.0
+
+#: The PR-10 acceptance bar: cold fleet-of-4 over cold serial on the skewed
+#: modeled-latency workload (same executor both arms; see module docstring).
+TARGET_FLEET_SPEEDUP = 2.5
+
+FLEET_WORKERS = 4
+
+#: Skew workload: one heavy task pinned at exactly total/4 so a perfectly
+#: balanced 4-worker fleet bottoms out on it -- any steal imbalance or
+#: dispatch serialization shows up directly in the measured wall time.
+SKEW_LIGHT_TASKS = 15
+SKEW_LIGHT_S = 0.2
+SKEW_HEAVY_S = 1.0
+
+#: spec.name -> modeled blocking latency, populated before the fleet forks so
+#: workers inherit it through fork memory (module-level: fork-visible without
+#: pickling, exactly like the executor's own task_runner seam).
+_MODELED_LATENCIES: Dict[str, float] = {}
+
+
+def modeled_latency_task_runner(spec, trial_index):
+    """Sleep the task's modeled cost, then run the real (cheap) trial.
+
+    Records stay genuine -- content-addressed, mergeable, byte-identical
+    across arms -- while wall time is dominated by the modeled latency."""
+    time.sleep(_MODELED_LATENCIES.get(spec.name, 0.0))
+    return default_task_runner(spec, trial_index)
 
 FULL_GRID = {"deltas": (8, 16), "epsilons": (0.2, 0.1), "trials": 6}
 QUICK_GRID = {"deltas": (8,), "epsilons": (0.2,), "trials": 6}
@@ -118,6 +160,106 @@ def build_throughput_suite(quick: bool = False) -> SuiteSpec:
     )
 
 
+def build_skew_suite() -> SuiteSpec:
+    """16 trivially-cheap tasks whose *modeled* costs are heavily skewed.
+
+    Entry 0 carries :data:`SKEW_HEAVY_S`; the rest carry
+    :data:`SKEW_LIGHT_S`.  A static ``1/4`` shard split would leave the
+    heavy shard straggling ~2x behind; dynamic leases let the other workers
+    drain the light tail while one worker sits on the heavy task.
+    """
+    entries: List[SuiteEntry] = []
+    _MODELED_LATENCIES.clear()
+    for index in range(1 + SKEW_LIGHT_TASKS):
+        spec = ScenarioSpec(
+            name=f"skew-bench-{index}",
+            topology=TopologySpec("line", {"n": 5}),
+            algorithm=AlgorithmSpec("lbalg", {"preset": "small"}),
+            scheduler=SchedulerSpec("iid", {"probability": 0.5, "seed": index}),
+            environment=EnvironmentSpec("single_shot", {"senders": [0]}),
+            engine=EngineConfig(trace_mode="auto"),
+            run=RunPolicy(
+                rounds=1,
+                rounds_unit="tack",
+                trials=1,
+                master_seed=index,
+                seed_policy="fixed",
+            ),
+            metrics=(MetricSpec("counters"),),
+        )
+        _MODELED_LATENCIES[spec.name] = SKEW_HEAVY_S if index == 0 else SKEW_LIGHT_S
+        entries.append(SuiteEntry(id=spec.name, scenario=spec, group="skew"))
+    return SuiteSpec(
+        name="bench-fleet-skew",
+        description="skewed modeled-latency workload for the fleet executor",
+        entries=tuple(entries),
+    )
+
+
+def run_fleet_benchmark(
+    real_suite: SuiteSpec, workdir: str, real_serial_det: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The PR-10 fleet section: skewed speedup + real-suite merge identity.
+
+    ``real_serial_det`` is the deterministic dict of the cold serial run of
+    ``real_suite`` (already measured by the caller -- no need to rerun it).
+    """
+    skew = build_skew_suite()
+    modeled_total = SKEW_HEAVY_S + SKEW_LIGHT_TASKS * SKEW_LIGHT_S
+
+    serial_dir = os.path.join(workdir, "fleet-serial")
+    serial, serial_s = _timed(
+        lambda: run_suite_fleet(
+            skew,
+            workers=1,
+            store=serial_dir,
+            prebuild=False,
+            task_runner=modeled_latency_task_runner,
+        )
+    )
+    fleet_dir = os.path.join(workdir, "fleet-skew")
+    fleet, fleet_s = _timed(
+        lambda: run_suite_fleet(
+            skew,
+            workers=FLEET_WORKERS,
+            store=fleet_dir,
+            chunk_size=1,
+            prebuild=False,
+            task_runner=modeled_latency_task_runner,
+        )
+    )
+
+    # Merge identity on the *real* throughput suite: a cold fleet run must
+    # reproduce the serial run_suite report (modulo wall-clock fields).
+    real_fleet_dir = os.path.join(workdir, "fleet-real")
+    real_fleet = run_suite_fleet(
+        real_suite, workers=FLEET_WORKERS, store=real_fleet_dir
+    )
+    return {
+        "workers": FLEET_WORKERS,
+        "tasks": 1 + SKEW_LIGHT_TASKS,
+        "modeled_total_s": modeled_total,
+        "modeled_heavy_s": SKEW_HEAVY_S,
+        "modeled_light_s": SKEW_LIGHT_S,
+        "serial_s": serial_s,
+        "fleet_s": fleet_s,
+        "speedup": serial_s / fleet_s if fleet_s > 0 else float("inf"),
+        "steals": int(fleet.store_stats.get("steals", 0)),
+        "skew_identical": deterministic_report_dict(fleet.to_dict())
+        == deterministic_report_dict(serial.to_dict()),
+        "merge_identical": deterministic_report_dict(real_fleet.to_dict())
+        == real_serial_det,
+        "cpu_count": os.cpu_count(),
+        "target_speedup": TARGET_FLEET_SPEEDUP,
+        "methodology": (
+            "per-task cost modeled as blocking latency via the task_runner "
+            "seam; both arms run run_suite_fleet (workers=1 vs "
+            f"{FLEET_WORKERS}) so the ratio measures dispatch overlap and "
+            "steal balance, not CPU core count"
+        ),
+    }
+
+
 def _metric_rows_blob(report: SuiteReport) -> str:
     """Canonical serialization of every trial's metric row, for byte equality."""
     rows = [t.metric_row for e in report.entries for t in e.result.trials]
@@ -151,11 +293,12 @@ def run_benchmark(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, 
             lambda: run_suite_shard(suite, 2, 2, jobs=jobs, store=shard_dir)
         )
         merged, merge_s = _timed(lambda: merge_reports(suite, [shard1, shard2]))
+        cold_det = deterministic_report_dict(cold.to_dict())
+        fleet = run_fleet_benchmark(suite, workdir, cold_det)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
     warm_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
-    cold_det = deterministic_report_dict(cold.to_dict())
     report: Dict[str, Any] = {
         "benchmark": "bench_suite_throughput",
         "quick": quick,
@@ -175,6 +318,7 @@ def run_benchmark(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, 
         "merge_s": merge_s,
         "merge_identical": deterministic_report_dict(merged.to_dict()) == cold_det,
         "target_warm_speedup": TARGET_WARM_SPEEDUP,
+        "fleet": fleet,
     }
     return report
 
@@ -199,6 +343,22 @@ def render_table(report: Dict[str, Any]) -> str:
             ),
         },
     ]
+    fleet = report.get("fleet")
+    if fleet:
+        rows.append(
+            {
+                "mode": f"fleet skew serial (workers=1, {fleet['tasks']} tasks)",
+                "elapsed_s": round(fleet["serial_s"], 4),
+                "speedup_vs_cold": "",
+            }
+        )
+        rows.append(
+            {
+                "mode": f"fleet skew (workers={fleet['workers']}, work-stealing)",
+                "elapsed_s": round(fleet["fleet_s"], 4),
+                "speedup_vs_cold": "",
+            }
+        )
     title = (
         f"Suite throughput ({report['tasks']} tasks, jobs={report['jobs']}): "
         f"warm rerun {report['warm_speedup']:.0f}x over cold "
@@ -207,6 +367,13 @@ def render_table(report: Dict[str, Any]) -> str:
         f"rows identical={report['rows_identical']}, "
         f"merged == unsharded: {report['merge_identical']}"
     )
+    if fleet:
+        title += (
+            f"; fleet-of-{fleet['workers']} skew speedup "
+            f"{fleet['speedup']:.1f}x (target >= {fleet['target_speedup']:.1f}x, "
+            f"{fleet['steals']} steal(s), fleet == serial: "
+            f"{fleet['merge_identical']})"
+        )
     return format_table(rows, columns=["mode", "elapsed_s", "speedup_vs_cold"], title=title)
 
 
@@ -239,6 +406,11 @@ def main(argv=None) -> int:
         failures.append(f"warm rerun recomputed {report['warm_misses']} trial(s)")
     if not report["merge_identical"]:
         failures.append("merged shard report differs from the unsharded report")
+    fleet = report.get("fleet", {})
+    if not fleet.get("skew_identical"):
+        failures.append("fleet skew report differs from its serial (workers=1) run")
+    if not fleet.get("merge_identical"):
+        failures.append("cold fleet report differs from the serial run_suite report")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -29,6 +29,13 @@ same-host ratio, so it is compared against an absolute floor
 correctness booleans (byte-identical warm rows, zero warm misses, merged
 shards == unsharded) must all hold.
 
+The PR-10 ``fleet`` section of the same report (multi-process work-stealing
+executor on a skewed modeled-latency workload) is gated by
+``--min-fleet-speedup``: fleet-of-4 over the workers=1 arm of the *same*
+executor, a core-count-independent ratio, plus its two identity booleans
+(fleet report == serial report, both on the skew suite and the real one).
+Reports predating the section are skipped with a warning.
+
 Usage (the CI smoke steps)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py --quick --output /tmp/smoke.json
@@ -117,6 +124,59 @@ def check_engine(
     return True
 
 
+def check_fleet(fresh: dict, min_fleet_speedup: float) -> Optional[bool]:
+    """Gate the PR-10 ``fleet`` section; True=pass, False=fail, None=skipped.
+
+    Like ``warm_speedup``, the fleet speedup divides two same-host timings --
+    and because both arms run the same executor on a *modeled-latency*
+    workload (see ``bench_suite_throughput.py``), it measures dispatch
+    overlap and steal balance rather than CPU core count, so the absolute
+    floor holds even on single-core runners.  The identity booleans are hard
+    correctness claims: a fast fleet that produced a different report is a
+    lease-protocol bug, not a perf number.
+    """
+    fleet = fresh.get("fleet")
+    if not fleet:
+        print(
+            "SKIP [fleet]: report has no 'fleet' section "
+            "(pre-fleet benchmark format?)"
+        )
+        return None
+    ok = True
+    for key, meaning in (
+        ("skew_identical", "fleet skew report equals its serial (workers=1) run"),
+        ("merge_identical", "cold fleet report equals the serial run_suite report"),
+    ):
+        if not fleet.get(key, False):
+            print(f"FAIL [fleet]: report says not {key} ({meaning})", file=sys.stderr)
+            ok = False
+    speedup = fleet.get("speedup")
+    if speedup is None:
+        print("FAIL [fleet]: section lacks a 'speedup' column", file=sys.stderr)
+        return False
+    print(
+        f"fleet: skew speedup {speedup:.1f} over workers=1, "
+        f"floor {min_fleet_speedup:.1f} "
+        f"(serial {fleet.get('serial_s', float('nan')):.4f}s, "
+        f"fleet {fleet.get('fleet_s', float('nan')):.4f}s, "
+        f"workers={fleet.get('workers', '?')}, "
+        f"steals={fleet.get('steals', '?')}, "
+        f"cpu_count={fleet.get('cpu_count', '?')})"
+    )
+    if speedup < min_fleet_speedup:
+        print(
+            f"FAIL [fleet]: fleet-of-{fleet.get('workers', '?')} is only "
+            f"{speedup:.1f}x faster than the workers=1 arm on the skewed "
+            f"workload, below the required {min_fleet_speedup:.1f}x -- "
+            "dispatch overlap or lease balance regressed",
+            file=sys.stderr,
+        )
+        ok = False
+    elif ok:
+        print(f"OK [fleet]: speedup {speedup:.1f} >= floor {min_fleet_speedup:.1f}")
+    return ok
+
+
 def check_suite(fresh: dict, min_warm_speedup: float) -> bool:
     """Gate a bench_suite_throughput report; True=pass, False=fail.
 
@@ -199,6 +259,14 @@ def main(argv=None) -> int:
         default=20.0,
         help="minimum required warm/cold speedup in the --suite-fresh report",
     )
+    parser.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=2.5,
+        help="minimum required fleet-over-serial speedup on the skewed "
+        "workload in the --suite-fresh report's 'fleet' section (sections "
+        "missing from older reports are skipped with a warning)",
+    )
     args = parser.parse_args(argv)
 
     if args.suite_fresh is None and (args.baseline is None or args.fresh is None):
@@ -212,6 +280,8 @@ def main(argv=None) -> int:
         with open(args.suite_fresh) as handle:
             suite_fresh = json.load(handle)
         if not check_suite(suite_fresh, args.min_warm_speedup):
+            failed = True
+        if check_fleet(suite_fresh, args.min_fleet_speedup) is False:
             failed = True
 
     if args.baseline is not None:

@@ -108,6 +108,11 @@ from repro.scenarios.suite import (
     run_suite_shard,
     shard_tasks,
 )
+from repro.scenarios.fleet import (
+    DEFAULT_LEASE_TTL_S,
+    default_task_runner,
+    run_suite_fleet,
+)
 from repro.scenarios.jobs import (
     FaultPlan,
     Job,
@@ -178,6 +183,10 @@ __all__ = [
     "parse_shard",
     "deterministic_report_dict",
     "SuiteCancelled",
+    # fleet execution
+    "run_suite_fleet",
+    "default_task_runner",
+    "DEFAULT_LEASE_TTL_S",
     # service
     "JobManager",
     "Job",

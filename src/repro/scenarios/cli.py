@@ -14,8 +14,10 @@ Subcommands:
   ``--store DIR`` serves/persists trials through the content-addressed
   result store; ``--shard k/N`` executes one deterministic slice of the task
   list (writing a shard file under the store), ``--merge`` reassembles the
-  saved shards into the full report, and ``--resume`` journals finished
-  tasks to a checkpoint so a killed run restarts where it stopped.
+  saved shards into the full report, ``--resume`` journals finished
+  tasks to a checkpoint so a killed run restarts where it stopped, and
+  ``--fleet N`` dispatches the task list across N OS worker processes with
+  crash-safe work-stealing leases (:func:`repro.scenarios.fleet.run_suite_fleet`).
 * ``serve --store DIR`` -- run the async scenario service: an HTTP job
   queue accepting suite/scenario submissions with in-flight + at-rest
   dedup, NDJSON progress streaming, per-job retry, and checkpointed
@@ -44,6 +46,7 @@ from repro.scenarios.registry import ALGORITHMS, ENVIRONMENTS, SCHEDULERS, TOPOL
 from repro.scenarios.runtime import run, run_many
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultStore
+from repro.scenarios.fleet import run_suite_fleet
 from repro.scenarios.suite import (
     SuiteShard,
     SuiteSpec,
@@ -188,9 +191,31 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     fingerprint = suite.fingerprint()
     if (args.shard or args.merge or args.resume) and not args.store:
         raise SystemExit("--shard/--merge/--resume need --store DIR for their on-disk state")
+    if args.fleet is not None and (args.shard or args.merge or args.resume):
+        raise SystemExit(
+            "--fleet replaces --shard/--merge/--resume: leases partition the "
+            "task list dynamically and the result store is the checkpoint "
+            "(rerun the same --fleet command to resume)"
+        )
     run_dir = _suite_run_dir(args.store, fingerprint) if args.store else None
 
-    if args.merge:
+    if args.fleet is not None:
+        if args.fleet < 1:
+            raise SystemExit(f"--fleet needs at least 1 worker, got {args.fleet}")
+        report = run_suite_fleet(
+            suite,
+            workers=args.fleet,
+            store=args.store,
+            cache_dir=args.cache_dir,
+            prebuild=not args.no_prebuild,
+        )
+        if not args.quiet and report.store_stats is not None:
+            stats = report.store_stats
+            print(
+                f"fleet      : {stats['workers']} worker process(es), "
+                f"{stats['steals']} lease steal(s)"
+            )
+    elif args.merge:
         paths = sorted(glob.glob(os.path.join(run_dir, "shard-*-of-*.json")))
         if not paths:
             raise SystemExit(f"--merge found no shard files under {run_dir}")
@@ -322,6 +347,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backoff_s=args.backoff,
         timeout_s=args.timeout,
         quiet=args.quiet,
+        fleet=args.fleet,
+        fleet_threshold=args.fleet_threshold,
+        max_pending_tasks=args.max_pending_tasks,
     )
 
 
@@ -451,6 +479,15 @@ def make_parser() -> argparse.ArgumentParser:
         help="journal finished tasks to a checkpoint under --store and, when "
         "one exists from a killed run, trust its records instead of re-executing",
     )
+    suite_parser.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute across N OS worker processes with dynamic work-stealing "
+        "leases (crash-safe; the --store doubles as the resume checkpoint); "
+        "replaces --shard/--merge/--resume",
+    )
     suite_parser.set_defaults(func=_cmd_suite)
 
     serve_parser = sub.add_parser(
@@ -508,6 +545,30 @@ def make_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--quiet", "-q", action="store_true", help="only print the ready line"
+    )
+    serve_parser.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="dispatch big jobs across N OS worker processes with work-stealing "
+        "leases (0 = disabled; see --fleet-threshold)",
+    )
+    serve_parser.add_argument(
+        "--fleet-threshold",
+        type=int,
+        default=32,
+        metavar="TASKS",
+        help="minimum flattened task count before a job rides the fleet "
+        "(submissions may force it per job via options.fleet)",
+    )
+    serve_parser.add_argument(
+        "--max-pending-tasks",
+        type=int,
+        default=None,
+        metavar="TASKS",
+        help="queue-depth backpressure: reject (HTTP 429) submissions that "
+        "would push the pending-task backlog past this bound",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -63,6 +63,8 @@ from repro.simulation.environment import (
     ScriptedEnvironment,
     SingleShotEnvironment,
 )
+from repro.mac.adapter import make_mac_nodes
+from repro.mac.applications.flood import FloodClient
 from repro.simulation.process import ProcessContext
 from repro.traffic.arrivals import build_arrival_process
 from repro.traffic.environment import QueuedEnvironment
@@ -495,6 +497,58 @@ def _register_baseline(kind: str, sample_args: Mapping[str, Any]):
 _register_baseline("decay", {"num_cycles": 4})
 _register_baseline("uniform", {})
 _register_baseline("round_robin", {})
+
+
+@register_algorithm("flood", sample_args={"epsilon": 0.2, "source": 0})
+def _algorithm_flood(
+    graph,
+    rng: random.Random,
+    epsilon: float = 0.2,
+    source: Hashable = 0,
+    r: float = 2.0,
+    compact_tack: bool = False,
+    flood_id: str = "flood",
+) -> AlgorithmBuild:
+    """Global broadcast by flooding over the LBAlg-backed abstract MAC layer.
+
+    The spec-expressible form of :func:`repro.mac.applications.flood.run_flood`:
+    one :class:`~repro.mac.applications.flood.FloodClient` per vertex behind
+    :func:`~repro.mac.adapter.make_mac_nodes`, parameters derived from the
+    measured (Δ, Δ').  ``compact_tack=True`` applies the E8 harness's
+    ``tack_phases_override=max(2, delta_prime)`` -- the flood only needs
+    delivery to the next hop, so a compact sending period keeps the
+    experiment fast while preserving the ``D * f_ack`` shape being measured.
+
+    The natural round budget is ``(eccentricity(source) + 2) *
+    (tack_phases + 1)`` phases, ``run_flood``'s default cap; the live clients
+    ride along in ``extras["flood_clients"]`` for the ``flood`` metric, whose
+    per-vertex receipt state is fixed once the token lands, so the metric
+    row does not depend on where inside the cap the flood completed.
+    """
+    if source not in graph:
+        raise KeyError(f"flood source vertex {source!r} is not in the graph")
+    delta, delta_prime = graph.degree_bounds()
+    params = LBParams.derive(
+        epsilon,
+        delta=delta,
+        delta_prime=delta_prime,
+        r=r,
+        tack_phases_override=max(2, delta_prime) if compact_tack else None,
+    )
+    clients = {
+        vertex: FloodClient(vertex, is_source=(vertex == source), flood_id=flood_id)
+        for vertex in graph.vertices
+    }
+    nodes = make_mac_nodes(graph, params, lambda v: clients[v], rng)
+    max_phases = (graph.reliable_eccentricity(source) + 2) * (params.tack_phases + 1)
+    return AlgorithmBuild(
+        processes=nodes,
+        params=params,
+        phase_length=params.phase_length,
+        tack_rounds=params.tack_rounds,
+        natural_rounds=max_phases * params.phase_length,
+        extras={"flood_clients": clients, "flood_source": source},
+    )
 
 
 # ----------------------------------------------------------------------

@@ -67,11 +67,13 @@ from repro.scenarios.suite import (
 )
 
 #: Terminal job states (a job in one of these never changes again).
-TERMINAL_STATES = ("done", "failed", "cancelled")
+#: ``rejected`` is the backpressure outcome: the submission was refused at
+#: the door (HTTP 429), never journaled, never enqueued.
+TERMINAL_STATES = ("done", "failed", "cancelled", "rejected")
 JOB_STATES = ("queued", "running") + TERMINAL_STATES
 
 #: Submission options accepted by :func:`parse_submission`.
-_SUBMIT_OPTION_KEYS = ("jobs", "prebuild")
+_SUBMIT_OPTION_KEYS = ("jobs", "prebuild", "fleet")
 
 
 class JobRejected(ValueError):
@@ -108,7 +110,9 @@ def parse_submission(payload: Any) -> Tuple[SuiteSpec, Dict[str, Any]]:
     manifest in its fully-inline form) or ``"scenario"`` (a single scenario
     spec, wrapped into a one-entry suite named after it), plus an optional
     ``"options"`` object (``jobs``: per-suite worker processes, ``prebuild``:
-    scheduler-delta prebuild toggle).  Anything else -- unknown keys, both or
+    scheduler-delta prebuild toggle, ``fleet``: dispatch across N OS worker
+    processes via :func:`repro.scenarios.fleet.run_suite_fleet`).  Anything
+    else -- unknown keys, both or
     neither spec forms, malformed spec trees -- raises :class:`JobRejected`
     with the underlying validation message, which the HTTP layer returns as
     the 400 error body.
@@ -140,6 +144,10 @@ def parse_submission(payload: Any) -> Tuple[SuiteSpec, Dict[str, Any]]:
         if "prebuild" in options:
             if not isinstance(options["prebuild"], bool):
                 raise JobRejected("options.prebuild must be a boolean")
+        if "fleet" in options:
+            options["fleet"] = int(options["fleet"])
+            if options["fleet"] < 1:
+                raise JobRejected("options.fleet must be a positive integer")
     except JobRejected:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -222,6 +230,18 @@ class JobManager:
         attempt is cancelled cooperatively and retried from its checkpoint.
     default_jobs / default_prebuild:
         Per-suite execution defaults when a submission carries no options.
+    fleet_workers / fleet_threshold:
+        When ``fleet_workers >= 2``, any job whose flattened task count is at
+        least ``fleet_threshold`` executes through
+        :func:`repro.scenarios.fleet.run_suite_fleet` across that many OS
+        worker processes (with crash-safe work-stealing leases) instead of
+        the in-process pool; submissions can force or resize this per job
+        with ``options.fleet``.
+    max_pending_tasks:
+        Queue-depth backpressure: a submission whose tasks would push the
+        total pending-task backlog (queued + running jobs) past this bound
+        is *rejected* -- a terminal ``"rejected"`` job the HTTP layer maps
+        to 429, never journaled or enqueued.  ``None`` disables the bound.
     """
 
     def __init__(
@@ -234,6 +254,9 @@ class JobManager:
         default_jobs: int = 1,
         default_prebuild: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        fleet_workers: int = 0,
+        fleet_threshold: int = 32,
+        max_pending_tasks: Optional[int] = None,
     ) -> None:
         coerced = ResultStore.coerce(store)
         if coerced is None:
@@ -246,6 +269,12 @@ class JobManager:
         self.default_jobs = max(1, int(default_jobs))
         self.default_prebuild = bool(default_prebuild)
         self.fault_plan = fault_plan
+        self.fleet_workers = max(0, int(fleet_workers))
+        self.fleet_threshold = max(1, int(fleet_threshold))
+        self.max_pending_tasks = (
+            None if max_pending_tasks is None else max(1, int(max_pending_tasks))
+        )
+        self._fleet_active: set = set()  # job ids currently executing via fleet
         self.started_at = time.time()
         self.stopping = False
 
@@ -266,6 +295,8 @@ class JobManager:
             "cancelled": 0,
             "retries": 0,
             "recovered": 0,
+            "rejected": 0,
+            "fleet_dispatched": 0,
         }
 
     # ------------------------------------------------------------------
@@ -442,10 +473,15 @@ class JobManager:
         """Accept (or dedup) one suite; returns ``(job, disposition)``.
 
         Disposition is ``"new"`` (journaled and enqueued), ``"inflight"``
-        (attached to an identical queued/running job) or ``"cached"``
-        (answered by the fingerprint's persisted report).  Must be called on
-        the event loop; the journal fsync happens before this returns, so an
-        acknowledged submission is already durable.
+        (attached to an identical queued/running job), ``"cached"``
+        (answered by the fingerprint's persisted report) or ``"rejected"``
+        (queue-depth backpressure: the pending-task backlog would exceed
+        ``max_pending_tasks``; the returned job is terminal in state
+        ``"rejected"``, never journaled or enqueued -- the HTTP layer maps
+        it to 429).  Dedup never rejects: attaching to in-flight work or a
+        cached report adds no load.  Must be called on the event loop; the
+        journal fsync happens before this returns, so an acknowledged
+        submission is already durable.
         """
         if self.stopping:
             raise JobRejected("service is shutting down; resubmit to the next instance")
@@ -471,6 +507,27 @@ class JobManager:
             self.jobs[job.id] = job
             self._latest_by_fp[fingerprint] = job
             return job, "cached"
+        if self.max_pending_tasks is not None:
+            pending = self._pending_tasks()
+            incoming = len(_flatten_tasks(suite))
+            if pending + incoming > self.max_pending_tasks:
+                self.counters["rejected"] += 1
+                job = Job(
+                    id=self._next_id(),
+                    suite=suite,
+                    fingerprint=fingerprint,
+                    options=dict(options or {}),
+                    state="rejected",
+                    finished_at=time.time(),
+                    error=(
+                        f"queue backpressure: {pending} task(s) already pending "
+                        f"+ {incoming} submitted would exceed the "
+                        f"max_pending_tasks bound of {self.max_pending_tasks}; "
+                        "retry once the backlog drains"
+                    ),
+                )
+                self.jobs[job.id] = job
+                return job, "rejected"
         job = Job(
             id=self._next_id(),
             suite=suite,
@@ -486,6 +543,17 @@ class JobManager:
 
     def _next_id(self) -> str:
         return f"job-{next(self._ids):06d}"
+
+    def _pending_tasks(self) -> int:
+        """Tasks not yet done across every queued/running job (the backlog)."""
+        pending = 0
+        for job in self.jobs.values():
+            if job.terminal:
+                continue
+            total = int(job.progress.get("total", job.task_count))
+            done = int(job.progress.get("done", 0))
+            pending += max(total - done, 0)
+        return pending
 
     def get(self, job_id: str) -> Optional[Job]:
         return self.jobs.get(job_id)
@@ -631,6 +699,20 @@ class JobManager:
         self._publish(job, {"event": "retry", "attempt": attempt, "error": error})
         return True
 
+    def _fleet_size(self, job: Job) -> int:
+        """How many fleet workers this job should use (0 = in-process pool).
+
+        ``options.fleet`` forces (and sizes) fleet dispatch per job;
+        otherwise any job big enough (``task_count >= fleet_threshold``)
+        rides the manager's ``fleet_workers`` default when one is configured.
+        """
+        forced = int(job.options.get("fleet", 0) or 0)
+        if forced >= 1:
+            return forced
+        if self.fleet_workers >= 2 and job.task_count >= self.fleet_threshold:
+            return self.fleet_workers
+        return 0
+
     def _execute_sync(self, job: Job, stop_flag: Dict[str, bool]) -> Dict[str, Any]:
         """One blocking execution attempt (runs in a worker thread)."""
         fault = self._arm_fault(job)
@@ -650,6 +732,29 @@ class JobManager:
 
         def should_stop() -> bool:
             return stop_flag["stop"] or job.cancel_requested or self.stopping
+
+        fleet = self._fleet_size(job)
+        if fleet >= 1:
+            # Multi-process dispatch: the store doubles as the checkpoint
+            # (every worker writes records there before marking its lease),
+            # so a crashed/retried attempt resumes exactly like the
+            # checkpointed serial path.
+            from repro.scenarios.fleet import run_suite_fleet
+
+            self.counters["fleet_dispatched"] += 1
+            self._fleet_active.add(job.id)
+            try:
+                report = run_suite_fleet(
+                    job.suite,
+                    workers=fleet,
+                    store=self.store,
+                    prebuild=bool(job.options.get("prebuild", self.default_prebuild)),
+                    on_progress=on_progress,
+                    should_stop=should_stop,
+                )
+            finally:
+                self._fleet_active.discard(job.id)
+            return report.to_dict()
 
         report = run_suite(
             job.suite,
@@ -723,6 +828,7 @@ class JobManager:
                 "tasks_done": done,
                 "tasks_pending": max(total - done, 0),
             }
+        backlog_tasks = sum(b["tasks_pending"] for b in backlog.values())
         return {
             "uptime_s": time.time() - self.started_at,
             "workers": self.workers,
@@ -730,7 +836,21 @@ class JobManager:
             "inflight": len(self._inflight),
             "jobs": states,
             "backlog": backlog,
-            "backlog_tasks": sum(b["tasks_pending"] for b in backlog.values()),
+            "backlog_tasks": backlog_tasks,
             "counters": dict(self.counters),
+            "fleet": {
+                "workers": self.fleet_workers,
+                "threshold": self.fleet_threshold,
+                "active_jobs": len(self._fleet_active),
+                "dispatched": self.counters["fleet_dispatched"],
+                "max_pending_tasks": self.max_pending_tasks,
+                "pending_tasks": backlog_tasks,
+                "utilization": (
+                    min(1.0, backlog_tasks / self.max_pending_tasks)
+                    if self.max_pending_tasks
+                    else None
+                ),
+                "rejected": self.counters["rejected"],
+            },
             "store": self.store.stats(),
         }

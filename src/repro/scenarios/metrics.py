@@ -867,3 +867,85 @@ def _metric_queue(ctx: MetricContext) -> Dict[str, Any]:
         "ack_latency_p50": _q(environment.ack_latencies, 0.5),
         "ack_latency_max": max(environment.ack_latencies, default=0),
     }
+
+
+@register_metric("flood", sample_args={}, trace_mode=TraceMode.COUNTERS)
+def _metric_flood(ctx: MetricContext) -> Dict[str, Any]:
+    """Coverage and completion of a flood trial (the E8 measurement).
+
+    Reads the live :class:`~repro.mac.applications.flood.FloodClient` states
+    the ``flood`` algorithm builder parked in
+    ``algorithm_build.extras["flood_clients"]``: each client records the
+    round it first received the token, which never changes afterwards, so
+    the row is independent of how far past completion the trial ran (and of
+    the trace mode -- counters suffice).  ``completion_round`` falls back to
+    the executed round budget when coverage is incomplete, matching the
+    pre-suite harness's convention.
+    """
+    build = ctx.algorithm_build
+    clients = getattr(build, "extras", {}).get("flood_clients") if build else None
+    if not clients:
+        raise ValueError(
+            "metric 'flood' needs the 'flood' algorithm (no flood_clients in "
+            "the trial's algorithm build extras)"
+        )
+    receive_rounds = [client.received_round for client in clients.values()]
+    covered = sum(1 for rnd in receive_rounds if rnd is not None)
+    complete = covered == len(clients)
+    return {
+        "vertices": len(clients),
+        "covered": covered,
+        "coverage": covered / len(clients),
+        "complete": int(complete),
+        "completion_round": (
+            max(receive_rounds) if complete else ctx.rounds
+        ),
+    }
+
+
+@register_metric(
+    "receiver_contention",
+    sample_args={"receiver": 0},
+    # FULL: first_reception_round counts *physical* data-frame receptions
+    # (recorded frames), not recv outputs.
+    trace_mode=TraceMode.FULL,
+)
+def _metric_receiver_contention(
+    ctx: MetricContext,
+    receiver: Any = 0,
+    origins: Optional[Sequence[Any]] = None,
+) -> Dict[str, Any]:
+    """Contended-receiver latencies against the lower-bound floors (E7).
+
+    At a receiver adjacent to Δ simultaneous broadcasters:
+    ``first_reception_round`` is the progress-like quantity (first successful
+    data reception; the executed round budget when nothing landed), and
+    ``all_heard_round`` is the acknowledgment-like quantity -- the round by
+    which the receiver has heard every expected origin, which can never beat
+    Δ.  ``origins`` defaults to every vertex other than the receiver; when
+    some origin was never heard, ``complete`` is 0 and ``all_heard_round``
+    is the sentinel -1 (NaN would poison byte-identity comparisons).
+    """
+    expected = (
+        list(origins)
+        if origins is not None
+        else [vertex for vertex in ctx.graph.vertices if vertex != receiver]
+    )
+    heard: Dict[Any, int] = {}
+    for recv in ctx.trace.recv_outputs:
+        if recv.vertex != receiver:
+            continue
+        origin = recv.message.origin
+        if origin not in heard:
+            heard[origin] = recv.round_number
+    first_rounds = data_reception_rounds(ctx.trace, receiver)
+    complete = set(heard) >= set(expected)
+    return {
+        "expected_origins": len(expected),
+        "distinct_origins_heard": len(set(heard) & set(expected)),
+        "first_reception_round": first_rounds[0] if first_rounds else ctx.rounds,
+        "complete": int(complete),
+        "all_heard_round": (
+            max(heard[origin] for origin in expected) if complete else -1
+        ),
+    }

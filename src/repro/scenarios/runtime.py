@@ -222,6 +222,11 @@ class TrialRunResult:
     graph: Any = None
     params: Any = None
     environment: Any = None
+    # Which engine lane actually ran and (when the counters lane did not
+    # engage) the first disqualifying reason -- captured before the simulator
+    # is dropped under keep=False, surfaced via perf_stats.  Deterministic
+    # for a given host/install, so excluded from to_dict()'s metric payload.
+    lane: Optional[Dict[str, Any]] = None
 
     @property
     def metric_row(self) -> Dict[str, Any]:
@@ -259,7 +264,10 @@ class RunResult:
     trials: List[TrialRunResult] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     metric_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
-    perf_stats: Dict[str, float] = field(default_factory=dict)
+    # Timing sections (floats, summed across trials) plus the engine-lane
+    # report: "lane" (the lane that actually ran) and "lane_fallback" (why
+    # the counters-only lane did not engage; None when it did).
+    perf_stats: Dict[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         """Non-empty iff at least one trial ran at least one round."""
@@ -354,6 +362,10 @@ def run_trial(spec: ScenarioSpec, trial_index: int, keep: bool = True) -> TrialR
         graph=built.graph if keep else None,
         params=built.params if keep else None,
         environment=built.environment if keep else None,
+        lane={
+            "lane": built.simulator.lane,
+            "lane_fallback": built.simulator.lane_fallback,
+        },
     )
 
 
@@ -367,8 +379,14 @@ def trial_record(spec: ScenarioSpec, trial_index: int) -> Dict[str, Any]:
     """
     trial = run_trial(spec, trial_index, keep=False)
     record = trial.to_dict()
+    # The lane report travels with every record (it is how a silent fallback
+    # -- e.g. QueuedEnvironment's _on_recv hook dropping a traffic workload
+    # off the counters lane -- becomes visible in RunResult.perf_stats);
+    # profiling merges its timing sections alongside.
+    perf: Dict[str, Any] = dict(trial.lane or {})
     if spec.engine.profile and trial.simulator is not None:
-        record["perf_stats"] = dict(trial.simulator.perf_stats)
+        perf.update(trial.simulator.perf_stats)
+    record["perf_stats"] = perf
     return record
 
 
@@ -384,8 +402,13 @@ def absorb_trial_record(result: RunResult, record: Mapping[str, Any]) -> None:
             metrics=dict(record["metrics"]),
         )
     )
-    for section, seconds in record.get("perf_stats", {}).items():
-        result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds
+    for section, value in record.get("perf_stats", {}).items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            # Lane identity (strings / None): identical across a spec's
+            # trials, so plain assignment -- summing would be nonsense.
+            result.perf_stats[section] = value
+        else:
+            result.perf_stats[section] = result.perf_stats.get(section, 0.0) + value
 
 
 def run_spec_trial(
@@ -478,6 +501,8 @@ def run(
         for trial_index in range(spec.run.trials):
             trial = run_trial(spec, trial_index, keep=keep)
             result.trials.append(trial)
+            if trial.lane:
+                result.perf_stats.update(trial.lane)
             if spec.engine.profile and trial.simulator is not None:
                 for section, seconds in trial.simulator.perf_stats.items():
                     result.perf_stats[section] = result.perf_stats.get(section, 0.0) + seconds

@@ -54,6 +54,7 @@ _REASONS = {
     409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -275,7 +276,15 @@ class ScenarioService:
             job, disposition = self.manager.submit(suite, options)
         except JobRejected as exc:
             raise HttpError(400, "rejected", str(exc)) from None
-        status = 201 if disposition == "new" else 200
+        if disposition == "rejected":
+            # Queue-depth backpressure: the job descriptor (terminal state
+            # "rejected", error explaining the bound) still comes back, so a
+            # client can inspect what it hit and retry later.
+            status = 429
+        elif disposition == "new":
+            status = 201
+        else:
+            status = 200
         writer.write(
             _response(
                 status,
@@ -439,6 +448,9 @@ def serve_main(
     backoff_s: float = 0.25,
     timeout_s: Optional[float] = None,
     quiet: bool = False,
+    fleet: int = 0,
+    fleet_threshold: int = 32,
+    max_pending_tasks: Optional[int] = None,
 ) -> int:
     """The blocking ``python -m repro serve`` entry point."""
     fault_plan = FaultPlan.from_env(os.environ.get("REPRO_SERVICE_FAULT"))
@@ -451,6 +463,9 @@ def serve_main(
         default_jobs=jobs,
         default_prebuild=prebuild,
         fault_plan=fault_plan,
+        fleet_workers=fleet,
+        fleet_threshold=fleet_threshold,
+        max_pending_tasks=max_pending_tasks,
     )
     try:
         return asyncio.run(_serve_async(host, port, manager, quiet=quiet))

@@ -78,7 +78,9 @@ from repro.scenarios.spec import ScenarioSpec, _json_canonical
 
 #: Version of the on-disk layout *and* of the record schema folded into every
 #: metrics signature -- bump it to invalidate all stored rows at once.
-STORE_SCHEMA_VERSION = 1
+#: v2: trial records always carry a ``perf_stats`` section with the engine
+#: lane report (``lane`` / ``lane_fallback``).
+STORE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

@@ -291,6 +291,57 @@ class Simulator:
             and env_type.observe_outputs is Environment.observe_outputs
             and env_type._on_recv is Environment._on_recv
         )
+        # Surface *why* the top lane did not engage (None when it did): the
+        # silent part of lane selection -- e.g. a traffic environment whose
+        # ``_on_recv`` hook quietly drops the run off the counters lane --
+        # becomes a recorded, assertable reason instead of a perf mystery.
+        self._lane_fallback = self._counters_fallback_reason(env_type, backend)
+
+    def _counters_fallback_reason(
+        self, env_type: type, backend: Optional[str]
+    ) -> Optional[str]:
+        """The first condition that kept the counters-only lane off.
+
+        Mirrors the eligibility conjunction above, in order, so the reported
+        reason is the same check an engineer would hit stepping through it.
+        """
+        if self._counters_lane:
+            return None
+        if self._trace.mode is not TraceMode.COUNTERS:
+            return (
+                f"trace mode is '{self._trace.mode.value}' "
+                "(the counters lane needs 'counters')"
+            )
+        if backend is None:
+            return (
+                "no kernel backend engaged (kernel lanes need fast_path + "
+                "vector_path and kernel != 'off')"
+            )
+        if not self._batch_drivers:
+            return "no batch group drivers (processes expose no cohort key)"
+        if self._ungrouped:
+            return (
+                f"{len(self._ungrouped)} process(es) stepped outside "
+                "batch groups"
+            )
+        if len(self._kernel_drivers) != len(self._batch_drivers):
+            return "a batch driver declined kernel stepping"
+        if not all(
+            hasattr(driver, "receive_round_counters")
+            for driver in self._batch_drivers
+        ):
+            return (
+                "a batch driver cannot count receptions without "
+                "materializing events"
+            )
+        if self._round_start_hooks or self._round_end_hooks:
+            return (
+                "process round hooks (on_round_start/on_round_end) need "
+                "per-round event stepping"
+            )
+        if env_type.observe_outputs is not Environment.observe_outputs:
+            return f"environment {env_type.__name__} overrides observe_outputs"
+        return f"environment {env_type.__name__} overrides _on_recv"
 
     def _build_batch_groups(self) -> None:
         groups: Dict[Any, Any] = {}
@@ -434,6 +485,26 @@ class Simulator:
     def uses_counters_lane(self) -> bool:
         """Whether rounds run through the counters-only kernel lane."""
         return self._counters_lane
+
+    @property
+    def lane(self) -> str:
+        """The engine lane rounds actually run through, most-optimized first:
+        ``counters-kernel-<backend>``, ``kernel-<backend>``, ``vector``,
+        ``fast``, or ``reference``."""
+        if self._counters_lane:
+            return f"counters-kernel-{self._kernel_backend}"
+        if self._kernel_backend is not None:
+            return f"kernel-{self._kernel_backend}"
+        if self._vector:
+            return "vector"
+        if self._fast:
+            return "fast"
+        return "reference"
+
+    @property
+    def lane_fallback(self) -> Optional[str]:
+        """Why the counters-only lane did not engage (``None`` when it did)."""
+        return self._lane_fallback
 
     @property
     def batch_drivers(self) -> List[Any]:

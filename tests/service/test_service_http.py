@@ -85,8 +85,16 @@ def test_healthz_and_stats(threaded_service):
     assert status == 200
     assert stats["workers"] == 2
     assert stats["counters"]["submitted"] == 0
-    assert set(stats["jobs"]) == {"queued", "running", "done", "failed", "cancelled"}
+    assert set(stats["jobs"]) == {
+        "queued",
+        "running",
+        "done",
+        "failed",
+        "cancelled",
+        "rejected",
+    }
     assert "entries" in stats["store"]
+    assert stats["fleet"]["workers"] == 0  # fleet dispatch off by default
 
 
 def test_job_listing_and_descriptor(threaded_service):

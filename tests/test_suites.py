@@ -22,6 +22,11 @@ from benchmarks.bench_ablation_seed_reuse import (
     build_seed_reuse_suite,
     seed_reuse_rows_from_report,
 )
+from benchmarks.bench_abstract_mac import SUITE_PATH as ABSTRACT_MAC_SUITE_PATH
+from benchmarks.bench_abstract_mac import (
+    abstract_mac_rows_from_report,
+    build_abstract_mac_suite,
+)
 from benchmarks.bench_ack import SUITE_PATH as ACK_SUITE_PATH
 from benchmarks.bench_ack import ack_rows_from_report, build_ack_suite
 from benchmarks.bench_adversary_resilience import SUITE_PATH as ADVERSARY_SUITE_PATH
@@ -31,6 +36,13 @@ from benchmarks.bench_adversary_resilience import (
 )
 from benchmarks.bench_locality import SUITE_PATH as LOCALITY_SUITE_PATH
 from benchmarks.bench_locality import build_locality_suite, locality_rows_from_report
+from benchmarks.bench_lower_bound_context import (
+    SUITE_PATH as LOWER_BOUND_SUITE_PATH,
+)
+from benchmarks.bench_lower_bound_context import (
+    build_lower_bound_suite,
+    lower_bound_rows_from_report,
+)
 from benchmarks.bench_seed_agreement import SUITE_PATH as SEED_AGREEMENT_SUITE_PATH
 from benchmarks.bench_seed_agreement import (
     build_seed_agreement_suite,
@@ -779,6 +791,55 @@ class TestBenchmarkReproduction:
          "throughput": 0.08472222222222223},
     ]
 
+    #: The E8 table as produced by the pre-suite bench_abstract_mac.py
+    #: (hand-wired FloodClient/adapter loop), pinned verbatim.
+    ABSTRACT_MAC_ROWS = [
+        {"line_length": 3, "diameter": 2, "phase_length": 152, "tack_rounds": 608,
+         "mean_completion_round": 43.5, "mean_coverage": 1.0,
+         "completion_over_diameter_tack": 0.03577302631578947},
+        {"line_length": 5, "diameter": 4, "phase_length": 152, "tack_rounds": 912,
+         "mean_completion_round": 190.0, "mean_coverage": 1.0,
+         "completion_over_diameter_tack": 0.052083333333333336},
+        {"line_length": 7, "diameter": 6, "phase_length": 152, "tack_rounds": 912,
+         "mean_completion_round": 383.5, "mean_coverage": 1.0,
+         "completion_over_diameter_tack": 0.07008406432748537},
+    ]
+
+    #: The E7 table as produced by the pre-suite bench_lower_bound_context.py
+    #: (hand-wired saturating-star loop), pinned verbatim.
+    LOWER_BOUND_ROWS = [
+        {"leaves": 4, "algorithm": "lbalg", "delta": 5,
+         "first_reception_round": 80.33333333333333,
+         "progress_lower_bound": 2.321928094887362,
+         "all_senders_heard_round": 236.0, "ack_lower_bound": 4.0,
+         "incomplete_trials": 0},
+        {"leaves": 4, "algorithm": "decay", "delta": 5,
+         "first_reception_round": 1.3333333333333333,
+         "progress_lower_bound": 2.321928094887362,
+         "all_senders_heard_round": 27.333333333333332, "ack_lower_bound": 4.0,
+         "incomplete_trials": 0},
+        {"leaves": 8, "algorithm": "lbalg", "delta": 9,
+         "first_reception_round": 73.0,
+         "progress_lower_bound": 3.169925001442312,
+         "all_senders_heard_round": 560.6666666666666, "ack_lower_bound": 8.0,
+         "incomplete_trials": 0},
+        {"leaves": 8, "algorithm": "decay", "delta": 9,
+         "first_reception_round": 3.6666666666666665,
+         "progress_lower_bound": 3.169925001442312,
+         "all_senders_heard_round": 63.333333333333336, "ack_lower_bound": 8.0,
+         "incomplete_trials": 0},
+        {"leaves": 16, "algorithm": "lbalg", "delta": 17,
+         "first_reception_round": 57.333333333333336,
+         "progress_lower_bound": 4.087462841250339,
+         "all_senders_heard_round": 829.6666666666666, "ack_lower_bound": 16.0,
+         "incomplete_trials": 0},
+        {"leaves": 16, "algorithm": "decay", "delta": 17,
+         "first_reception_round": 7.0,
+         "progress_lower_bound": 4.087462841250339,
+         "all_senders_heard_round": 273.6666666666667, "ack_lower_bound": 16.0,
+         "incomplete_trials": 0},
+    ]
+
     def test_checked_in_manifests_match_programmatic_suites(self):
         for path, build in (
             (ACK_SUITE_PATH, build_ack_suite),
@@ -790,6 +851,8 @@ class TestBenchmarkReproduction:
             (ADVERSARY_SUITE_PATH, build_adversary_suite),
             (SEED_REUSE_SUITE_PATH, build_seed_reuse_suite),
             (TRAFFIC_SUITE_PATH, build_traffic_suite),
+            (ABSTRACT_MAC_SUITE_PATH, build_abstract_mac_suite),
+            (LOWER_BOUND_SUITE_PATH, build_lower_bound_suite),
         ):
             assert os.path.exists(path)
             assert SuiteSpec.load(path).fingerprint() == build().fingerprint()
@@ -855,6 +918,22 @@ class TestBenchmarkReproduction:
         rows = seed_reuse_rows_from_report(report).rows
         assert len(rows) == len(self.SEED_REUSE_ROWS)
         for expected, actual in zip(self.SEED_REUSE_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_abstract_mac_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(ABSTRACT_MAC_SUITE_PATH), jobs=1)
+        rows = abstract_mac_rows_from_report(report).rows
+        assert len(rows) == len(self.ABSTRACT_MAC_ROWS)
+        for expected, actual in zip(self.ABSTRACT_MAC_ROWS, rows):
+            for key, value in expected.items():
+                assert actual[key] == value, (key, value, actual[key])
+
+    def test_lower_bound_manifest_reproduces_pre_suite_numbers(self):
+        report = run_suite(SuiteSpec.load(LOWER_BOUND_SUITE_PATH), jobs=1)
+        rows = lower_bound_rows_from_report(report).rows
+        assert len(rows) == len(self.LOWER_BOUND_ROWS)
+        for expected, actual in zip(self.LOWER_BOUND_ROWS, rows):
             for key, value in expected.items():
                 assert actual[key] == value, (key, value, actual[key])
 

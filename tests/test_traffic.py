@@ -220,6 +220,44 @@ class TestQueuedEnvironment:
         assert isinstance(built.environment, QueuedEnvironment)
         assert not built.simulator.uses_counters_lane
 
+    def test_lane_fallback_reason_is_recorded(self):
+        # The opt-out above used to be silent: a traffic workload quietly ran
+        # off the counters lane with nothing in the result saying so.  The
+        # engine now reports the lane that actually ran plus the first
+        # disqualifying reason, and both travel through RunResult.perf_stats.
+        spec = _traffic_spec(
+            scheduler="iid",
+            scheduler_args={"probability": 0.5},
+            trials=1,
+            engine=EngineConfig(trace_mode="counters"),
+        )
+        built = materialize(spec, 0)
+        assert built.simulator.lane != "counters-kernel-numpy"
+        assert built.simulator.lane_fallback == (
+            "environment QueuedEnvironment overrides _on_recv"
+        )
+
+        result = run(spec, keep=False)
+        assert result.perf_stats["lane"] == built.simulator.lane
+        assert result.perf_stats["lane_fallback"] == (
+            "environment QueuedEnvironment overrides _on_recv"
+        )
+
+    def test_lane_fallback_is_none_when_counters_lane_engages(self):
+        # A queue-free counters run takes the top lane and reports no
+        # fallback -- the absence of a reason is part of the contract.
+        spec = ScenarioSpec(
+            name="lane-top",
+            topology=TopologySpec("target_degree", {"target_delta": 8, "seed": 11}),
+            algorithm=AlgorithmSpec("lbalg", {"preset": "small"}),
+            scheduler=SchedulerSpec("iid", {"probability": 0.5}),
+            run=RunPolicy(rounds=1, rounds_unit="tack", trials=1, master_seed=7),
+            engine=EngineConfig(trace_mode="counters"),
+        )
+        result = run(spec, keep=False)
+        assert result.perf_stats["lane"].startswith("counters-kernel-")
+        assert result.perf_stats["lane_fallback"] is None
+
 
 # ----------------------------------------------------------------------
 # traffic-aware schedulers
